@@ -1,0 +1,548 @@
+// Benchmarks regenerating the paper's evaluation, one family per
+// experiment (E1-E8; see DESIGN.md §3). `go test -bench=. -benchmem`
+// reports the micro-level costs; `go run ./cmd/benchtab` prints the
+// corresponding tables with speedup ratios.
+package modelir_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"modelir/internal/bayes"
+	"modelir/internal/core"
+	"modelir/internal/features"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/metrics"
+	"modelir/internal/onion"
+	"modelir/internal/progressive"
+	"modelir/internal/pyramid"
+	"modelir/internal/raster"
+	"modelir/internal/rtree"
+	"modelir/internal/sproc"
+	"modelir/internal/synth"
+)
+
+// ---- E1: Onion vs scan vs R-tree on 3-attr Gaussian tuples ----
+
+var e1Data = sync.OnceValues(func() (struct {
+	pts   [][]float64
+	onion *onion.Index
+	rtree *rtree.Tree
+	ws    [][]float64
+}, error) {
+	var out struct {
+		pts   [][]float64
+		onion *onion.Index
+		rtree *rtree.Tree
+		ws    [][]float64
+	}
+	pts, err := synth.GaussianTuples(101, 50_000, 3)
+	if err != nil {
+		return out, err
+	}
+	ix, err := onion.Build(pts, onion.Options{})
+	if err != nil {
+		return out, err
+	}
+	rt, err := rtree.Build(pts, rtree.Options{})
+	if err != nil {
+		return out, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	ws := make([][]float64, 32)
+	for i := range ws {
+		ws[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	out.pts, out.onion, out.rtree, out.ws = pts, ix, rt, ws
+	return out, nil
+})
+
+func benchOnionK(b *testing.B, k int) {
+	d, err := e1Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.onion.TopK(d.ws[i&31], k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1OnionTop1(b *testing.B)   { benchOnionK(b, 1) }
+func BenchmarkE1OnionTop10(b *testing.B)  { benchOnionK(b, 10) }
+func BenchmarkE1OnionTop100(b *testing.B) { benchOnionK(b, 100) }
+
+func BenchmarkE1SequentialScanTop10(b *testing.B) {
+	d, err := e1Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := onion.ScanTopK(d.pts, d.ws[i&31], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1RTreeTop10(b *testing.B) {
+	d, err := e1Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.rtree.LinearTopK(d.ws[i&31], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E2: progressive classification ----
+
+var e2Data = sync.OnceValues(func() (struct {
+	mb  *raster.Multiband
+	gnb *bayes.GNB
+	mp  *pyramid.MultibandPyramid
+}, error) {
+	var out struct {
+		mb  *raster.Multiband
+		gnb *bayes.GNB
+		mp  *pyramid.MultibandPyramid
+	}
+	field, err := synth.SmoothField(31, 256, 256, 4)
+	if err != nil {
+		return out, err
+	}
+	sigs := [4][3]float64{{20, 15, 10}, {60, 140, 40}, {120, 180, 90}, {180, 90, 170}}
+	rng := rand.New(rand.NewSource(32))
+	bands := [3]*raster.Grid{
+		raster.MustGrid(256, 256), raster.MustGrid(256, 256), raster.MustGrid(256, 256),
+	}
+	labelOf := func(x, y int) int {
+		c := int(field.At(x, y) * 4)
+		if c > 3 {
+			c = 3
+		}
+		return c
+	}
+	for y := 0; y < 256; y++ {
+		for x := 0; x < 256; x++ {
+			c := labelOf(x, y)
+			for bd := 0; bd < 3; bd++ {
+				bands[bd].Set(x, y, sigs[c][bd]+rng.NormFloat64()*6)
+			}
+		}
+	}
+	mb, err := raster.Stack([]string{"b1", "b2", "b3"}, bands[0], bands[1], bands[2])
+	if err != nil {
+		return out, err
+	}
+	var xs [][]float64
+	var labels []int
+	for y := 0; y < 256; y += 3 {
+		for x := 0; x < 256; x += 3 {
+			xs = append(xs, mb.Pixel(x, y, nil))
+			labels = append(labels, labelOf(x, y))
+		}
+	}
+	gnb, err := bayes.TrainGNB(4, xs, labels)
+	if err != nil {
+		return out, err
+	}
+	mp, err := pyramid.BuildMultiband(mb, 6)
+	if err != nil {
+		return out, err
+	}
+	out.mb, out.gnb, out.mp = mb, gnb, mp
+	return out, nil
+})
+
+func BenchmarkE2FlatClassification(b *testing.B) {
+	d, err := e2Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.gnb.ClassifyScene(d.mb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2ProgressiveClassification(b *testing.B) {
+	d, err := e2Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := bayes.ProgressiveOptions{MarginThreshold: 10, MaxRange: 80}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.gnb.ClassifyProgressiveOpts(d.mp, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E3: progressive texture matching ----
+
+var e3Data = sync.OnceValues(func() (struct {
+	g     *raster.Grid
+	p     *pyramid.Pyramid
+	tiles []raster.Rect
+	q     features.TextureQuery
+}, error) {
+	var out struct {
+		g     *raster.Grid
+		p     *pyramid.Pyramid
+		tiles []raster.Rect
+		q     features.TextureQuery
+	}
+	const w, h, tile = 256, 256, 32
+	rng := rand.New(rand.NewSource(77))
+	g := raster.MustGrid(w, h)
+	for i := range g.Data() {
+		g.Data()[i] = 95 + rng.Float64()*10
+	}
+	tx, ty := 128, 128
+	for y := 0; y < tile; y++ {
+		for x := 0; x < tile; x++ {
+			v := 50.0
+			if ((x/4)+(y/4))%2 == 0 {
+				v = 200
+			}
+			g.Set(tx+x, ty+y, v)
+		}
+	}
+	p, err := pyramid.Build(g, 4)
+	if err != nil {
+		return out, err
+	}
+	target := raster.Rect{X0: tx, Y0: ty, X1: tx + tile, Y1: ty + tile}
+	coarse := p.Level(2)
+	cRect := raster.Rect{
+		X0: target.X0 / coarse.Scale, Y0: target.Y0 / coarse.Scale,
+		X1: target.X1 / coarse.Scale, Y1: target.Y1 / coarse.Scale,
+	}
+	q := features.TextureQuery{Bins: 8, Levels: 8, Lo: 0, Hi: 255, PrefilterKeep: 0.15}
+	q.TargetHist, err = features.NewHistogram(coarse.Mean, cRect, q.Bins, q.Lo, q.Hi)
+	if err != nil {
+		return out, err
+	}
+	q.TargetTexture, err = features.GLCM(g, target, q.Levels, q.Lo, q.Hi)
+	if err != nil {
+		return out, err
+	}
+	out.g, out.p, out.tiles, out.q = g, p, g.Tiles(tile), q
+	return out, nil
+})
+
+func BenchmarkE3FlatTextureMatch(b *testing.B) {
+	d, err := e3Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := features.MatchFlat(d.g, d.tiles, d.q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ProgressiveTextureMatch(b *testing.B) {
+	d, err := e3Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := features.MatchProgressive(d.p, d.tiles, d.q, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: SPROC evaluators ----
+
+var e4Query = sync.OnceValue(func() sproc.Query {
+	const l, m = 100, 3
+	rng := rand.New(rand.NewSource(40))
+	unary := make([][]float64, m)
+	for mi := range unary {
+		unary[mi] = make([]float64, l)
+		for j := range unary[mi] {
+			if rng.Float64() < 0.1 {
+				unary[mi][j] = 0.5 + 0.5*rng.Float64()
+			} else {
+				unary[mi][j] = 0.4 * rng.Float64()
+			}
+		}
+	}
+	pair := make([]float64, l*l)
+	for i := range pair {
+		pair[i] = rng.Float64()
+	}
+	return sproc.Query{
+		M:     m,
+		Unary: func(mi, item int) float64 { return unary[mi][item] },
+		Pair:  func(mi, a, b int) float64 { return pair[a*l+b] },
+	}
+})
+
+func BenchmarkE4SprocBruteForce(b *testing.B) {
+	q := e4Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sproc.BruteForce(100, q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4SprocDP(b *testing.B) {
+	q := e4Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sproc.DP(100, q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4SprocPruned(b *testing.B) {
+	q := e4Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sproc.Pruned(100, q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E5: progressive model x progressive data ----
+
+var e5Data = sync.OnceValues(func() (struct {
+	mp *pyramid.MultibandPyramid
+	pm *linear.ProgressiveModel
+}, error) {
+	var out struct {
+		mp *pyramid.MultibandPyramid
+		pm *linear.ProgressiveModel
+	}
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: 55, W: 256, H: 256})
+	if err != nil {
+		return out, err
+	}
+	mp, err := pyramid.BuildMultiband(sc.Bands, 6)
+	if err != nil {
+		return out, err
+	}
+	pm, err := linear.Decompose(linear.HPSRisk(),
+		[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4)
+	if err != nil {
+		return out, err
+	}
+	out.mp, out.pm = mp, pm
+	return out, nil
+})
+
+func BenchmarkE5FlatRetrieval(b *testing.B) {
+	d, err := e5Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := progressive.Flat(d.pm.Full(), d.mp, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5ProgModelRetrieval(b *testing.B) {
+	d, err := e5Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := progressive.ProgModel(d.pm, d.mp, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5ProgDataRetrieval(b *testing.B) {
+	d, err := e5Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := progressive.ProgData(d.pm.Full(), d.mp, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5CombinedRetrieval(b *testing.B) {
+	d, err := e5Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := progressive.Combined(d.pm, d.mp, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E6: accuracy metrics ----
+
+var e6Data = sync.OnceValues(func() (struct {
+	risk, occ, weights *raster.Grid
+}, error) {
+	var out struct {
+		risk, occ, weights *raster.Grid
+	}
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: 66, W: 256, H: 256})
+	if err != nil {
+		return out, err
+	}
+	mp, err := pyramid.BuildMultiband(sc.Bands, 4)
+	if err != nil {
+		return out, err
+	}
+	risk, err := progressive.RiskSurface(linear.HPSRisk(), mp)
+	if err != nil {
+		return out, err
+	}
+	norm := risk.Clone()
+	lo, hi := norm.MinMax()
+	norm.Apply(func(v float64) float64 { return (v - lo) / (hi - lo) })
+	occ, err := synth.Outbreak(synth.OutbreakConfig{Seed: 67, BaseRate: -3}, norm)
+	if err != nil {
+		return out, err
+	}
+	weights, err := synth.PopulationWeights(68, 256, 256)
+	if err != nil {
+		return out, err
+	}
+	out.risk, out.occ, out.weights = risk, occ, weights
+	return out, nil
+})
+
+func BenchmarkE6ThresholdSweep(b *testing.B) {
+	d, err := e6Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs := metrics.Costs{Miss: 10, FalseAlarm: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Sweep(d.risk, d.occ, d.weights, costs, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6PrecisionRecallAtK(b *testing.B) {
+	d, err := e6Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.PRAtK(d.risk, d.occ, []int{10, 50, 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: fire-ants FSM retrieval ----
+
+var e7Engine = sync.OnceValues(func() (*core.Engine, error) {
+	arch, err := synth.WeatherArchive(synth.WeatherConfig{
+		Seed: 71, Regions: 500, Days: 730, MeanTempC: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewEngine()
+	if err := e.AddSeries("w", arch); err != nil {
+		return nil, err
+	}
+	return e, nil
+})
+
+func BenchmarkE7FSMFlatScan(b *testing.B) {
+	e, err := e7Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := fsm.FireAnts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.FSMTopK("w", m, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7FSMMetadataPruned(b *testing.B) {
+	e, err := e7Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := fsm.FireAnts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.FSMTopK("w", m, 10, core.FireAntsPrefilter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E8: geology knowledge model ----
+
+var e8Engine = sync.OnceValues(func() (*core.Engine, error) {
+	wells, _, err := synth.WellArchive(synth.WellConfig{Seed: 81, Wells: 300})
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewEngine()
+	if err := e.AddWells("basin", wells); err != nil {
+		return nil, err
+	}
+	return e, nil
+})
+
+var e8Query = core.GeologyQuery{
+	Sequence: []synth.Lithology{synth.Shale, synth.Sandstone, synth.Siltstone},
+	MaxGapFt: 10,
+	MinGamma: 45,
+}
+
+func benchGeology(b *testing.B, m core.GeologyMethod) {
+	e, err := e8Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.GeologyTopK("basin", e8Query, 10, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8GeologyBruteForce(b *testing.B) { benchGeology(b, core.GeoBruteForce) }
+func BenchmarkE8GeologyDP(b *testing.B)         { benchGeology(b, core.GeoDP) }
+func BenchmarkE8GeologyPruned(b *testing.B)     { benchGeology(b, core.GeoPruned) }

@@ -1,0 +1,98 @@
+// benchtab regenerates the paper's evaluation tables (experiments E1-E8,
+// see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchtab            # run all experiments at full scale
+//	benchtab -e e1,e5   # run selected experiments
+//	benchtab -quick     # small data sizes (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"modelir/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	expList := fs.String("e", "all", "comma-separated ids (e1..e8 experiments, a1..a4 ablations), all, or ablations")
+	quick := fs.Bool("quick", false, "shrink data sizes for a fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick}
+
+	var tables []experiments.Table
+	switch *expList {
+	case "all":
+		all, err := experiments.All(cfg)
+		if err != nil {
+			return err
+		}
+		tables = all
+	case "ablations":
+		abl, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		tables = abl
+	default:
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(id)
+			runner, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (want e1..e8)", id)
+			}
+			tbl, err := runner(cfg)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, tbl)
+		}
+	}
+	for _, t := range tables {
+		printTable(t)
+	}
+	return nil
+}
+
+func printTable(t experiments.Table) {
+	fmt.Printf("== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Println("  note:", n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-e", "e99"}); err == nil {
+		t.Fatal("want unknown experiment error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}
+
+func TestRunSelectedQuick(t *testing.T) {
+	// One cheap experiment end-to-end through the printer.
+	if err := run([]string{"-quick", "-e", "e3"}); err != nil {
+		t.Fatalf("e3 quick: %v", err)
+	}
+	if err := run([]string{"-quick", "-e", "a3"}); err != nil {
+		t.Fatalf("a3 quick: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("want missing subcommand error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("want unknown subcommand error")
+	}
+	if err := run([]string{"geology", "-method", "bogus"}); err == nil {
+		t.Fatal("want unknown method error")
+	}
+	if err := run([]string{"tuples", "-w", "not-a-number"}); err == nil {
+		t.Fatal("want weight parse error")
+	}
+	if err := run([]string{"query-hps", "-archive", "/nonexistent/x.gob"}); err == nil {
+		t.Fatal("want archive open error")
+	}
+}
+
+func TestSceneRoundTripViaCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scene.gob")
+	if err := run([]string{"gen-scene", "-size", "64", "-out", path}); err != nil {
+		t.Fatalf("gen-scene: %v", err)
+	}
+	if err := run([]string{"query-hps", "-archive", path, "-k", "3"}); err != nil {
+		t.Fatalf("query-hps: %v", err)
+	}
+}
+
+func TestGeneratorSubcommands(t *testing.T) {
+	if err := run([]string{"tuples", "-n", "2000", "-k", "3"}); err != nil {
+		t.Fatalf("tuples: %v", err)
+	}
+	if err := run([]string{"fireants", "-regions", "30", "-days", "200", "-k", "3"}); err != nil {
+		t.Fatalf("fireants: %v", err)
+	}
+	for _, method := range []string{"brute", "dp", "pruned"} {
+		if err := run([]string{"geology", "-wells", "20", "-k", "3", "-method", method}); err != nil {
+			t.Fatalf("geology %s: %v", method, err)
+		}
+	}
+}

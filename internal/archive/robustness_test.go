@@ -1,0 +1,58 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Failure injection: a serialized archive corrupted at arbitrary byte
+// positions must either fail to decode or decode into a structurally
+// valid scene — never panic, never return an inconsistent object.
+func TestDecodeCorruptedStreams(t *testing.T) {
+	a := testScene(t)
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		data := append([]byte(nil), pristine...)
+		// Flip a handful of bytes at random positions.
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= byte(1 + rng.Intn(255))
+		}
+		sc, err := ReadScene(bytes.NewReader(data))
+		if err != nil {
+			continue // rejection is the expected common case
+		}
+		// If it decoded, it must be self-consistent.
+		if sc.W <= 0 || sc.H <= 0 {
+			t.Fatalf("trial %d: decoded scene with dims %dx%d", trial, sc.W, sc.H)
+		}
+		if sc.Base() == nil || sc.Pyramid() == nil {
+			t.Fatalf("trial %d: decoded scene missing raw level", trial)
+		}
+		if sc.Base().Width() != sc.W || sc.Base().Height() != sc.H {
+			t.Fatalf("trial %d: decoded scene shape mismatch", trial)
+		}
+	}
+}
+
+// Truncated streams at every length must fail cleanly.
+func TestDecodeTruncatedStreams(t *testing.T) {
+	a := testScene(t)
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	for _, frac := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		n := int(float64(len(pristine)) * frac)
+		if _, err := ReadScene(bytes.NewReader(pristine[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+
+	"modelir/internal/pyramid"
+	"modelir/internal/raster"
+)
+
+// Wavelet-domain storage, modelling reference [3] ("Adaptive storage and
+// retrieval of large compressed images"): bands are kept as Haar
+// decompositions so a client can stream a coarse preview first and
+// refine it level by level, paying only for the subbands it consumes —
+// the transmission-side counterpart of the pyramid's compute-side
+// progressiveness.
+
+// WaveletScene is the Haar-encoded form of a scene's bands.
+type WaveletScene struct {
+	names  []string
+	haars  []*pyramid.Haar
+	w, h   int // original (pre-padding) dimensions
+	levels int
+}
+
+// EncodeWavelet Haar-encodes every band of the scene with the given
+// number of levels, padding to dyadic dimensions as needed.
+func EncodeWavelet(sc *Scene, levels int) (*WaveletScene, error) {
+	if sc == nil {
+		return nil, errors.New("archive: nil scene")
+	}
+	if levels < 1 {
+		return nil, errors.New("archive: need >= 1 wavelet level")
+	}
+	out := &WaveletScene{
+		names:  append([]string(nil), sc.BandNames...),
+		haars:  make([]*pyramid.Haar, sc.NumBands()),
+		w:      sc.W,
+		h:      sc.H,
+		levels: levels,
+	}
+	for b := 0; b < sc.NumBands(); b++ {
+		padded, _, _ := pyramid.PadToDyadic(sc.Base().Band(b), levels)
+		h, err := pyramid.HaarDecompose(padded, levels)
+		if err != nil {
+			return nil, fmt.Errorf("band %d: %w", b, err)
+		}
+		out.haars[b] = h
+	}
+	return out, nil
+}
+
+// NumLevels returns the decomposition depth.
+func (ws *WaveletScene) NumLevels() int { return ws.levels }
+
+// Preview reconstructs band b at the given level: level 0 is the exact
+// full-resolution band (cropped back to the original dimensions); level
+// k > 0 is the approximation at 1/2^k resolution.
+func (ws *WaveletScene) Preview(band, level int) (*raster.Grid, error) {
+	if band < 0 || band >= len(ws.haars) {
+		return nil, fmt.Errorf("archive: band %d out of range", band)
+	}
+	if level < 0 || level > ws.levels {
+		return nil, fmt.Errorf("archive: level %d out of [0,%d]", level, ws.levels)
+	}
+	g := ws.haars[band].ReconstructTo(level)
+	// Crop padding back off at full resolution; coarse levels keep the
+	// padded extent (the preview consumer scales anyway).
+	if level == 0 && (g.Width() != ws.w || g.Height() != ws.h) {
+		out := raster.MustGrid(ws.w, ws.h)
+		for y := 0; y < ws.h; y++ {
+			copy(out.Row(y), g.Row(y)[:ws.w])
+		}
+		return out, nil
+	}
+	return g, nil
+}
+
+// CoefficientsAtLevel returns how many coefficients a client must fetch
+// to render the preview at `level` (approximation plus all detail
+// subbands coarser than `level`), per band. Level ws.levels = just the
+// approximation; level 0 = everything.
+func (ws *WaveletScene) CoefficientsAtLevel(level int) (int, error) {
+	if level < 0 || level > ws.levels {
+		return 0, fmt.Errorf("archive: level %d out of [0,%d]", level, ws.levels)
+	}
+	h := ws.haars[0]
+	n := h.Approx.Len()
+	for l := ws.levels - 1; l >= level; l-- {
+		d := h.Level(l)
+		n += d.LH.Len() + d.HL.Len() + d.HH.Len()
+	}
+	return n, nil
+}
+
+// DetailEnergyProfile returns the per-level detail energy of band b
+// (finest level first) — the signal a progressive decoder uses to stop
+// refining visually flat regions.
+func (ws *WaveletScene) DetailEnergyProfile(band int) ([]float64, error) {
+	if band < 0 || band >= len(ws.haars) {
+		return nil, fmt.Errorf("archive: band %d out of range", band)
+	}
+	return ws.haars[band].DetailEnergy(), nil
+}

@@ -1,0 +1,122 @@
+package archive
+
+import (
+	"math"
+	"testing"
+
+	"modelir/internal/synth"
+)
+
+func waveletScene(t *testing.T) (*Scene, *WaveletScene) {
+	t.Helper()
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: 15, W: 100, H: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildScene("w", sc.Bands, Options{TileSize: 16, PyramidLevels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := EncodeWavelet(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, ws
+}
+
+func TestEncodeWaveletValidation(t *testing.T) {
+	if _, err := EncodeWavelet(nil, 2); err == nil {
+		t.Fatal("want nil scene error")
+	}
+	a, _ := waveletScene(t)
+	if _, err := EncodeWavelet(a, 0); err == nil {
+		t.Fatal("want level error")
+	}
+}
+
+func TestPreviewLevel0Exact(t *testing.T) {
+	a, ws := waveletScene(t)
+	if ws.NumLevels() != 3 {
+		t.Fatalf("levels=%d", ws.NumLevels())
+	}
+	for b := 0; b < a.NumBands(); b++ {
+		full, err := ws.Preview(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := a.Base().Band(b)
+		if full.Width() != orig.Width() || full.Height() != orig.Height() {
+			t.Fatalf("band %d preview dims %dx%d", b, full.Width(), full.Height())
+		}
+		for i, v := range orig.Data() {
+			if math.Abs(v-full.Data()[i]) > 1e-9 {
+				t.Fatalf("band %d sample %d: %v vs %v", b, i, v, full.Data()[i])
+			}
+		}
+	}
+}
+
+func TestPreviewCoarseLevels(t *testing.T) {
+	_, ws := waveletScene(t)
+	// Padded dims: 104x64 (divisible by 8). Level 2 preview: 26x16.
+	p2, err := ws.Preview(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Width() != 26 || p2.Height() != 16 {
+		t.Fatalf("level-2 preview %dx%d", p2.Width(), p2.Height())
+	}
+	if _, err := ws.Preview(99, 0); err == nil {
+		t.Fatal("want band range error")
+	}
+	if _, err := ws.Preview(0, 9); err == nil {
+		t.Fatal("want level range error")
+	}
+}
+
+func TestCoefficientsAtLevelMonotone(t *testing.T) {
+	_, ws := waveletScene(t)
+	prev := -1
+	for level := ws.NumLevels(); level >= 0; level-- {
+		n, err := ws.CoefficientsAtLevel(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= prev {
+			t.Fatalf("coefficient count not increasing toward finer levels: %d then %d", prev, n)
+		}
+		prev = n
+	}
+	// Full decode needs exactly the padded pixel count.
+	full, _ := ws.CoefficientsAtLevel(0)
+	if full != 104*64 {
+		t.Fatalf("full coefficient count %d want %d", full, 104*64)
+	}
+	// Coarsest preview needs 64x fewer.
+	coarse, _ := ws.CoefficientsAtLevel(ws.NumLevels())
+	if coarse*64 != full {
+		t.Fatalf("coarse count %d, full %d: want 64x reduction", coarse, full)
+	}
+	if _, err := ws.CoefficientsAtLevel(-1); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestDetailEnergyProfile(t *testing.T) {
+	_, ws := waveletScene(t)
+	prof, err := ws.DetailEnergyProfile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 3 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for i, e := range prof {
+		if e < 0 {
+			t.Fatalf("negative energy at level %d", i)
+		}
+	}
+	if _, err := ws.DetailEnergyProfile(99); err == nil {
+		t.Fatal("want band range error")
+	}
+}

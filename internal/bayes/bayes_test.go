@@ -1,0 +1,327 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sprinkler builds the classic rain/sprinkler/wet-grass network with known
+// posteriors for validating inference.
+func sprinkler(t *testing.T) (*Network, [3]int) {
+	t.Helper()
+	b := NewBuilder()
+	rain := b.Bool("rain")
+	spr := b.Bool("sprinkler")
+	wet := b.Bool("wet")
+	if err := b.Prior(rain, []float64{0.8, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	// Sprinkler depends on rain (less likely when raining).
+	if err := b.CPT(spr, []int{rain}, [][]float64{
+		{0.6, 0.4},
+		{0.99, 0.01},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Wet depends on (rain, sprinkler).
+	if err := b.CPT(wet, []int{rain, spr}, [][]float64{
+		{1.0, 0.0},   // no rain, no sprinkler
+		{0.1, 0.9},   // no rain, sprinkler
+		{0.2, 0.8},   // rain, no sprinkler
+		{0.01, 0.99}, // rain, sprinkler
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, [3]int{rain, spr, wet}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Variable("x", 1); err == nil {
+		t.Fatal("want error for 1-state variable")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for empty network")
+	}
+	v := b.Bool("v")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for missing CPT")
+	}
+	if err := b.CPT(v, []int{v}, nil); err == nil {
+		t.Fatal("want error for self-parent")
+	}
+	if err := b.Prior(v, []float64{0.5, 0.6}); err == nil {
+		t.Fatal("want error for non-normalized row")
+	}
+	if err := b.Prior(v, []float64{0.5}); err == nil {
+		t.Fatal("want error for short row")
+	}
+	if err := b.Prior(v, []float64{1.5, -0.5}); err == nil {
+		t.Fatal("want error for out-of-range probabilities")
+	}
+	if err := b.CPT(99, nil, nil); err == nil {
+		t.Fatal("want error for bad variable index")
+	}
+	if err := b.CPT(v, []int{99}, nil); err == nil {
+		t.Fatal("want error for bad parent index")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	b := NewBuilder()
+	x := b.Bool("x")
+	y := b.Bool("y")
+	if err := b.CPT(x, []int{y}, [][]float64{{0.5, 0.5}, {0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CPT(y, []int{x}, [][]float64{{0.5, 0.5}, {0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want cycle error")
+	}
+}
+
+func TestJointProb(t *testing.T) {
+	nw, v := sprinkler(t)
+	// P(rain=1, spr=0, wet=1) = 0.2 * 0.99 * 0.8
+	p, err := nw.JointProb(map3(v, 1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.2 * 0.99 * 0.8
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("joint %v want %v", p, want)
+	}
+	if _, err := nw.JointProb([]int{1}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := nw.JointProb([]int{5, 0, 0}); err == nil {
+		t.Fatal("want state range error")
+	}
+}
+
+func map3(v [3]int, a, b, c int) []int {
+	out := make([]int, 3)
+	out[v[0]] = a
+	out[v[1]] = b
+	out[v[2]] = c
+	return out
+}
+
+func TestPosteriorMatchesHandComputation(t *testing.T) {
+	nw, v := sprinkler(t)
+	// P(rain=1 | wet=1): compute by brute force from the joint.
+	num, den := 0.0, 0.0
+	for r := 0; r <= 1; r++ {
+		for s := 0; s <= 1; s++ {
+			p, _ := nw.JointProb(map3(v, r, s, 1))
+			den += p
+			if r == 1 {
+				num += p
+			}
+		}
+	}
+	want := num / den
+	got, err := nw.ProbTrue(v[0], map[int]int{v[2]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P(rain|wet) = %v want %v", got, want)
+	}
+	// Explaining away: knowing the sprinkler ran lowers P(rain | wet).
+	withSpr, err := nw.ProbTrue(v[0], map[int]int{v[2]: 1, v[1]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSpr >= got {
+		t.Fatalf("explaining away failed: %v >= %v", withSpr, got)
+	}
+}
+
+func TestPosteriorValidation(t *testing.T) {
+	nw, v := sprinkler(t)
+	if _, err := nw.Posterior(99, nil); err == nil {
+		t.Fatal("want query range error")
+	}
+	if _, err := nw.Posterior(v[0], map[int]int{99: 0}); err == nil {
+		t.Fatal("want evidence variable error")
+	}
+	if _, err := nw.Posterior(v[0], map[int]int{v[1]: 9}); err == nil {
+		t.Fatal("want evidence state error")
+	}
+	// Observed query: degenerate distribution.
+	d, err := nw.Posterior(v[0], map[int]int{v[0]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[1] != 1 || d[0] != 0 {
+		t.Fatalf("degenerate posterior %v", d)
+	}
+	if _, err := nw.ProbTrue(99, nil); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+// Property: posteriors are normalized distributions for random evidence.
+func TestPosteriorNormalizedProperty(t *testing.T) {
+	nw, v := sprinkler(t)
+	f := func(ev uint8, which uint8) bool {
+		evidence := map[int]int{}
+		if which%2 == 0 {
+			evidence[v[1]] = int(ev) % 2
+		}
+		if which%3 == 0 {
+			evidence[v[2]] = int(ev/2) % 2
+		}
+		d, err := nw.Posterior(v[0], evidence)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range d {
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoisyOR(t *testing.T) {
+	rows, err := NoisyOR([]float64{0.3, 0.5}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// No active parent: P(on) = leak.
+	if math.Abs(rows[0][1]-0.1) > 1e-12 {
+		t.Fatalf("leak row %v", rows[0])
+	}
+	// Both active: P(off) = (1-leak)*0.3*0.5.
+	wantOff := 0.9 * 0.3 * 0.5
+	if math.Abs(rows[3][0]-wantOff) > 1e-12 {
+		t.Fatalf("both-on row %v want off=%v", rows[3], wantOff)
+	}
+	// First parent only: row index 2 (first parent varies slowest).
+	if math.Abs(rows[2][0]-0.9*0.3) > 1e-12 {
+		t.Fatalf("first-parent row %v", rows[2])
+	}
+	if _, err := NoisyOR(nil, 0); err == nil {
+		t.Fatal("want error for no parents")
+	}
+	if _, err := NoisyOR([]float64{2}, 0); err == nil {
+		t.Fatal("want error for bad inhibitor")
+	}
+	if _, err := NoisyOR([]float64{0.5}, -1); err == nil {
+		t.Fatal("want error for bad leak")
+	}
+}
+
+func TestHPSNetworkBehaviour(t *testing.T) {
+	nw, v, err := HPSNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumVars() != 7 {
+		t.Fatalf("vars=%d", nw.NumVars())
+	}
+	base, err := nw.ProbTrue(v.HighRisk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full evidence: house surrounded by bushes and wet-then-dry weather.
+	full, err := nw.ProbTrue(v.HighRisk, map[int]int{
+		v.House: 1, v.Bushes: 1, v.WetSeason: 1, v.DrySeason: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= base {
+		t.Fatalf("evidence must raise risk: base %v full %v", base, full)
+	}
+	if full < 0.5 {
+		t.Fatalf("fully-evidenced risk %v implausibly low", full)
+	}
+	// Contradictory evidence: no house -> low risk.
+	none, err := nw.ProbTrue(v.HighRisk, map[int]int{v.House: 0, v.WetSeason: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none >= base {
+		t.Fatalf("negative evidence must lower risk: %v >= %v", none, base)
+	}
+}
+
+func TestFitCPTRecoversDistribution(t *testing.T) {
+	nw, v := sprinkler(t)
+	// Generate samples from the true network by enumeration weights:
+	// build the empirical sample set proportional to the joint.
+	var samples [][]int
+	for r := 0; r <= 1; r++ {
+		for s := 0; s <= 1; s++ {
+			for w := 0; w <= 1; w++ {
+				p, _ := nw.JointProb(map3(v, r, s, w))
+				n := int(p * 10000)
+				for i := 0; i < n; i++ {
+					samples = append(samples, map3(v, r, s, w))
+				}
+			}
+		}
+	}
+	table, err := nw.FitCPT(v[2], samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row for (rain=1, spr=0) is index 2: want P(wet=1) = 0.8.
+	if math.Abs(table[2][1]-0.8) > 0.02 {
+		t.Fatalf("refit P(wet|rain,~spr) = %v want ~0.8", table[2][1])
+	}
+	if _, err := nw.FitCPT(99, samples, 0); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, err := nw.FitCPT(v[2], samples, -1); err == nil {
+		t.Fatal("want smoothing error")
+	}
+	if _, err := nw.FitCPT(v[2], [][]int{{0}}, 0); err == nil {
+		t.Fatal("want sample shape error")
+	}
+	if _, err := nw.FitCPT(v[2], [][]int{{0, 0, 9}}, 0); err == nil {
+		t.Fatal("want sample state error")
+	}
+}
+
+func TestFitCPTUnobservedRowsUniform(t *testing.T) {
+	nw, v := sprinkler(t)
+	// One sample only, zero smoothing: unobserved rows become uniform.
+	table, err := nw.FitCPT(v[2], [][]int{map3(v, 0, 0, 0)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[3][0] != 0.5 || table[3][1] != 0.5 {
+		t.Fatalf("unobserved row %v want uniform", table[3])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	nw, v := sprinkler(t)
+	if nw.Name(v[0]) != "rain" || nw.Arity(v[0]) != 2 {
+		t.Fatal("metadata wrong")
+	}
+	ps := nw.Parents(v[2])
+	if len(ps) != 2 {
+		t.Fatalf("parents %v", ps)
+	}
+}

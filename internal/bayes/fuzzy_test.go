@@ -1,0 +1,134 @@
+package bayes
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrapezoid(t *testing.T) {
+	tr, err := NewTrapezoid(0, 10, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v, want float64
+	}{
+		{-5, 0}, {0, 0}, {5, 0.5}, {10, 1}, {15, 1}, {20, 1}, {25, 0.5}, {30, 0}, {40, 0},
+	}
+	for _, c := range cases {
+		if got := tr.Grade(c.v); got != c.want {
+			t.Errorf("Grade(%v)=%v want %v", c.v, got, c.want)
+		}
+	}
+	if _, err := NewTrapezoid(5, 4, 6, 7); err == nil {
+		t.Fatal("want ordering error")
+	}
+	// Shoulders: a==b gives grade 1 at the left edge.
+	sh, _ := NewTrapezoid(5, 5, 10, 12)
+	if sh.Grade(5) != 1 {
+		t.Fatal("left shoulder broken")
+	}
+	sh2, _ := NewTrapezoid(0, 2, 10, 10)
+	if sh2.Grade(10) != 1 {
+		t.Fatal("right shoulder broken")
+	}
+}
+
+func TestAboveBelow(t *testing.T) {
+	a := Above{Lo: 40, Hi: 50}
+	if a.Grade(40) != 0 || a.Grade(50) != 1 || a.Grade(45) != 0.5 {
+		t.Fatal("Above ramp wrong")
+	}
+	crisp := Above{Lo: 45, Hi: 45}
+	if crisp.Grade(44.9) != 0 || crisp.Grade(45) != 1 {
+		t.Fatal("crisp Above wrong")
+	}
+	b := Below{Lo: 10, Hi: 20}
+	if b.Grade(10) != 1 || b.Grade(20) != 0 || b.Grade(15) != 0.5 {
+		t.Fatal("Below ramp wrong")
+	}
+	crispB := Below{Lo: 10, Hi: 10}
+	if crispB.Grade(10) != 1 || crispB.Grade(10.1) != 0 {
+		t.Fatal("crisp Below wrong")
+	}
+}
+
+// Property: all membership grades stay in [0,1] for finite, sanely-scaled
+// breakpoints (extreme magnitudes that overflow float64 subtraction are
+// outside the membership-function contract).
+func TestMembershipRangeProperty(t *testing.T) {
+	f := func(v float64, raw [4]float64) bool {
+		pts := make([]float64, 4)
+		for i, r := range raw {
+			if r != r { // NaN out of contract
+				r = 0
+			}
+			pts[i] = math.Mod(r, 1e6)
+		}
+		sort.Float64s(pts)
+		tr, err := NewTrapezoid(pts[0], pts[1], pts[2], pts[3])
+		if err != nil {
+			return false // sorted finite inputs must be accepted
+		}
+		if v != v {
+			v = 0
+		}
+		g := tr.Grade(math.Mod(v, 1e6))
+		return g >= 0 && g <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleSetScore(t *testing.T) {
+	rs := NewRuleSet().
+		Require("gamma", Above{Lo: 40, Hi: 50}).
+		Require("thickness", Trapezoid{A: 0, B: 5, C: 40, D: 60})
+	if rs.Len() != 2 {
+		t.Fatalf("len=%d", rs.Len())
+	}
+	s, err := rs.Score(map[string]float64{"gamma": 55, "thickness": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("perfect match scores %v", s)
+	}
+	// gamma=45 grades 0.5; min semantics.
+	s, _ = rs.Score(map[string]float64{"gamma": 45, "thickness": 20})
+	if s != 0.5 {
+		t.Fatalf("partial match scores %v want 0.5", s)
+	}
+	// Missing feature zeroes a hard clause.
+	s, _ = rs.Score(map[string]float64{"gamma": 55})
+	if s != 0 {
+		t.Fatalf("missing feature scores %v want 0", s)
+	}
+}
+
+func TestRuleSetSoftClause(t *testing.T) {
+	rs := NewRuleSet().
+		Require("gamma", Above{Lo: 40, Hi: 50}).
+		Add("bonus", Above{Lo: 0, Hi: 1}, 0.2) // advisory
+	// Bonus feature absent: soft clause floor is 1-0.2 = 0.8.
+	s, err := rs.Score(map[string]float64{"gamma": 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0.8 {
+		t.Fatalf("soft clause floor %v want 0.8", s)
+	}
+}
+
+func TestRuleSetValidation(t *testing.T) {
+	if _, err := NewRuleSet().Score(nil); err == nil {
+		t.Fatal("want error for empty rule set")
+	}
+	bad := NewRuleSet().Add("x", Above{}, 2)
+	if _, err := bad.Score(map[string]float64{"x": 1}); err == nil {
+		t.Fatal("want error for bad weight")
+	}
+}

@@ -1,0 +1,82 @@
+package bayes
+
+// HPSNetwork builds the Fig. 3 Bayesian network for Hantavirus Pulmonary
+// Syndrome high-risk houses:
+//
+//	house ─┐                         unusual raining season ─┐
+//	       ├─> house surrounded      dry season ─────────────┼─> wet season
+//	bushes ┘    by bushes                                    ┘   followed by dry
+//	              └──────────────┬───────────────┘
+//	                             v
+//	                       High Risk House
+//
+// The network is multi-modal by construction: "house" and "bushes" come
+// from the imagery modality (high-resolution satellite), the season nodes
+// from the weather modality. Variables and their indices are exposed as
+// HPSVars for evidence binding.
+type HPSVars struct {
+	House, Bushes, Surrounded    int
+	WetSeason, DrySeason, WetDry int
+	HighRisk                     int
+}
+
+// HPSNetwork returns the network and its variable handle. CPT numbers are
+// expert-elicited (the paper gives structure, not parameters): detection
+// noise on the image-derived nodes and a noisy-OR combination at the root.
+func HPSNetwork() (*Network, HPSVars, error) {
+	b := NewBuilder()
+	var vars HPSVars
+	vars.House = b.Bool("house")
+	vars.Bushes = b.Bool("bushes")
+	vars.Surrounded = b.Bool("house_surrounded_by_bushes")
+	vars.WetSeason = b.Bool("unusual_raining_season")
+	vars.DrySeason = b.Bool("dry_season")
+	vars.WetDry = b.Bool("wet_season_followed_by_dry")
+	vars.HighRisk = b.Bool("high_risk_house")
+
+	// Priors reflect area base rates.
+	if err := b.Prior(vars.House, []float64{0.7, 0.3}); err != nil {
+		return nil, vars, err
+	}
+	if err := b.Prior(vars.Bushes, []float64{0.6, 0.4}); err != nil {
+		return nil, vars, err
+	}
+	if err := b.Prior(vars.WetSeason, []float64{0.75, 0.25}); err != nil {
+		return nil, vars, err
+	}
+	if err := b.Prior(vars.DrySeason, []float64{0.5, 0.5}); err != nil {
+		return nil, vars, err
+	}
+
+	// Surrounded ~= house AND bushes, with 5% detection noise.
+	// Rows: (house,bushes) = (0,0),(0,1),(1,0),(1,1).
+	if err := b.CPT(vars.Surrounded, []int{vars.House, vars.Bushes}, [][]float64{
+		{0.99, 0.01},
+		{0.97, 0.03},
+		{0.95, 0.05},
+		{0.10, 0.90},
+	}); err != nil {
+		return nil, vars, err
+	}
+	// WetDry ~= wet AND dry (the characteristic HPS weather pattern).
+	if err := b.CPT(vars.WetDry, []int{vars.WetSeason, vars.DrySeason}, [][]float64{
+		{0.98, 0.02},
+		{0.90, 0.10},
+		{0.85, 0.15},
+		{0.05, 0.95},
+	}); err != nil {
+		return nil, vars, err
+	}
+	// HighRisk: noisy-OR of the two mid-level causes; the weather pattern
+	// is the stronger driver (rodent population booms), vegetation cover
+	// the secondary one.
+	rows, err := NoisyOR([]float64{0.35, 0.25}, 0.02)
+	if err != nil {
+		return nil, vars, err
+	}
+	if err := b.CPT(vars.HighRisk, []int{vars.Surrounded, vars.WetDry}, rows); err != nil {
+		return nil, vars, err
+	}
+	nw, err := b.Build()
+	return nw, vars, err
+}

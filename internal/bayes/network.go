@@ -1,0 +1,387 @@
+// Package bayes implements the paper's knowledge models (Section 2.3):
+// Bayesian networks ("a graphical model for probabilistic relationships
+// among a set of variables … a popular representation for encoding expert
+// knowledge"), exact inference, CPT learning from data ("recently, methods
+// have been developed to learn Bayesian networks from data"), noisy-OR
+// expert elicitation, fuzzy rule predicates for knowledge models, the HPS
+// high-risk-house network of Fig. 3, and the Gaussian naive-Bayes
+// classifier behind progressive classification [13].
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Network is a discrete Bayesian network: a DAG of categorical variables,
+// each with a conditional probability table (CPT) over its parents.
+// Construct with NewBuilder; networks are immutable after Build.
+type Network struct {
+	names   []string
+	arity   []int
+	parents [][]int
+	// cpt[v] has one row per parent configuration (row-major in parent
+	// order, first parent varies slowest), each row of length arity[v]
+	// summing to 1.
+	cpt [][]float64
+	// topo is a topological order of the variables.
+	topo []int
+}
+
+// Builder accumulates a network definition.
+type Builder struct {
+	names   []string
+	arity   []int
+	parents [][]int
+	cpt     [][]float64
+}
+
+// NewBuilder returns an empty network builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Variable adds a categorical variable with the given number of states
+// (>= 2) and returns its index.
+func (b *Builder) Variable(name string, states int) (int, error) {
+	if states < 2 {
+		return 0, fmt.Errorf("bayes: variable %q needs >= 2 states", name)
+	}
+	b.names = append(b.names, name)
+	b.arity = append(b.arity, states)
+	b.parents = append(b.parents, nil)
+	b.cpt = append(b.cpt, nil)
+	return len(b.names) - 1, nil
+}
+
+// Bool adds a binary variable (states: false=0, true=1).
+func (b *Builder) Bool(name string) int {
+	id, err := b.Variable(name, 2)
+	if err != nil {
+		// Cannot happen: 2 >= 2.
+		panic(err)
+	}
+	return id
+}
+
+// CPT sets the conditional distribution of v given parents. table is
+// row-major over parent configurations (first parent varies slowest); each
+// row lists P(v = state | config) and must sum to 1 (±1e-9).
+func (b *Builder) CPT(v int, parents []int, table [][]float64) error {
+	if v < 0 || v >= len(b.names) {
+		return fmt.Errorf("bayes: variable %d out of range", v)
+	}
+	rows := 1
+	for _, p := range parents {
+		if p < 0 || p >= len(b.names) {
+			return fmt.Errorf("bayes: parent %d out of range", p)
+		}
+		if p == v {
+			return fmt.Errorf("bayes: variable %q cannot be its own parent", b.names[v])
+		}
+		rows *= b.arity[p]
+	}
+	if len(table) != rows {
+		return fmt.Errorf("bayes: CPT for %q has %d rows, want %d", b.names[v], len(table), rows)
+	}
+	flat := make([]float64, 0, rows*b.arity[v])
+	for r, row := range table {
+		if len(row) != b.arity[v] {
+			return fmt.Errorf("bayes: CPT row %d for %q has %d entries, want %d",
+				r, b.names[v], len(row), b.arity[v])
+		}
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("bayes: CPT entry %v for %q outside [0,1]", p, b.names[v])
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("bayes: CPT row %d for %q sums to %v", r, b.names[v], sum)
+		}
+		flat = append(flat, row...)
+	}
+	ps := make([]int, len(parents))
+	copy(ps, parents)
+	b.parents[v] = ps
+	b.cpt[v] = flat
+	return nil
+}
+
+// Prior sets a parentless distribution for v.
+func (b *Builder) Prior(v int, dist []float64) error {
+	return b.CPT(v, nil, [][]float64{dist})
+}
+
+// Build validates acyclicity and completeness and returns the network.
+func (b *Builder) Build() (*Network, error) {
+	n := len(b.names)
+	if n == 0 {
+		return nil, errors.New("bayes: empty network")
+	}
+	for v := 0; v < n; v++ {
+		if b.cpt[v] == nil {
+			return nil, fmt.Errorf("bayes: variable %q has no CPT", b.names[v])
+		}
+	}
+	topo, err := topoSort(n, b.parents)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		names:   append([]string(nil), b.names...),
+		arity:   append([]int(nil), b.arity...),
+		parents: b.parents,
+		cpt:     b.cpt,
+		topo:    topo,
+	}, nil
+}
+
+func topoSort(n int, parents [][]int) ([]int, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	order := make([]int, 0, n)
+	var visit func(v int) error
+	visit = func(v int) error {
+		switch color[v] {
+		case gray:
+			return errors.New("bayes: network contains a cycle")
+		case black:
+			return nil
+		}
+		color[v] = gray
+		for _, p := range parents[v] {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		color[v] = black
+		order = append(order, v)
+		return nil
+	}
+	for v := 0; v < n; v++ {
+		if err := visit(v); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// NumVars returns the variable count.
+func (nw *Network) NumVars() int { return len(nw.names) }
+
+// Name returns variable v's name.
+func (nw *Network) Name(v int) string { return nw.names[v] }
+
+// Arity returns variable v's state count.
+func (nw *Network) Arity(v int) int { return nw.arity[v] }
+
+// Parents returns a copy of v's parent list.
+func (nw *Network) Parents(v int) []int {
+	return append([]int(nil), nw.parents[v]...)
+}
+
+// rowIndex computes the CPT row for v given a full assignment.
+func (nw *Network) rowIndex(v int, assign []int) int {
+	idx := 0
+	for _, p := range nw.parents[v] {
+		idx = idx*nw.arity[p] + assign[p]
+	}
+	return idx
+}
+
+// JointProb returns P(assignment) for a complete assignment (one state
+// index per variable).
+func (nw *Network) JointProb(assign []int) (float64, error) {
+	if len(assign) != len(nw.names) {
+		return 0, errors.New("bayes: assignment length mismatch")
+	}
+	for v, s := range assign {
+		if s < 0 || s >= nw.arity[v] {
+			return 0, fmt.Errorf("bayes: state %d invalid for %q", s, nw.names[v])
+		}
+	}
+	p := 1.0
+	for v := range nw.names {
+		row := nw.rowIndex(v, assign)
+		p *= nw.cpt[v][row*nw.arity[v]+assign[v]]
+	}
+	return p, nil
+}
+
+// Posterior computes P(query | evidence) exactly by enumeration over the
+// unobserved variables, suitable for the expert-scale networks of the
+// paper (tens of variables with sparse structure would want variable
+// elimination; the Fig. 3 / Fig. 4 networks have < 10).
+// evidence maps variable index -> observed state.
+func (nw *Network) Posterior(query int, evidence map[int]int) ([]float64, error) {
+	if query < 0 || query >= len(nw.names) {
+		return nil, fmt.Errorf("bayes: query variable %d out of range", query)
+	}
+	for v, s := range evidence {
+		if v < 0 || v >= len(nw.names) {
+			return nil, fmt.Errorf("bayes: evidence variable %d out of range", v)
+		}
+		if s < 0 || s >= nw.arity[v] {
+			return nil, fmt.Errorf("bayes: evidence state %d invalid for %q", s, nw.names[v])
+		}
+	}
+	dist := make([]float64, nw.arity[query])
+	assign := make([]int, len(nw.names))
+	for v, s := range evidence {
+		assign[v] = s
+	}
+
+	// Enumerate free variables (including query).
+	free := make([]int, 0, len(nw.names))
+	for v := range nw.names {
+		if _, fixed := evidence[v]; !fixed {
+			free = append(free, v)
+		}
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			p := 1.0
+			for v := range nw.names {
+				row := nw.rowIndex(v, assign)
+				p *= nw.cpt[v][row*nw.arity[v]+assign[v]]
+				if p == 0 {
+					return
+				}
+			}
+			dist[assign[query]] += p
+			return
+		}
+		v := free[i]
+		for s := 0; s < nw.arity[v]; s++ {
+			assign[v] = s
+			rec(i + 1)
+		}
+	}
+	if _, fixed := evidence[query]; fixed {
+		// Query is observed: degenerate posterior.
+		dist[evidence[query]] = 1
+		return dist, nil
+	}
+	rec(0)
+	total := 0.0
+	for _, p := range dist {
+		total += p
+	}
+	if total == 0 {
+		return nil, errors.New("bayes: evidence has zero probability")
+	}
+	for i := range dist {
+		dist[i] /= total
+	}
+	return dist, nil
+}
+
+// ProbTrue is a convenience for binary variables: P(v = 1 | evidence).
+func (nw *Network) ProbTrue(v int, evidence map[int]int) (float64, error) {
+	if v < 0 || v >= len(nw.names) {
+		return 0, fmt.Errorf("bayes: variable %d out of range", v)
+	}
+	if nw.arity[v] != 2 {
+		return 0, fmt.Errorf("bayes: %q is not binary", nw.names[v])
+	}
+	d, err := nw.Posterior(v, evidence)
+	if err != nil {
+		return 0, err
+	}
+	return d[1], nil
+}
+
+// NoisyOR builds the CPT rows for a binary child with n binary parents
+// under the noisy-OR model: the child fires unless every active parent's
+// cause is independently inhibited. inhibit[i] is the probability parent
+// i's influence is suppressed; leak is the probability the child fires
+// with no active parent. Rows are ordered row-major with the first parent
+// varying slowest, matching Builder.CPT.
+func NoisyOR(inhibit []float64, leak float64) ([][]float64, error) {
+	if len(inhibit) == 0 {
+		return nil, errors.New("bayes: noisy-OR needs at least one parent")
+	}
+	for i, q := range inhibit {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("bayes: inhibitor %d = %v outside [0,1]", i, q)
+		}
+	}
+	if leak < 0 || leak > 1 {
+		return nil, fmt.Errorf("bayes: leak %v outside [0,1]", leak)
+	}
+	n := len(inhibit)
+	rows := 1 << uint(n)
+	out := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		pOff := 1 - leak
+		for i := 0; i < n; i++ {
+			// Parent i is "true" when its bit (first parent = highest
+			// position) is set.
+			bit := (r >> uint(n-1-i)) & 1
+			if bit == 1 {
+				pOff *= inhibit[i]
+			}
+		}
+		out[r] = []float64{pOff, 1 - pOff}
+	}
+	return out, nil
+}
+
+// FitCPT estimates the CPT of variable v from complete data samples
+// (each sample assigns every variable) by maximum likelihood with
+// Laplace smoothing alpha. The network's structure (parents) is kept;
+// only v's table is re-estimated. Returns a new table suitable for
+// Builder.CPT.
+func (nw *Network) FitCPT(v int, samples [][]int, alpha float64) ([][]float64, error) {
+	if v < 0 || v >= len(nw.names) {
+		return nil, fmt.Errorf("bayes: variable %d out of range", v)
+	}
+	if alpha < 0 {
+		return nil, errors.New("bayes: negative smoothing")
+	}
+	rows := 1
+	for _, p := range nw.parents[v] {
+		rows *= nw.arity[p]
+	}
+	counts := make([][]float64, rows)
+	for r := range counts {
+		counts[r] = make([]float64, nw.arity[v])
+		for s := range counts[r] {
+			counts[r][s] = alpha
+		}
+	}
+	for i, smp := range samples {
+		if len(smp) != len(nw.names) {
+			return nil, fmt.Errorf("bayes: sample %d has %d values, want %d", i, len(smp), len(nw.names))
+		}
+		for vv, s := range smp {
+			if s < 0 || s >= nw.arity[vv] {
+				return nil, fmt.Errorf("bayes: sample %d state %d invalid for %q", i, s, nw.names[vv])
+			}
+		}
+		counts[nw.rowIndex(v, smp)][smp[v]]++
+	}
+	for r := range counts {
+		sum := 0.0
+		for _, c := range counts[r] {
+			sum += c
+		}
+		if sum == 0 {
+			// No data and no smoothing: uniform.
+			for s := range counts[r] {
+				counts[r][s] = 1 / float64(nw.arity[v])
+			}
+			continue
+		}
+		for s := range counts[r] {
+			counts[r][s] /= sum
+		}
+	}
+	return counts, nil
+}

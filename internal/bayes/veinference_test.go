@@ -1,0 +1,187 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVEMatchesEnumerationSprinkler(t *testing.T) {
+	nw, v := sprinkler(t)
+	cases := []map[int]int{
+		nil,
+		{v[2]: 1},
+		{v[2]: 1, v[1]: 1},
+		{v[1]: 0},
+		{v[0]: 1, v[1]: 0},
+	}
+	for qi := 0; qi < 3; qi++ {
+		for _, ev := range cases {
+			want, err := nw.Posterior(v[qi], ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := nw.PosteriorVE(v[qi], ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range want {
+				if math.Abs(want[s]-got[s]) > 1e-12 {
+					t.Fatalf("query %d evidence %v state %d: enum %v ve %v",
+						qi, ev, s, want[s], got[s])
+				}
+			}
+		}
+	}
+}
+
+func TestVEMatchesEnumerationHPS(t *testing.T) {
+	nw, v, err := HPSNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evidences := []map[int]int{
+		nil,
+		{v.House: 1, v.Bushes: 1},
+		{v.House: 1, v.Bushes: 1, v.WetSeason: 1, v.DrySeason: 1},
+		{v.Surrounded: 1},
+		{v.WetDry: 0, v.House: 1},
+	}
+	for _, ev := range evidences {
+		want, err := nw.ProbTrue(v.HighRisk, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nw.ProbTrueVE(v.HighRisk, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("evidence %v: enum %v ve %v", ev, want, got)
+		}
+	}
+}
+
+func TestVEValidation(t *testing.T) {
+	nw, v := sprinkler(t)
+	if _, err := nw.PosteriorVE(99, nil); err == nil {
+		t.Fatal("want query range error")
+	}
+	if _, err := nw.PosteriorVE(v[0], map[int]int{99: 0}); err == nil {
+		t.Fatal("want evidence variable error")
+	}
+	if _, err := nw.PosteriorVE(v[0], map[int]int{v[1]: 9}); err == nil {
+		t.Fatal("want evidence state error")
+	}
+	d, err := nw.PosteriorVE(v[0], map[int]int{v[0]: 1})
+	if err != nil || d[1] != 1 {
+		t.Fatalf("observed query: %v %v", d, err)
+	}
+	if _, err := nw.ProbTrueVE(99, nil); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+// randomNetwork builds a random DAG over binary variables (edges only
+// from lower to higher indices, keeping it acyclic).
+func randomNetwork(rng *rand.Rand, n int) (*Network, error) {
+	b := NewBuilder()
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.Bool("v")
+	}
+	for i := 0; i < n; i++ {
+		var parents []int
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.35 && len(parents) < 3 {
+				parents = append(parents, ids[j])
+			}
+		}
+		rows := 1 << uint(len(parents))
+		table := make([][]float64, rows)
+		for r := range table {
+			p := 0.05 + 0.9*rng.Float64()
+			table[r] = []float64{1 - p, p}
+		}
+		if err := b.CPT(ids[i], parents, table); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Property: VE equals enumeration on random networks with random
+// evidence.
+func TestVEMatchesEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		nw, err := randomNetwork(rng, n)
+		if err != nil {
+			return false
+		}
+		query := rng.Intn(n)
+		evidence := map[int]int{}
+		for v := 0; v < n; v++ {
+			if v != query && rng.Float64() < 0.3 {
+				evidence[v] = rng.Intn(2)
+			}
+		}
+		want, err1 := nw.Posterior(query, evidence)
+		got, err2 := nw.PosteriorVE(query, evidence)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true // both rejected (e.g. zero-probability evidence)
+		}
+		for s := range want {
+			if math.Abs(want[s]-got[s]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// VE must handle a chain network of width beyond enumeration comfort
+// quickly (20 variables = 2^20 enumeration states, trivial for VE).
+func TestVEScalesOnChain(t *testing.T) {
+	b := NewBuilder()
+	const n = 20
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = b.Bool("v")
+	}
+	if err := b.Prior(ids[0], []float64{0.7, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if err := b.CPT(ids[i], []int{ids[i-1]}, [][]float64{
+			{0.8, 0.2},
+			{0.3, 0.7},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nw.ProbTrueVE(ids[n-1], map[int]int{ids[0]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Fatalf("chain posterior %v", p)
+	}
+	// Stationarity check: far down the chain the posterior approaches
+	// the Markov chain's stationary distribution pi(1) = 0.2/(0.2+0.3).
+	if math.Abs(p-0.4) > 0.01 {
+		t.Fatalf("chain posterior %v, want ~0.4", p)
+	}
+}

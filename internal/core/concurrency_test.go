@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// The engine promises safe concurrent readers, including the lazy Onion
+// index construction racing across first queries. Run with -race.
+func TestEngineConcurrentQueries(t *testing.T) {
+	e := NewEngine()
+	pts, err := synth.GaussianTuples(21, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTuples("t", pts); err != nil {
+		t.Fatal(err)
+	}
+	weather, err := synth.WeatherArchive(synth.WeatherConfig{Seed: 22, Regions: 40, Days: 365})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddSeries("w", weather); err != nil {
+		t.Fatal(err)
+	}
+	wells, _, err := synth.WellArchive(synth.WellConfig{Seed: 23, Wells: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddWells("g", wells); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := linear.New([]string{"a", "b", "c"}, []float64{1, 0.5, -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := fsm.FireAnts()
+	gq := GeologyQuery{
+		Sequence: []synth.Lithology{synth.Shale, synth.Sandstone},
+		MaxGapFt: 10, MinGamma: 45,
+	}
+
+	const workers = 16
+	linearResults := make([][]topk.Item, workers)
+	fsmResults := make([][]topk.Item, workers)
+	geoResults := make([][]WellMatch, workers)
+	errs := make([]error, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items, _, err := e.LinearTopKTuples("t", m, 5)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			linearResults[w] = items
+			fitems, _, err := e.FSMTopK("w", machine, 5, FireAntsPrefilter)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			fsmResults[w] = fitems
+			gitems, _, err := e.GeologyTopK("g", gq, 5, GeoPruned)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			geoResults[w] = gitems
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if len(linearResults[w]) != len(linearResults[0]) {
+			t.Fatalf("worker %d linear result size differs", w)
+		}
+		for i := range linearResults[0] {
+			if linearResults[w][i] != linearResults[0][i] {
+				t.Fatalf("worker %d linear result differs at %d", w, i)
+			}
+		}
+		for i := range fsmResults[0] {
+			if fsmResults[w][i] != fsmResults[0][i] {
+				t.Fatalf("worker %d fsm result differs at %d", w, i)
+			}
+		}
+		for i := range geoResults[0] {
+			if geoResults[w][i].Well != geoResults[0][i].Well ||
+				geoResults[w][i].Score != geoResults[0][i].Score {
+				t.Fatalf("worker %d geology result differs at %d", w, i)
+			}
+		}
+	}
+}

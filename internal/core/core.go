@@ -1,0 +1,464 @@
+// Package core is the model-based information retrieval engine — the
+// paper's primary contribution (Section 3). It unifies the three model
+// families of Section 2 behind one retrieval surface:
+//
+//   - linear models over tuple archives   → Onion index [11];
+//   - linear models over raster archives  → progressive model execution
+//     on progressive data representations (Section 3.1);
+//   - finite-state models over series     → metadata-pruned DFA runs
+//     with FSM-distance ranking (Section 2.2);
+//   - knowledge models over composite     → SPROC dynamic-programming
+//     objects (well logs, …)                pruning [15,16].
+//
+// The engine owns the archives and caches the model-specific indexes, so
+// repeated queries amortize index construction — the paper's premise
+// that "indexing techniques specialized for the model" pay off at
+// archive scale.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"modelir/internal/archive"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/onion"
+	"modelir/internal/progressive"
+	"modelir/internal/sproc"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// ModelKind enumerates the paper's model families.
+type ModelKind int
+
+// Model families (Section 2).
+const (
+	KindLinear ModelKind = iota + 1
+	KindFiniteState
+	KindKnowledge
+)
+
+// String names the model kind.
+func (k ModelKind) String() string {
+	switch k {
+	case KindLinear:
+		return "linear"
+	case KindFiniteState:
+		return "finite-state"
+	case KindKnowledge:
+		return "knowledge"
+	default:
+		return "unknown"
+	}
+}
+
+// Engine is the retrieval front end. It is safe for concurrent readers
+// once archives are registered (registration itself is serialized).
+type Engine struct {
+	mu      sync.Mutex
+	tuples  map[string][][]float64
+	onions  map[string]*onion.Index
+	scenes  map[string]*archive.Scene
+	series  map[string][]synth.RegionSeries
+	summary map[string][]synth.DrySpellStats
+	wells   map[string][]synth.WellLog
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		tuples:  make(map[string][][]float64),
+		onions:  make(map[string]*onion.Index),
+		scenes:  make(map[string]*archive.Scene),
+		series:  make(map[string][]synth.RegionSeries),
+		summary: make(map[string][]synth.DrySpellStats),
+		wells:   make(map[string][]synth.WellLog),
+	}
+}
+
+// Registration errors.
+var (
+	ErrDuplicateDataset = errors.New("core: dataset name already registered")
+	ErrUnknownDataset   = errors.New("core: unknown dataset")
+)
+
+// AddTuples registers a tuple archive (rows of attribute vectors).
+func (e *Engine) AddTuples(name string, points [][]float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tuples[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	if len(points) == 0 {
+		return errors.New("core: empty tuple set")
+	}
+	e.tuples[name] = points
+	return nil
+}
+
+// AddScene registers a raster archive.
+func (e *Engine) AddScene(name string, sc *archive.Scene) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.scenes[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	if sc == nil {
+		return errors.New("core: nil scene")
+	}
+	e.scenes[name] = sc
+	return nil
+}
+
+// AddSeries registers a weather/event series archive and precomputes the
+// metadata-level summaries used for pruning.
+func (e *Engine) AddSeries(name string, rs []synth.RegionSeries) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.series[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	if len(rs) == 0 {
+		return errors.New("core: empty series archive")
+	}
+	sums := make([]synth.DrySpellStats, len(rs))
+	for i, r := range rs {
+		sums[i] = synth.SummarizeSeries(r)
+	}
+	e.series[name] = rs
+	e.summary[name] = sums
+	return nil
+}
+
+// AddWells registers a well-log archive.
+func (e *Engine) AddWells(name string, ws []synth.WellLog) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.wells[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	if len(ws) == 0 {
+		return errors.New("core: empty well archive")
+	}
+	e.wells[name] = ws
+	return nil
+}
+
+// Scene returns a registered raster archive.
+func (e *Engine) Scene(name string) (*archive.Scene, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sc, ok := e.scenes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return sc, nil
+}
+
+// LinearTupleStats reports the work of a tuple-archive linear query.
+type LinearTupleStats struct {
+	Indexed onion.Stats
+	// ScanCost is the points a sequential scan would touch (the
+	// paper's baseline denominator).
+	ScanCost int
+}
+
+// LinearTopKTuples retrieves the top-K tuples maximizing the model over
+// a registered tuple archive, via the Onion index (built and cached on
+// first use). The model's coefficient order must match the tuple
+// attribute order.
+func (e *Engine) LinearTopKTuples(dataset string, m *linear.Model, k int) ([]topk.Item, LinearTupleStats, error) {
+	var st LinearTupleStats
+	e.mu.Lock()
+	pts, ok := e.tuples[dataset]
+	if !ok {
+		e.mu.Unlock()
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	}
+	ix := e.onions[dataset]
+	e.mu.Unlock()
+
+	if ix == nil {
+		built, err := onion.Build(pts, onion.Options{})
+		if err != nil {
+			return nil, st, err
+		}
+		e.mu.Lock()
+		if cached := e.onions[dataset]; cached != nil {
+			ix = cached
+		} else {
+			e.onions[dataset] = built
+			ix = built
+		}
+		e.mu.Unlock()
+	}
+	items, ost, err := ix.TopK(m.Coeffs, k)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Indexed = ost
+	st.ScanCost = len(pts)
+	// The model's intercept shifts every score identically; add it so
+	// returned scores equal model values.
+	if m.Intercept != 0 {
+		for i := range items {
+			items[i].Score += m.Intercept
+		}
+	}
+	return items, st, nil
+}
+
+// SceneTopK retrieves the top-K locations of a linear risk model over a
+// registered raster archive using combined progressive execution. The
+// returned item IDs encode locations as y*W + x.
+func (e *Engine) SceneTopK(dataset string, pm *linear.ProgressiveModel, k int) ([]topk.Item, progressive.Stats, error) {
+	sc, err := e.Scene(dataset)
+	if err != nil {
+		return nil, progressive.Stats{}, err
+	}
+	res, err := progressive.Combined(pm, sc.Pyramid(), k)
+	if err != nil {
+		return nil, progressive.Stats{}, err
+	}
+	return res.Items, res.Stats, nil
+}
+
+// FSMStats reports finite-state retrieval work.
+type FSMStats struct {
+	RegionsTotal  int
+	RegionsPruned int
+	DaysScanned   int
+}
+
+// FSMPrefilter decides, from metadata alone, whether a region can
+// possibly satisfy the machine. Returning false skips the full scan.
+type FSMPrefilter func(synth.DrySpellStats) bool
+
+// FireAntsPrefilter is the sound metadata filter for the Fig. 1 machine:
+// flying needs a >= 3-day dry spell containing a hot (>= 25°C) day at
+// position >= 3.
+func FireAntsPrefilter(s synth.DrySpellStats) bool {
+	return s.MaxDrySpell >= 3 && s.MaxTempAfterDry3 >= fsm.FlyTempC
+}
+
+// FSMTopK ranks regions of a series archive by fsm.FlyScore under the
+// given machine. A nil prefilter scans every region (the baseline); a
+// prefilter skips regions whose metadata proves a zero score.
+func (e *Engine) FSMTopK(dataset string, m *fsm.Machine, k int, pre FSMPrefilter) ([]topk.Item, FSMStats, error) {
+	var st FSMStats
+	e.mu.Lock()
+	rs, ok := e.series[dataset]
+	sums := e.summary[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RegionsTotal = len(rs)
+	for i, r := range rs {
+		if pre != nil && !pre(sums[i]) {
+			st.RegionsPruned++
+			continue
+		}
+		events := fsm.ClassifySeries(r.Days)
+		st.DaysScanned += len(events)
+		score, err := fsm.FlyScore(m, events)
+		if err != nil {
+			return nil, st, err
+		}
+		if score > 0 {
+			h.OfferScore(int64(r.Region), score)
+		}
+	}
+	return h.Results(), st, nil
+}
+
+// FSMDistanceRank ranks regions by how closely the machine their data
+// exhibits matches the target machine (smaller distance = better rank,
+// so scores are 1-distance). This is the paper's "distance between these
+// two finite state machines" retrieval mode.
+func (e *Engine) FSMDistanceRank(dataset string, target *fsm.Machine, k, horizon int) ([]topk.Item, error) {
+	e.mu.Lock()
+	rs, ok := e.series[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		events := fsm.ClassifySeries(r.Days)
+		extracted, err := fsm.Extract(target, [][]fsm.Event{events})
+		if err != nil {
+			return nil, err
+		}
+		d, err := fsm.Distance(target, extracted, horizon)
+		if err != nil {
+			return nil, err
+		}
+		h.OfferScore(int64(r.Region), 1-d)
+	}
+	return h.Results(), nil
+}
+
+// GeologyQuery is the Fig. 4 knowledge model: an ordered lithology
+// sequence with adjacency and gamma-ray constraints.
+type GeologyQuery struct {
+	// Sequence is the top-down lithology pattern (e.g. shale, sandstone,
+	// siltstone).
+	Sequence []synth.Lithology
+	// MaxGapFt bounds the gap between consecutive strata ("adjacent
+	// < 10 ft" in Fig. 4).
+	MaxGapFt float64
+	// MinGamma is the gamma-ray floor ("higher than 45").
+	MinGamma float64
+	// GammaRampAPI softens the gamma threshold: grades ramp from 0 at
+	// MinGamma-GammaRamp to 1 at MinGamma+GammaRamp. Zero = crisp.
+	GammaRampAPI float64
+}
+
+// Validate checks the query.
+func (q GeologyQuery) Validate() error {
+	if len(q.Sequence) == 0 {
+		return errors.New("core: empty lithology sequence")
+	}
+	if q.MaxGapFt < 0 {
+		return errors.New("core: negative adjacency gap")
+	}
+	return nil
+}
+
+// WellMatch is one retrieved well.
+type WellMatch struct {
+	Well  int
+	Score float64
+	// Strata are the matched layer indices, one per query slot.
+	Strata []int
+}
+
+// GeologyMethod selects the SPROC evaluator.
+type GeologyMethod int
+
+// Evaluator choices for GeologyTopK.
+const (
+	GeoBruteForce GeologyMethod = iota + 1
+	GeoDP
+	GeoPruned
+)
+
+// GeologyTopK retrieves the top-K wells whose strata best satisfy the
+// knowledge model, evaluating each well's composite query with the
+// chosen SPROC method and ranking wells by their best match score.
+func (e *Engine) GeologyTopK(dataset string, q GeologyQuery, k int, method GeologyMethod) ([]WellMatch, sproc.Stats, error) {
+	var agg sproc.Stats
+	if err := q.Validate(); err != nil {
+		return nil, agg, err
+	}
+	e.mu.Lock()
+	ws, ok := e.wells[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return nil, agg, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, agg, err
+	}
+	for wi := range ws {
+		sq := geologySprocQuery(ws[wi], q)
+		var (
+			matches []sproc.Match
+			st      sproc.Stats
+		)
+		switch method {
+		case GeoBruteForce:
+			matches, st, err = sproc.BruteForce(len(ws[wi].Strata), sq, 1)
+		case GeoDP:
+			matches, st, err = sproc.DP(len(ws[wi].Strata), sq, 1)
+		case GeoPruned:
+			matches, st, err = sproc.Pruned(len(ws[wi].Strata), sq, 1)
+		default:
+			return nil, agg, fmt.Errorf("core: unknown geology method %d", method)
+		}
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.UnaryEvals += st.UnaryEvals
+		agg.PairEvals += st.PairEvals
+		agg.TuplesConsidered += st.TuplesConsidered
+		if len(matches) > 0 && matches[0].Score > 0 {
+			h.Offer(topk.Item{
+				ID:      int64(ws[wi].Well),
+				Score:   matches[0].Score,
+				Payload: matches[0].Items,
+			})
+		}
+	}
+	var out []WellMatch
+	for _, it := range h.Results() {
+		strata, ok := it.Payload.([]int)
+		if !ok {
+			return nil, agg, errors.New("core: internal payload corruption")
+		}
+		out = append(out, WellMatch{Well: int(it.ID), Score: it.Score, Strata: strata})
+	}
+	return out, agg, nil
+}
+
+// geologySprocQuery compiles the Fig. 4 model into a SPROC query over
+// one well's strata.
+func geologySprocQuery(w synth.WellLog, q GeologyQuery) sproc.Query {
+	strata := w.Strata
+	gammaGrade := func(g float64) float64 {
+		if q.GammaRampAPI <= 0 {
+			if g > q.MinGamma {
+				return 1
+			}
+			return 0
+		}
+		lo := q.MinGamma - q.GammaRampAPI
+		hi := q.MinGamma + q.GammaRampAPI
+		switch {
+		case g <= lo:
+			return 0
+		case g >= hi:
+			return 1
+		default:
+			return (g - lo) / (hi - lo)
+		}
+	}
+	return sproc.Query{
+		M: len(q.Sequence),
+		Unary: func(m, item int) float64 {
+			s := strata[item]
+			if s.Lith != q.Sequence[m] {
+				return 0
+			}
+			return gammaGrade(s.GammaAPI)
+		},
+		Pair: func(m, prev, cur int) float64 {
+			a, b := strata[prev], strata[cur]
+			// The sequence is top-down: cur must start below prev's top,
+			// within the adjacency gap of prev's bottom.
+			if b.TopFt <= a.TopFt {
+				return 0
+			}
+			gap := b.TopFt - (a.TopFt + a.ThickFt)
+			if gap < 0 {
+				gap = 0
+			}
+			if gap > q.MaxGapFt {
+				return 0
+			}
+			return 1
+		},
+	}
+}

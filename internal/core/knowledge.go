@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"modelir/internal/bayes"
+	"modelir/internal/topk"
+)
+
+// Knowledge-model retrieval over the archive's *features* abstraction
+// level: a fuzzy RuleSet (Section 2.3) is evaluated per tile against
+// the tile's stored band statistics, without touching raw pixels — the
+// "semantics and features … at lower data volumes" path of Section 3.1.
+//
+// Feature names follow "<band>.<stat>" with stat one of mean, std, min,
+// max (e.g. "b4.mean", "elev.max").
+
+// KnowledgeStats reports the work of a knowledge-model tile query.
+type KnowledgeStats struct {
+	TilesScored int
+	// RawBytesAvoided estimates the raw-level volume (float64 samples)
+	// the feature-level evaluation did not need to read.
+	RawSamplesAvoided int
+}
+
+// KnowledgeTopKTiles ranks a scene's tiles by rule-set score. Item IDs
+// are tile indices into the archive's Tiles slice.
+func (e *Engine) KnowledgeTopKTiles(dataset string, rules *bayes.RuleSet, k int) ([]topk.Item, KnowledgeStats, error) {
+	var st KnowledgeStats
+	if rules == nil || rules.Len() == 0 {
+		return nil, st, errors.New("core: empty rule set")
+	}
+	sc, err := e.Scene(dataset)
+	if err != nil {
+		return nil, st, err
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, st, err
+	}
+	vals := make(map[string]float64, 4*sc.NumBands())
+	for ti, tile := range sc.Tiles {
+		for b, name := range sc.BandNames {
+			feat, err := sc.Feature(b, ti)
+			if err != nil {
+				return nil, st, err
+			}
+			vals[name+".mean"] = feat.Stats.Mean
+			vals[name+".std"] = feat.Stats.Std
+			vals[name+".min"] = feat.Stats.Min
+			vals[name+".max"] = feat.Stats.Max
+		}
+		score, err := rules.Score(vals)
+		if err != nil {
+			return nil, st, fmt.Errorf("core: tile %d: %w", ti, err)
+		}
+		st.TilesScored++
+		st.RawSamplesAvoided += tile.Area() * sc.NumBands()
+		if score > 0 {
+			h.OfferScore(int64(ti), score)
+		}
+	}
+	return h.Results(), st, nil
+}
+
+// HPSTileRules compiles the Fig. 3 knowledge model into a feature-level
+// rule set usable with KnowledgeTopKTiles on a Landsat-like archive:
+// vegetated surroundings (high b4), dry-season signal (high b5), modest
+// elevation. Thresholds are expressed as fuzzy ramps over digital
+// numbers / meters.
+func HPSTileRules() *bayes.RuleSet {
+	return bayes.NewRuleSet().
+		Require("b4.mean", bayes.Above{Lo: 120, Hi: 160}).
+		Require("b5.mean", bayes.Above{Lo: 80, Hi: 120}).
+		Add("elev.mean", bayes.Below{Lo: 800, Hi: 1200}, 0.5)
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationsWellFormed(t *testing.T) {
+	tables, err := Ablations(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d ablation tables, want 4", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: no rows", tbl.ID)
+		}
+		for ri, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Fatalf("%s row %d: %d cells for %d columns", tbl.ID, ri, len(row), len(tbl.Columns))
+			}
+		}
+	}
+}
+
+// A1 shape: exactness in every cell; deeper layer caps never touch more
+// points within the same variant.
+func TestA1Shape(t *testing.T) {
+	tbl, err := A1(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevKey string
+	prevTouched := -1
+	for _, row := range tbl.Rows {
+		if row[6] != "true" {
+			t.Fatalf("inexact result at %v", row)
+		}
+		key := row[0] + "/" + row[1]
+		touched := parseInt(t, row[4])
+		if key == prevKey && row[3] == "-" && touched > prevTouched && prevTouched >= 0 {
+			t.Fatalf("deeper cap touched more points: %v", row)
+		}
+		prevKey, prevTouched = key, touched
+	}
+}
+
+// A2 shape: purity gating recovers agreement that margin-only loses.
+func TestA2Shape(t *testing.T) {
+	tbl, err := A2(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeOf := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	var marginOnly, withPurity float64
+	for _, row := range tbl.Rows {
+		if row[0] == "10" && row[1] == "0" {
+			marginOnly = agreeOf(row)
+		}
+		if row[0] == "10" && row[1] == "80" {
+			withPurity = agreeOf(row)
+		}
+	}
+	if withPurity <= marginOnly {
+		t.Fatalf("purity gate did not raise agreement: %v vs %v", withPurity, marginOnly)
+	}
+	if withPurity < 95 {
+		t.Fatalf("default configuration agreement %v%% < 95%%", withPurity)
+	}
+}
+
+// A3 shape: speedup falls monotonically as keep fraction rises; target
+// stays rank 1 in this synthetic setting.
+func TestA3Shape(t *testing.T) {
+	tbl, err := A3(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, row := range tbl.Rows {
+		s := parseSpeedup(t, row[3])
+		if s > prev+1e-9 {
+			t.Fatalf("speedup rose with keep fraction: %v", row)
+		}
+		prev = s
+		if row[4] != "1" {
+			t.Fatalf("target lost at keep=%s", row[0])
+		}
+	}
+}
+
+// A4 shape: recall is non-decreasing in retained dims at fixed clusters,
+// and full dims reach (near-)perfect recall.
+func TestA4Shape(t *testing.T) {
+	tbl, err := A4(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recalls := map[string]map[int]float64{}
+	for _, row := range tbl.Rows {
+		c := row[0]
+		dims := parseInt(t, row[1])
+		r, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recalls[c] == nil {
+			recalls[c] = map[int]float64{}
+		}
+		recalls[c][dims] = r
+	}
+	for c, byDims := range recalls {
+		if byDims[8] > 0 && byDims[8] < 0.95 {
+			t.Fatalf("clusters=%s full-dim recall %v < 0.95", c, byDims[8])
+		}
+		if byDims[2] > 0 && byDims[4] > 0 && byDims[4] < byDims[2]-0.05 {
+			t.Fatalf("clusters=%s recall fell with more dims", c)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package features
+
+import (
+	"errors"
+	"sort"
+
+	"modelir/internal/pyramid"
+	"modelir/internal/raster"
+)
+
+// TextureQuery describes a progressive texture-matching query in the style
+// of [12] ("Progressive Texture Matching for Earth Observing Satellite
+// Image Database"): find the tiles whose texture is closest to a target,
+// using a cheap coarse-resolution histogram prefilter to skip most of the
+// expensive full-resolution co-occurrence computations.
+type TextureQuery struct {
+	// TargetHist is the exemplar's histogram and MUST be computed at the
+	// same coarse resolution the prefilter stage will run at (histograms do
+	// not commute with downsampling, so a full-resolution target histogram
+	// would be compared against incompatible coarse histograms).
+	TargetHist Histogram
+	// TargetTexture is the exemplar's full-resolution GLCM descriptor used
+	// by the refinement stage.
+	TargetTexture Texture
+	// Bins / Levels / Lo / Hi define the quantization (must match how the
+	// targets were computed).
+	Bins, Levels int
+	Lo, Hi       float64
+	// PrefilterKeep is the fraction (0,1] of tiles that survive the coarse
+	// histogram stage, default 0.25. The refinement stage only computes
+	// GLCM descriptors for survivors.
+	PrefilterKeep float64
+}
+
+// TextureMatch is one ranked result of a texture query.
+type TextureMatch struct {
+	Tile     raster.Rect
+	Distance float64
+}
+
+// MatchStats reports the work done by a matching run, used by experiment
+// E3 to compute the progressive speedup.
+type MatchStats struct {
+	TilesTotal  int
+	CoarseHists int
+	FullGLCMs   int
+}
+
+// MatchFlat ranks every tile by full-resolution GLCM distance: the
+// non-progressive baseline. Results are sorted by ascending distance.
+func MatchFlat(g *raster.Grid, tiles []raster.Rect, q TextureQuery) ([]TextureMatch, MatchStats, error) {
+	if err := q.validate(); err != nil {
+		return nil, MatchStats{}, err
+	}
+	st := MatchStats{TilesTotal: len(tiles)}
+	out := make([]TextureMatch, 0, len(tiles))
+	for _, tile := range tiles {
+		tx, err := GLCM(g, tile, q.Levels, q.Lo, q.Hi)
+		if err != nil {
+			return nil, st, err
+		}
+		st.FullGLCMs++
+		out = append(out, TextureMatch{Tile: tile, Distance: q.TargetTexture.Distance(tx)})
+	}
+	sortMatches(out)
+	return out, st, nil
+}
+
+// MatchProgressive runs the two-stage pipeline of [12]:
+//
+//  1. At a coarse pyramid level, compute a cheap histogram per tile and
+//     keep the PrefilterKeep fraction closest to the target histogram.
+//  2. At full resolution, compute exact GLCM descriptors only for the
+//     survivors and rank them.
+//
+// The returned matches cover only surviving tiles; tiles pruned at stage 1
+// are guaranteed to be poor histogram matches but are not exactly ranked —
+// this is the fidelity-for-speed trade the paper's abstraction levels make
+// explicit.
+func MatchProgressive(p *pyramid.Pyramid, tiles []raster.Rect, q TextureQuery, coarseLevel int) ([]TextureMatch, MatchStats, error) {
+	if err := q.validate(); err != nil {
+		return nil, MatchStats{}, err
+	}
+	if coarseLevel < 0 || coarseLevel >= p.NumLevels() {
+		return nil, MatchStats{}, errors.New("features: coarse level out of range")
+	}
+	keep := q.PrefilterKeep
+	if keep == 0 {
+		keep = 0.25
+	}
+	if keep <= 0 || keep > 1 {
+		return nil, MatchStats{}, errors.New("features: PrefilterKeep out of (0,1]")
+	}
+	st := MatchStats{TilesTotal: len(tiles)}
+	coarse := p.Level(coarseLevel)
+	scale := coarse.Scale
+
+	type cand struct {
+		tile raster.Rect
+		d    float64
+	}
+	cands := make([]cand, 0, len(tiles))
+	for _, tile := range tiles {
+		cr := raster.Rect{
+			X0: tile.X0 / scale, Y0: tile.Y0 / scale,
+			X1: (tile.X1 + scale - 1) / scale, Y1: (tile.Y1 + scale - 1) / scale,
+		}
+		h, err := NewHistogram(coarse.Mean, cr, q.Bins, q.Lo, q.Hi)
+		if err != nil {
+			return nil, st, err
+		}
+		st.CoarseHists++
+		d, err := q.TargetHist.L1Distance(h)
+		if err != nil {
+			return nil, st, err
+		}
+		cands = append(cands, cand{tile: tile, d: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return less(cands[i].tile, cands[j].tile)
+	})
+	nKeep := int(float64(len(cands))*keep + 0.999)
+	if nKeep < 1 {
+		nKeep = 1
+	}
+	if nKeep > len(cands) {
+		nKeep = len(cands)
+	}
+
+	full := p.Level(0).Mean
+	out := make([]TextureMatch, 0, nKeep)
+	for _, c := range cands[:nKeep] {
+		tx, err := GLCM(full, c.tile, q.Levels, q.Lo, q.Hi)
+		if err != nil {
+			return nil, st, err
+		}
+		st.FullGLCMs++
+		out = append(out, TextureMatch{Tile: c.tile, Distance: q.TargetTexture.Distance(tx)})
+	}
+	sortMatches(out)
+	return out, st, nil
+}
+
+func (q TextureQuery) validate() error {
+	if q.Bins < 2 || q.Levels < 2 {
+		return errors.New("features: query needs >=2 bins and gray levels")
+	}
+	if q.Hi <= q.Lo {
+		return errors.New("features: query value range empty")
+	}
+	return nil
+}
+
+func sortMatches(ms []TextureMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Distance != ms[j].Distance {
+			return ms[i].Distance < ms[j].Distance
+		}
+		return less(ms[i].Tile, ms[j].Tile)
+	})
+}
+
+func less(a, b raster.Rect) bool {
+	if a.Y0 != b.Y0 {
+		return a.Y0 < b.Y0
+	}
+	return a.X0 < b.X0
+}

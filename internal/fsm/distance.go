@@ -1,0 +1,167 @@
+package fsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Distance computes a behavioral distance between two machines over the
+// same alphabet: the expected disagreement rate on acceptance, averaged
+// over all input strings of length 1..maxLen with every string of a given
+// length equally likely. It is computed exactly by dynamic programming on
+// the product automaton (no sampling), runs in
+// O(maxLen · |A| · |Sa|·|Sb|) time, and satisfies:
+//
+//	Distance(m, m) == 0, symmetry, and values in [0, 1].
+//
+// This realizes the paper's Section 3 requirement for ranking data whose
+// extracted machine is "slightly different from the target finite state
+// machine".
+func Distance(a, b *Machine, maxLen int) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("fsm: nil machine")
+	}
+	if a.NumEvents() != b.NumEvents() {
+		return 0, fmt.Errorf("fsm: alphabet sizes differ (%d vs %d)", a.NumEvents(), b.NumEvents())
+	}
+	if maxLen < 1 {
+		return 0, errors.New("fsm: maxLen must be >= 1")
+	}
+	na, nb := a.NumStates(), b.NumStates()
+	ne := a.NumEvents()
+
+	// prob[i*nb+j] = probability mass of being in product state (i, j)
+	// after k uniformly random events.
+	prob := make([]float64, na*nb)
+	next := make([]float64, na*nb)
+	prob[a.start*nb+b.start] = 1
+
+	var total float64
+	pe := 1.0 / float64(ne)
+	for k := 1; k <= maxLen; k++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				p := prob[i*nb+j]
+				if p == 0 {
+					continue
+				}
+				for e := 0; e < ne; e++ {
+					ni := a.trans[i*ne+e]
+					nj := b.trans[j*ne+e]
+					next[ni*nb+nj] += p * pe
+				}
+			}
+		}
+		prob, next = next, prob
+		// Disagreement mass at length k.
+		var dis float64
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				if a.accept[i] != b.accept[j] {
+					dis += prob[i*nb+j]
+				}
+			}
+		}
+		total += dis
+	}
+	return total / float64(maxLen), nil
+}
+
+// Extract builds the empirical machine a data series exhibits, using a
+// reference machine to label states: it traces the reference machine over
+// the events, counts observed transitions, and emits a machine whose
+// transition function is the majority observed successor per
+// (state, event). Unobserved pairs inherit the reference transition, so
+// the result is always complete. The accepting set and start state are
+// copied from the reference.
+//
+// Extract(ref, …) == ref exactly when the data never contradicts the
+// reference — deviations (e.g. a corrupted sensor that reports flying
+// after two dry days) surface as transition differences, which Distance
+// then scores.
+func Extract(ref *Machine, series [][]Event) (*Machine, error) {
+	if ref == nil {
+		return nil, errors.New("fsm: nil reference machine")
+	}
+	ns, ne := ref.NumStates(), ref.NumEvents()
+	counts := make([][]int, ns*ne) // counts[s*ne+e][to]
+	for i := range counts {
+		counts[i] = make([]int, ns)
+	}
+	for _, events := range series {
+		s := ref.start
+		for i, e := range events {
+			if int(e) < 0 || int(e) >= ne {
+				return nil, fmt.Errorf("fsm: event %d at position %d out of range", e, i)
+			}
+			to := ref.trans[s*ne+int(e)]
+			counts[s*ne+int(e)][to]++
+			s = to
+		}
+	}
+	m := &Machine{
+		states:   append([]string(nil), ref.states...),
+		alphabet: append([]string(nil), ref.alphabet...),
+		accept:   append([]bool(nil), ref.accept...),
+		start:    ref.start,
+		trans:    make([]int, ns*ne),
+	}
+	for se := range counts {
+		best, bestN := -1, 0
+		for to, n := range counts[se] {
+			if n > bestN {
+				best, bestN = to, n
+			}
+		}
+		if best < 0 {
+			best = ref.trans[se] // unobserved: inherit
+		}
+		m.trans[se] = best
+	}
+	return m, nil
+}
+
+// ExtractObserved builds an empirical machine from explicit observed
+// transitions (state-labeled data, e.g. from an annotated training set).
+// Each observation is (from, event, to). The reference supplies labels,
+// start and accepting states; unobserved pairs inherit its transitions.
+func ExtractObserved(ref *Machine, obs [][3]int) (*Machine, error) {
+	if ref == nil {
+		return nil, errors.New("fsm: nil reference machine")
+	}
+	ns, ne := ref.NumStates(), ref.NumEvents()
+	counts := make([][]int, ns*ne)
+	for i := range counts {
+		counts[i] = make([]int, ns)
+	}
+	for _, o := range obs {
+		from, e, to := o[0], o[1], o[2]
+		if from < 0 || from >= ns || to < 0 || to >= ns || e < 0 || e >= ne {
+			return nil, fmt.Errorf("fsm: observation %v out of range", o)
+		}
+		counts[from*ne+e][to]++
+	}
+	m := &Machine{
+		states:   append([]string(nil), ref.states...),
+		alphabet: append([]string(nil), ref.alphabet...),
+		accept:   append([]bool(nil), ref.accept...),
+		start:    ref.start,
+		trans:    make([]int, ns*ne),
+	}
+	for se := range counts {
+		best, bestN := -1, 0
+		for to, n := range counts[se] {
+			if n > bestN {
+				best, bestN = to, n
+			}
+		}
+		if best < 0 {
+			best = ref.trans[se]
+		}
+		m.trans[se] = best
+	}
+	return m, nil
+}

@@ -1,0 +1,181 @@
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize returns the canonical minimal DFA equivalent to m (Moore's
+// partition-refinement algorithm over reachable states). Two machines
+// accept the same event sequences iff their minimized forms are
+// structurally identical (up to state order; Minimize numbers states in
+// BFS order from the start state, so equivalence becomes Equal).
+//
+// Minimization matters to the retrieval framework in two ways: extracted
+// machines (fsm.Extract) can carry redundant states that inflate the
+// apparent difference from a target model, and Distance computations on
+// the product automaton cost O(|Sa|·|Sb|) per step — minimizing first
+// makes both canonical and cheaper.
+func Minimize(m *Machine) (*Machine, error) {
+	if m == nil {
+		return nil, errors.New("fsm: nil machine")
+	}
+	ne := m.NumEvents()
+
+	// 1. Restrict to reachable states.
+	reach := make([]int, 0, m.NumStates())
+	seen := make([]bool, m.NumStates())
+	seen[m.start] = true
+	reach = append(reach, m.start)
+	for qi := 0; qi < len(reach); qi++ {
+		s := reach[qi]
+		for e := 0; e < ne; e++ {
+			to := m.trans[s*ne+e]
+			if !seen[to] {
+				seen[to] = true
+				reach = append(reach, to)
+			}
+		}
+	}
+
+	// 2. Moore refinement: start from the accept/reject partition.
+	part := make(map[int]int, len(reach)) // state -> block id
+	for _, s := range reach {
+		if m.accept[s] {
+			part[s] = 1
+		} else {
+			part[s] = 0
+		}
+	}
+	for {
+		// Signature: (current block, successor blocks per event).
+		sig := make(map[int]string, len(reach))
+		var sb strings.Builder
+		for _, s := range reach {
+			sb.Reset()
+			fmt.Fprintf(&sb, "%d", part[s])
+			for e := 0; e < ne; e++ {
+				fmt.Fprintf(&sb, ",%d", part[m.trans[s*ne+e]])
+			}
+			sig[s] = sb.String()
+		}
+		// Re-number blocks by signature.
+		ids := make(map[string]int)
+		next := make(map[int]int, len(reach))
+		// Deterministic block numbering: visit states in reach order.
+		for _, s := range reach {
+			id, ok := ids[sig[s]]
+			if !ok {
+				id = len(ids)
+				ids[sig[s]] = id
+			}
+			next[s] = id
+		}
+		if len(ids) == countBlocks(part, reach) {
+			part = next
+			break
+		}
+		part = next
+	}
+
+	// 3. Emit the quotient machine with BFS state numbering from the
+	// start block for canonical output.
+	blockOf := func(s int) int { return part[s] }
+	repr := make(map[int]int) // block -> representative state
+	for _, s := range reach {
+		b := blockOf(s)
+		if _, ok := repr[b]; !ok {
+			repr[b] = s
+		}
+	}
+	order := []int{blockOf(m.start)}
+	placed := map[int]int{blockOf(m.start): 0}
+	for qi := 0; qi < len(order); qi++ {
+		b := order[qi]
+		s := repr[b]
+		for e := 0; e < ne; e++ {
+			nb := blockOf(m.trans[s*ne+e])
+			if _, ok := placed[nb]; !ok {
+				placed[nb] = len(order)
+				order = append(order, nb)
+			}
+		}
+	}
+	out := &Machine{
+		states:   make([]string, len(order)),
+		alphabet: append([]string(nil), m.alphabet...),
+		accept:   make([]bool, len(order)),
+		start:    0,
+		trans:    make([]int, len(order)*ne),
+	}
+	for newID, b := range order {
+		s := repr[b]
+		// Name the merged state after its members for debuggability.
+		var members []string
+		for _, rs := range reach {
+			if blockOf(rs) == b {
+				members = append(members, m.states[rs])
+			}
+		}
+		sort.Strings(members)
+		out.states[newID] = strings.Join(members, "+")
+		out.accept[newID] = m.accept[s]
+		for e := 0; e < ne; e++ {
+			out.trans[newID*ne+e] = placed[blockOf(m.trans[s*ne+e])]
+		}
+	}
+	return out, nil
+}
+
+func countBlocks(part map[int]int, reach []int) int {
+	seen := make(map[int]bool, len(part))
+	for _, s := range reach {
+		seen[part[s]] = true
+	}
+	return len(seen)
+}
+
+// Equal reports whether two machines are structurally identical:
+// same alphabet, state count, start, accepting flags and transitions
+// under the same numbering. Minimize both first to decide language
+// equivalence.
+func Equal(a, b *Machine) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.NumStates() != b.NumStates() || a.NumEvents() != b.NumEvents() || a.start != b.start {
+		return false
+	}
+	for i, n := range a.alphabet {
+		if b.alphabet[i] != n {
+			return false
+		}
+	}
+	for s := range a.accept {
+		if a.accept[s] != b.accept[s] {
+			return false
+		}
+	}
+	for i, to := range a.trans {
+		if b.trans[i] != to {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two machines accept exactly the same event
+// sequences (language equivalence via canonical minimization).
+func Equivalent(a, b *Machine) (bool, error) {
+	ma, err := Minimize(a)
+	if err != nil {
+		return false, err
+	}
+	mb, err := Minimize(b)
+	if err != nil {
+		return false, err
+	}
+	return Equal(ma, mb), nil
+}

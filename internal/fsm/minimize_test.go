@@ -1,0 +1,209 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeValidation(t *testing.T) {
+	if _, err := Minimize(nil); err == nil {
+		t.Fatal("want nil machine error")
+	}
+}
+
+func TestMinimizeRemovesRedundantStates(t *testing.T) {
+	// Two states that behave identically must merge.
+	b := NewBuilder([]string{"a"})
+	s0 := b.State("s0")
+	dup1 := b.State("dup1")
+	dup2 := b.State("dup2")
+	acc := b.State("acc")
+	b.Start(s0).Accept(acc)
+	b.On(s0, 0, dup1)
+	b.On(dup1, 0, acc)
+	b.On(dup2, 0, acc) // same behaviour as dup1, unreachable path aside
+	b.On(acc, 0, s0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dup2 is unreachable; dup1 unique otherwise: 3 states remain.
+	if min.NumStates() != 3 {
+		t.Fatalf("minimized to %d states, want 3", min.NumStates())
+	}
+}
+
+func TestMinimizeMergesEquivalentAcceptStates(t *testing.T) {
+	// Machine with two accepting sinks that are behaviourally identical.
+	b := NewBuilder([]string{"x", "y"})
+	s0 := b.State("s0")
+	a1 := b.State("a1")
+	a2 := b.State("a2")
+	b.Start(s0).Accept(a1).Accept(a2)
+	b.On(s0, 0, a1).On(s0, 1, a2)
+	b.On(a1, 0, a1).On(a1, 1, a1)
+	b.On(a2, 0, a2).On(a2, 1, a2)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 2 {
+		t.Fatalf("minimized to %d states, want 2 (s0 + merged sink)", min.NumStates())
+	}
+}
+
+// A reproduction finding: the Fig. 1 machine as drawn is NOT minimal.
+// Its "dry-2" and "dry-3+" states are behaviourally equivalent — once
+// two dry days have passed, the next hot dry day triggers flight whether
+// it is day 3 or day 5 — so the canonical machine has 4 states, not 5.
+func TestFireAntsMinimizesToFourStates(t *testing.T) {
+	m := FireAnts()
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 4 {
+		t.Fatalf("fire-ants machine minimized %d -> %d states; want 4",
+			m.NumStates(), min.NumStates())
+	}
+	eq, err := Equivalent(m, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("minimized machine not equivalent to original")
+	}
+	d, err := Distance(m, min, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("behavioural distance to minimized form %v, want 0", d)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	m := FireAnts()
+	// Add a redundant clone of the dry-1 state: language unchanged.
+	b := NewBuilder(FireAntsAlphabet)
+	rain := b.State("rain")
+	dry1 := b.State("dry-1")
+	dry1b := b.State("dry-1-clone")
+	dry2 := b.State("dry-2")
+	dry3 := b.State("dry-3+")
+	fly := b.State("fly")
+	b.Start(rain).Accept(fly)
+	for _, s := range []int{rain, dry1, dry1b, dry2, dry3, fly} {
+		b.On(s, EvRain, rain)
+	}
+	// rain goes to the clone; both clones behave like dry-1.
+	b.On(rain, EvDryHot, dry1b).On(rain, EvDryCold, dry1)
+	b.On(dry1, EvDryHot, dry2).On(dry1, EvDryCold, dry2)
+	b.On(dry1b, EvDryHot, dry2).On(dry1b, EvDryCold, dry2)
+	b.On(dry2, EvDryHot, fly).On(dry2, EvDryCold, dry3)
+	b.On(dry3, EvDryHot, fly).On(dry3, EvDryCold, dry3)
+	b.On(fly, EvDryHot, fly).On(fly, EvDryCold, fly)
+	padded, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(m, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("padded machine must be equivalent to fire-ants")
+	}
+	// And a genuinely different machine is not equivalent.
+	other := twoStateMachine(t)
+	_ = other
+	b2 := NewBuilder(FireAntsAlphabet)
+	r := b2.State("r")
+	f := b2.State("f")
+	b2.Start(r).Accept(f)
+	b2.On(r, EvRain, r).On(r, EvDryHot, f).On(r, EvDryCold, r)
+	b2.On(f, EvRain, r).On(f, EvDryHot, f).On(f, EvDryCold, f)
+	eager, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err = Equivalent(m, eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("distinct machines reported equivalent")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	m := FireAnts()
+	if !Equal(m, m) {
+		t.Fatal("machine not equal to itself")
+	}
+	if Equal(m, nil) || !Equal(nil, nil) {
+		t.Fatal("nil handling wrong")
+	}
+	if Equal(m, twoStateMachine(t)) {
+		t.Fatal("different machines reported equal")
+	}
+}
+
+// Property: minimization preserves behaviour — Distance(m, Minimize(m))
+// is exactly 0 on random machines.
+func TestMinimizePreservesLanguageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		states := 2 + rng.Intn(7)
+		events := 1 + rng.Intn(3)
+		b := NewBuilder(make([]string, events))
+		for i := 0; i < states; i++ {
+			b.State("s")
+		}
+		b.Start(0)
+		for s := 0; s < states; s++ {
+			if rng.Float64() < 0.3 {
+				b.Accept(s)
+			}
+			for e := 0; e < events; e++ {
+				b.On(s, Event(e), rng.Intn(states))
+			}
+		}
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		min, err := Minimize(m)
+		if err != nil {
+			return false
+		}
+		if min.NumStates() > m.NumStates() {
+			return false
+		}
+		d, err := Distance(m, min, 10)
+		if err != nil {
+			return false
+		}
+		if d != 0 {
+			return false
+		}
+		// Idempotence: minimizing again changes nothing.
+		min2, err := Minimize(min)
+		if err != nil {
+			return false
+		}
+		return Equal(min, min2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package linear implements the paper's linear time-invariant models
+// (Section 2.1): Y = a1·X1 + a2·X2 + … + an·Xn over attributes drawn from
+// multi-modal sources, plus the two machineries the framework needs around
+// them — least-squares calibration from training data ("well known
+// techniques exist in deriving the optimal weights") and progressive
+// decomposition ordered by term contribution (Section 3.1).
+package linear
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Model is a linear model: Intercept + Σ Coeffs[i]·x[i].
+// Attrs names each coefficient's input attribute (e.g. Landsat band or
+// credit attribute); it is documentation plus a contract for binding the
+// model to archive bands by name.
+type Model struct {
+	Attrs     []string
+	Coeffs    []float64
+	Intercept float64
+}
+
+// Common validation errors.
+var (
+	ErrEmptyModel = errors.New("linear: model has no terms")
+	ErrDimension  = errors.New("linear: input dimension mismatch")
+)
+
+// New builds a model, validating that names and coefficients align.
+func New(attrs []string, coeffs []float64, intercept float64) (*Model, error) {
+	if len(coeffs) == 0 {
+		return nil, ErrEmptyModel
+	}
+	if len(attrs) != len(coeffs) {
+		return nil, fmt.Errorf("linear: %d attrs for %d coefficients", len(attrs), len(coeffs))
+	}
+	a := make([]string, len(attrs))
+	copy(a, attrs)
+	c := make([]float64, len(coeffs))
+	copy(c, coeffs)
+	return &Model{Attrs: a, Coeffs: c, Intercept: intercept}, nil
+}
+
+// HPSRisk returns the Hantavirus Pulmonary Syndrome risk model quoted in
+// Section 2.1: R(x,y) = 0.443·X1 + 0.222·X2 + 0.153·X3 + 0.183·X4 where
+// X1..X3 are Landsat TM bands 4, 5, 7 and X4 is DEM elevation in meters.
+func HPSRisk() *Model {
+	m, err := New(
+		[]string{"b4", "b5", "b7", "elev"},
+		[]float64{0.443, 0.222, 0.153, 0.183},
+		0,
+	)
+	if err != nil {
+		// Static construction cannot fail.
+		panic(err)
+	}
+	return m
+}
+
+// NumTerms returns the number of linear terms.
+func (m *Model) NumTerms() int { return len(m.Coeffs) }
+
+// Eval computes the model value for one input vector.
+func (m *Model) Eval(x []float64) (float64, error) {
+	if len(x) != len(m.Coeffs) {
+		return 0, fmt.Errorf("%w: got %d want %d", ErrDimension, len(x), len(m.Coeffs))
+	}
+	s := m.Intercept
+	for i, c := range m.Coeffs {
+		s += c * x[i]
+	}
+	return s, nil
+}
+
+// EvalUnchecked is Eval without the dimension check, for hot loops that
+// validated the shape once up front.
+func (m *Model) EvalUnchecked(x []float64) float64 {
+	s := m.Intercept
+	for i, c := range m.Coeffs {
+		s += c * x[i]
+	}
+	return s
+}
+
+// String renders the model equation.
+func (m *Model) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.4g", m.Intercept)
+	for i, c := range m.Coeffs {
+		fmt.Fprintf(&b, " + %.4g·%s", c, m.Attrs[i])
+	}
+	return b.String()
+}
+
+// Interval evaluates the model over per-attribute value intervals
+// [lo[i], hi[i]] and returns the exact range of model values attainable
+// when each attribute varies independently in its interval. This is the
+// bound progressive execution uses against pyramid min/max envelopes: a
+// coarse cell whose Interval upper bound cannot beat the current top-K
+// floor is pruned without visiting its pixels.
+func (m *Model) Interval(lo, hi []float64) (outLo, outHi float64, err error) {
+	if len(lo) != len(m.Coeffs) || len(hi) != len(m.Coeffs) {
+		return 0, 0, ErrDimension
+	}
+	outLo, outHi = m.Intercept, m.Intercept
+	for i, c := range m.Coeffs {
+		a, b := c*lo[i], c*hi[i]
+		if a > b {
+			a, b = b, a
+		}
+		outLo += a
+		outHi += b
+	}
+	return outLo, outHi, nil
+}
+
+// Fit computes ordinary-least-squares coefficients (with intercept) for
+// rows of observations: each xs[i] is an attribute vector, ys[i] the
+// response. It solves the normal equations by Gaussian elimination with
+// partial pivoting. attrs names the fitted coefficients.
+func Fit(attrs []string, xs [][]float64, ys []float64) (*Model, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("linear: no training rows")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("linear: %d rows for %d responses", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return nil, ErrEmptyModel
+	}
+	if len(attrs) != d {
+		return nil, fmt.Errorf("linear: %d attrs for dimension %d", len(attrs), d)
+	}
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("%w: row %d has %d values, want %d", ErrDimension, i, len(x), d)
+		}
+	}
+	if len(xs) < d+1 {
+		return nil, fmt.Errorf("linear: %d rows cannot determine %d coefficients + intercept", len(xs), d)
+	}
+
+	// Build normal equations over the augmented design [1, x1..xd].
+	n := d + 1
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	row := make([]float64, n)
+	for r, x := range xs {
+		row[0] = 1
+		copy(row[1:], x)
+		for i := 0; i < n; i++ {
+			atb[i] += row[i] * ys[r]
+			for j := i; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	sol, err := solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	return New(attrs, sol[1:], sol[0])
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// (a, b), returning x with a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, errors.New("linear: singular system (collinear attributes?)")
+		}
+		m[col], m[p] = m[p], m[col]
+		piv := m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// RSquared returns the coefficient of determination of the model on the
+// given data.
+func (m *Model) RSquared(xs [][]float64, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, errors.New("linear: bad evaluation set")
+	}
+	var meanY float64
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i, x := range xs {
+		pred, err := m.Eval(x)
+		if err != nil {
+			return 0, err
+		}
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		return 1, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// Contribution describes one term's share of the model's variability over
+// an attribute-range specification, used to order progressive levels.
+type Contribution struct {
+	Index  int
+	Attr   string
+	Weight float64 // |coeff| × attribute span
+}
+
+// Contributions ranks terms by |coefficient| × attribute span (descending).
+// spans[i] is the expected dynamic range of attribute i (e.g. 255 for a TM
+// band, 1500 for elevation in meters); pass nil to rank by |coefficient|
+// alone, which matches the paper's "|a1,a2| >> |a3,a4|" criterion when
+// attributes share a scale.
+func (m *Model) Contributions(spans []float64) ([]Contribution, error) {
+	if spans != nil && len(spans) != len(m.Coeffs) {
+		return nil, ErrDimension
+	}
+	out := make([]Contribution, len(m.Coeffs))
+	for i, c := range m.Coeffs {
+		w := math.Abs(c)
+		if spans != nil {
+			w *= math.Abs(spans[i])
+		}
+		out[i] = Contribution{Index: i, Attr: m.Attrs[i], Weight: w}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out, nil
+}

@@ -1,0 +1,256 @@
+// Package metrics implements the paper's model-performance machinery
+// (Section 4.1) verbatim: per-location miss / false-alarm probabilities
+// against an occurrence ground truth O(x,y), the weighted total cost
+//
+//	CT = Σ w(x,y) · C(x,y),
+//	C(x,y) = cm·Pm(x,y)·P[O=0] + cf·Pf(x,y)·P[O>0],
+//
+// threshold sweeps for the miss/false-alarm trade-off, and
+// precision/recall for top-K retrieval ("the precision is defined as the
+// percentage of retrieved results that are correct, while the recall is
+// defined as the percentage of correct results that are retrieved").
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"modelir/internal/raster"
+	"modelir/internal/topk"
+)
+
+// Costs carries the per-error-type costs of Section 4.1.
+type Costs struct {
+	// Miss (cm) is the cost of predicting low risk where events occurred.
+	Miss float64
+	// FalseAlarm (cf) is the cost of predicting high risk where no event
+	// occurred.
+	FalseAlarm float64
+}
+
+// Confusion is the 2×2 decision summary at one threshold.
+type Confusion struct {
+	TruePos  int // R >= T and O > 0
+	FalsePos int // R >= T and O = 0   (false alarms)
+	TrueNeg  int // R <  T and O = 0
+	FalseNeg int // R <  T and O > 0   (misses)
+}
+
+// MissRate returns P(miss) = FN / (FN + TP): the fraction of event
+// locations labeled low-risk.
+func (c Confusion) MissRate() float64 {
+	if c.FalseNeg+c.TruePos == 0 {
+		return 0
+	}
+	return float64(c.FalseNeg) / float64(c.FalseNeg+c.TruePos)
+}
+
+// FalseAlarmRate returns P(false alarm) = FP / (FP + TN).
+func (c Confusion) FalseAlarmRate() float64 {
+	if c.FalsePos+c.TrueNeg == 0 {
+		return 0
+	}
+	return float64(c.FalsePos) / float64(c.FalsePos+c.TrueNeg)
+}
+
+// Evaluate thresholds the risk surface at T and tabulates the confusion
+// against the occurrence map (O > 0 means event).
+func Evaluate(risk, occurrence *raster.Grid, threshold float64) (Confusion, error) {
+	var c Confusion
+	if risk == nil || occurrence == nil {
+		return c, errors.New("metrics: nil surface")
+	}
+	if risk.Width() != occurrence.Width() || risk.Height() != occurrence.Height() {
+		return c, fmt.Errorf("metrics: shape mismatch %dx%d vs %dx%d",
+			risk.Width(), risk.Height(), occurrence.Width(), occurrence.Height())
+	}
+	for y := 0; y < risk.Height(); y++ {
+		for x := 0; x < risk.Width(); x++ {
+			high := risk.At(x, y) >= threshold
+			event := occurrence.At(x, y) > 0
+			switch {
+			case high && event:
+				c.TruePos++
+			case high && !event:
+				c.FalsePos++
+			case !high && event:
+				c.FalseNeg++
+			default:
+				c.TrueNeg++
+			}
+		}
+	}
+	return c, nil
+}
+
+// TotalCost computes CT = Σ w(x,y)·C(x,y) for a hard-threshold decision
+// rule: a location contributes cm·w when it is a miss and cf·w when it is
+// a false alarm (the per-location probabilities of Section 4.1 collapse
+// to indicators once the threshold decision is made). weights may be nil
+// for uniform w = 1.
+func TotalCost(risk, occurrence, weights *raster.Grid, threshold float64, costs Costs) (float64, error) {
+	if risk == nil || occurrence == nil {
+		return 0, errors.New("metrics: nil surface")
+	}
+	if risk.Width() != occurrence.Width() || risk.Height() != occurrence.Height() {
+		return 0, errors.New("metrics: shape mismatch")
+	}
+	if weights != nil &&
+		(weights.Width() != risk.Width() || weights.Height() != risk.Height()) {
+		return 0, errors.New("metrics: weight shape mismatch")
+	}
+	if costs.Miss < 0 || costs.FalseAlarm < 0 {
+		return 0, errors.New("metrics: negative costs")
+	}
+	total := 0.0
+	for y := 0; y < risk.Height(); y++ {
+		for x := 0; x < risk.Width(); x++ {
+			w := 1.0
+			if weights != nil {
+				w = weights.At(x, y)
+			}
+			high := risk.At(x, y) >= threshold
+			event := occurrence.At(x, y) > 0
+			if !high && event {
+				total += costs.Miss * w
+			} else if high && !event {
+				total += costs.FalseAlarm * w
+			}
+		}
+	}
+	return total, nil
+}
+
+// SweepPoint is one row of a threshold sweep.
+type SweepPoint struct {
+	Threshold float64
+	Pm        float64 // miss rate
+	Pf        float64 // false-alarm rate
+	Cost      float64 // CT at this threshold
+	Confusion Confusion
+}
+
+// Sweep evaluates thresholds between the risk surface's min and max in
+// `steps` uniform increments, returning the trade-off curve (the basis of
+// experiment E6's table). steps must be >= 2.
+func Sweep(risk, occurrence, weights *raster.Grid, costs Costs, steps int) ([]SweepPoint, error) {
+	if steps < 2 {
+		return nil, errors.New("metrics: need >= 2 sweep steps")
+	}
+	lo, hi := risk.MinMax()
+	out := make([]SweepPoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		t := lo + (hi-lo)*float64(i)/float64(steps-1)
+		conf, err := Evaluate(risk, occurrence, t)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := TotalCost(risk, occurrence, weights, t, costs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Threshold: t, Pm: conf.MissRate(), Pf: conf.FalseAlarmRate(),
+			Cost: cost, Confusion: conf,
+		})
+	}
+	return out, nil
+}
+
+// BestThreshold returns the sweep point minimizing CT.
+func BestThreshold(sweep []SweepPoint) (SweepPoint, error) {
+	if len(sweep) == 0 {
+		return SweepPoint{}, errors.New("metrics: empty sweep")
+	}
+	best := sweep[0]
+	for _, p := range sweep[1:] {
+		if p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// PrecisionRecall scores a retrieved top-K result set against a relevance
+// predicate: precision = |retrieved ∩ relevant| / |retrieved|, recall =
+// |retrieved ∩ relevant| / |relevant|. totalRelevant must be the number
+// of relevant items in the whole collection.
+func PrecisionRecall(retrieved []topk.Item, relevant func(id int64) bool, totalRelevant int) (precision, recall float64, err error) {
+	if relevant == nil {
+		return 0, 0, errors.New("metrics: nil relevance predicate")
+	}
+	if totalRelevant < 0 {
+		return 0, 0, errors.New("metrics: negative relevant count")
+	}
+	if len(retrieved) == 0 {
+		return 0, 0, nil
+	}
+	hits := 0
+	for _, it := range retrieved {
+		if relevant(it.ID) {
+			hits++
+		}
+	}
+	precision = float64(hits) / float64(len(retrieved))
+	if totalRelevant > 0 {
+		recall = float64(hits) / float64(totalRelevant)
+	}
+	return precision, recall, nil
+}
+
+// TopKLocations ranks grid locations by a risk surface and returns the
+// top-K as items whose ID encodes the location (ID = y*width + x) —
+// Section 4.1's "the top-K retrieval is really based on the ordering of
+// R(x,y)".
+func TopKLocations(risk *raster.Grid, k int) ([]topk.Item, error) {
+	if risk == nil {
+		return nil, errors.New("metrics: nil risk surface")
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < risk.Height(); y++ {
+		row := risk.Row(y)
+		for x, v := range row {
+			h.OfferScore(int64(y*risk.Width()+x), v)
+		}
+	}
+	return h.Results(), nil
+}
+
+// PRAtK computes precision/recall of top-K risk locations against the
+// occurrence map for each requested K (ascending order not required).
+func PRAtK(risk, occurrence *raster.Grid, ks []int) (map[int][2]float64, error) {
+	if risk == nil || occurrence == nil {
+		return nil, errors.New("metrics: nil surface")
+	}
+	if risk.Width() != occurrence.Width() || risk.Height() != occurrence.Height() {
+		return nil, errors.New("metrics: shape mismatch")
+	}
+	totalRelevant := 0
+	for _, v := range occurrence.Data() {
+		if v > 0 {
+			totalRelevant++
+		}
+	}
+	relevant := func(id int64) bool {
+		return occurrence.Data()[id] > 0
+	}
+	out := make(map[int][2]float64, len(ks))
+	sorted := append([]int(nil), ks...)
+	sort.Ints(sorted)
+	for _, k := range sorted {
+		items, err := TopKLocations(risk, k)
+		if err != nil {
+			return nil, err
+		}
+		p, r, err := PrecisionRecall(items, relevant, totalRelevant)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = [2]float64{p, r}
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"modelir/internal/raster"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// tinyCase: 2x2 grid. Risk: [0.9 0.1; 0.8 0.2], occurrences at (0,0) and
+// (1,1) only.
+func tinyCase() (*raster.Grid, *raster.Grid) {
+	risk, _ := raster.FromData(2, 2, []float64{0.9, 0.1, 0.8, 0.2})
+	occ, _ := raster.FromData(2, 2, []float64{1, 0, 0, 2})
+	return risk, occ
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	risk, occ := tinyCase()
+	c, err := Evaluate(risk, occ, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0.5: high = {(0,0):0.9, (0,1):0.8}. Events = {(0,0),(1,1)}.
+	if c.TruePos != 1 || c.FalsePos != 1 || c.FalseNeg != 1 || c.TrueNeg != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if c.MissRate() != 0.5 || c.FalseAlarmRate() != 0.5 {
+		t.Fatalf("rates Pm=%v Pf=%v", c.MissRate(), c.FalseAlarmRate())
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	risk, _ := tinyCase()
+	if _, err := Evaluate(nil, risk, 0.5); err == nil {
+		t.Fatal("want nil error")
+	}
+	other := raster.MustGrid(3, 3)
+	if _, err := Evaluate(risk, other, 0.5); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestConfusionDegenerateRates(t *testing.T) {
+	c := Confusion{}
+	if c.MissRate() != 0 || c.FalseAlarmRate() != 0 {
+		t.Fatal("empty confusion must have zero rates")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	risk, occ := tinyCase()
+	costs := Costs{Miss: 10, FalseAlarm: 1}
+	// At T=0.5: one miss at (1,1), one false alarm at (0,1).
+	ct, err := TotalCost(risk, occ, nil, 0.5, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != 11 {
+		t.Fatalf("CT=%v want 11", ct)
+	}
+	// Weighted: weight 3 at the miss location.
+	w, _ := raster.FromData(2, 2, []float64{1, 1, 1, 3})
+	ct, err = TotalCost(risk, occ, w, 0.5, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != 31 {
+		t.Fatalf("weighted CT=%v want 31", ct)
+	}
+}
+
+func TestTotalCostValidation(t *testing.T) {
+	risk, occ := tinyCase()
+	if _, err := TotalCost(nil, occ, nil, 0.5, Costs{}); err == nil {
+		t.Fatal("want nil error")
+	}
+	if _, err := TotalCost(risk, raster.MustGrid(1, 1), nil, 0.5, Costs{}); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := TotalCost(risk, occ, raster.MustGrid(1, 1), 0.5, Costs{}); err == nil {
+		t.Fatal("want weight shape error")
+	}
+	if _, err := TotalCost(risk, occ, nil, 0.5, Costs{Miss: -1}); err == nil {
+		t.Fatal("want negative cost error")
+	}
+}
+
+func TestSweepTradeoff(t *testing.T) {
+	risk, occ := tinyCase()
+	sweep, err := Sweep(risk, occ, nil, Costs{Miss: 1, FalseAlarm: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 10 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	// Miss rate must be non-decreasing in threshold; false-alarm rate
+	// non-increasing.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Pm < sweep[i-1].Pm-1e-12 {
+			t.Fatalf("miss rate decreased at step %d", i)
+		}
+		if sweep[i].Pf > sweep[i-1].Pf+1e-12 {
+			t.Fatalf("false-alarm rate increased at step %d", i)
+		}
+	}
+	if _, err := Sweep(risk, occ, nil, Costs{}, 1); err == nil {
+		t.Fatal("want steps error")
+	}
+	best, err := BestThreshold(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sweep {
+		if p.Cost < best.Cost {
+			t.Fatal("BestThreshold not minimal")
+		}
+	}
+	if _, err := BestThreshold(nil); err == nil {
+		t.Fatal("want empty sweep error")
+	}
+}
+
+func TestCostAsymmetryMovesThreshold(t *testing.T) {
+	// With expensive misses the optimal threshold should be lower (label
+	// more area high-risk) than with expensive false alarms.
+	risk, err := synth.SmoothField(3, 64, 64, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ, err := synth.Outbreak(synth.OutbreakConfig{Seed: 4}, risk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missHeavy, err := Sweep(risk, occ, nil, Costs{Miss: 20, FalseAlarm: 1}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faHeavy, err := Sweep(risk, occ, nil, Costs{Miss: 1, FalseAlarm: 20}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, _ := BestThreshold(missHeavy)
+	bf, _ := BestThreshold(faHeavy)
+	if bm.Threshold >= bf.Threshold {
+		t.Fatalf("miss-heavy threshold %v must be below false-alarm-heavy %v",
+			bm.Threshold, bf.Threshold)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	items := []topk.Item{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	relevant := func(id int64) bool { return id%2 == 0 } // 0 and 2
+	p, r, err := PrecisionRecall(items, relevant, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("P=%v R=%v want 0.5/0.5", p, r)
+	}
+	p, r, err = PrecisionRecall(nil, relevant, 4)
+	if err != nil || p != 0 || r != 0 {
+		t.Fatal("empty retrieval must score 0/0 without error")
+	}
+	if _, _, err := PrecisionRecall(items, nil, 4); err == nil {
+		t.Fatal("want nil predicate error")
+	}
+	if _, _, err := PrecisionRecall(items, relevant, -1); err == nil {
+		t.Fatal("want negative total error")
+	}
+	// Zero relevant: recall stays 0.
+	_, r, err = PrecisionRecall(items, func(int64) bool { return false }, 0)
+	if err != nil || r != 0 {
+		t.Fatal("zero-relevant recall must be 0")
+	}
+}
+
+func TestTopKLocations(t *testing.T) {
+	risk, _ := raster.FromData(3, 1, []float64{0.2, 0.9, 0.5})
+	items, err := TopKLocations(risk, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].ID != 1 || items[1].ID != 2 {
+		t.Fatalf("top locations %+v", items)
+	}
+	if _, err := TopKLocations(nil, 2); err == nil {
+		t.Fatal("want nil error")
+	}
+	if _, err := TopKLocations(risk, 0); err == nil {
+		t.Fatal("want k error")
+	}
+}
+
+func TestPRAtKImprovesWithInformativeModel(t *testing.T) {
+	truthRisk, err := synth.SmoothField(7, 48, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse outbreak (BaseRate -3) so top-risk locations are clearly
+	// enriched relative to the base rate.
+	occ, err := synth.Outbreak(synth.OutbreakConfig{Seed: 8, NoiseStd: 0.05, BaseRate: -3}, truthRisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Informative model: the true risk. Uninformative: constant+noise.
+	pr, err := PRAtK(truthRisk, occ, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := raster.MustGrid(48, 48)
+	for i := range flat.Data() {
+		flat.Data()[i] = float64((i*2654435761)%1000) / 1000
+	}
+	prFlat, err := PRAtK(flat, occ, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr[50][0] <= prFlat[50][0] {
+		t.Fatalf("informative precision %v not above random %v", pr[50][0], prFlat[50][0])
+	}
+	if _, err := PRAtK(nil, occ, []int{1}); err == nil {
+		t.Fatal("want nil error")
+	}
+	if _, err := PRAtK(truthRisk, raster.MustGrid(1, 1), []int{1}); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestSweepCostMatchesManual(t *testing.T) {
+	risk, occ := tinyCase()
+	sweep, err := Sweep(risk, occ, nil, Costs{Miss: 2, FalseAlarm: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sweep {
+		manual, err := TotalCost(risk, occ, nil, p.Threshold, Costs{Miss: 2, FalseAlarm: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(manual-p.Cost) > 1e-12 {
+			t.Fatalf("sweep cost %v != manual %v at T=%v", p.Cost, manual, p.Threshold)
+		}
+	}
+}

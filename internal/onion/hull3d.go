@@ -1,0 +1,239 @@
+package onion
+
+import "sort"
+
+// Exact 3-D convex hull via the classical incremental algorithm with
+// conflict lists and horizon walking. Used by Build to peel true convex
+// layers in three dimensions — the configuration the paper's Onion
+// speedups (3-attribute Gaussian data) were measured on. Returns the
+// indices (drawn from subset) of the hull's vertices, sorted.
+//
+// Degenerate inputs (all points collinear/coplanar within eps) fall back
+// to returning the whole subset as one layer, which keeps peeling sound:
+// the "layer" then trivially contains the hull of the remaining set.
+
+const hullEps = 1e-9
+
+type hullFace struct {
+	v    [3]int // vertex point-indices, counter-clockwise seen from outside
+	pts  []int  // conflict list: unassigned points that see this face
+	dead bool
+}
+
+// orient3d returns (b-a)×(c-a)·(d-a): positive when d is on the normal
+// side of triangle (a,b,c).
+func orient3d(a, b, c, d []float64) float64 {
+	abx, aby, abz := b[0]-a[0], b[1]-a[1], b[2]-a[2]
+	acx, acy, acz := c[0]-a[0], c[1]-a[1], c[2]-a[2]
+	adx, ady, adz := d[0]-a[0], d[1]-a[1], d[2]-a[2]
+	return adx*(aby*acz-abz*acy) + ady*(abz*acx-abx*acz) + adz*(abx*acy-aby*acx)
+}
+
+func hull3D(points [][]float64, subset []int) []int {
+	if len(subset) <= 4 {
+		out := make([]int, len(subset))
+		copy(out, subset)
+		sort.Ints(out)
+		return out
+	}
+	tet, ok := initialTetrahedron(points, subset)
+	if !ok {
+		// Degenerate (collinear/coplanar) set: whole subset is one layer.
+		out := make([]int, len(subset))
+		copy(out, subset)
+		sort.Ints(out)
+		return out
+	}
+
+	// Build the 4 faces of the tetrahedron, each oriented so the opposite
+	// vertex is below (not visible).
+	faces := make([]*hullFace, 0, 128)
+	edges := make(map[[2]int]*hullFace, 256) // directed edge -> face
+	addFace := func(a, b, c int) *hullFace {
+		f := &hullFace{v: [3]int{a, b, c}}
+		faces = append(faces, f)
+		edges[[2]int{a, b}] = f
+		edges[[2]int{b, c}] = f
+		edges[[2]int{c, a}] = f
+		return f
+	}
+	combos := [4][4]int{
+		{tet[0], tet[1], tet[2], tet[3]},
+		{tet[0], tet[3], tet[1], tet[2]},
+		{tet[0], tet[2], tet[3], tet[1]},
+		{tet[1], tet[3], tet[2], tet[0]},
+	}
+	for _, cb := range combos {
+		a, b, c, opp := cb[0], cb[1], cb[2], cb[3]
+		if orient3d(points[a], points[b], points[c], points[opp]) > 0 {
+			a, b = b, a
+		}
+		addFace(a, b, c)
+	}
+
+	inTet := map[int]bool{tet[0]: true, tet[1]: true, tet[2]: true, tet[3]: true}
+	// Assign every other point to the conflict list of one visible face.
+	for _, pi := range subset {
+		if inTet[pi] {
+			continue
+		}
+		for _, f := range faces {
+			if orient3d(points[f.v[0]], points[f.v[1]], points[f.v[2]], points[pi]) > hullEps {
+				f.pts = append(f.pts, pi)
+				break
+			}
+		}
+		// Points seeing no face are inside the tetrahedron: dropped.
+	}
+
+	// Process conflict points until none remain.
+	for cursor := 0; cursor < len(faces); cursor++ {
+		f := faces[cursor]
+		if f.dead || len(f.pts) == 0 {
+			continue
+		}
+		// Take the farthest conflict point of this face (better numerics
+		// than arbitrary order).
+		bestI, bestV := 0, 0.0
+		for i, pi := range f.pts {
+			v := orient3d(points[f.v[0]], points[f.v[1]], points[f.v[2]], points[pi])
+			if v > bestV {
+				bestI, bestV = i, v
+			}
+		}
+		p := f.pts[bestI]
+		f.pts[bestI] = f.pts[len(f.pts)-1]
+		f.pts = f.pts[:len(f.pts)-1]
+
+		// BFS the region of faces visible from p.
+		visible := []*hullFace{f}
+		f.dead = true
+		var orphans []int
+		orphans = append(orphans, f.pts...)
+		f.pts = nil
+		var horizon [][2]int
+		for qi := 0; qi < len(visible); qi++ {
+			vf := visible[qi]
+			for e := 0; e < 3; e++ {
+				a, b := vf.v[e], vf.v[(e+1)%3]
+				twin := edges[[2]int{b, a}]
+				if twin == nil || twin.dead {
+					continue
+				}
+				if orient3d(points[twin.v[0]], points[twin.v[1]], points[twin.v[2]], points[p]) > hullEps {
+					twin.dead = true
+					orphans = append(orphans, twin.pts...)
+					twin.pts = nil
+					visible = append(visible, twin)
+				} else {
+					horizon = append(horizon, [2]int{a, b})
+				}
+			}
+		}
+		// Create the cone of new faces from the horizon to p.
+		newFaces := make([]*hullFace, 0, len(horizon))
+		for _, e := range horizon {
+			nf := addFace(e[0], e[1], p)
+			newFaces = append(newFaces, nf)
+		}
+		// Reassign orphaned conflict points.
+		for _, pi := range orphans {
+			if pi == p {
+				continue
+			}
+			for _, nf := range newFaces {
+				if orient3d(points[nf.v[0]], points[nf.v[1]], points[nf.v[2]], points[pi]) > hullEps {
+					nf.pts = append(nf.pts, pi)
+					break
+				}
+			}
+		}
+		// Revisit from the earliest new face (cursor continues forward;
+		// new faces were appended, so they will be processed).
+	}
+
+	// Collect vertices of alive faces.
+	seen := make(map[int]bool)
+	var out []int
+	for _, f := range faces {
+		if f.dead {
+			continue
+		}
+		for _, v := range f.v {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// initialTetrahedron finds four points in general position.
+func initialTetrahedron(points [][]float64, subset []int) ([4]int, bool) {
+	var tet [4]int
+	p0 := subset[0]
+	// Farthest from p0.
+	best, bestD := -1, 0.0
+	for _, pi := range subset[1:] {
+		d := dist2(points[p0], points[pi])
+		if d > bestD {
+			best, bestD = pi, d
+		}
+	}
+	if best < 0 || bestD < hullEps {
+		return tet, false
+	}
+	p1 := best
+	// Farthest from line p0-p1.
+	best, bestD = -1, 0.0
+	for _, pi := range subset {
+		if pi == p0 || pi == p1 {
+			continue
+		}
+		d := distToLine2(points[p0], points[p1], points[pi])
+		if d > bestD {
+			best, bestD = pi, d
+		}
+	}
+	if best < 0 || bestD < hullEps {
+		return tet, false
+	}
+	p2 := best
+	// Farthest from plane p0-p1-p2.
+	best, bestD = -1, 0.0
+	for _, pi := range subset {
+		if pi == p0 || pi == p1 || pi == p2 {
+			continue
+		}
+		d := orient3d(points[p0], points[p1], points[p2], points[pi])
+		if d < 0 {
+			d = -d
+		}
+		if d > bestD {
+			best, bestD = pi, d
+		}
+	}
+	if best < 0 || bestD < hullEps {
+		return tet, false
+	}
+	tet = [4]int{p0, p1, p2, best}
+	return tet, true
+}
+
+func dist2(a, b []float64) float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return dx*dx + dy*dy + dz*dz
+}
+
+// distToLine2 returns the squared cross-product magnitude |(b-a)×(p-a)|²,
+// proportional to the squared distance from p to line ab.
+func distToLine2(a, b, p []float64) float64 {
+	ux, uy, uz := b[0]-a[0], b[1]-a[1], b[2]-a[2]
+	vx, vy, vz := p[0]-a[0], p[1]-a[1], p[2]-a[2]
+	cx := uy*vz - uz*vy
+	cy := uz*vx - ux*vz
+	cz := ux*vy - uy*vx
+	return cx*cx + cy*cy + cz*cz
+}

@@ -1,0 +1,421 @@
+// Package onion implements the Onion index of reference [11] ("The Onion
+// Technique: Indexing for Linear Optimization Queries", SIGMOD 2000), the
+// model-specific index the paper credits with 13,000× (top-1) and 1,400×
+// (top-10) speedups over sequential scan on 3-attribute Gaussian data
+// (Section 3.2).
+//
+// The idea: points that maximize any linear function lie on the convex
+// hull of the data set. Peeling hulls repeatedly yields concentric layers
+// ("onion rings"); a linear top-K query scans layers outward-in and stops
+// as soon as no deeper layer can beat the current K-th best.
+//
+// Substitution note (documented in DESIGN.md): exact convex-hull peeling
+// in arbitrary dimension is replaced by two sound constructions —
+//
+//   - d == 2: exact convex layers via repeated monotone-chain hulls;
+//   - d >= 3: direction-sampled extreme-point peeling (each layer is the
+//     set of points extremal in one of D fixed directions among the
+//     points remaining).
+//
+// Either way, every layer stores its bounding box and the index stores
+// suffix boxes over "this layer and everything deeper". A query prunes on
+// the suffix box's linear upper bound, so results are exact regardless of
+// how well the layering approximates true convex layers — layering
+// quality affects only how early the scan stops.
+package onion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"modelir/internal/topk"
+)
+
+// Options tunes index construction.
+type Options struct {
+	// MaxLayers caps the number of peeled layers; points remaining after
+	// the cap form a final "core" bucket. Default 48.
+	MaxLayers int
+	// Directions is the number of peel directions used when d >= 3
+	// (ignored for exact 2-D peeling). Default 32.
+	Directions int
+	// Seed makes direction sampling deterministic. Default 1.
+	Seed int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxLayers == 0 {
+		o.MaxLayers = 48
+	}
+	if o.Directions == 0 {
+		o.Directions = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Index is an immutable Onion index over a fixed point set.
+type Index struct {
+	dim    int
+	points [][]float64
+	// layers[i] lists point indices in layer i (outermost first); the
+	// final layer is the core bucket if MaxLayers was hit.
+	layers [][]int
+	// exact reports whether layers are true convex layers (d <= 3). When
+	// true, every point in layers > i lies inside the convex hull of
+	// layer i, so layer i's maximum bounds everything deeper — the
+	// original Onion stopping rule. The core bucket (if present) is not
+	// covered by this property and is guarded by the box bound instead.
+	exact bool
+	// coreIsBucket reports whether the last layer is an un-peeled core.
+	coreIsBucket bool
+	// suffixLo/suffixHi[i] bound all points in layers i..end, per dim.
+	suffixLo [][]float64
+	suffixHi [][]float64
+	// suffixNorm[i] is the largest Euclidean norm among points in layers
+	// i..end. For any weight vector w, Cauchy-Schwarz gives
+	// w·x <= |w|₂·|x|₂ <= |w|₂·suffixNorm[i] — an L2 bound that beats
+	// the box (L1-shaped) bound on isotropic high-dimensional clouds.
+	suffixNorm []float64
+}
+
+// Build constructs the index. Points must share dimension >= 2 and are
+// NOT copied (the caller must not mutate them afterwards).
+func Build(points [][]float64, opt Options) (*Index, error) {
+	opt.applyDefaults()
+	if len(points) == 0 {
+		return nil, errors.New("onion: empty point set")
+	}
+	d := len(points[0])
+	if d < 1 {
+		return nil, errors.New("onion: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("onion: point %d has dim %d, want %d", i, len(p), d)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("onion: point %d has non-finite coordinate", i)
+			}
+		}
+	}
+
+	idx := &Index{dim: d, points: points}
+	remaining := make([]int, len(points))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	idx.exact = d <= 3
+	var dirs [][]float64
+	if d > 3 {
+		dirs = peelDirections(d, opt.Directions, opt.Seed)
+	}
+	for layer := 0; layer < opt.MaxLayers && len(remaining) > 0; layer++ {
+		var ring []int
+		switch d {
+		case 2:
+			ring = hull2D(points, remaining)
+		case 3:
+			ring = hull3D(points, remaining)
+		default:
+			ring = extremePeel(points, remaining, dirs)
+		}
+		if len(ring) == 0 {
+			break
+		}
+		idx.layers = append(idx.layers, ring)
+		remaining = subtract(remaining, ring)
+	}
+	if len(remaining) > 0 {
+		core := make([]int, len(remaining))
+		copy(core, remaining)
+		sort.Ints(core)
+		idx.layers = append(idx.layers, core)
+		idx.coreIsBucket = true
+	}
+	idx.buildSuffixBoxes()
+	return idx, nil
+}
+
+// NumLayers returns the layer count (including the core bucket, if any).
+func (ix *Index) NumLayers() int { return len(ix.layers) }
+
+// NumPoints returns the indexed point count.
+func (ix *Index) NumPoints() int { return len(ix.points) }
+
+// LayerSize returns the number of points in layer i.
+func (ix *Index) LayerSize(i int) int { return len(ix.layers[i]) }
+
+// Stats reports the work one query did.
+type Stats struct {
+	LayersScanned int
+	PointsTouched int
+}
+
+// TopK returns the k points maximizing w·x, best first, with exact
+// results and the work statistics. To minimize the model, negate w.
+func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
+	var st Stats
+	if len(w) != ix.dim {
+		return nil, st, fmt.Errorf("onion: weight dim %d, want %d", len(w), ix.dim)
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, st, err
+	}
+	prevMax := math.Inf(1)
+	for li, layer := range ix.layers {
+		if h.Full() {
+			floor, _ := h.Threshold()
+			// Box bound: sound for any layering.
+			bound := ix.suffixBound(li, w)
+			// Convex-layer bound: with true convex layers, everything
+			// deeper than layer li-1 (the core bucket included) lies
+			// inside the hull of layer li-1, so that layer's maximum
+			// bounds all of it. A tiny slack absorbs epsilon-interior
+			// classifications in hull peeling.
+			if ix.exact && li > 0 {
+				cb := prevMax + 1e-9*(1+math.Abs(prevMax))
+				if cb < bound {
+					bound = cb
+				}
+			}
+			if floor >= bound {
+				break // nothing deeper can beat the current top K
+			}
+		}
+		st.LayersScanned++
+		layerMax := math.Inf(-1)
+		for _, pi := range layer {
+			st.PointsTouched++
+			s := dot(w, ix.points[pi])
+			if s > layerMax {
+				layerMax = s
+			}
+			h.OfferScore(int64(pi), s)
+		}
+		prevMax = layerMax
+	}
+	return h.Results(), st, nil
+}
+
+// ScanTopK is the sequential-scan baseline the paper measures against:
+// evaluate the model on every point.
+func ScanTopK(points [][]float64, w []float64, k int) ([]topk.Item, Stats, error) {
+	var st Stats
+	if len(points) == 0 {
+		return nil, st, errors.New("onion: empty point set")
+	}
+	if len(w) != len(points[0]) {
+		return nil, st, fmt.Errorf("onion: weight dim %d, want %d", len(w), len(points[0]))
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, st, err
+	}
+	for i, p := range points {
+		st.PointsTouched++
+		h.OfferScore(int64(i), dot(w, p))
+	}
+	st.LayersScanned = 1
+	return h.Results(), st, nil
+}
+
+// suffixBound returns an upper bound on w·x over layers li..end: the
+// minimum of the box bound and the Cauchy-Schwarz norm bound (both
+// sound; whichever is tighter wins).
+func (ix *Index) suffixBound(li int, w []float64) float64 {
+	lo, hi := ix.suffixLo[li], ix.suffixHi[li]
+	box := 0.0
+	wNorm := 0.0
+	for i, wi := range w {
+		if wi >= 0 {
+			box += wi * hi[i]
+		} else {
+			box += wi * lo[i]
+		}
+		wNorm += wi * wi
+	}
+	norm := math.Sqrt(wNorm) * ix.suffixNorm[li]
+	if norm < box {
+		return norm
+	}
+	return box
+}
+
+func (ix *Index) buildSuffixBoxes() {
+	n := len(ix.layers)
+	ix.suffixLo = make([][]float64, n)
+	ix.suffixHi = make([][]float64, n)
+	ix.suffixNorm = make([]float64, n)
+	curLo := make([]float64, ix.dim)
+	curHi := make([]float64, ix.dim)
+	for i := range curLo {
+		curLo[i] = math.Inf(1)
+		curHi[i] = math.Inf(-1)
+	}
+	curNorm := 0.0
+	for li := n - 1; li >= 0; li-- {
+		for _, pi := range ix.layers[li] {
+			sq := 0.0
+			for dimI, v := range ix.points[pi] {
+				if v < curLo[dimI] {
+					curLo[dimI] = v
+				}
+				if v > curHi[dimI] {
+					curHi[dimI] = v
+				}
+				sq += v * v
+			}
+			if norm := math.Sqrt(sq); norm > curNorm {
+				curNorm = norm
+			}
+		}
+		ix.suffixLo[li] = append([]float64(nil), curLo...)
+		ix.suffixHi[li] = append([]float64(nil), curHi...)
+		ix.suffixNorm[li] = curNorm
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// hull2D returns the indices (drawn from `remaining`) on the 2-D convex
+// hull of the remaining points, via Andrew's monotone chain. Collinear
+// boundary points are included so peeling always terminates.
+func hull2D(points [][]float64, remaining []int) []int {
+	if len(remaining) <= 2 {
+		out := make([]int, len(remaining))
+		copy(out, remaining)
+		return out
+	}
+	srt := make([]int, len(remaining))
+	copy(srt, remaining)
+	sort.Slice(srt, func(i, j int) bool {
+		a, b := points[srt[i]], points[srt[j]]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	cross := func(o, a, b []float64) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	var lower []int
+	for _, pi := range srt {
+		for len(lower) >= 2 &&
+			cross(points[lower[len(lower)-2]], points[lower[len(lower)-1]], points[pi]) < 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, pi)
+	}
+	var upper []int
+	for i := len(srt) - 1; i >= 0; i-- {
+		pi := srt[i]
+		for len(upper) >= 2 &&
+			cross(points[upper[len(upper)-2]], points[upper[len(upper)-1]], points[pi]) < 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, pi)
+	}
+	seen := make(map[int]bool, len(lower)+len(upper))
+	var out []int
+	for _, pi := range append(lower, upper...) {
+		if !seen[pi] {
+			seen[pi] = true
+			out = append(out, pi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// extremePeel returns the remaining points extremal in at least one of the
+// fixed directions.
+func extremePeel(points [][]float64, remaining []int, dirs [][]float64) []int {
+	best := make([]int, len(dirs))
+	bestV := make([]float64, len(dirs))
+	for di := range dirs {
+		best[di] = -1
+		bestV[di] = math.Inf(-1)
+	}
+	for _, pi := range remaining {
+		p := points[pi]
+		for di, dir := range dirs {
+			v := dot(dir, p)
+			if v > bestV[di] || (v == bestV[di] && best[di] >= 0 && pi < best[di]) {
+				bestV[di] = v
+				best[di] = pi
+			}
+		}
+	}
+	seen := make(map[int]bool, len(dirs))
+	var out []int
+	for _, pi := range best {
+		if pi >= 0 && !seen[pi] {
+			seen[pi] = true
+			out = append(out, pi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// peelDirections returns n unit directions in dimension d: the 2d signed
+// axis directions first (so axis-aligned queries resolve in one layer),
+// then deterministic random unit vectors.
+func peelDirections(d, n int, seed int64) [][]float64 {
+	dirs := make([][]float64, 0, n+2*d)
+	for i := 0; i < d; i++ {
+		plus := make([]float64, d)
+		minus := make([]float64, d)
+		plus[i] = 1
+		minus[i] = -1
+		dirs = append(dirs, plus, minus)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for len(dirs) < n+2*d {
+		v := make([]float64, d)
+		norm := 0.0
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			norm += v[i] * v[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			continue
+		}
+		for i := range v {
+			v[i] /= norm
+		}
+		dirs = append(dirs, v)
+	}
+	return dirs
+}
+
+// subtract removes members of ring (sorted) from remaining, preserving
+// order.
+func subtract(remaining, ring []int) []int {
+	inRing := make(map[int]bool, len(ring))
+	for _, pi := range ring {
+		inRing[pi] = true
+	}
+	out := remaining[:0]
+	for _, pi := range remaining {
+		if !inRing[pi] {
+			out = append(out, pi)
+		}
+	}
+	return out
+}

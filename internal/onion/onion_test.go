@@ -1,0 +1,281 @@
+package onion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelir/internal/synth"
+)
+
+func randomWeights(rng *rand.Rand, d int) []float64 {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("want error for empty set")
+	}
+	if _, err := Build([][]float64{{}}, Options{}); err == nil {
+		t.Fatal("want error for zero-dim points")
+	}
+	if _, err := Build([][]float64{{1, 2}, {1}}, Options{}); err == nil {
+		t.Fatal("want error for ragged points")
+	}
+	nan := [][]float64{{1, 0. / 1}, {1, 2}}
+	nan[0][1] = nan[0][1] / 0 // NaN is rejected
+	if _, err := Build(nan, Options{}); err == nil {
+		t.Fatal("want error for non-finite coordinates")
+	}
+}
+
+func TestTopKMatchesScan2D(t *testing.T) {
+	pts, err := synth.GaussianTuples(3, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		w := randomWeights(rng, 2)
+		for _, k := range []int{1, 5, 25} {
+			got, _, err := ix.TopK(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := ScanTopK(pts, w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d len %d vs %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("trial %d k=%d pos %d: onion %d scan %d",
+						trial, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMatchesScan3D(t *testing.T) {
+	pts, err := synth.GaussianTuples(7, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		w := randomWeights(rng, 3)
+		for _, k := range []int{1, 10} {
+			got, _, err := ix.TopK(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, _ := ScanTopK(pts, w, k)
+			for i := range want {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("trial %d k=%d pos %d: onion %d scan %d",
+						trial, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimizationViaNegation(t *testing.T) {
+	pts, _ := synth.GaussianTuples(9, 2000, 3)
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 2, -1}
+	neg := []float64{-1, -2, 1}
+	got, _, err := ix.TopK(neg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify it's the true minimizer of w·x.
+	best, bestV := -1, 0.0
+	for i, p := range pts {
+		v := w[0]*p[0] + w[1]*p[1] + w[2]*p[2]
+		if best < 0 || v < bestV {
+			best, bestV = i, v
+		}
+	}
+	if got[0].ID != int64(best) {
+		t.Fatalf("minimizer %d want %d", got[0].ID, best)
+	}
+}
+
+func TestOnionTouchesFarFewerPoints(t *testing.T) {
+	pts, _ := synth.GaussianTuples(11, 50000, 3)
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.5, 1.5, -0.7}
+	_, st, err := ix.TopK(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, scanSt, _ := ScanTopK(pts, w, 1)
+	if st.PointsTouched*20 > scanSt.PointsTouched {
+		t.Fatalf("onion touched %d of %d points: speedup < 20x",
+			st.PointsTouched, scanSt.PointsTouched)
+	}
+	// Top-10 touches more than top-1 but still prunes hard.
+	_, st10, _ := ix.TopK(w, 10)
+	if st10.PointsTouched < st.PointsTouched {
+		t.Fatal("top-10 cannot touch fewer points than top-1")
+	}
+	if st10.PointsTouched*5 > scanSt.PointsTouched {
+		t.Fatalf("top-10 touched %d of %d", st10.PointsTouched, scanSt.PointsTouched)
+	}
+}
+
+func TestCoreBucketCorrectness(t *testing.T) {
+	// Tiny layer cap forces most points into the core; results must stay
+	// exact because the suffix-box bound falls back to scanning the core.
+	pts, _ := synth.GaussianTuples(13, 3000, 3)
+	ix, err := Build(pts, Options{MaxLayers: 2, Directions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		w := randomWeights(rng, 3)
+		got, _, err := ix.TopK(w, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := ScanTopK(pts, w, 7)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("core-bucket mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestLayersPartitionPoints(t *testing.T) {
+	pts, _ := synth.GaussianTuples(15, 4000, 3)
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for li := 0; li < ix.NumLayers(); li++ {
+		total += ix.LayerSize(li)
+	}
+	if total != ix.NumPoints() {
+		t.Fatalf("layers hold %d points, want %d", total, ix.NumPoints())
+	}
+	for _, layer := range ix.layers {
+		for _, pi := range layer {
+			if seen[pi] {
+				t.Fatalf("point %d in two layers", pi)
+			}
+			seen[pi] = true
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	pts, _ := synth.GaussianTuples(1, 100, 2)
+	ix, _ := Build(pts, Options{})
+	if _, _, err := ix.TopK([]float64{1}, 1); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, _, err := ix.TopK([]float64{1, 2}, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, _, err := ScanTopK(nil, nil, 1); err == nil {
+		t.Fatal("want empty scan error")
+	}
+	if _, _, err := ScanTopK(pts, []float64{1}, 1); err == nil {
+		t.Fatal("want scan dim error")
+	}
+	if _, _, err := ScanTopK(pts, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want scan k error")
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	pts, _ := synth.GaussianTuples(2, 10, 2)
+	ix, _ := Build(pts, Options{})
+	got, _, err := ix.TopK([]float64{1, 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("len=%d want all 10 points", len(got))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {0, 0}, {2, 2}, {2, 2}}
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.TopK([]float64{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := ScanTopK(pts, []float64{1, 1}, 3)
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("dup mismatch %+v vs %+v", got, want)
+		}
+	}
+}
+
+// Property: for random small point sets and random weights, Onion == scan.
+func TestExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(300)
+		d := 2 + rng.Intn(3)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = randomWeights(rng, d)
+		}
+		ix, err := Build(pts, Options{MaxLayers: 1 + rng.Intn(20), Directions: 4 + rng.Intn(30)})
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(12)
+		w := randomWeights(rng, d)
+		got, _, err := ix.TopK(w, k)
+		if err != nil {
+			return false
+		}
+		want, _, _ := ScanTopK(pts, w, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

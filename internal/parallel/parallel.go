@@ -1,0 +1,163 @@
+// Package parallel provides deterministic multi-core fan-out for the
+// library's scan-shaped workloads: score N items across W workers, merge
+// per-shard top-K heaps. Because each shard's heap is deterministic and
+// the merge uses the same (score, ID) ordering as a serial scan, the
+// result set is bit-identical to the sequential baseline no matter how
+// the scheduler interleaves workers — parallelism changes wall-clock
+// time only, never answers.
+//
+// The paper's archives are large enough that even the *indexed* paths
+// shard well (per-region FSM runs, per-well SPROC evaluations), and the
+// sequential-scan baselines the evaluation compares against benefit
+// symmetrically, keeping the reported speedup ratios honest.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"modelir/internal/topk"
+)
+
+// Scorer grades item i. Returning keep=false skips the item (it does
+// not enter the top-K); returning an error aborts the whole run.
+type Scorer func(i int) (score float64, keep bool, err error)
+
+// TopK scores items 0..n-1 with `workers` goroutines (0 = GOMAXPROCS)
+// and returns the merged top-K, best first. IDs are the item indices.
+func TopK(n, k, workers int, score Scorer) ([]topk.Item, error) {
+	if n < 0 {
+		return nil, errors.New("parallel: negative item count")
+	}
+	if score == nil {
+		return nil, errors.New("parallel: nil scorer")
+	}
+	if k < 1 {
+		return nil, errors.New("parallel: k must be >= 1")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		h, err := topk.NewHeap(k)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			s, keep, err := score(i)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+			if keep {
+				h.OfferScore(int64(i), s)
+			}
+		}
+		return h.Results(), nil
+	}
+
+	heaps := make([]*topk.Heap, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			heaps[w] = topk.MustHeap(k)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := topk.MustHeap(k)
+			for i := lo; i < hi; i++ {
+				s, keep, err := score(i)
+				if err != nil {
+					errs[w] = fmt.Errorf("parallel: item %d: %w", i, err)
+					return
+				}
+				if keep {
+					h.OfferScore(int64(i), s)
+				}
+			}
+			heaps[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := topk.MustHeap(k)
+	for _, h := range heaps {
+		if h != nil {
+			topk.Merge(merged, h)
+		}
+	}
+	return merged.Results(), nil
+}
+
+// ForEach runs fn over 0..n-1 with `workers` goroutines (0 = GOMAXPROCS)
+// and returns the first error encountered (remaining items in that
+// worker's shard are skipped; other shards run to completion).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n < 0 {
+		return errors.New("parallel: negative item count")
+	}
+	if fn == nil {
+		return errors.New("parallel: nil function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := fn(i); err != nil {
+					errs[w] = fmt.Errorf("parallel: item %d: %w", i, err)
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

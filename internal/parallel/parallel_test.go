@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"modelir/internal/topk"
+)
+
+func TestTopKValidation(t *testing.T) {
+	if _, err := TopK(-1, 1, 1, func(int) (float64, bool, error) { return 0, true, nil }); err == nil {
+		t.Fatal("want negative count error")
+	}
+	if _, err := TopK(5, 1, 1, nil); err == nil {
+		t.Fatal("want nil scorer error")
+	}
+	if _, err := TopK(5, 0, 1, func(int) (float64, bool, error) { return 0, true, nil }); err == nil {
+		t.Fatal("want k error")
+	}
+}
+
+func TestTopKMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 10_000)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(100)) // deliberate ties
+	}
+	scorer := func(i int) (float64, bool, error) { return scores[i], true, nil }
+	want, err := TopK(len(scores), 25, 1, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 24, 1000} {
+		got, err := TopK(len(scores), 25, workers, scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d vs %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d pos %d: %+v vs %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKSkip(t *testing.T) {
+	got, err := TopK(10, 5, 4, func(i int) (float64, bool, error) {
+		return float64(i), i%2 == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("len=%d", len(got))
+	}
+	for _, it := range got {
+		if it.ID%2 != 0 {
+			t.Fatalf("skipped item %d retained", it.ID)
+		}
+	}
+}
+
+func TestTopKErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := TopK(1000, 5, 8, func(i int) (float64, bool, error) {
+		if i == 777 {
+			return 0, false, boom
+		}
+		return float64(i), true, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestTopKZeroItems(t *testing.T) {
+	got, err := TopK(0, 5, 4, func(int) (float64, bool, error) { return 0, true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("len=%d", len(got))
+	}
+}
+
+// Property: any worker count yields the exact serial result.
+func TestTopKDeterminismProperty(t *testing.T) {
+	f := func(seed int64, workersRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		k := 1 + rng.Intn(20)
+		workers := int(workersRaw)%32 + 1
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(40))
+		}
+		scorer := func(i int) (float64, bool, error) { return scores[i], true, nil }
+		want := topk.SelectTopK(scores, k)
+		got, err := TopK(n, k, workers, scorer)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var count atomic.Int64
+	if err := ForEach(1000, 8, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 1000 {
+		t.Fatalf("ran %d of 1000", count.Load())
+	}
+	boom := errors.New("boom")
+	err := ForEach(100, 4, func(i int) error {
+		if i == 50 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if err := ForEach(5, 2, nil); err == nil {
+		t.Fatal("want nil fn error")
+	}
+	if err := ForEach(-1, 2, func(int) error { return nil }); err == nil {
+		t.Fatal("want negative count error")
+	}
+	if err := ForEach(0, 2, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("zero items must be a no-op")
+	}
+}

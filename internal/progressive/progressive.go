@@ -1,0 +1,387 @@
+// Package progressive implements the paper's central mechanism
+// (Section 3.1): progressive model execution over progressively
+// represented data. It retrieves the exact top-K locations of a linear
+// risk model over a multiband scene four ways —
+//
+//	Flat          — full model on every full-resolution pixel (the
+//	                baseline whose cost is the paper's O(nN));
+//	ProgModel     — progressive model only: a cheap sub-model screens
+//	                every pixel, the full model runs on survivors
+//	                (complexity reduction ratio pm);
+//	ProgData      — progressive data only: branch-and-bound descent of
+//	                the mean/min/max pyramid with full-model interval
+//	                bounds (ratio pd);
+//	Combined      — both: pyramid descent with sub-model bounds at
+//	                coarse levels and progressive refinement at pixels,
+//	                realizing the paper's O(nN/(pm·pd)).
+//
+// All four return identical result sets; they differ only in Work (the
+// number of term evaluations, the paper's unit of model complexity n).
+package progressive
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"modelir/internal/linear"
+	"modelir/internal/pyramid"
+	"modelir/internal/raster"
+	"modelir/internal/topk"
+)
+
+// Binding maps a model's attributes onto scene bands by index: band[i]
+// supplies the value of model attribute i.
+type Binding struct {
+	Bands []int
+}
+
+// Bind resolves a model's attribute names against a pyramid's band names.
+func Bind(m *linear.Model, mp *pyramid.MultibandPyramid) (Binding, error) {
+	names := mp.BandNames()
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	out := Binding{Bands: make([]int, len(m.Attrs))}
+	for i, a := range m.Attrs {
+		b, ok := idx[a]
+		if !ok {
+			return Binding{}, fmt.Errorf("progressive: no band %q for model attribute %d", a, i)
+		}
+		out.Bands[i] = b
+	}
+	return out, nil
+}
+
+// Stats measures the work of one retrieval in term evaluations: each
+// multiply-add against one attribute counts 1, whether it touched a pixel
+// or a coarse cell envelope.
+type Stats struct {
+	// PixelTermEvals counts term evaluations on full-resolution pixels.
+	PixelTermEvals int
+	// CellTermEvals counts term evaluations on coarse pyramid cells
+	// (interval bounds cost 2 evaluations per term: lo and hi).
+	CellTermEvals int
+	// PixelsVisited counts distinct full-resolution pixels examined.
+	PixelsVisited int
+	// CellsVisited counts coarse cells examined.
+	CellsVisited int
+}
+
+// Work returns total term evaluations (the paper's n×N numerator).
+func (s Stats) Work() int { return s.PixelTermEvals + s.CellTermEvals }
+
+// Result is a retrieval outcome: items rank locations best-first with
+// ID = y*W + x.
+type Result struct {
+	Items []topk.Item
+	Stats Stats
+}
+
+// Flat evaluates the full model at every pixel.
+func Flat(m *linear.Model, mp *pyramid.MultibandPyramid, k int) (Result, error) {
+	var res Result
+	bind, err := Bind(m, mp)
+	if err != nil {
+		return res, err
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return res, err
+	}
+	base := mp.Band(0).Level(0).Mean
+	w, hgt := base.Width(), base.Height()
+	nTerms := m.NumTerms()
+	x := make([]float64, nTerms)
+	for y := 0; y < hgt; y++ {
+		for xx := 0; xx < w; xx++ {
+			for i, b := range bind.Bands {
+				x[i] = mp.Band(b).Level(0).Mean.At(xx, y)
+			}
+			res.Stats.PixelTermEvals += nTerms
+			res.Stats.PixelsVisited++
+			h.OfferScore(int64(y*w+xx), m.EvalUnchecked(x))
+		}
+	}
+	res.Items = h.Results()
+	return res, nil
+}
+
+// ProgModel screens every pixel with the progressive model's coarsest
+// level, then runs the remaining levels only on candidates whose
+// optimistic bound can still reach the top K. Exact.
+func ProgModel(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Result, error) {
+	var res Result
+	m := pm.Full()
+	bind, err := Bind(m, mp)
+	if err != nil {
+		return res, err
+	}
+	if k < 1 {
+		return res, errors.New("progressive: k must be >= 1")
+	}
+	base := mp.Band(0).Level(0).Mean
+	w, hgt := base.Width(), base.Height()
+	n := w * hgt
+
+	// Pass 1: coarse sub-model everywhere.
+	coarse := make([]float64, n)
+	x := make([]float64, m.NumTerms())
+	c0 := pm.CostAt(0)
+	for y := 0; y < hgt; y++ {
+		for xx := 0; xx < w; xx++ {
+			for i, b := range bind.Bands {
+				x[i] = mp.Band(b).Level(0).Mean.At(xx, y)
+			}
+			coarse[y*w+xx] = pm.EvalLevelUnchecked(0, x)
+			res.Stats.PixelTermEvals += c0
+			res.Stats.PixelsVisited++
+		}
+	}
+	// The K-th largest pessimistic value (coarse − resid) is a sound
+	// floor; only pixels whose optimistic value (coarse + resid) reaches
+	// it need refinement.
+	r0 := pm.Resid(0)
+	floorHeap := topk.MustHeap(k)
+	for id, c := range coarse {
+		floorHeap.OfferScore(int64(id), c-r0)
+	}
+	floorItems := floorHeap.Results()
+	floor := floorItems[len(floorItems)-1].Score
+
+	h := topk.MustHeap(k)
+	fullCost := m.NumTerms()
+	for id, c := range coarse {
+		if c+r0 < floor {
+			continue
+		}
+		y, xx := id/w, id%w
+		for i, b := range bind.Bands {
+			x[i] = mp.Band(b).Level(0).Mean.At(xx, y)
+		}
+		// Charge only the terms the coarse level did not evaluate.
+		res.Stats.PixelTermEvals += fullCost - c0
+		h.OfferScore(int64(id), m.EvalUnchecked(x))
+	}
+	res.Items = h.Results()
+	return res, nil
+}
+
+// cellEntry is a branch-and-bound frontier node.
+type cellEntry struct {
+	level, x, y int
+	upper       float64
+}
+
+type cellPQ []cellEntry
+
+func (q cellPQ) Len() int           { return len(q) }
+func (q cellPQ) Less(i, j int) bool { return q[i].upper > q[j].upper }
+func (q cellPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *cellPQ) Push(v any)        { *q = append(*q, v.(cellEntry)) }
+func (q *cellPQ) Pop() any          { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+
+// ProgData runs best-first branch-and-bound on the pyramid: coarse cells
+// are bounded with the full model's interval arithmetic over their
+// min/max envelopes; cells that cannot reach the current K-th best are
+// pruned without visiting their pixels. Exact.
+func ProgData(m *linear.Model, mp *pyramid.MultibandPyramid, k int) (Result, error) {
+	return descend(m, nil, mp, k)
+}
+
+// Combined is ProgData with a progressive model refinement at the pixel
+// level: pixels are first scored by the coarse sub-model and only
+// promising ones pay for the remaining terms. Exact.
+func Combined(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Result, error) {
+	return descend(pm.Full(), pm, mp, k)
+}
+
+func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Result, error) {
+	var res Result
+	bind, err := Bind(m, mp)
+	if err != nil {
+		return res, err
+	}
+	h, err := topk.NewHeap(k)
+	if err != nil {
+		return res, err
+	}
+	top := mp.NumLevels() - 1
+	nTerms := m.NumTerms()
+	lo := make([]float64, nTerms)
+	hi := make([]float64, nTerms)
+	x := make([]float64, nTerms)
+	base := mp.Band(0).Level(0).Mean
+	w := base.Width()
+
+	bound := func(level, cx, cy int) (float64, error) {
+		for i, b := range bind.Bands {
+			l := mp.Band(b).Level(level)
+			lo[i] = l.Min.At(cx, cy)
+			hi[i] = l.Max.At(cx, cy)
+		}
+		res.Stats.CellTermEvals += 2 * nTerms
+		res.Stats.CellsVisited++
+		_, ub, err := m.Interval(lo, hi)
+		return ub, err
+	}
+
+	pq := &cellPQ{}
+	heap.Init(pq)
+	coarse := mp.Band(0).Level(top).Mean
+	for cy := 0; cy < coarse.Height(); cy++ {
+		for cx := 0; cx < coarse.Width(); cx++ {
+			ub, err := bound(top, cx, cy)
+			if err != nil {
+				return res, err
+			}
+			heap.Push(pq, cellEntry{level: top, x: cx, y: cy, upper: ub})
+		}
+	}
+
+	evalPixel := func(px, py int) {
+		id := int64(py*w + px)
+		res.Stats.PixelsVisited++
+		if pm == nil {
+			for i, b := range bind.Bands {
+				x[i] = mp.Band(b).Level(0).Mean.At(px, py)
+			}
+			res.Stats.PixelTermEvals += nTerms
+			h.OfferScore(id, m.EvalUnchecked(x))
+			return
+		}
+		// Progressive pixel refinement: coarse sub-model first.
+		for i, b := range bind.Bands {
+			x[i] = mp.Band(b).Level(0).Mean.At(px, py)
+		}
+		c := pm.EvalLevelUnchecked(0, x)
+		res.Stats.PixelTermEvals += pm.CostAt(0)
+		if h.Full() {
+			if floor, ok := h.Threshold(); ok && c+pm.Resid(0) < floor {
+				return // even the optimistic completion cannot enter
+			}
+		}
+		res.Stats.PixelTermEvals += nTerms - pm.CostAt(0)
+		h.OfferScore(id, m.EvalUnchecked(x))
+	}
+
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(cellEntry)
+		if h.Full() {
+			// Strict comparison: a cell whose bound equals the floor may
+			// still hold an equal-scoring pixel with a smaller ID, which
+			// wins the deterministic tie-break.
+			if floor, ok := h.Threshold(); ok && e.upper < floor {
+				break // best-first: nothing left can improve the heap
+			}
+		}
+		if e.level == 0 {
+			evalPixel(e.x, e.y)
+			continue
+		}
+		fine := mp.Band(0).Level(e.level - 1).Mean
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				nx, ny := 2*e.x+dx, 2*e.y+dy
+				if nx >= fine.Width() || ny >= fine.Height() {
+					continue
+				}
+				ub, err := bound(e.level-1, nx, ny)
+				if err != nil {
+					return res, err
+				}
+				heap.Push(pq, cellEntry{level: e.level - 1, x: nx, y: ny, upper: ub})
+			}
+		}
+	}
+	res.Items = h.Results()
+	return res, nil
+}
+
+// Speedups summarizes an E5-style four-cell comparison.
+type Speedups struct {
+	FlatWork     int
+	ModelWork    int
+	DataWork     int
+	CombinedWork int
+}
+
+// Pm returns the progressive-model complexity reduction ratio.
+func (s Speedups) Pm() float64 { return float64(s.FlatWork) / float64(s.ModelWork) }
+
+// Pd returns the progressive-data complexity reduction ratio.
+func (s Speedups) Pd() float64 { return float64(s.FlatWork) / float64(s.DataWork) }
+
+// PmPd returns the combined speedup (the paper's nN/(pm·pd) denominator).
+func (s Speedups) PmPd() float64 { return float64(s.FlatWork) / float64(s.CombinedWork) }
+
+// Compare runs all four strategies, checks that the result sets agree
+// exactly, and returns the speedup table.
+func Compare(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Speedups, []topk.Item, error) {
+	var sp Speedups
+	flat, err := Flat(pm.Full(), mp, k)
+	if err != nil {
+		return sp, nil, err
+	}
+	mres, err := ProgModel(pm, mp, k)
+	if err != nil {
+		return sp, nil, err
+	}
+	dres, err := ProgData(pm.Full(), mp, k)
+	if err != nil {
+		return sp, nil, err
+	}
+	cres, err := Combined(pm, mp, k)
+	if err != nil {
+		return sp, nil, err
+	}
+	for name, other := range map[string][]topk.Item{
+		"prog-model": mres.Items, "prog-data": dres.Items, "combined": cres.Items,
+	} {
+		if err := sameItems(flat.Items, other); err != nil {
+			return sp, nil, fmt.Errorf("progressive: %s diverged from flat: %w", name, err)
+		}
+	}
+	sp = Speedups{
+		FlatWork:     flat.Stats.Work(),
+		ModelWork:    mres.Stats.Work(),
+		DataWork:     dres.Stats.Work(),
+		CombinedWork: cres.Stats.Work(),
+	}
+	return sp, flat.Items, nil
+}
+
+func sameItems(a, b []topk.Item) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return fmt.Errorf("position %d: id %d vs %d", i, a[i].ID, b[i].ID)
+		}
+	}
+	return nil
+}
+
+// RiskSurface materializes the model over the whole scene as a grid —
+// used by accuracy experiments (E6) and examples that want to visualize
+// or threshold the full surface rather than retrieve top-K.
+func RiskSurface(m *linear.Model, mp *pyramid.MultibandPyramid) (*raster.Grid, error) {
+	bind, err := Bind(m, mp)
+	if err != nil {
+		return nil, err
+	}
+	base := mp.Band(0).Level(0).Mean
+	out := raster.MustGrid(base.Width(), base.Height())
+	x := make([]float64, m.NumTerms())
+	for y := 0; y < base.Height(); y++ {
+		for xx := 0; xx < base.Width(); xx++ {
+			for i, b := range bind.Bands {
+				x[i] = mp.Band(b).Level(0).Mean.At(xx, y)
+			}
+			out.Set(xx, y, m.EvalUnchecked(x))
+		}
+	}
+	return out, nil
+}

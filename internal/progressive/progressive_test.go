@@ -1,0 +1,188 @@
+package progressive
+
+import (
+	"math"
+	"testing"
+
+	"modelir/internal/linear"
+	"modelir/internal/pyramid"
+	"modelir/internal/synth"
+)
+
+func hpsSetup(t *testing.T, seed int64, w, h int) (*linear.ProgressiveModel, *pyramid.MultibandPyramid) {
+	t.Helper()
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: seed, W: w, H: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := pyramid.BuildMultiband(sc.Bands, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := linear.HPSRisk()
+	pm, err := linear.Decompose(m,
+		[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, mp
+}
+
+func TestBind(t *testing.T) {
+	pm, mp := hpsSetup(t, 1, 32, 32)
+	b, err := Bind(pm.Full(), mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bands) != 4 {
+		t.Fatalf("binding %v", b)
+	}
+	bad, _ := linear.New([]string{"nonexistent"}, []float64{1}, 0)
+	if _, err := Bind(bad, mp); err == nil {
+		t.Fatal("want missing band error")
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	for _, seed := range []int64{2, 7, 19} {
+		pm, mp := hpsSetup(t, seed, 96, 96)
+		for _, k := range []int{1, 10, 50} {
+			sp, items, err := Compare(pm, mp, k)
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			if len(items) != k {
+				t.Fatalf("got %d items want %d", len(items), k)
+			}
+			if sp.FlatWork <= 0 {
+				t.Fatal("flat work not measured")
+			}
+		}
+	}
+}
+
+func TestResultsMatchBruteForce(t *testing.T) {
+	pm, mp := hpsSetup(t, 3, 64, 64)
+	m := pm.Full()
+	// Brute-force reference over raw pixels.
+	base := mp.Band(0).Level(0)
+	type scored struct {
+		id int64
+		s  float64
+	}
+	var best scored
+	best.s = math.Inf(-1)
+	x := make([]float64, 4)
+	bind, _ := Bind(m, mp)
+	for y := 0; y < base.Mean.Height(); y++ {
+		for xx := 0; xx < base.Mean.Width(); xx++ {
+			for i, b := range bind.Bands {
+				x[i] = mp.Band(b).Level(0).Mean.At(xx, y)
+			}
+			s := m.EvalUnchecked(x)
+			if s > best.s {
+				best = scored{id: int64(y*base.Mean.Width() + xx), s: s}
+			}
+		}
+	}
+	res, err := Combined(pm, mp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items[0].ID != best.id {
+		t.Fatalf("combined top-1 %d want %d", res.Items[0].ID, best.id)
+	}
+	if math.Abs(res.Items[0].Score-best.s) > 1e-12 {
+		t.Fatalf("score %v want %v", res.Items[0].Score, best.s)
+	}
+}
+
+func TestSpeedupStructure(t *testing.T) {
+	pm, mp := hpsSetup(t, 5, 128, 128)
+	sp, _, err := Compare(pm, mp, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Pm() <= 1 {
+		t.Fatalf("progressive model speedup %v <= 1", sp.Pm())
+	}
+	if sp.Pd() <= 1 {
+		t.Fatalf("progressive data speedup %v <= 1", sp.Pd())
+	}
+	if sp.PmPd() <= sp.Pm() && sp.PmPd() <= sp.Pd() {
+		t.Fatalf("combined %v not above max(pm=%v, pd=%v)", sp.PmPd(), sp.Pm(), sp.Pd())
+	}
+}
+
+func TestProgDataPrunesCells(t *testing.T) {
+	pm, mp := hpsSetup(t, 8, 128, 128)
+	flat, err := Flat(pm.Full(), mp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ProgData(pm.Full(), mp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Stats.PixelsVisited*2 > flat.Stats.PixelsVisited {
+		t.Fatalf("prog-data visited %d of %d pixels: no pruning",
+			prog.Stats.PixelsVisited, flat.Stats.PixelsVisited)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pm, mp := hpsSetup(t, 9, 32, 32)
+	if _, err := Flat(pm.Full(), mp, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, err := ProgModel(pm, mp, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, err := ProgData(pm.Full(), mp, 0); err == nil {
+		t.Fatal("want k error")
+	}
+}
+
+func TestRiskSurface(t *testing.T) {
+	pm, mp := hpsSetup(t, 11, 48, 48)
+	surf, err := RiskSurface(pm.Full(), mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surf.Width() != 48 || surf.Height() != 48 {
+		t.Fatalf("surface dims %dx%d", surf.Width(), surf.Height())
+	}
+	// Spot check against direct evaluation.
+	bind, _ := Bind(pm.Full(), mp)
+	x := make([]float64, 4)
+	for i, b := range bind.Bands {
+		x[i] = mp.Band(b).Level(0).Mean.At(7, 13)
+	}
+	want := pm.Full().EvalUnchecked(x)
+	if math.Abs(surf.At(7, 13)-want) > 1e-12 {
+		t.Fatalf("surface value %v want %v", surf.At(7, 13), want)
+	}
+	bad, _ := linear.New([]string{"zzz"}, []float64{1}, 0)
+	if _, err := RiskSurface(bad, mp); err == nil {
+		t.Fatal("want bind error")
+	}
+}
+
+// The flat surface's top-K must match Flat retrieval — ties included.
+func TestFlatConsistentWithSurface(t *testing.T) {
+	pm, mp := hpsSetup(t, 13, 64, 48)
+	res, err := Flat(pm.Full(), mp, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf, err := RiskSurface(pm.Full(), mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Items {
+		x, y := int(it.ID)%64, int(it.ID)/64
+		if math.Abs(surf.At(x, y)-it.Score) > 1e-12 {
+			t.Fatalf("item %d score %v surface %v", it.ID, it.Score, surf.At(x, y))
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package pyramid
+
+import (
+	"errors"
+	"fmt"
+
+	"modelir/internal/raster"
+)
+
+// HaarLevel holds the three detail subbands produced by one 2-D Haar
+// analysis step. The approximation is carried forward to the next level
+// (or stored in Haar.Approx for the last level).
+type HaarLevel struct {
+	// LH, HL, HH are horizontal-, vertical- and diagonal-detail subbands.
+	LH, HL, HH *raster.Grid
+}
+
+// Haar is a multi-level 2-D Haar wavelet decomposition. Dimensions must be
+// divisible by 2^levels so the transform is exactly invertible (the archive
+// pads scenes to this shape before decomposing).
+type Haar struct {
+	levels []HaarLevel
+	// Approx is the coarsest approximation subband.
+	Approx *raster.Grid
+	w, h   int
+}
+
+// ErrNotDyadic is returned when dimensions don't support the requested
+// number of exact Haar levels.
+var ErrNotDyadic = errors.New("pyramid: dimensions not divisible by 2^levels")
+
+// HaarDecompose runs `levels` analysis steps on g.
+func HaarDecompose(g *raster.Grid, levels int) (*Haar, error) {
+	if levels < 1 {
+		return nil, ErrNoLevels
+	}
+	div := 1 << uint(levels)
+	if g.Width()%div != 0 || g.Height()%div != 0 {
+		return nil, fmt.Errorf("%w: %dx%d with %d levels", ErrNotDyadic, g.Width(), g.Height(), levels)
+	}
+	h := &Haar{w: g.Width(), h: g.Height(), levels: make([]HaarLevel, 0, levels)}
+	approx := g.Clone()
+	for l := 0; l < levels; l++ {
+		a, lh, hl, hh := haarStep(approx)
+		h.levels = append(h.levels, HaarLevel{LH: lh, HL: hl, HH: hh})
+		approx = a
+	}
+	h.Approx = approx
+	return h, nil
+}
+
+// haarStep performs one normalized 2-D Haar analysis step (averages with
+// 1/2 weights so the approximation subband is the block mean, and details
+// reconstruct exactly).
+func haarStep(g *raster.Grid) (approx, lh, hl, hh *raster.Grid) {
+	nw, nh := g.Width()/2, g.Height()/2
+	approx = raster.MustGrid(nw, nh)
+	lh = raster.MustGrid(nw, nh)
+	hl = raster.MustGrid(nw, nh)
+	hh = raster.MustGrid(nw, nh)
+	for y := 0; y < nh; y++ {
+		for x := 0; x < nw; x++ {
+			a := g.At(2*x, 2*y)
+			b := g.At(2*x+1, 2*y)
+			c := g.At(2*x, 2*y+1)
+			d := g.At(2*x+1, 2*y+1)
+			approx.Set(x, y, (a+b+c+d)/4)
+			lh.Set(x, y, (a-b+c-d)/4)
+			hl.Set(x, y, (a+b-c-d)/4)
+			hh.Set(x, y, (a-b-c+d)/4)
+		}
+	}
+	return approx, lh, hl, hh
+}
+
+// NumLevels returns the number of decomposition levels.
+func (h *Haar) NumLevels() int { return len(h.levels) }
+
+// Level returns the detail subbands at level i (0 = finest details).
+func (h *Haar) Level(i int) HaarLevel { return h.levels[i] }
+
+// Reconstruct inverts the full decomposition, returning a grid equal to the
+// original input (up to floating-point rounding).
+func (h *Haar) Reconstruct() *raster.Grid {
+	return h.ReconstructTo(0)
+}
+
+// ReconstructTo inverts synthesis down to the given level: level 0 yields
+// the full-resolution image; level k>0 yields the approximation surface at
+// that level (dimensions divided by 2^k). This is the progressive-decoding
+// path: coarse previews stream first, details refine them.
+func (h *Haar) ReconstructTo(level int) *raster.Grid {
+	cur := h.Approx.Clone()
+	for l := len(h.levels) - 1; l >= level; l-- {
+		cur = haarInverse(cur, h.levels[l])
+	}
+	return cur
+}
+
+func haarInverse(approx *raster.Grid, d HaarLevel) *raster.Grid {
+	nw, nh := approx.Width()*2, approx.Height()*2
+	out := raster.MustGrid(nw, nh)
+	for y := 0; y < approx.Height(); y++ {
+		for x := 0; x < approx.Width(); x++ {
+			av := approx.At(x, y)
+			lh := d.LH.At(x, y)
+			hl := d.HL.At(x, y)
+			hh := d.HH.At(x, y)
+			out.Set(2*x, 2*y, av+lh+hl+hh)
+			out.Set(2*x+1, 2*y, av-lh+hl-hh)
+			out.Set(2*x, 2*y+1, av+lh-hl-hh)
+			out.Set(2*x+1, 2*y+1, av-lh-hl+hh)
+		}
+	}
+	return out
+}
+
+// DetailEnergy returns the sum of squared detail coefficients at each
+// level, finest first. Progressive decoders use it to decide whether a
+// region is "flat enough" to stop refining: near-zero energy means the
+// coarse approximation already equals the fine data.
+func (h *Haar) DetailEnergy() []float64 {
+	out := make([]float64, len(h.levels))
+	for i, l := range h.levels {
+		var e float64
+		for _, g := range []*raster.Grid{l.LH, l.HL, l.HH} {
+			for _, v := range g.Data() {
+				e += v * v
+			}
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// PadToDyadic returns a copy of g padded (edge-replicated) so both
+// dimensions are divisible by 2^levels. Returns the padded grid and the
+// original dimensions.
+func PadToDyadic(g *raster.Grid, levels int) (*raster.Grid, int, int) {
+	div := 1 << uint(levels)
+	nw := ((g.Width() + div - 1) / div) * div
+	nh := ((g.Height() + div - 1) / div) * div
+	if nw == g.Width() && nh == g.Height() {
+		return g.Clone(), g.Width(), g.Height()
+	}
+	out := raster.MustGrid(nw, nh)
+	for y := 0; y < nh; y++ {
+		sy := y
+		if sy >= g.Height() {
+			sy = g.Height() - 1
+		}
+		for x := 0; x < nw; x++ {
+			sx := x
+			if sx >= g.Width() {
+				sx = g.Width() - 1
+			}
+			out.Set(x, y, g.At(sx, sy))
+		}
+	}
+	return out, g.Width(), g.Height()
+}

@@ -1,0 +1,242 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"modelir/internal/synth"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := Build([][]float64{{}}, Options{}); err == nil {
+		t.Fatal("want zero-dim error")
+	}
+	if _, err := Build([][]float64{{1, 2}, {3}}, Options{}); err == nil {
+		t.Fatal("want ragged error")
+	}
+	if _, err := Build([][]float64{{1, 2}}, Options{Fanout: 1}); err == nil {
+		t.Fatal("want fanout error")
+	}
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	pts, err := synth.GaussianTuples(3, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 3000 || tr.Dim() != 3 {
+		t.Fatalf("size/dim %d/%d", tr.Size(), tr.Dim())
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		lo := make([]float64, 3)
+		hi := make([]float64, 3)
+		for i := range lo {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		got, st, err := tr.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for i, p := range pts {
+			inside := true
+			for d, v := range p {
+				if v < lo[d] || v > hi[d] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d matches", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d mismatch at %d", trial, i)
+			}
+		}
+		if st.PointsTouched > 3000 {
+			t.Fatal("touched more points than exist")
+		}
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	pts, _ := synth.GaussianTuples(1, 100, 2)
+	tr, _ := Build(pts, Options{})
+	if _, _, err := tr.Range([]float64{0}, []float64{1, 1}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, _, err := tr.Range([]float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("want empty-box error")
+	}
+}
+
+func TestRangePruning(t *testing.T) {
+	pts, _ := synth.GaussianTuples(5, 20000, 2)
+	tr, _ := Build(pts, Options{})
+	// Tiny box: the tree should touch a small fraction of points.
+	_, st, err := tr.Range([]float64{0, 0}, []float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PointsTouched*10 > len(pts) {
+		t.Fatalf("touched %d of %d points for a tiny box", st.PointsTouched, len(pts))
+	}
+}
+
+func TestNearestKMatchesScan(t *testing.T) {
+	pts, _ := synth.GaussianTuples(7, 2000, 3)
+	tr, _ := Build(pts, Options{})
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		target := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		got, _, err := tr.NearestK(target, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct {
+			id int
+			d  float64
+		}
+		ref := make([]pair, len(pts))
+		for i, p := range pts {
+			ref[i] = pair{i, dist2To(target, p)}
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].d != ref[b].d {
+				return ref[a].d < ref[b].d
+			}
+			return ref[a].id < ref[b].id
+		})
+		for i := 0; i < 5; i++ {
+			if got[i].ID != int64(ref[i].id) {
+				t.Fatalf("trial %d pos %d: got %d want %d", trial, i, got[i].ID, ref[i].id)
+			}
+		}
+	}
+	if _, _, err := tr.NearestK([]float64{0}, 1); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, _, err := tr.NearestK([]float64{0, 0, 0}, 0); err == nil {
+		t.Fatal("want k error")
+	}
+}
+
+func TestLinearTopKMatchesScan(t *testing.T) {
+	pts, _ := synth.GaussianTuples(9, 5000, 3)
+	tr, _ := Build(pts, Options{})
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		w := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		got, _, err := tr.LinearTopK(w, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct {
+			id int
+			s  float64
+		}
+		ref := make([]pair, len(pts))
+		for i, p := range pts {
+			s := 0.0
+			for d, wd := range w {
+				s += wd * p[d]
+			}
+			ref[i] = pair{i, s}
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].s != ref[b].s {
+				return ref[a].s > ref[b].s
+			}
+			return ref[a].id < ref[b].id
+		})
+		for i := range got {
+			if got[i].ID != int64(ref[i].id) {
+				t.Fatalf("trial %d pos %d: got %d want %d", trial, i, got[i].ID, ref[i].id)
+			}
+		}
+	}
+	if _, _, err := tr.LinearTopK([]float64{1}, 1); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, _, err := tr.LinearTopK([]float64{1, 1, 1}, 0); err == nil {
+		t.Fatal("want k error")
+	}
+}
+
+// Property: range query equals linear scan for random boxes and sets.
+func TestRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(400)
+		d := 1 + rng.Intn(4)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.NormFloat64()
+			}
+		}
+		tr, err := Build(pts, Options{Fanout: 2 + rng.Intn(20)})
+		if err != nil {
+			return false
+		}
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for i := range lo {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		got, _, err := tr.Range(lo, hi)
+		if err != nil {
+			return false
+		}
+		var want []int
+		for i, p := range pts {
+			inside := true
+			for dd, v := range p {
+				if v < lo[dd] || v > hi[dd] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package sproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomQuery builds a query with deterministic random unary and pair
+// tables so all three evaluators can be cross-checked.
+func randomQuery(seed int64, l, m int) Query {
+	rng := rand.New(rand.NewSource(seed))
+	unary := make([][]float64, m)
+	for mi := range unary {
+		unary[mi] = make([]float64, l)
+		for j := range unary[mi] {
+			unary[mi][j] = rng.Float64()
+		}
+	}
+	pair := make([][][]float64, m)
+	for mi := 1; mi < m; mi++ {
+		pair[mi] = make([][]float64, l)
+		for a := 0; a < l; a++ {
+			pair[mi][a] = make([]float64, l)
+			for b := 0; b < l; b++ {
+				pair[mi][a][b] = rng.Float64()
+			}
+		}
+	}
+	return Query{
+		M:     m,
+		Unary: func(mi, item int) float64 { return unary[mi][item] },
+		Pair:  func(mi, prev, cur int) float64 { return pair[mi][prev][cur] },
+	}
+}
+
+func scoreTuple(q Query, items []int) float64 {
+	s := 1.0
+	for m, j := range items {
+		s = math.Min(s, q.Unary(m, j))
+		if m > 0 {
+			s = math.Min(s, q.Pair(m, items[m-1], j))
+		}
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	q := randomQuery(1, 5, 2)
+	if _, _, err := BruteForce(0, q, 1); err == nil {
+		t.Fatal("want empty-set error")
+	}
+	if _, _, err := DP(5, Query{M: 0}, 1); err == nil {
+		t.Fatal("want M error")
+	}
+	if _, _, err := DP(5, Query{M: 1}, 1); err == nil {
+		t.Fatal("want nil unary error")
+	}
+	noPair := Query{M: 2, Unary: q.Unary}
+	if _, _, err := DP(5, noPair, 1); err == nil {
+		t.Fatal("want nil pair error")
+	}
+	if _, _, err := DP(5, q, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, _, err := Pruned(5, q, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	// Brute-force cap.
+	big := randomQuery(2, 100, 4)
+	if _, _, err := BruteForce(100, big, 1); err == nil {
+		t.Fatal("want cap error (100^4)")
+	}
+}
+
+func TestSingleSlot(t *testing.T) {
+	q := Query{M: 1, Unary: func(_, item int) float64 { return float64(item) / 10 }}
+	got, _, err := DP(5, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Items[0] != 4 || got[1].Items[0] != 3 {
+		t.Fatalf("single-slot results %+v", got)
+	}
+}
+
+func TestDPMatchesBruteForce(t *testing.T) {
+	for _, cfg := range []struct{ l, m, k int }{
+		{8, 2, 3}, {10, 3, 5}, {6, 4, 4}, {15, 2, 10},
+	} {
+		q := randomQuery(int64(cfg.l*100+cfg.m), cfg.l, cfg.m)
+		bf, _, err := BruteForce(cfg.l, q, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, _, err := DP(cfg.l, q, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bf) != len(dp) {
+			t.Fatalf("L=%d M=%d: %d vs %d results", cfg.l, cfg.m, len(bf), len(dp))
+		}
+		for i := range bf {
+			if math.Abs(bf[i].Score-dp[i].Score) > 1e-12 {
+				t.Fatalf("L=%d M=%d pos %d: brute %v dp %v",
+					cfg.l, cfg.m, i, bf[i].Score, dp[i].Score)
+			}
+			// DP's claimed tuple must really achieve its claimed score.
+			if math.Abs(scoreTuple(q, dp[i].Items)-dp[i].Score) > 1e-12 {
+				t.Fatalf("dp tuple %v scores %v, claims %v",
+					dp[i].Items, scoreTuple(q, dp[i].Items), dp[i].Score)
+			}
+		}
+	}
+}
+
+func TestPrunedMatchesDP(t *testing.T) {
+	for _, cfg := range []struct{ l, m, k int }{
+		{30, 3, 5}, {50, 2, 10}, {20, 4, 3},
+	} {
+		q := randomQuery(int64(cfg.l*7+cfg.m), cfg.l, cfg.m)
+		dp, _, err := DP(cfg.l, q, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, prSt, err := Pruned(cfg.l, q, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dp) != len(pr) {
+			t.Fatalf("result count %d vs %d", len(dp), len(pr))
+		}
+		for i := range dp {
+			if math.Abs(dp[i].Score-pr[i].Score) > 1e-12 {
+				t.Fatalf("pos %d: dp %v pruned %v", i, dp[i].Score, pr[i].Score)
+			}
+		}
+		if prSt.ItemsAfterPrune == nil {
+			t.Fatal("pruned stats missing")
+		}
+	}
+}
+
+func TestPrunedDoesLessPairWork(t *testing.T) {
+	// A query with strong unary discrimination: most items grade near 0,
+	// a few near 1 — pruning should collapse the candidate lists.
+	l, m, k := 200, 3, 5
+	rng := rand.New(rand.NewSource(9))
+	unary := make([][]float64, m)
+	for mi := range unary {
+		unary[mi] = make([]float64, l)
+		for j := range unary[mi] {
+			if j%20 == 0 {
+				unary[mi][j] = 0.8 + 0.2*rng.Float64()
+			} else {
+				unary[mi][j] = 0.3 * rng.Float64()
+			}
+		}
+	}
+	q := Query{
+		M:     m,
+		Unary: func(mi, item int) float64 { return unary[mi][item] },
+		Pair:  func(mi, a, b int) float64 { return 0.5 + 0.5*rng.Float64() },
+	}
+	// Pair is stochastic here which breaks determinism between runs of
+	// the two evaluators; use a deterministic pair table instead.
+	pairTable := make([]float64, l*l)
+	prng := rand.New(rand.NewSource(10))
+	for i := range pairTable {
+		pairTable[i] = 0.5 + 0.5*prng.Float64()
+	}
+	q.Pair = func(mi, a, b int) float64 { return pairTable[a*l+b] }
+
+	dp, dpSt, err := DP(l, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, prSt, err := Pruned(l, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dp {
+		if math.Abs(dp[i].Score-pr[i].Score) > 1e-12 {
+			t.Fatalf("pos %d: dp %v pruned %v", i, dp[i].Score, pr[i].Score)
+		}
+	}
+	if prSt.PairEvals*2 > dpSt.PairEvals {
+		t.Fatalf("pruned pair evals %d vs dp %d: insufficient saving",
+			prSt.PairEvals, dpSt.PairEvals)
+	}
+	for mI, n := range prSt.ItemsAfterPrune {
+		if n >= l {
+			t.Fatalf("slot %d kept all %d items", mI, n)
+		}
+	}
+}
+
+// Property: DP and brute force agree on random instances.
+func TestDPExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 3 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(6)
+		q := randomQuery(seed, l, m)
+		bf, _, err := BruteForce(l, q, k)
+		if err != nil {
+			return false
+		}
+		dp, _, err := DP(l, q, k)
+		if err != nil {
+			return false
+		}
+		pr, _, err := Pruned(l, q, k)
+		if err != nil {
+			return false
+		}
+		if len(bf) != len(dp) || len(bf) != len(pr) {
+			return false
+		}
+		for i := range bf {
+			if math.Abs(bf[i].Score-dp[i].Score) > 1e-12 {
+				return false
+			}
+			if math.Abs(bf[i].Score-pr[i].Score) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsGrowth(t *testing.T) {
+	// DP pair-eval count grows quadratically in L (the O(MKL²) term).
+	q1 := randomQuery(11, 20, 3)
+	q2 := randomQuery(11, 40, 3)
+	_, st1, err := DP(20, q1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := DP(40, q2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(st2.PairEvals) / float64(st1.PairEvals)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("pair-eval growth %vx for 2x L, want ~4x", ratio)
+	}
+}

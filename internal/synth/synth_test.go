@@ -1,0 +1,310 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"modelir/internal/raster"
+)
+
+func TestFractalDEMDeterministicAndBounded(t *testing.T) {
+	a, err := FractalDEM(7, 33, 21, 0.5, 100, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FractalDEM(7, 33, 21, 0.5, 100, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed must give identical DEMs")
+	}
+	lo, hi := a.MinMax()
+	if lo < 100 || hi > 900 {
+		t.Fatalf("elevations [%v,%v] outside requested range", lo, hi)
+	}
+	if hi-lo < 100 {
+		t.Fatalf("terrain suspiciously flat: span %v", hi-lo)
+	}
+}
+
+func TestFractalDEMValidation(t *testing.T) {
+	if _, err := FractalDEM(1, 0, 5, 0.5, 0, 1); err == nil {
+		t.Error("want error for zero width")
+	}
+	if _, err := FractalDEM(1, 5, 5, 0, 0, 1); err == nil {
+		t.Error("want error for zero roughness")
+	}
+	if _, err := FractalDEM(1, 5, 5, 0.5, 5, 5); err == nil {
+		t.Error("want error for empty elevation range")
+	}
+}
+
+func TestSmoothFieldRangeAndCorrelation(t *testing.T) {
+	g, err := SmoothField(3, 64, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.MinMax()
+	if lo < 0 || hi > 1 {
+		t.Fatalf("field out of [0,1]: [%v,%v]", lo, hi)
+	}
+	// Neighboring pixels must be highly correlated (smooth): mean absolute
+	// neighbor difference much smaller than field span.
+	var sum float64
+	var n int
+	for y := 0; y < 64; y++ {
+		for x := 1; x < 64; x++ {
+			sum += math.Abs(g.At(x, y) - g.At(x-1, y))
+			n++
+		}
+	}
+	if avg := sum / float64(n); avg > 0.05 {
+		t.Fatalf("field not smooth: mean neighbor delta %v", avg)
+	}
+}
+
+func TestLandsatSceneBandsTrackLatents(t *testing.T) {
+	sc, err := LandsatScene(SceneConfig{Seed: 11, W: 96, H: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Bands.NumBands() != 4 {
+		t.Fatalf("bands=%d want 4", sc.Bands.NumBands())
+	}
+	b4, _ := sc.Bands.BandByName("b4")
+	// Band 4 should correlate positively with vegetation.
+	if r := pearson(b4, sc.Vegetation); r < 0.8 {
+		t.Fatalf("b4/vegetation correlation %v, want > 0.8", r)
+	}
+	b5, _ := sc.Bands.BandByName("b5")
+	if r := pearson(b5, sc.Moisture); r > -0.5 {
+		t.Fatalf("b5/moisture correlation %v, want strongly negative", r)
+	}
+	lo, hi := b4.MinMax()
+	if lo < 0 || hi > 255 {
+		t.Fatalf("digital numbers out of range [%v,%v]", lo, hi)
+	}
+}
+
+func pearson(a, b *raster.Grid) float64 {
+	ma, sa := a.Stats()
+	mb, sb := b.Stats()
+	var cov float64
+	da, db := a.Data(), b.Data()
+	for i := range da {
+		cov += (da[i] - ma) * (db[i] - mb)
+	}
+	cov /= float64(len(da))
+	return cov / (sa * sb)
+}
+
+func TestGaussianTuples(t *testing.T) {
+	pts, err := GaussianTuples(5, 10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10000 || len(pts[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(pts), len(pts[0]))
+	}
+	// Sample mean near 0, sample variance near 1 per dim.
+	for d := 0; d < 3; d++ {
+		var sum, sumSq float64
+		for _, p := range pts {
+			sum += p[d]
+			sumSq += p[d] * p[d]
+		}
+		n := float64(len(pts))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+			t.Fatalf("dim %d: mean=%v var=%v", d, mean, variance)
+		}
+	}
+	if _, err := GaussianTuples(1, 0, 3); err == nil {
+		t.Error("want error for n=0")
+	}
+}
+
+func TestCorrelatedTuples(t *testing.T) {
+	pts, err := CorrelatedTuples(9, 20000, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sxy, sx, sy, sxx, syy float64
+	for _, p := range pts {
+		sx += p[0]
+		sy += p[1]
+		sxy += p[0] * p[1]
+		sxx += p[0] * p[0]
+		syy += p[1] * p[1]
+	}
+	n := float64(len(pts))
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	r := cov / math.Sqrt(vx*vy)
+	if math.Abs(r-0.8) > 0.05 {
+		t.Fatalf("cross-dim correlation %v, want ~0.8", r)
+	}
+	if _, err := CorrelatedTuples(1, 10, 2, 1.5); err == nil {
+		t.Error("want error for rho out of range")
+	}
+}
+
+func TestWeatherArchiveShapeAndDeterminism(t *testing.T) {
+	cfg := WeatherConfig{Seed: 3, Regions: 5, Days: 400}
+	a, err := WeatherArchive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := WeatherArchive(cfg)
+	if len(a) != 5 || len(a[0].Days) != 400 {
+		t.Fatalf("shape %d regions x %d days", len(a), len(a[0].Days))
+	}
+	for r := range a {
+		for d := range a[r].Days {
+			if a[r].Days[d] != b[r].Days[d] {
+				t.Fatal("weather archive not deterministic")
+			}
+		}
+	}
+}
+
+func TestWeatherPlausibility(t *testing.T) {
+	arch, err := WeatherArchive(WeatherConfig{Seed: 8, Regions: 10, Days: 730})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range arch {
+		wet := 0
+		for _, d := range rs.Days {
+			if d.Rain != (d.RainMM > 0) {
+				t.Fatal("rain flag and depth disagree")
+			}
+			if d.TempC < -30 || d.TempC > 60 {
+				t.Fatalf("implausible temperature %v", d.TempC)
+			}
+			if d.Rain {
+				wet++
+			}
+		}
+		frac := float64(wet) / float64(len(rs.Days))
+		if frac < 0.1 || frac > 0.9 {
+			t.Fatalf("region %d wet fraction %v implausible", rs.Region, frac)
+		}
+	}
+}
+
+func TestSummarizeSeries(t *testing.T) {
+	s := RegionSeries{Days: []DayWeather{
+		{Rain: true, RainMM: 5, TempC: 20},
+		{Rain: false, TempC: 22},
+		{Rain: false, TempC: 24},
+		{Rain: false, TempC: 28}, // 3rd dry day, temp 28
+		{Rain: false, TempC: 26}, // 4th dry day
+		{Rain: true, RainMM: 2, TempC: 21},
+	}}
+	st := SummarizeSeries(s)
+	if st.MaxDrySpell != 4 {
+		t.Fatalf("MaxDrySpell=%d want 4", st.MaxDrySpell)
+	}
+	if st.RainDays != 2 {
+		t.Fatalf("RainDays=%d want 2", st.RainDays)
+	}
+	if st.MaxTempAfterDry3 != 28 {
+		t.Fatalf("MaxTempAfterDry3=%v want 28", st.MaxTempAfterDry3)
+	}
+}
+
+func TestWellArchive(t *testing.T) {
+	wells, planted, err := WellArchive(WellConfig{Seed: 4, Wells: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wells) != 60 {
+		t.Fatalf("wells=%d", len(wells))
+	}
+	if len(planted) == 0 {
+		t.Fatal("no planted riverbeds; expected ~15%")
+	}
+	for _, wI := range planted {
+		if !HasRiverbedSignature(wells[wI], 10, 45) {
+			t.Fatalf("planted well %d missing riverbed signature", wI)
+		}
+	}
+	for _, w := range wells {
+		// Strata are depth-ordered and contiguous.
+		d := 0.0
+		for i, s := range w.Strata {
+			if math.Abs(s.TopFt-d) > 1e-9 {
+				t.Fatalf("well %d stratum %d top %v, want %v", w.Well, i, s.TopFt, d)
+			}
+			if s.ThickFt <= 0 {
+				t.Fatalf("well %d stratum %d nonpositive thickness", w.Well, i)
+			}
+			if s.Lith < Shale || s.Lith > Dolomite {
+				t.Fatalf("well %d stratum %d invalid lithology", w.Well, i)
+			}
+			d += s.ThickFt
+		}
+		if len(w.Gamma) != int(d)+1 {
+			t.Fatalf("well %d gamma trace length %d, depth %v", w.Well, len(w.Gamma), d)
+		}
+	}
+}
+
+func TestLithologyString(t *testing.T) {
+	if Shale.String() != "shale" || Lithology(0).String() != "unknown" {
+		t.Fatal("lithology names wrong")
+	}
+}
+
+func TestOutbreakTracksRisk(t *testing.T) {
+	risk := raster.MustGrid(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if x >= 32 {
+				risk.Set(x, y, 0.95)
+			} else {
+				risk.Set(x, y, 0.05)
+			}
+		}
+	}
+	occ, err := Outbreak(OutbreakConfig{Seed: 2}, risk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loEvents, hiEvents int
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if occ.At(x, y) > 0 {
+				if x >= 32 {
+					hiEvents++
+				} else {
+					loEvents++
+				}
+			}
+		}
+	}
+	if hiEvents <= loEvents*2 {
+		t.Fatalf("occurrences don't track risk: hi=%d lo=%d", hiEvents, loEvents)
+	}
+	if _, err := Outbreak(OutbreakConfig{}, nil); err == nil {
+		t.Error("want error for nil risk")
+	}
+}
+
+func TestPopulationWeightsNormalized(t *testing.T) {
+	w, err := PopulationWeights(6, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := w.Mean(); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("mean weight %v, want 1", m)
+	}
+	lo, _ := w.MinMax()
+	if lo < 0 {
+		t.Fatalf("negative population weight %v", lo)
+	}
+}

@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DayWeather is one day of observations for one region: the two modalities
+// the fire-ants finite-state model of Fig. 1 consumes (rain occurrence and
+// temperature) plus rainfall depth for linear models.
+type DayWeather struct {
+	Rain   bool
+	RainMM float64
+	TempC  float64
+}
+
+// RegionSeries is a daily weather series for one spatial region.
+type RegionSeries struct {
+	Region int
+	Days   []DayWeather
+}
+
+// WeatherConfig parameterizes the archive generator.
+type WeatherConfig struct {
+	Seed    int64
+	Regions int
+	Days    int
+	// PWetToWet / PDryToWet are the Markov-chain transition probabilities
+	// for rain occurrence. Defaults (0.65 / 0.25) give realistic spell
+	// lengths. PWetToWet must be in (0,1); same for PDryToWet.
+	PWetToWet, PDryToWet float64
+	// MeanTempC is the seasonal mean temperature; amplitude AmpTempC is the
+	// seasonal swing. Defaults 22 / 8.
+	MeanTempC, AmpTempC float64
+}
+
+func (c *WeatherConfig) applyDefaults() {
+	if c.PWetToWet == 0 {
+		c.PWetToWet = 0.65
+	}
+	if c.PDryToWet == 0 {
+		c.PDryToWet = 0.25
+	}
+	if c.MeanTempC == 0 {
+		c.MeanTempC = 22
+	}
+	if c.AmpTempC == 0 {
+		c.AmpTempC = 8
+	}
+}
+
+// WeatherArchive generates a deterministic multi-region daily weather
+// archive using a two-state Markov rain model overlaid with a sinusoidal
+// seasonal temperature cycle plus AR(1) weather noise. Each region gets an
+// independent stream and a phase offset, so "wet season followed by dry
+// season" patterns (the HPS knowledge model's weather clause, Fig. 3)
+// appear in some regions and not others.
+func WeatherArchive(cfg WeatherConfig) ([]RegionSeries, error) {
+	cfg.applyDefaults()
+	if cfg.Regions <= 0 || cfg.Days <= 0 {
+		return nil, fmt.Errorf("synth: bad weather dims regions=%d days=%d", cfg.Regions, cfg.Days)
+	}
+	if cfg.PWetToWet <= 0 || cfg.PWetToWet >= 1 || cfg.PDryToWet <= 0 || cfg.PDryToWet >= 1 {
+		return nil, fmt.Errorf("synth: rain transition probabilities out of (0,1)")
+	}
+	out := make([]RegionSeries, cfg.Regions)
+	for r := 0; r < cfg.Regions; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
+		days := make([]DayWeather, cfg.Days)
+		wet := rng.Float64() < 0.3
+		phase := rng.Float64() * 2 * math.Pi
+		// Per-region climate offset: some regions are hotter.
+		climate := rng.NormFloat64() * 3
+		noise := 0.0
+		for d := 0; d < cfg.Days; d++ {
+			p := cfg.PDryToWet
+			if wet {
+				p = cfg.PWetToWet
+			}
+			// Seasonal rain modulation: rainy season when the seasonal
+			// sine is positive.
+			season := math.Sin(2*math.Pi*float64(d)/365 + phase)
+			p = clamp01(p + 0.20*season)
+			wet = rng.Float64() < p
+			mm := 0.0
+			if wet {
+				mm = rng.ExpFloat64() * 8
+			}
+			noise = 0.8*noise + rng.NormFloat64()*1.5
+			temp := cfg.MeanTempC + climate + cfg.AmpTempC*season + noise
+			days[d] = DayWeather{Rain: wet, RainMM: mm, TempC: temp}
+		}
+		out[r] = RegionSeries{Region: r, Days: days}
+	}
+	return out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0.02 {
+		return 0.02
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}
+
+// DrySpellStats summarizes a region series for metadata-level pruning:
+// the longest dry spell, total rain days, and the maximum temperature
+// observed during any day that ended a >=3-day dry spell. A region whose
+// MaxDrySpell < 3 or whose MaxTempAfterDry3 < threshold can never satisfy
+// the fire-ants model, so whole series can be skipped without scanning.
+type DrySpellStats struct {
+	MaxDrySpell      int
+	RainDays         int
+	MaxTempAfterDry3 float64
+}
+
+// SummarizeSeries computes DrySpellStats in one pass.
+func SummarizeSeries(s RegionSeries) DrySpellStats {
+	st := DrySpellStats{MaxTempAfterDry3: math.Inf(-1)}
+	dry := 0
+	for _, d := range s.Days {
+		if d.Rain {
+			st.RainDays++
+			dry = 0
+			continue
+		}
+		dry++
+		if dry > st.MaxDrySpell {
+			st.MaxDrySpell = dry
+		}
+		if dry >= 3 && d.TempC > st.MaxTempAfterDry3 {
+			st.MaxTempAfterDry3 = d.TempC
+		}
+	}
+	return st
+}

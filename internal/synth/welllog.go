@@ -1,0 +1,233 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lithology enumerates the rock classes used by the geology knowledge model
+// of Fig. 4 (riverbed = shale on top of sandstone on top of siltstone).
+type Lithology int
+
+// Lithology classes. Values start at 1 so the zero value is invalid,
+// catching uninitialized layers.
+const (
+	Shale Lithology = iota + 1
+	Sandstone
+	Siltstone
+	Limestone
+	Dolomite
+)
+
+// String returns the lithology name.
+func (l Lithology) String() string {
+	switch l {
+	case Shale:
+		return "shale"
+	case Sandstone:
+		return "sandstone"
+	case Siltstone:
+		return "siltstone"
+	case Limestone:
+		return "limestone"
+	case Dolomite:
+		return "dolomite"
+	default:
+		return "unknown"
+	}
+}
+
+// Stratum is one depositional layer in a well: its lithology, the depth of
+// its top (feet below surface), its thickness (feet), and the mean gamma-ray
+// response (API units) measured across it. Gamma ray is the "additional
+// specification" modality in the paper's oil/gas example ("Gamma Ray
+// response has to be higher than a certain number", Section 1).
+type Stratum struct {
+	Lith     Lithology
+	TopFt    float64
+	ThickFt  float64
+	GammaAPI float64
+}
+
+// WellLog is one well: an ordered top-down stack of strata plus a sampled
+// gamma trace (one sample per foot) for raw-level processing.
+type WellLog struct {
+	Well   int
+	Strata []Stratum
+	Gamma  []float64 // 1 sample/ft from surface to total depth
+}
+
+// gammaMean returns typical gamma-ray API levels per lithology. Shale is
+// strongly radioactive (~90-150 API), clean sandstone/limestone low
+// (~20-50), siltstone intermediate.
+func gammaMean(l Lithology) (mean, std float64) {
+	switch l {
+	case Shale:
+		return 110, 18
+	case Sandstone:
+		return 35, 8
+	case Siltstone:
+		return 65, 12
+	case Limestone:
+		return 25, 6
+	case Dolomite:
+		return 30, 7
+	default:
+		return 50, 10
+	}
+}
+
+// transitions encodes a first-order depositional Markov chain: which
+// lithology tends to follow which going downward. Rows sum to 1.
+var transitions = map[Lithology][]struct {
+	to Lithology
+	p  float64
+}{
+	Shale:     {{Sandstone, 0.45}, {Siltstone, 0.30}, {Limestone, 0.15}, {Shale, 0.10}},
+	Sandstone: {{Siltstone, 0.40}, {Shale, 0.30}, {Dolomite, 0.15}, {Sandstone, 0.15}},
+	Siltstone: {{Shale, 0.35}, {Sandstone, 0.30}, {Limestone, 0.20}, {Siltstone, 0.15}},
+	Limestone: {{Dolomite, 0.35}, {Shale, 0.30}, {Sandstone, 0.20}, {Limestone, 0.15}},
+	Dolomite:  {{Limestone, 0.35}, {Shale, 0.30}, {Siltstone, 0.20}, {Dolomite, 0.15}},
+}
+
+// WellConfig parameterizes WellArchive.
+type WellConfig struct {
+	Seed  int64
+	Wells int
+	// MinStrata/MaxStrata bound the number of layers per well.
+	// Defaults 8/25.
+	MinStrata, MaxStrata int
+	// RiverbedFraction in [0,1] is the fraction of wells that get a planted
+	// shale/sandstone/siltstone riverbed signature with hot gamma, giving
+	// the geology retrieval experiment known ground truth. Default 0.15.
+	RiverbedFraction float64
+}
+
+func (c *WellConfig) applyDefaults() {
+	if c.MinStrata == 0 {
+		c.MinStrata = 8
+	}
+	if c.MaxStrata == 0 {
+		c.MaxStrata = 25
+	}
+	if c.RiverbedFraction == 0 {
+		c.RiverbedFraction = 0.15
+	}
+}
+
+// WellArchive generates a deterministic archive of synthetic wells with
+// Markov-chain lithology stacking, per-stratum gamma responses, and planted
+// riverbed signatures in a known subset of wells. It returns the wells and
+// the sorted indices of wells containing a planted signature.
+func WellArchive(cfg WellConfig) ([]WellLog, []int, error) {
+	cfg.applyDefaults()
+	if cfg.Wells <= 0 {
+		return nil, nil, fmt.Errorf("synth: wells=%d", cfg.Wells)
+	}
+	if cfg.MinStrata < 3 || cfg.MaxStrata < cfg.MinStrata {
+		return nil, nil, fmt.Errorf("synth: strata bounds [%d,%d] invalid", cfg.MinStrata, cfg.MaxStrata)
+	}
+	if cfg.RiverbedFraction < 0 || cfg.RiverbedFraction > 1 {
+		return nil, nil, fmt.Errorf("synth: riverbed fraction %v out of [0,1]", cfg.RiverbedFraction)
+	}
+	wells := make([]WellLog, cfg.Wells)
+	var planted []int
+	for wI := 0; wI < cfg.Wells; wI++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(wI)*104729))
+		n := cfg.MinStrata + rng.Intn(cfg.MaxStrata-cfg.MinStrata+1)
+		strata := make([]Stratum, 0, n+3)
+		lith := Lithology(1 + rng.Intn(5))
+		depth := 0.0
+		for i := 0; i < n; i++ {
+			thick := 5 + rng.ExpFloat64()*25
+			mean, std := gammaMean(lith)
+			strata = append(strata, Stratum{
+				Lith: lith, TopFt: depth, ThickFt: thick,
+				GammaAPI: mean + rng.NormFloat64()*std,
+			})
+			depth += thick
+			lith = nextLith(rng, lith)
+		}
+		isPlanted := rng.Float64() < cfg.RiverbedFraction
+		if isPlanted {
+			// Insert a tight shale/sandstone/siltstone triplet with hot
+			// gamma at a random depth among the existing layers.
+			pos := rng.Intn(len(strata))
+			triplet := make([]Stratum, 0, 3)
+			d := strata[pos].TopFt
+			for _, l := range []Lithology{Shale, Sandstone, Siltstone} {
+				thick := 4 + rng.Float64()*5 // thin: adjacency gaps < 10 ft
+				mean, _ := gammaMean(l)
+				g := mean
+				if g < 50 {
+					g = 50 + rng.Float64()*20 // hot gamma, satisfies >45
+				}
+				triplet = append(triplet, Stratum{Lith: l, TopFt: d, ThickFt: thick, GammaAPI: g})
+				d += thick
+			}
+			strata = append(strata[:pos], append(triplet, strata[pos:]...)...)
+			// Re-stack depths after insertion.
+			d = 0
+			for i := range strata {
+				strata[i].TopFt = d
+				d += strata[i].ThickFt
+			}
+			depth = d
+			planted = append(planted, wI)
+		}
+		// Sample a 1-ft gamma trace from the strata.
+		total := int(depth) + 1
+		gamma := make([]float64, total)
+		si := 0
+		for ft := 0; ft < total; ft++ {
+			for si < len(strata)-1 && float64(ft) >= strata[si].TopFt+strata[si].ThickFt {
+				si++
+			}
+			gamma[ft] = strata[si].GammaAPI + rng.NormFloat64()*3
+		}
+		wells[wI] = WellLog{Well: wI, Strata: strata, Gamma: gamma}
+	}
+	return wells, planted, nil
+}
+
+func nextLith(rng *rand.Rand, cur Lithology) Lithology {
+	row := transitions[cur]
+	r := rng.Float64()
+	acc := 0.0
+	for _, t := range row {
+		acc += t.p
+		if r < acc {
+			return t.to
+		}
+	}
+	return row[len(row)-1].to
+}
+
+// HasRiverbedSignature reports whether a well contains, anywhere in its
+// stack, shale directly above sandstone directly above siltstone with
+// inter-layer gaps below maxGapFt and all three gamma responses above
+// minGamma: the reference (oracle) implementation of the Fig. 4 model used
+// to validate SPROC retrieval.
+func HasRiverbedSignature(w WellLog, maxGapFt, minGamma float64) bool {
+	s := w.Strata
+	for i := 0; i+2 < len(s); i++ {
+		if s[i].Lith != Shale || s[i+1].Lith != Sandstone || s[i+2].Lith != Siltstone {
+			continue
+		}
+		gap1 := s[i+1].TopFt - (s[i].TopFt + s[i].ThickFt)
+		gap2 := s[i+2].TopFt - (s[i+1].TopFt + s[i+1].ThickFt)
+		if gap1 < 0 {
+			gap1 = 0
+		}
+		if gap2 < 0 {
+			gap2 = 0
+		}
+		if gap1 > maxGapFt || gap2 > maxGapFt {
+			continue
+		}
+		if s[i].GammaAPI > minGamma && s[i+1].GammaAPI > minGamma && s[i+2].GammaAPI > minGamma {
+			return true
+		}
+	}
+	return false
+}

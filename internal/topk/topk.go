@@ -1,0 +1,179 @@
+// Package topk provides bounded top-K selection machinery used by every
+// retrieval path in the library: a fixed-capacity min-heap that keeps the K
+// largest-scoring items seen so far, stable ordering helpers, and utilities
+// for merging partial result sets produced by progressive execution levels.
+//
+// The paper frames every model-based query as a top-K retrieval ("the top-K
+// choices based on the ranking evaluated by the model is usually desired",
+// Section 3), so this package is the common result plane for the linear,
+// finite-state and knowledge model engines.
+package topk
+
+import (
+	"errors"
+	"sort"
+)
+
+// Item is a scored retrieval candidate. ID identifies the underlying datum
+// (tuple index, tile coordinate hash, region id...); Payload optionally
+// carries a caller-defined value through the selection.
+type Item struct {
+	ID      int64
+	Score   float64
+	Payload any
+}
+
+// ErrBadCapacity is returned by NewHeap when k < 1.
+var ErrBadCapacity = errors.New("topk: capacity must be >= 1")
+
+// Heap is a bounded min-heap over Item scores. It retains the K items with
+// the largest scores among all offered items. Ties on score are broken by
+// smaller ID winning, which makes retrieval results deterministic across
+// runs and platforms.
+//
+// The zero value is not usable; construct with NewHeap.
+type Heap struct {
+	k     int
+	items []Item
+}
+
+// NewHeap returns a Heap that keeps the k highest-scoring items.
+func NewHeap(k int) (*Heap, error) {
+	if k < 1 {
+		return nil, ErrBadCapacity
+	}
+	return &Heap{k: k, items: make([]Item, 0, k)}, nil
+}
+
+// MustHeap is NewHeap for statically known valid capacities.
+// It panics only on programmer error (k < 1).
+func MustHeap(k int) *Heap {
+	h, err := NewHeap(k)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// K returns the heap's capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len returns the number of items currently retained.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Full reports whether the heap holds K items.
+func (h *Heap) Full() bool { return len(h.items) == h.k }
+
+// Threshold returns the score an item must exceed to enter a full heap.
+// For a non-full heap it returns negative infinity semantics via ok=false.
+func (h *Heap) Threshold() (score float64, ok bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.items[0].Score, true
+}
+
+// worse reports whether item a ranks strictly worse than b
+// (lower score, or equal score with larger ID).
+func worse(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// Offer inserts the item if it ranks among the current top K.
+// It reports whether the item was retained.
+func (h *Heap) Offer(it Item) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, it)
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if !worse(h.items[0], it) {
+		return false
+	}
+	h.items[0] = it
+	h.siftDown(0)
+	return true
+}
+
+// OfferScore is a convenience wrapper around Offer without payload.
+func (h *Heap) OfferScore(id int64, score float64) bool {
+	return h.Offer(Item{ID: id, Score: score})
+}
+
+// WouldAccept reports whether an item with the given score could enter the
+// heap right now. Progressive executors use this with upper bounds: if even
+// the most optimistic score would be rejected, a whole candidate region can
+// be pruned without refinement.
+func (h *Heap) WouldAccept(score float64) bool {
+	if len(h.items) < h.k {
+		return true
+	}
+	floor := h.items[0]
+	return floor.Score < score || (floor.Score == score && floor.ID > 0)
+}
+
+// Results returns the retained items ordered best-first (descending score,
+// ascending ID on ties). The heap is unchanged; the returned slice is fresh.
+func (h *Heap) Results() []Item {
+	out := make([]Item, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *Heap) Reset() { h.items = h.items[:0] }
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && worse(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && worse(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// Merge folds every item of src into dst and returns dst. It is used to
+// combine per-shard heaps produced by parallel scans.
+func Merge(dst, src *Heap) *Heap {
+	for _, it := range src.items {
+		dst.Offer(it)
+	}
+	return dst
+}
+
+// SelectTopK returns the k best items from a full slice of scores, using the
+// same ordering rules as Heap. IDs are the slice indices. It is the
+// reference sequential-scan implementation that indexed retrieval is
+// benchmarked against.
+func SelectTopK(scores []float64, k int) []Item {
+	h := MustHeap(k)
+	for i, s := range scores {
+		h.OfferScore(int64(i), s)
+	}
+	return h.Results()
+}

@@ -1,0 +1,225 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHeapRejectsBadCapacity(t *testing.T) {
+	for _, k := range []int{0, -1, -100} {
+		if _, err := NewHeap(k); err == nil {
+			t.Errorf("NewHeap(%d): want error, got nil", k)
+		}
+	}
+	if _, err := NewHeap(1); err != nil {
+		t.Fatalf("NewHeap(1): unexpected error %v", err)
+	}
+}
+
+func TestHeapKeepsLargest(t *testing.T) {
+	h := MustHeap(3)
+	for i, s := range []float64{5, 1, 9, 3, 7, 2, 8} {
+		h.OfferScore(int64(i), s)
+	}
+	got := h.Results()
+	wantScores := []float64{9, 8, 7}
+	if len(got) != 3 {
+		t.Fatalf("len=%d want 3", len(got))
+	}
+	for i, it := range got {
+		if it.Score != wantScores[i] {
+			t.Errorf("result[%d].Score=%v want %v", i, it.Score, wantScores[i])
+		}
+	}
+}
+
+func TestHeapFewerThanK(t *testing.T) {
+	h := MustHeap(10)
+	h.OfferScore(1, 2.0)
+	h.OfferScore(2, 1.0)
+	got := h.Results()
+	if len(got) != 2 || got[0].Score != 2.0 || got[1].Score != 1.0 {
+		t.Fatalf("unexpected results %+v", got)
+	}
+}
+
+func TestHeapTieBreakByID(t *testing.T) {
+	h := MustHeap(2)
+	h.OfferScore(7, 1.0)
+	h.OfferScore(3, 1.0)
+	h.OfferScore(5, 1.0)
+	got := h.Results()
+	if got[0].ID != 3 || got[1].ID != 5 {
+		t.Fatalf("tie break wrong: %+v", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	h := MustHeap(2)
+	if _, ok := h.Threshold(); ok {
+		t.Fatal("empty heap should have no threshold")
+	}
+	h.OfferScore(1, 5)
+	h.OfferScore(2, 3)
+	th, ok := h.Threshold()
+	if !ok || th != 3 {
+		t.Fatalf("threshold=%v ok=%v want 3,true", th, ok)
+	}
+}
+
+func TestWouldAccept(t *testing.T) {
+	h := MustHeap(1)
+	if !h.WouldAccept(-1e18) {
+		t.Fatal("non-full heap must accept anything")
+	}
+	h.OfferScore(1, 10)
+	if h.WouldAccept(9.999) {
+		t.Fatal("should reject score below floor")
+	}
+	if !h.WouldAccept(10.001) {
+		t.Fatal("should accept score above floor")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := MustHeap(2)
+	h.OfferScore(1, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("len after reset = %d", h.Len())
+	}
+	h.OfferScore(2, 2)
+	if got := h.Results(); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("heap unusable after reset: %+v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := MustHeap(3)
+	b := MustHeap(3)
+	a.OfferScore(1, 10)
+	a.OfferScore(2, 20)
+	b.OfferScore(3, 15)
+	b.OfferScore(4, 25)
+	got := Merge(a, b).Results()
+	want := []int64{4, 2, 3}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("merged order %+v, want IDs %v", got, want)
+		}
+	}
+}
+
+func TestSelectTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(50)) // force ties
+		}
+		got := SelectTopK(scores, k)
+
+		type pair struct {
+			id int64
+			s  float64
+		}
+		ref := make([]pair, n)
+		for i, s := range scores {
+			ref[i] = pair{int64(i), s}
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].s != ref[j].s {
+				return ref[i].s > ref[j].s
+			}
+			return ref[i].id < ref[j].id
+		})
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(got), wantLen)
+		}
+		for i := 0; i < wantLen; i++ {
+			if got[i].ID != ref[i].id || got[i].Score != ref[i].s {
+				t.Fatalf("trial %d pos %d: got %+v want %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Property: the heap's result set is exactly the K largest elements of the
+// offered multiset, best-first.
+func TestHeapPropertyQuick(t *testing.T) {
+	f := func(raw []float64, kSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kSeed)%10 + 1
+		h := MustHeap(k)
+		for i, s := range raw {
+			// Avoid NaN: quick can generate them and NaN ordering is
+			// undefined for retrieval scores by contract.
+			if s != s {
+				s = 0
+			}
+			h.OfferScore(int64(i), s)
+			raw[i] = s
+		}
+		got := h.Results()
+		sorted := append([]float64(nil), raw...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		wantLen := k
+		if len(raw) < k {
+			wantLen = len(raw)
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i := 0; i < wantLen; i++ {
+			if got[i].Score != sorted[i] {
+				return false
+			}
+		}
+		// best-first ordering within the result
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfferReportsRetention(t *testing.T) {
+	h := MustHeap(1)
+	if !h.OfferScore(1, 5) {
+		t.Fatal("first offer must be retained")
+	}
+	if h.OfferScore(2, 4) {
+		t.Fatal("worse offer must be rejected")
+	}
+	if !h.OfferScore(3, 6) {
+		t.Fatal("better offer must be retained")
+	}
+}
+
+func BenchmarkHeapOffer(b *testing.B) {
+	h := MustHeap(100)
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 4096)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.OfferScore(int64(i), scores[i&4095])
+	}
+}

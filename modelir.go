@@ -1,0 +1,296 @@
+// Package modelir is the public API of the model-based multi-modal
+// information retrieval library — a from-scratch reproduction of
+// Li, Chang, Bergman & Smith, "Model-Based Multi-modal Information
+// Retrieval from Large Archives" (ICDCS 2000).
+//
+// Instead of retrieving by similarity to a template, queries here are
+// *models* — linear, finite-state, or knowledge (Bayesian/fuzzy) — and
+// the system returns the top-K data subsets that maximize or satisfy the
+// model. Scaling to large archives comes from three mechanisms, all
+// implemented in this module:
+//
+//   - progressive model decomposition (coarse sub-models screen first);
+//   - progressive data representations (resolution pyramids + feature /
+//     semantic / metadata abstraction levels);
+//   - model-specific indexes (Onion convex layers for linear
+//     optimization, SPROC dynamic programming for fuzzy composite
+//     queries).
+//
+// Quick start:
+//
+//	engine := modelir.NewEngine()
+//	_ = engine.AddTuples("credit", rows)
+//	model, _ := modelir.NewLinearModel(attrs, weights, 0)
+//	top, stats, _ := engine.LinearTopKTuples("credit", model, 10)
+//
+// See examples/ for end-to-end scenarios (epidemiology, fire ants,
+// geology, credit scoring) and DESIGN.md for the system inventory.
+package modelir
+
+import (
+	"modelir/internal/archive"
+	"modelir/internal/bayes"
+	"modelir/internal/core"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/metrics"
+	"modelir/internal/onion"
+	"modelir/internal/progressive"
+	"modelir/internal/raster"
+	"modelir/internal/sproc"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// Engine is the retrieval engine: register archives, then query them
+// with models. See core.Engine for method documentation.
+type Engine = core.Engine
+
+// NewEngine returns an empty retrieval engine.
+func NewEngine() *Engine { return core.NewEngine() }
+
+// Retrieval plumbing.
+type (
+	// Item is one scored retrieval result.
+	Item = topk.Item
+	// ModelKind enumerates the paper's model families.
+	ModelKind = core.ModelKind
+)
+
+// Model family tags.
+const (
+	KindLinear      = core.KindLinear
+	KindFiniteState = core.KindFiniteState
+	KindKnowledge   = core.KindKnowledge
+)
+
+// Linear models (Section 2.1).
+type (
+	// LinearModel is Y = a1·X1 + … + an·Xn (+ intercept).
+	LinearModel = linear.Model
+	// ProgressiveLinearModel is a linear model decomposed into
+	// coarse-to-fine levels with sound residual bounds (Section 3.1).
+	ProgressiveLinearModel = linear.ProgressiveModel
+)
+
+// NewLinearModel builds a linear model over named attributes.
+func NewLinearModel(attrs []string, coeffs []float64, intercept float64) (*LinearModel, error) {
+	return linear.New(attrs, coeffs, intercept)
+}
+
+// FitLinearModel calibrates a model from training rows by ordinary least
+// squares (the paper's step 2, "fit the model and determine the model
+// coefficients").
+func FitLinearModel(attrs []string, xs [][]float64, ys []float64) (*LinearModel, error) {
+	return linear.Fit(attrs, xs, ys)
+}
+
+// DecomposeLinear orders terms by contribution over the given attribute
+// ranges and produces the progressive model with the requested per-level
+// term counts (ascending, last = all terms).
+func DecomposeLinear(m *LinearModel, attrLo, attrHi []float64, levelTerms ...int) (*ProgressiveLinearModel, error) {
+	return linear.Decompose(m, attrLo, attrHi, levelTerms...)
+}
+
+// HPSRiskModel returns the paper's Hantavirus risk model
+// R = 0.443·b4 + 0.222·b5 + 0.153·b7 + 0.183·elev.
+func HPSRiskModel() *LinearModel { return linear.HPSRisk() }
+
+// CreditScoreModel returns the FICO-style surrogate scoring model
+// (score = 900 − Σ wᵢXᵢ, range 300-900).
+func CreditScoreModel() *LinearModel { return linear.CreditScore() }
+
+// ForeclosureProbability maps a credit score to the calibrated
+// foreclosure probability (<2% above 680, ~8% at 620).
+func ForeclosureProbability(score float64) float64 {
+	return linear.ForeclosureProbability(score)
+}
+
+// Finite-state models (Section 2.2).
+type (
+	// Machine is a complete DFA over a multi-modal event alphabet.
+	Machine = fsm.Machine
+	// MachineBuilder assembles machines.
+	MachineBuilder = fsm.Builder
+	// Event is a symbol index into a machine's alphabet.
+	Event = fsm.Event
+)
+
+// NewMachineBuilder starts a machine over the given event alphabet.
+func NewMachineBuilder(alphabet []string) *MachineBuilder { return fsm.NewBuilder(alphabet) }
+
+// FireAntsModel returns the Fig. 1 machine (rain, then >= 3 dry days,
+// then temperature >= 25°C => fire ants fly).
+func FireAntsModel() *Machine { return fsm.FireAnts() }
+
+// MachineDistance is the exact behavioral distance between two machines
+// over strings up to maxLen (Section 3's FSM similarity).
+func MachineDistance(a, b *Machine, maxLen int) (float64, error) {
+	return fsm.Distance(a, b, maxLen)
+}
+
+// MinimizeMachine returns the canonical minimal DFA equivalent to m.
+func MinimizeMachine(m *Machine) (*Machine, error) { return fsm.Minimize(m) }
+
+// MachinesEquivalent reports whether two machines accept exactly the
+// same event sequences.
+func MachinesEquivalent(a, b *Machine) (bool, error) { return fsm.Equivalent(a, b) }
+
+// Knowledge models (Section 2.3).
+type (
+	// BayesNet is a discrete Bayesian network with exact inference.
+	BayesNet = bayes.Network
+	// BayesBuilder assembles networks.
+	BayesBuilder = bayes.Builder
+	// RuleSet is a fuzzy-AND rule set for knowledge models.
+	RuleSet = bayes.RuleSet
+	// Membership grades a scalar into [0,1].
+	Membership = bayes.Membership
+	// GeologyQuery is the Fig. 4 strata-sequence knowledge model.
+	GeologyQuery = core.GeologyQuery
+	// WellMatch is a retrieved well with its matching strata.
+	WellMatch = core.WellMatch
+)
+
+// NewBayesBuilder starts a Bayesian network definition.
+func NewBayesBuilder() *BayesBuilder { return bayes.NewBuilder() }
+
+// HPSNetwork returns the Fig. 3 high-risk-house network and its variable
+// handle.
+func HPSNetwork() (*BayesNet, bayes.HPSVars, error) { return bayes.HPSNetwork() }
+
+// NewRuleSet starts an empty fuzzy rule set.
+func NewRuleSet() *RuleSet { return bayes.NewRuleSet() }
+
+// HPSTileRules compiles the Fig. 3 model into a feature-level rule set
+// for Engine.KnowledgeTopKTiles on Landsat-like archives.
+func HPSTileRules() *RuleSet { return core.HPSTileRules() }
+
+// Geology evaluator choices.
+const (
+	GeoBruteForce = core.GeoBruteForce
+	GeoDP         = core.GeoDP
+	GeoPruned     = core.GeoPruned
+)
+
+// Raster / archive substrate.
+type (
+	// Grid is a dense 2-D raster.
+	Grid = raster.Grid
+	// Multiband is a co-registered band stack.
+	Multiband = raster.Multiband
+	// Rect is a half-open integer rectangle.
+	Rect = raster.Rect
+	// SceneArchive is the progressive data representation of a scene.
+	SceneArchive = archive.Scene
+	// ArchiveOptions controls archive construction.
+	ArchiveOptions = archive.Options
+)
+
+// BuildSceneArchive constructs the progressive representation (tiles,
+// features, pyramid) of a multiband scene.
+func BuildSceneArchive(name string, m *Multiband, opt ArchiveOptions) (*SceneArchive, error) {
+	return archive.BuildScene(name, m, opt)
+}
+
+// LoadSceneArchive reads an archive file written by SceneArchive.Save.
+func LoadSceneArchive(path string) (*SceneArchive, error) { return archive.Load(path) }
+
+// Indexes.
+type (
+	// OnionIndex is the convex-layer index for linear optimization
+	// queries [11].
+	OnionIndex = onion.Index
+	// OnionOptions tunes Onion construction.
+	OnionOptions = onion.Options
+	// SprocQuery is a fuzzy Cartesian composite-object query [15,16].
+	SprocQuery = sproc.Query
+)
+
+// BuildOnion constructs an Onion index over tuple rows.
+func BuildOnion(points [][]float64, opt OnionOptions) (*OnionIndex, error) {
+	return onion.Build(points, opt)
+}
+
+// Progressive execution.
+type (
+	// ProgressiveStats measures retrieval work in term evaluations.
+	ProgressiveStats = progressive.Stats
+	// Speedups is the four-cell flat/model/data/combined comparison.
+	Speedups = progressive.Speedups
+)
+
+// CompareProgressive runs flat, progressive-model, progressive-data and
+// combined retrieval, verifies they agree, and reports the speedups
+// (experiment E5).
+func CompareProgressive(pm *ProgressiveLinearModel, sc *SceneArchive, k int) (Speedups, []Item, error) {
+	return progressive.Compare(pm, sc.Pyramid(), k)
+}
+
+// Accuracy metrics (Section 4.1).
+type (
+	// Costs holds the miss / false-alarm costs cm, cf.
+	Costs = metrics.Costs
+	// SweepPoint is one row of a threshold sweep.
+	SweepPoint = metrics.SweepPoint
+)
+
+// SweepThresholds evaluates Pm, Pf and CT across thresholds.
+func SweepThresholds(risk, occurrence, weights *Grid, costs Costs, steps int) ([]SweepPoint, error) {
+	return metrics.Sweep(risk, occurrence, weights, costs, steps)
+}
+
+// PrecisionRecallAtK scores top-K risk locations against an occurrence
+// ground truth.
+func PrecisionRecallAtK(risk, occurrence *Grid, ks []int) (map[int][2]float64, error) {
+	return metrics.PRAtK(risk, occurrence, ks)
+}
+
+// Workflow is the Fig. 5 hypothesize → calibrate → retrieve → revise →
+// apply loop for linear models.
+type Workflow = core.Workflow
+
+// NewWorkflow starts a Fig. 5 workflow over the given attributes.
+func NewWorkflow(attrs []string) (*Workflow, error) { return core.NewWorkflow(attrs) }
+
+// Synthetic archives (substitutes for the paper's proprietary data; see
+// DESIGN.md §4).
+type (
+	// SceneConfig parameterizes synthetic Landsat-like scenes.
+	SceneConfig = synth.SceneConfig
+	// WeatherConfig parameterizes synthetic weather archives.
+	WeatherConfig = synth.WeatherConfig
+	// WellConfig parameterizes synthetic well-log archives.
+	WellConfig = synth.WellConfig
+	// Lithology is a rock class in well logs.
+	Lithology = synth.Lithology
+)
+
+// Lithology classes.
+const (
+	Shale     = synth.Shale
+	Sandstone = synth.Sandstone
+	Siltstone = synth.Siltstone
+	Limestone = synth.Limestone
+	Dolomite  = synth.Dolomite
+)
+
+// GenerateScene synthesizes a Landsat-TM-like multiband scene.
+func GenerateScene(cfg SceneConfig) (*synth.Scene, error) { return synth.LandsatScene(cfg) }
+
+// GenerateWeather synthesizes a multi-region daily weather archive.
+func GenerateWeather(cfg WeatherConfig) ([]synth.RegionSeries, error) {
+	return synth.WeatherArchive(cfg)
+}
+
+// GenerateWells synthesizes a well-log archive; the second return lists
+// wells with a planted riverbed signature (ground truth).
+func GenerateWells(cfg WellConfig) ([]synth.WellLog, []int, error) {
+	return synth.WellArchive(cfg)
+}
+
+// GenerateTuples synthesizes n i.i.d. d-dimensional Gaussian tuples (the
+// Onion evaluation workload).
+func GenerateTuples(seed int64, n, d int) ([][]float64, error) {
+	return synth.GaussianTuples(seed, n, d)
+}

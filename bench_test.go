@@ -1,16 +1,18 @@
 // Benchmarks regenerating the paper's evaluation, one family per
-// experiment (E1-E8; see DESIGN.md §3). `go test -bench=. -benchmem`
+// experiment (E1-E9; see DESIGN.md §3). `go test -bench=. -benchmem`
 // reports the micro-level costs; `go run ./cmd/benchtab` prints the
 // corresponding tables with speedup ratios.
 package modelir_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"modelir/internal/bayes"
 	"modelir/internal/core"
+	"modelir/internal/experiments"
 	"modelir/internal/features"
 	"modelir/internal/fsm"
 	"modelir/internal/linear"
@@ -546,3 +548,51 @@ func benchGeology(b *testing.B, m core.GeologyMethod) {
 func BenchmarkE8GeologyBruteForce(b *testing.B) { benchGeology(b, core.GeoBruteForce) }
 func BenchmarkE8GeologyDP(b *testing.B)         { benchGeology(b, core.GeoDP) }
 func BenchmarkE8GeologyPruned(b *testing.B)     { benchGeology(b, core.GeoPruned) }
+
+// ---- E9: shard scaling of the tuple engine ----
+
+// The workload is experiments.ShardWorkload — the same scan-bound
+// archive and model the CI-archived BENCH_shards.json measures. On a
+// multi-core host the sub-benchmarks trace the speedup curve;
+// GOMAXPROCS=1 shows break-even overhead.
+var e9Data = sync.OnceValues(func() (struct {
+	pts [][]float64
+	m   *linear.Model
+}, error) {
+	var out struct {
+		pts [][]float64
+		m   *linear.Model
+	}
+	pts, m, err := experiments.ShardWorkload(experiments.ShardWorkloadSize)
+	if err != nil {
+		return out, err
+	}
+	out.pts, out.m = pts, m
+	return out, nil
+})
+
+func BenchmarkLinearTopKSharded(b *testing.B) {
+	d, err := e9Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := core.NewEngineWith(core.Options{Shards: shards})
+			if err := e.AddTuples("t", d.pts); err != nil {
+				b.Fatal(err)
+			}
+			// First query builds the per-shard indexes; keep that out
+			// of the timed region.
+			if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

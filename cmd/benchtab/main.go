@@ -1,11 +1,12 @@
-// benchtab regenerates the paper's evaluation tables (experiments E1-E8,
-// see DESIGN.md §3 and EXPERIMENTS.md).
+// benchtab regenerates the paper's evaluation tables (experiments E1-E8
+// plus the shard-scaling sweep E9; see DESIGN.md §3 and EXPERIMENTS.md).
 //
 // Usage:
 //
-//	benchtab            # run all experiments at full scale
-//	benchtab -e e1,e5   # run selected experiments
-//	benchtab -quick     # small data sizes (seconds instead of minutes)
+//	benchtab                             # run all experiments at full scale
+//	benchtab -e e1,e5                    # run selected experiments
+//	benchtab -quick                      # small data sizes (seconds instead of minutes)
+//	benchtab -shardjson BENCH_shards.json  # also write the shard-scaling baseline
 package main
 
 import (
@@ -26,12 +27,29 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	expList := fs.String("e", "all", "comma-separated ids (e1..e8 experiments, a1..a4 ablations), all, or ablations")
+	expList := fs.String("e", "all", "comma-separated ids (e1..e9 experiments, a1..a4 ablations), all, or ablations")
 	quick := fs.Bool("quick", false, "shrink data sizes for a fast smoke run")
+	shardJSON := fs.String("shardjson", "", "write the shard-scaling baseline (ShardBaseline JSON) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.Config{Quick: *quick}
+	// Validate the -e selection before any benchmark work (including
+	// the -shardjson sweep) so a typo'd id fails fast instead of after
+	// minutes of timing runs.
+	if *expList != "all" && *expList != "ablations" {
+		for _, id := range strings.Split(*expList, ",") {
+			if _, ok := experiments.ByID(strings.TrimSpace(id)); !ok {
+				return fmt.Errorf("unknown experiment %q (want e1..e9 or a1..a4)", id)
+			}
+		}
+	}
+	if *shardJSON != "" {
+		if err := experiments.WriteShardBaseline(cfg, *shardJSON); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *shardJSON)
+	}
 
 	var tables []experiments.Table
 	switch *expList {
@@ -52,7 +70,7 @@ func run(args []string) error {
 			id = strings.TrimSpace(id)
 			runner, ok := experiments.ByID(id)
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (want e1..e8)", id)
+				return fmt.Errorf("unknown experiment %q (want e1..e9 or a1..a4)", id)
 			}
 			tbl, err := runner(cfg)
 			if err != nil {

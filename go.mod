@@ -1,0 +1,3 @@
+module modelir
+
+go 1.21

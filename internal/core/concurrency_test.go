@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"testing"
 
+	"modelir/internal/archive"
 	"modelir/internal/fsm"
 	"modelir/internal/linear"
 	"modelir/internal/synth"
@@ -103,5 +106,385 @@ func TestEngineConcurrentQueries(t *testing.T) {
 				t.Fatalf("worker %d geology result differs at %d", w, i)
 			}
 		}
+	}
+}
+
+// fixtures shared by the equivalence and stress tests: one archive per
+// query family, sized so 7-way sharding still leaves non-trivial shards.
+type testArchives struct {
+	pts   [][]float64
+	scene *archive.Scene
+	pm    *linear.ProgressiveModel
+	arch  []synth.RegionSeries
+	wells []synth.WellLog
+}
+
+func buildArchives(t *testing.T) testArchives {
+	t.Helper()
+	var a testArchives
+	var err error
+	if a.pts, err = synth.GaussianTuples(51, 8000, 3); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: 52, W: 96, H: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.scene, err = archive.BuildScene("s", sc.Bands, archive.Options{TileSize: 16, PyramidLevels: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if a.pm, err = linear.Decompose(linear.HPSRisk(),
+		[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.arch, err = synth.WeatherArchive(synth.WeatherConfig{Seed: 53, Regions: 60, Days: 365}); err != nil {
+		t.Fatal(err)
+	}
+	if a.wells, _, err = synth.WellArchive(synth.WellConfig{Seed: 54, Wells: 45}); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func engineWithArchives(t *testing.T, shards int, a testArchives) *Engine {
+	t.Helper()
+	e := NewEngineWith(Options{Shards: shards})
+	if e.NumShards() != shards {
+		t.Fatalf("NumShards = %d, want %d", e.NumShards(), shards)
+	}
+	if err := e.AddTuples("gauss", a.pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddScene("hps", a.scene); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddSeries("weather", a.arch); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddWells("basin", a.wells); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func itemsEqual(t *testing.T, label string, got, want []topk.Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vs %d items", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("%s pos %d: got %d/%v want %d/%v",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// TestShardEquivalenceAllFamilies pins the tentpole invariant: a
+// sharded engine returns the same top-K IDs and scores as a sequential
+// (1-shard) engine on all four query families, for shard counts that
+// divide the data evenly and ones that do not.
+func TestShardEquivalenceAllFamilies(t *testing.T) {
+	a := buildArchives(t)
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{1, -0.5, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoQ := GeologyQuery{
+		Sequence: []synth.Lithology{synth.Shale, synth.Sandstone, synth.Siltstone},
+		MaxGapFt: 10,
+		MinGamma: 45,
+	}
+	machine := fsm.FireAnts()
+
+	ref := engineWithArchives(t, 1, a)
+	refLinear, refLinSt, err := ref.LinearTopKTuples("gauss", lm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refScene, _, err := ref.SceneTopK("hps", a.pm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFSM, refFSMSt, err := ref.FSMTopK("weather", machine, 10, FireAntsPrefilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGeo, _, err := ref.GeologyTopK("basin", geoQ, 10, GeoPruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 7} {
+		e := engineWithArchives(t, shards, a)
+
+		lin, linSt, err := e.LinearTopKTuples("gauss", lm, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itemsEqual(t, fmt.Sprintf("linear shards=%d", shards), lin, refLinear)
+		if linSt.ScanCost != refLinSt.ScanCost {
+			t.Fatalf("shards=%d scan cost %d vs %d", shards, linSt.ScanCost, refLinSt.ScanCost)
+		}
+
+		scene, sceneSt, err := e.SceneTopK("hps", a.pm, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itemsEqual(t, fmt.Sprintf("scene shards=%d", shards), scene, refScene)
+		if sceneSt.Work() == 0 {
+			t.Fatalf("shards=%d no scene work recorded", shards)
+		}
+
+		fsmItems, fsmSt, err := e.FSMTopK("weather", machine, 10, FireAntsPrefilter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itemsEqual(t, fmt.Sprintf("fsm shards=%d", shards), fsmItems, refFSM)
+		// Prefilter decisions are per-region, so pruning stats are
+		// shard-invariant too.
+		if fsmSt.RegionsTotal != refFSMSt.RegionsTotal ||
+			fsmSt.RegionsPruned != refFSMSt.RegionsPruned ||
+			fsmSt.DaysScanned != refFSMSt.DaysScanned {
+			t.Fatalf("shards=%d fsm stats %+v vs %+v", shards, fsmSt, refFSMSt)
+		}
+
+		geo, _, err := e.GeologyTopK("basin", geoQ, 10, GeoPruned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(geo) != len(refGeo) {
+			t.Fatalf("geology shards=%d: %d vs %d wells", shards, len(geo), len(refGeo))
+		}
+		for i := range refGeo {
+			if geo[i].Well != refGeo[i].Well || math.Abs(geo[i].Score-refGeo[i].Score) > 1e-12 {
+				t.Fatalf("geology shards=%d pos %d: %+v vs %+v", shards, i, geo[i], refGeo[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentRegistrationAndQueries hammers one shared engine from
+// many goroutines: registrations of fresh datasets race with queries on
+// already-registered ones, including duplicate registrations that must
+// fail cleanly. Run under -race this is the engine's thread-safety
+// proof for mixed read/write traffic.
+func TestConcurrentRegistrationAndQueries(t *testing.T) {
+	a := buildArchives(t)
+	e := engineWithArchives(t, 4, a)
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{1, -0.5, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := fsm.FireAnts()
+	geoQ := GeologyQuery{
+		Sequence: []synth.Lithology{synth.Shale, synth.Sandstone, synth.Siltstone},
+		MaxGapFt: 10,
+		MinGamma: 45,
+	}
+
+	wantLinear, _, err := e.LinearTopKTuples("gauss", lm, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, rounds = 4, 8, 6
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("tuples-%d-%d", w, r)
+				if err := e.AddTuples(name, a.pts); err != nil {
+					errc <- err
+					return
+				}
+				// Duplicate registration must fail cleanly, not race.
+				if err := e.AddTuples(name, a.pts); err == nil {
+					errc <- fmt.Errorf("duplicate %q accepted", name)
+					return
+				}
+				if err := e.AddSeries(fmt.Sprintf("series-%d-%d", w, r), a.arch); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				switch rd % 4 {
+				case 0:
+					items, _, err := e.LinearTopKTuples("gauss", lm, 5)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range wantLinear {
+						if items[i].ID != wantLinear[i].ID {
+							errc <- fmt.Errorf("linear result drifted under load")
+							return
+						}
+					}
+				case 1:
+					if _, _, err := e.SceneTopK("hps", a.pm, 5); err != nil {
+						errc <- err
+						return
+					}
+				case 2:
+					if _, _, err := e.FSMTopK("weather", machine, 5, FireAntsPrefilter); err != nil {
+						errc <- err
+						return
+					}
+				case 3:
+					if _, _, err := e.GeologyTopK("basin", geoQ, 5, GeoDP); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentFirstQueryBuildsIndexOnce races many first queries at
+// one dataset: every per-shard Onion index must be built exactly once
+// (sync.Once) and all callers must see identical results.
+func TestConcurrentFirstQueryBuildsIndexOnce(t *testing.T) {
+	pts, err := synth.GaussianTuples(55, 6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{0.3, 1, -2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngineWith(Options{Shards: 4})
+	if err := e.AddTuples("t", pts); err != nil {
+		t.Fatal(err)
+	}
+	const callers = 12
+	results := make([][]topk.Item, callers)
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			items, _, err := e.LinearTopKTuples("t", lm, 8)
+			if err != nil {
+				errc <- err
+				return
+			}
+			results[c] = items
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for c := 1; c < callers; c++ {
+		itemsEqual(t, fmt.Sprintf("caller %d", c), results[c], results[0])
+	}
+	e.mu.RLock()
+	ts := e.tuples["t"]
+	e.mu.RUnlock()
+	if len(ts.shards) != 4 {
+		t.Fatalf("%d shards, want 4", len(ts.shards))
+	}
+	total := 0
+	for _, sh := range ts.shards {
+		if sh.index == nil {
+			t.Fatal("shard index not built")
+		}
+		total += sh.index.NumPoints()
+	}
+	if total != len(pts) {
+		t.Fatalf("shard indexes cover %d points, want %d", total, len(pts))
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		n, want int
+		expect  [][2]int
+	}{
+		{0, 4, nil},
+		{3, 1, [][2]int{{0, 3}}},
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{10, 4, [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{8, 4, [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+		{5, 0, [][2]int{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := partition(c.n, c.want)
+		if len(got) != len(c.expect) {
+			t.Fatalf("partition(%d,%d) = %v, want %v", c.n, c.want, got, c.expect)
+		}
+		for i := range got {
+			if got[i] != c.expect[i] {
+				t.Fatalf("partition(%d,%d) = %v, want %v", c.n, c.want, got, c.expect)
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceWithTies is the adversarial version of the
+// equivalence invariant: duplicated rows guarantee exact score ties,
+// and which Onion layer holds each tied copy depends on shard
+// boundaries. The (score, ID) tie-break must still make every shard
+// count return the same winners.
+func TestShardEquivalenceWithTies(t *testing.T) {
+	base, err := synth.GaussianTuples(61, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile a tiny prototype set: every score occurs dozens of times and
+	// deep Onion suffixes degenerate to copies of one prototype, whose
+	// box bound equals the tied score exactly — the case where a
+	// non-strict layer break would skip tied smaller-ID winners.
+	pts := make([][]float64, 0, 300)
+	for len(pts) < 300 {
+		pts = append(pts, base[len(pts)%len(base)])
+	}
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{1, -0.5, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []topk.Item
+	for _, shards := range []int{1, 2, 5, 9} {
+		e := NewEngineWith(Options{Shards: shards})
+		if err := e.AddTuples("dup", pts); err != nil {
+			t.Fatal(err)
+		}
+		items, _, err := e.LinearTopKTuples("dup", lm, 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = items
+			// With 5 prototypes and k=18, ties are certain; the order
+			// must be (score desc, ID asc).
+			for i := 1; i < len(want); i++ {
+				if want[i].Score > want[i-1].Score ||
+					(want[i].Score == want[i-1].Score && want[i].ID < want[i-1].ID) {
+					t.Fatalf("reference order violated at %d: %+v after %+v", i, want[i], want[i-1])
+				}
+			}
+			continue
+		}
+		itemsEqual(t, fmt.Sprintf("ties shards=%d", shards), items, want)
 	}
 }

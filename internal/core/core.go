@@ -14,17 +14,25 @@
 // repeated queries amortize index construction — the paper's premise
 // that "indexing techniques specialized for the model" pay off at
 // archive scale.
+//
+// Archives are sharded at ingest (Options.Shards partitions, default
+// GOMAXPROCS) and every query family fans out one worker per shard,
+// merging per-shard top-K heaps through the shared atomic screening
+// bound in parallel.ShardTopK. Sharding changes wall-clock time only:
+// results are identical to a single-shard scan (see DESIGN.md §2).
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"modelir/internal/archive"
 	"modelir/internal/fsm"
 	"modelir/internal/linear"
 	"modelir/internal/onion"
+	"modelir/internal/parallel"
 	"modelir/internal/progressive"
 	"modelir/internal/sproc"
 	"modelir/internal/synth"
@@ -55,29 +63,52 @@ func (k ModelKind) String() string {
 	}
 }
 
-// Engine is the retrieval front end. It is safe for concurrent readers
-// once archives are registered (registration itself is serialized).
-type Engine struct {
-	mu      sync.Mutex
-	tuples  map[string][][]float64
-	onions  map[string]*onion.Index
-	scenes  map[string]*archive.Scene
-	series  map[string][]synth.RegionSeries
-	summary map[string][]synth.DrySpellStats
-	wells   map[string][]synth.WellLog
+// Options tunes engine construction.
+type Options struct {
+	// Shards is the number of partitions each dataset is split into at
+	// ingest; every query fans out one worker per shard. 0 means
+	// GOMAXPROCS. 1 reproduces the sequential engine exactly.
+	Shards int
+	// Onion tunes the per-shard Onion indexes built for tuple archives.
+	Onion onion.Options
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
+// Engine is the retrieval front end. Registration and queries may be
+// interleaved freely from any number of goroutines: the dataset tables
+// are guarded by an RWMutex, and each registered dataset is immutable
+// after ingest, so the query hot path runs lock-free over its shards.
+type Engine struct {
+	shards   int
+	onionOpt onion.Options
+
+	mu     sync.RWMutex
+	tuples map[string]*tupleSet
+	scenes map[string]*sceneSet
+	series map[string]*seriesSet
+	wells  map[string]*wellSet
+}
+
+// NewEngine returns an empty engine with default options.
+func NewEngine() *Engine { return NewEngineWith(Options{}) }
+
+// NewEngineWith returns an empty engine with the given options.
+func NewEngineWith(opt Options) *Engine {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	return &Engine{
-		tuples:  make(map[string][][]float64),
-		onions:  make(map[string]*onion.Index),
-		scenes:  make(map[string]*archive.Scene),
-		series:  make(map[string][]synth.RegionSeries),
-		summary: make(map[string][]synth.DrySpellStats),
-		wells:   make(map[string][]synth.WellLog),
+		shards:   shards,
+		onionOpt: opt.Onion,
+		tuples:   make(map[string]*tupleSet),
+		scenes:   make(map[string]*sceneSet),
+		series:   make(map[string]*seriesSet),
+		wells:    make(map[string]*wellSet),
 	}
 }
+
+// NumShards reports how many partitions each dataset is split into.
+func (e *Engine) NumShards() int { return e.shards }
 
 // Registration errors.
 var (
@@ -85,77 +116,106 @@ var (
 	ErrUnknownDataset   = errors.New("core: unknown dataset")
 )
 
-// AddTuples registers a tuple archive (rows of attribute vectors).
+// checkFresh cheaply rejects an already-taken dataset name before a
+// registration pays for shard construction (summaries, partitioning).
+// taken is evaluated under the read lock; as in the seed, names are
+// scoped per dataset kind. The authoritative re-check still happens
+// under the write lock — a racing registration of the same name can
+// slip past this probe, but never past that one.
+func (e *Engine) checkFresh(name string, taken func() bool) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if taken() {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	return nil
+}
+
+// AddTuples registers a tuple archive (rows of attribute vectors),
+// partitioning it into the engine's shard count. The rows are not
+// copied; the caller must not mutate them afterwards.
 func (e *Engine) AddTuples(name string, points [][]float64) error {
+	if len(points) == 0 {
+		return errors.New("core: empty tuple set")
+	}
+	if err := e.checkFresh(name, func() bool { _, ok := e.tuples[name]; return ok }); err != nil {
+		return err
+	}
+	ts := newTupleSet(points, e.shards)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.tuples[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	if len(points) == 0 {
-		return errors.New("core: empty tuple set")
-	}
-	e.tuples[name] = points
+	e.tuples[name] = ts
 	return nil
 }
 
-// AddScene registers a raster archive.
+// AddScene registers a raster archive, partitioning its coarsest
+// pyramid level into per-shard root-cell territories.
 func (e *Engine) AddScene(name string, sc *archive.Scene) error {
+	if sc == nil {
+		return errors.New("core: nil scene")
+	}
+	if err := e.checkFresh(name, func() bool { _, ok := e.scenes[name]; return ok }); err != nil {
+		return err
+	}
+	ss := newSceneSet(sc, e.shards)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.scenes[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	if sc == nil {
-		return errors.New("core: nil scene")
-	}
-	e.scenes[name] = sc
+	e.scenes[name] = ss
 	return nil
 }
 
-// AddSeries registers a weather/event series archive and precomputes the
-// metadata-level summaries used for pruning.
+// AddSeries registers a weather/event series archive, sharded, with the
+// metadata-level summaries used for pruning precomputed per shard.
 func (e *Engine) AddSeries(name string, rs []synth.RegionSeries) error {
+	if len(rs) == 0 {
+		return errors.New("core: empty series archive")
+	}
+	if err := e.checkFresh(name, func() bool { _, ok := e.series[name]; return ok }); err != nil {
+		return err
+	}
+	ss := newSeriesSet(rs, e.shards)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.series[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	if len(rs) == 0 {
-		return errors.New("core: empty series archive")
-	}
-	sums := make([]synth.DrySpellStats, len(rs))
-	for i, r := range rs {
-		sums[i] = synth.SummarizeSeries(r)
-	}
-	e.series[name] = rs
-	e.summary[name] = sums
+	e.series[name] = ss
 	return nil
 }
 
-// AddWells registers a well-log archive.
+// AddWells registers a well-log archive, sharded.
 func (e *Engine) AddWells(name string, ws []synth.WellLog) error {
+	if len(ws) == 0 {
+		return errors.New("core: empty well archive")
+	}
+	if err := e.checkFresh(name, func() bool { _, ok := e.wells[name]; return ok }); err != nil {
+		return err
+	}
+	s := newWellSet(ws, e.shards)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.wells[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	if len(ws) == 0 {
-		return errors.New("core: empty well archive")
-	}
-	e.wells[name] = ws
+	e.wells[name] = s
 	return nil
 }
 
 // Scene returns a registered raster archive.
 func (e *Engine) Scene(name string) (*archive.Scene, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	sc, ok := e.scenes[name]
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ss, ok := e.scenes[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	return sc, nil
+	return ss.scene, nil
 }
 
 // LinearTupleStats reports the work of a tuple-archive linear query.
@@ -167,40 +227,48 @@ type LinearTupleStats struct {
 }
 
 // LinearTopKTuples retrieves the top-K tuples maximizing the model over
-// a registered tuple archive, via the Onion index (built and cached on
-// first use). The model's coefficient order must match the tuple
-// attribute order.
+// a registered tuple archive. Each shard's Onion index (built in
+// parallel and cached on first use) is scanned by its own worker; the
+// workers exchange screening thresholds through a shared atomic bound
+// and their partial heaps merge into the exact global top-K. The
+// model's coefficient order must match the tuple attribute order.
 func (e *Engine) LinearTopKTuples(dataset string, m *linear.Model, k int) ([]topk.Item, LinearTupleStats, error) {
 	var st LinearTupleStats
-	e.mu.Lock()
-	pts, ok := e.tuples[dataset]
+	e.mu.RLock()
+	ts, ok := e.tuples[dataset]
+	e.mu.RUnlock()
 	if !ok {
-		e.mu.Unlock()
 		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
 	}
-	ix := e.onions[dataset]
-	e.mu.Unlock()
-
-	if ix == nil {
-		built, err := onion.Build(pts, onion.Options{})
+	perShard := make([]onion.Stats, len(ts.shards))
+	items, err := parallel.ShardTopK(len(ts.shards), k, 0, func(si int, sb *topk.Bound) ([]topk.Item, error) {
+		sh := ts.shards[si]
+		// First query builds this shard's index inside the fan-out we
+		// already pay for; afterwards this is a sync.Once hit.
+		ix, err := sh.ensureIndex(e.onionOpt)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
-		e.mu.Lock()
-		if cached := e.onions[dataset]; cached != nil {
-			ix = cached
-		} else {
-			e.onions[dataset] = built
-			ix = built
+		its, ost, err := ix.TopKShared(m.Coeffs, k, sb)
+		if err != nil {
+			return nil, err
 		}
-		e.mu.Unlock()
-	}
-	items, ost, err := ix.TopK(m.Coeffs, k)
+		perShard[si] = ost
+		// Shard indexes number points locally; lift IDs into the
+		// global tuple index space.
+		for i := range its {
+			its[i].ID += int64(sh.offset)
+		}
+		return its, nil
+	})
 	if err != nil {
 		return nil, st, err
 	}
-	st.Indexed = ost
-	st.ScanCost = len(pts)
+	for _, s := range perShard {
+		st.Indexed.LayersScanned += s.LayersScanned
+		st.Indexed.PointsTouched += s.PointsTouched
+	}
+	st.ScanCost = len(ts.points)
 	// The model's intercept shifts every score identically; add it so
 	// returned scores equal model values.
 	if m.Intercept != 0 {
@@ -212,18 +280,36 @@ func (e *Engine) LinearTopKTuples(dataset string, m *linear.Model, k int) ([]top
 }
 
 // SceneTopK retrieves the top-K locations of a linear risk model over a
-// registered raster archive using combined progressive execution. The
+// registered raster archive using combined progressive execution, one
+// branch-and-bound worker per shard of the coarsest pyramid level. The
 // returned item IDs encode locations as y*W + x.
 func (e *Engine) SceneTopK(dataset string, pm *linear.ProgressiveModel, k int) ([]topk.Item, progressive.Stats, error) {
-	sc, err := e.Scene(dataset)
+	e.mu.RLock()
+	ss, ok := e.scenes[dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, progressive.Stats{}, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	}
+	perShard := make([]progressive.Stats, len(ss.roots))
+	items, err := parallel.ShardTopK(len(ss.roots), k, 0, func(si int, sb *topk.Bound) ([]topk.Item, error) {
+		res, err := progressive.CombinedShard(pm, ss.scene.Pyramid(), k, ss.roots[si], sb)
+		if err != nil {
+			return nil, err
+		}
+		perShard[si] = res.Stats
+		return res.Items, nil
+	})
 	if err != nil {
 		return nil, progressive.Stats{}, err
 	}
-	res, err := progressive.Combined(pm, sc.Pyramid(), k)
-	if err != nil {
-		return nil, progressive.Stats{}, err
+	var agg progressive.Stats
+	for _, s := range perShard {
+		agg.PixelTermEvals += s.PixelTermEvals
+		agg.CellTermEvals += s.CellTermEvals
+		agg.PixelsVisited += s.PixelsVisited
+		agg.CellsVisited += s.CellsVisited
 	}
-	return res.Items, res.Stats, nil
+	return items, agg, nil
 }
 
 // FSMStats reports finite-state retrieval work.
@@ -245,68 +331,81 @@ func FireAntsPrefilter(s synth.DrySpellStats) bool {
 }
 
 // FSMTopK ranks regions of a series archive by fsm.FlyScore under the
-// given machine. A nil prefilter scans every region (the baseline); a
-// prefilter skips regions whose metadata proves a zero score.
+// given machine, one DFA-scan worker per shard. A nil prefilter scans
+// every region (the baseline); a prefilter skips regions whose
+// metadata proves a zero score.
 func (e *Engine) FSMTopK(dataset string, m *fsm.Machine, k int, pre FSMPrefilter) ([]topk.Item, FSMStats, error) {
+	return e.fsmTopK(dataset, m, k, pre, 0)
+}
+
+func (e *Engine) fsmTopK(dataset string, m *fsm.Machine, k int, pre FSMPrefilter, workers int) ([]topk.Item, FSMStats, error) {
 	var st FSMStats
-	e.mu.Lock()
-	rs, ok := e.series[dataset]
-	sums := e.summary[dataset]
-	e.mu.Unlock()
+	e.mu.RLock()
+	ss, ok := e.series[dataset]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
 	}
-	h, err := topk.NewHeap(k)
+	st.RegionsTotal = ss.total
+	perShard := make([]FSMStats, len(ss.shards))
+	items, err := parallel.ShardTopK(len(ss.shards), k, workers, func(si int, _ *topk.Bound) ([]topk.Item, error) {
+		sh := ss.shards[si]
+		h := topk.MustHeap(k)
+		for i, r := range sh.regions {
+			if pre != nil && !pre(sh.sums[i]) {
+				perShard[si].RegionsPruned++
+				continue
+			}
+			events := fsm.ClassifySeries(r.Days)
+			perShard[si].DaysScanned += len(events)
+			score, err := fsm.FlyScore(m, events)
+			if err != nil {
+				return nil, err
+			}
+			if score > 0 {
+				h.OfferScore(int64(r.Region), score)
+			}
+		}
+		return h.Results(), nil
+	})
+	for _, s := range perShard {
+		st.RegionsPruned += s.RegionsPruned
+		st.DaysScanned += s.DaysScanned
+	}
 	if err != nil {
 		return nil, st, err
 	}
-	st.RegionsTotal = len(rs)
-	for i, r := range rs {
-		if pre != nil && !pre(sums[i]) {
-			st.RegionsPruned++
-			continue
-		}
-		events := fsm.ClassifySeries(r.Days)
-		st.DaysScanned += len(events)
-		score, err := fsm.FlyScore(m, events)
-		if err != nil {
-			return nil, st, err
-		}
-		if score > 0 {
-			h.OfferScore(int64(r.Region), score)
-		}
-	}
-	return h.Results(), st, nil
+	return items, st, nil
 }
 
 // FSMDistanceRank ranks regions by how closely the machine their data
 // exhibits matches the target machine (smaller distance = better rank,
-// so scores are 1-distance). This is the paper's "distance between these
-// two finite state machines" retrieval mode.
+// so scores are 1-distance), one extract-and-compare worker per shard.
+// This is the paper's "distance between these two finite state
+// machines" retrieval mode.
 func (e *Engine) FSMDistanceRank(dataset string, target *fsm.Machine, k, horizon int) ([]topk.Item, error) {
-	e.mu.Lock()
-	rs, ok := e.series[dataset]
-	e.mu.Unlock()
+	e.mu.RLock()
+	ss, ok := e.series[dataset]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
 	}
-	h, err := topk.NewHeap(k)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range rs {
-		events := fsm.ClassifySeries(r.Days)
-		extracted, err := fsm.Extract(target, [][]fsm.Event{events})
-		if err != nil {
-			return nil, err
+	return parallel.ShardTopK(len(ss.shards), k, 0, func(si int, _ *topk.Bound) ([]topk.Item, error) {
+		h := topk.MustHeap(k)
+		for _, r := range ss.shards[si].regions {
+			events := fsm.ClassifySeries(r.Days)
+			extracted, err := fsm.Extract(target, [][]fsm.Event{events})
+			if err != nil {
+				return nil, err
+			}
+			d, err := fsm.Distance(target, extracted, horizon)
+			if err != nil {
+				return nil, err
+			}
+			h.OfferScore(int64(r.Region), 1-d)
 		}
-		d, err := fsm.Distance(target, extracted, horizon)
-		if err != nil {
-			return nil, err
-		}
-		h.OfferScore(int64(r.Region), 1-d)
-	}
-	return h.Results(), nil
+		return h.Results(), nil
+	})
 }
 
 // GeologyQuery is the Fig. 4 knowledge model: an ordered lithology
@@ -355,55 +454,73 @@ const (
 )
 
 // GeologyTopK retrieves the top-K wells whose strata best satisfy the
-// knowledge model, evaluating each well's composite query with the
-// chosen SPROC method and ranking wells by their best match score.
+// knowledge model, one SPROC worker per shard of the well archive, each
+// evaluating its wells' composite queries with the chosen method and
+// ranking wells by their best match score.
 func (e *Engine) GeologyTopK(dataset string, q GeologyQuery, k int, method GeologyMethod) ([]WellMatch, sproc.Stats, error) {
+	return e.geologyTopK(dataset, q, k, method, 0)
+}
+
+func (e *Engine) geologyTopK(dataset string, q GeologyQuery, k int, method GeologyMethod, workers int) ([]WellMatch, sproc.Stats, error) {
 	var agg sproc.Stats
 	if err := q.Validate(); err != nil {
 		return nil, agg, err
 	}
-	e.mu.Lock()
+	switch method {
+	case GeoBruteForce, GeoDP, GeoPruned:
+	default:
+		return nil, agg, fmt.Errorf("core: unknown geology method %d", method)
+	}
+	e.mu.RLock()
 	ws, ok := e.wells[dataset]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return nil, agg, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
 	}
-	h, err := topk.NewHeap(k)
+	perShard := make([]sproc.Stats, len(ws.shards))
+	items, err := parallel.ShardTopK(len(ws.shards), k, workers, func(si int, _ *topk.Bound) ([]topk.Item, error) {
+		h := topk.MustHeap(k)
+		for _, well := range ws.shards[si] {
+			sq := geologySprocQuery(well, q)
+			var (
+				matches []sproc.Match
+				st      sproc.Stats
+				err     error
+			)
+			switch method {
+			case GeoBruteForce:
+				matches, st, err = sproc.BruteForce(len(well.Strata), sq, 1)
+			case GeoDP:
+				matches, st, err = sproc.DP(len(well.Strata), sq, 1)
+			case GeoPruned:
+				matches, st, err = sproc.Pruned(len(well.Strata), sq, 1)
+			}
+			if err != nil {
+				return nil, err
+			}
+			perShard[si].UnaryEvals += st.UnaryEvals
+			perShard[si].PairEvals += st.PairEvals
+			perShard[si].TuplesConsidered += st.TuplesConsidered
+			if len(matches) > 0 && matches[0].Score > 0 {
+				h.Offer(topk.Item{
+					ID:      int64(well.Well),
+					Score:   matches[0].Score,
+					Payload: matches[0].Items,
+				})
+			}
+		}
+		return h.Results(), nil
+	})
+	for _, s := range perShard {
+		agg.UnaryEvals += s.UnaryEvals
+		agg.PairEvals += s.PairEvals
+		agg.TuplesConsidered += s.TuplesConsidered
+	}
 	if err != nil {
 		return nil, agg, err
 	}
-	for wi := range ws {
-		sq := geologySprocQuery(ws[wi], q)
-		var (
-			matches []sproc.Match
-			st      sproc.Stats
-		)
-		switch method {
-		case GeoBruteForce:
-			matches, st, err = sproc.BruteForce(len(ws[wi].Strata), sq, 1)
-		case GeoDP:
-			matches, st, err = sproc.DP(len(ws[wi].Strata), sq, 1)
-		case GeoPruned:
-			matches, st, err = sproc.Pruned(len(ws[wi].Strata), sq, 1)
-		default:
-			return nil, agg, fmt.Errorf("core: unknown geology method %d", method)
-		}
-		if err != nil {
-			return nil, agg, err
-		}
-		agg.UnaryEvals += st.UnaryEvals
-		agg.PairEvals += st.PairEvals
-		agg.TuplesConsidered += st.TuplesConsidered
-		if len(matches) > 0 && matches[0].Score > 0 {
-			h.Offer(topk.Item{
-				ID:      int64(ws[wi].Well),
-				Score:   matches[0].Score,
-				Payload: matches[0].Items,
-			})
-		}
-	}
 	var out []WellMatch
-	for _, it := range h.Results() {
+	for _, it := range items {
 		strata, ok := it.Payload.([]int)
 		if !ok {
 			return nil, agg, errors.New("core: internal payload corruption")

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"sync"
 
 	"modelir/internal/fsm"
 	"modelir/internal/parallel"
@@ -11,167 +9,45 @@ import (
 	"modelir/internal/topk"
 )
 
-// Parallel query variants. Archives at the paper's scale are trivially
-// shardable along their outer dimension (regions, wells, tuples); these
-// methods fan the same per-item scoring used by the serial paths across
-// worker goroutines and return bit-identical result sets (the merge
-// preserves the serial (score, ID) ordering — see internal/parallel).
+// Worker-count overrides. Since the engine shards archives at ingest
+// and every query already fans out one worker per shard, FSMTopKParallel
+// and GeologyTopKParallel only pin the size of the goroutine pool the
+// shards are scheduled on (0 = GOMAXPROCS); results and stats are
+// identical to the plain methods for any worker count, and effective
+// parallelism is bounded by the engine's ingest shard count.
+// ScanTopKTuplesParallel, by contrast, partitions per *item* so its
+// `workers` always controls fan-out — it is the honest multi-core
+// baseline even on a Shards:1 engine.
 
-// FSMTopKParallel is FSMTopK with regions scored across `workers`
-// goroutines (0 = GOMAXPROCS). Results match FSMTopK exactly.
+// FSMTopKParallel is FSMTopK scheduled on `workers` goroutines.
 func (e *Engine) FSMTopKParallel(dataset string, m *fsm.Machine, k int, pre FSMPrefilter, workers int) ([]topk.Item, FSMStats, error) {
-	var st FSMStats
-	e.mu.Lock()
-	rs, ok := e.series[dataset]
-	sums := e.summary[dataset]
-	e.mu.Unlock()
-	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
-	}
-	st.RegionsTotal = len(rs)
-	var pruned, days atomicCounter
-	items, err := parallel.TopK(len(rs), k, workers, func(i int) (float64, bool, error) {
-		if pre != nil && !pre(sums[i]) {
-			pruned.add(1)
-			return 0, false, nil
-		}
-		events := fsm.ClassifySeries(rs[i].Days)
-		days.add(int64(len(events)))
-		score, err := fsm.FlyScore(m, events)
-		if err != nil {
-			return 0, false, err
-		}
-		return score, score > 0, nil
-	})
-	if err != nil {
-		return nil, st, err
-	}
-	st.RegionsPruned = int(pruned.load())
-	st.DaysScanned = int(days.load())
-	// parallel.TopK IDs are slice indices; map back to region ids (they
-	// coincide for archives generated in order, but remaps are cheap and
-	// keep the contract explicit).
-	for i := range items {
-		items[i].ID = int64(rs[items[i].ID].Region)
-	}
-	return items, st, nil
+	return e.fsmTopK(dataset, m, k, pre, workers)
 }
 
-// GeologyTopKParallel evaluates wells concurrently. Results match
-// GeologyTopK exactly; stats are aggregated across workers.
+// GeologyTopKParallel is GeologyTopK scheduled on `workers` goroutines.
 func (e *Engine) GeologyTopKParallel(dataset string, q GeologyQuery, k int, method GeologyMethod, workers int) ([]WellMatch, sproc.Stats, error) {
-	var agg sproc.Stats
-	if err := q.Validate(); err != nil {
-		return nil, agg, err
-	}
-	e.mu.Lock()
-	ws, ok := e.wells[dataset]
-	e.mu.Unlock()
-	if !ok {
-		return nil, agg, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
-	}
-	type wellRes struct {
-		score  float64
-		strata []int
-		stats  sproc.Stats
-		hit    bool
-	}
-	results := make([]wellRes, len(ws))
-	err := parallel.ForEach(len(ws), workers, func(wi int) error {
-		sq := geologySprocQuery(ws[wi], q)
-		var (
-			matches []sproc.Match
-			st      sproc.Stats
-			err     error
-		)
-		switch method {
-		case GeoBruteForce:
-			matches, st, err = sproc.BruteForce(len(ws[wi].Strata), sq, 1)
-		case GeoDP:
-			matches, st, err = sproc.DP(len(ws[wi].Strata), sq, 1)
-		case GeoPruned:
-			matches, st, err = sproc.Pruned(len(ws[wi].Strata), sq, 1)
-		default:
-			return fmt.Errorf("core: unknown geology method %d", method)
-		}
-		if err != nil {
-			return err
-		}
-		r := wellRes{stats: st}
-		if len(matches) > 0 && matches[0].Score > 0 {
-			r.score = matches[0].Score
-			r.strata = matches[0].Items
-			r.hit = true
-		}
-		results[wi] = r
-		return nil
-	})
-	if err != nil {
-		return nil, agg, err
-	}
-	h, err := topk.NewHeap(k)
-	if err != nil {
-		return nil, agg, err
-	}
-	for wi, r := range results {
-		agg.UnaryEvals += r.stats.UnaryEvals
-		agg.PairEvals += r.stats.PairEvals
-		agg.TuplesConsidered += r.stats.TuplesConsidered
-		if r.hit {
-			h.Offer(topk.Item{ID: int64(ws[wi].Well), Score: r.score, Payload: r.strata})
-		}
-	}
-	var out []WellMatch
-	for _, it := range h.Results() {
-		strata, ok := it.Payload.([]int)
-		if !ok {
-			return nil, agg, errors.New("core: internal payload corruption")
-		}
-		out = append(out, WellMatch{Well: int(it.ID), Score: it.Score, Strata: strata})
-	}
-	return out, agg, nil
+	return e.geologyTopK(dataset, q, k, method, workers)
 }
 
 // ScanTopKTuplesParallel is the sequential-scan baseline sharded across
 // workers: used to keep speedup comparisons honest on multi-core hosts
 // (the indexed path and the baseline both get the same cores).
 func (e *Engine) ScanTopKTuplesParallel(dataset string, coeffs []float64, intercept float64, k, workers int) ([]topk.Item, error) {
-	e.mu.Lock()
-	pts, ok := e.tuples[dataset]
-	e.mu.Unlock()
+	e.mu.RLock()
+	ts, ok := e.tuples[dataset]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
 	}
-	if len(pts[0]) != len(coeffs) {
-		return nil, fmt.Errorf("core: %d coefficients for %d-dim tuples", len(coeffs), len(pts[0]))
+	pts := ts.points
+	if dim := len(pts[0]); dim != len(coeffs) {
+		return nil, fmt.Errorf("core: %d coefficients for %d-dim tuples", len(coeffs), dim)
 	}
-	items, err := parallel.TopK(len(pts), k, workers, func(i int) (float64, bool, error) {
+	return parallel.TopK(len(pts), k, workers, func(i int) (float64, bool, error) {
 		s := intercept
 		for j, c := range coeffs {
 			s += c * pts[i][j]
 		}
 		return s, true, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return items, nil
-}
-
-// atomicCounter is a tiny contention-tolerant counter for stats.
-type atomicCounter struct {
-	mu sync.Mutex
-	v  int64
-}
-
-func (c *atomicCounter) add(n int64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
-
-func (c *atomicCounter) load() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
 }

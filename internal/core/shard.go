@@ -1,0 +1,144 @@
+// Shard plumbing for the engine: every dataset is partitioned into N
+// contiguous shards at ingest, each shard carrying its own lazily built
+// model-specific index (Onion layers for tuple archives, an assigned
+// slice of pyramid root cells for scenes, precomputed metadata
+// summaries for series). Queries fan out one worker per shard and merge
+// partial top-K heaps; because shard data is immutable after
+// registration and index builds are guarded by sync.Once, the whole
+// structure is safe for concurrent queries without locks on the hot
+// path.
+
+package core
+
+import (
+	"sync"
+
+	"modelir/internal/archive"
+	"modelir/internal/onion"
+	"modelir/internal/progressive"
+	"modelir/internal/synth"
+)
+
+// partition splits n items into at most `want` contiguous non-empty
+// ranges [lo, hi). Sizes differ by at most one, and the layout depends
+// only on (n, want), so shard boundaries — and therefore global item
+// IDs — are stable across runs.
+func partition(n, want int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > n {
+		want = n
+	}
+	out := make([][2]int, 0, want)
+	base, rem := n/want, n%want
+	lo := 0
+	for s := 0; s < want; s++ {
+		hi := lo + base
+		if s < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// tupleShard is one partition of a tuple archive. Its Onion index is
+// built on first use (sync.Once makes concurrent first queries safe)
+// over the shard's sub-slice, so result IDs are local and must be
+// shifted by offset into the global index space.
+type tupleShard struct {
+	offset int
+	points [][]float64
+
+	once  sync.Once
+	index *onion.Index
+	err   error
+}
+
+func (s *tupleShard) ensureIndex(opt onion.Options) (*onion.Index, error) {
+	s.once.Do(func() {
+		s.index, s.err = onion.Build(s.points, opt)
+	})
+	return s.index, s.err
+}
+
+// tupleSet is a registered tuple archive, sharded at ingest. The flat
+// row slice is retained (shards alias its backing array) for the
+// sequential-scan baseline, which partitions per item, not per shard.
+type tupleSet struct {
+	points [][]float64
+	shards []*tupleShard
+}
+
+func newTupleSet(points [][]float64, shards int) *tupleSet {
+	ts := &tupleSet{points: points}
+	for _, r := range partition(len(points), shards) {
+		ts.shards = append(ts.shards, &tupleShard{
+			offset: r[0],
+			points: points[r[0]:r[1]],
+		})
+	}
+	return ts
+}
+
+// seriesShard is one partition of a series archive with its
+// metadata-level summaries (the prefilter index) built at ingest.
+type seriesShard struct {
+	regions []synth.RegionSeries
+	sums    []synth.DrySpellStats
+}
+
+// seriesSet is a registered series archive, sharded at ingest.
+type seriesSet struct {
+	total  int
+	shards []*seriesShard
+}
+
+func newSeriesSet(rs []synth.RegionSeries, shards int) *seriesSet {
+	ss := &seriesSet{total: len(rs)}
+	for _, r := range partition(len(rs), shards) {
+		part := rs[r[0]:r[1]]
+		sums := make([]synth.DrySpellStats, len(part))
+		for i, reg := range part {
+			sums[i] = synth.SummarizeSeries(reg)
+		}
+		ss.shards = append(ss.shards, &seriesShard{regions: part, sums: sums})
+	}
+	return ss
+}
+
+// wellSet is a registered well-log archive, sharded at ingest.
+type wellSet struct {
+	shards [][]synth.WellLog
+}
+
+func newWellSet(ws []synth.WellLog, shards int) *wellSet {
+	s := &wellSet{}
+	for _, r := range partition(len(ws), shards) {
+		s.shards = append(s.shards, ws[r[0]:r[1]])
+	}
+	return s
+}
+
+// sceneSet is a registered raster archive. The scene's pyramid (built
+// by archive.BuildScene) is shared read-only across shards; what is
+// partitioned is the coarsest-level cell frontier, so each shard runs
+// branch-and-bound over its own territory of the scene.
+type sceneSet struct {
+	scene *archive.Scene
+	roots [][]progressive.Cell
+}
+
+func newSceneSet(sc *archive.Scene, shards int) *sceneSet {
+	ss := &sceneSet{scene: sc}
+	roots := progressive.Roots(sc.Pyramid())
+	for _, r := range partition(len(roots), shards) {
+		ss.roots = append(ss.roots, roots[r[0]:r[1]])
+	}
+	return ss
+}

@@ -730,7 +730,7 @@ func E8(cfg Config) (Table, error) {
 
 // All runs every experiment in order.
 func All(cfg Config) ([]Table, error) {
-	runs := []func(Config) (Table, error){E1, E2, E3, E4, E5, E6, E7, E8}
+	runs := []func(Config) (Table, error){E1, E2, E3, E4, E5, E6, E7, E8, E9}
 	out := make([]Table, 0, len(runs))
 	for _, r := range runs {
 		tbl, err := r(cfg)
@@ -761,6 +761,8 @@ func ByID(id string) (func(Config) (Table, error), bool) {
 		return E7, true
 	case "e8", "E8":
 		return E8, true
+	case "e9", "E9":
+		return E9, true
 	case "a1", "A1":
 		return A1, true
 	case "a2", "A2":

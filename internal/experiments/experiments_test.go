@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,8 +33,8 @@ func TestAllTablesWellFormed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 8 {
-		t.Fatalf("got %d tables, want 8", len(tables))
+	if len(tables) != 9 {
+		t.Fatalf("got %d tables, want 9", len(tables))
 	}
 	for _, tbl := range tables {
 		if tbl.ID == "" || tbl.Title == "" {
@@ -232,12 +234,38 @@ func TestE8Shape(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"e1", "E1", "e8"} {
+	for _, id := range []string{"e1", "E1", "e8", "e9", "E9"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("ByID(%q) not found", id)
 		}
 	}
 	if _, ok := ByID("e99"); ok {
 		t.Fatal("phantom experiment")
+	}
+}
+
+func TestWriteShardBaseline(t *testing.T) {
+	path := t.TempDir() + "/BENCH_shards.json"
+	if err := WriteShardBaseline(Config{Quick: true}, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base ShardBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Tuples == 0 || len(base.Points) != 4 {
+		t.Fatalf("malformed baseline: %+v", base)
+	}
+	if base.Points[0].Shards != 1 || base.Points[0].Speedup != 1 {
+		t.Fatalf("first point must be the 1-shard reference: %+v", base.Points[0])
+	}
+	for _, p := range base.Points {
+		if p.QueriesPerSec <= 0 || p.NsPerQuery <= 0 {
+			t.Fatalf("non-positive timing in %+v", p)
+		}
 	}
 }

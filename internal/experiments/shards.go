@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"modelir/internal/core"
+	"modelir/internal/linear"
+	"modelir/internal/synth"
+)
+
+// ShardPoint is one row of the shard-scaling sweep: query throughput of
+// the sharded tuple engine at a given shard count, on one fixed
+// archive and model.
+type ShardPoint struct {
+	Shards        int     `json:"shards"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	NsPerQuery    float64 `json:"ns_per_query"`
+	// PointsTouched samples the last query's pruning stats. For
+	// shards >= 2 it is scheduling-dependent (how far a shard scans
+	// before the shared bound prunes it varies with interleaving), so
+	// diff the 1-shard row, not this, when tracking pruning across
+	// commits.
+	PointsTouched int `json:"points_touched_sample"`
+	// Speedup is throughput relative to the 1-shard row.
+	Speedup float64 `json:"speedup"`
+}
+
+// ShardBaseline is the machine-readable artifact CI archives as
+// BENCH_shards.json so the speedup curve is visible in the perf
+// trajectory across commits.
+type ShardBaseline struct {
+	Tuples     int          `json:"tuples"`
+	Dims       int          `json:"dims"`
+	K          int          `json:"k"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []ShardPoint `json:"points"`
+}
+
+// shardSweep times LinearTopKTuples over ShardWorkload at each shard
+// count, memoized per Config so `benchtab -shardjson` and a selected
+// E9 share one run instead of repeating a multi-minute benchmark.
+func shardSweep(cfg Config) (ShardBaseline, error) {
+	c := &sweepCache[0]
+	if cfg.Quick {
+		c = &sweepCache[1]
+	}
+	c.once.Do(func() { c.base, c.err = runShardSweep(cfg) })
+	return c.base, c.err
+}
+
+var sweepCache [2]struct {
+	once sync.Once
+	base ShardBaseline
+	err  error
+}
+
+// ShardWorkloadSize is the full-scale E9 archive size (quick mode
+// shrinks it); bench_test.go's BenchmarkLinearTopKSharded uses the
+// same constant so the benchmark and BENCH_shards.json stay on one
+// workload.
+const ShardWorkloadSize = 100_000
+
+// ShardWorkload is the canonical E9 fixture — `BenchmarkLinearTopKSharded`
+// and the CI-archived BENCH_shards.json must measure the same archive
+// and model, so both build it here. 8 dimensions put the Onion index in
+// its weak-pruning regime (direction-sampled layers bound loosely and
+// queries reach the core bucket), making the query scan-bound — the
+// workload shard fan-out exists for.
+func ShardWorkload(n int) ([][]float64, *linear.Model, error) {
+	pts, err := synth.GaussianTuples(91, n, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := linear.New(
+		[]string{"a", "b", "c", "d", "e", "f", "g", "h"},
+		[]float64{1, -0.5, 2, 0.25, -1.5, 0.75, -0.25, 1.25}, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pts, m, nil
+}
+
+func runShardSweep(cfg Config) (ShardBaseline, error) {
+	n, k, reps := ShardWorkloadSize, 10, 20
+	if cfg.Quick {
+		n, reps = 20_000, 5
+	}
+	base := ShardBaseline{Tuples: n, K: k, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	pts, m, err := ShardWorkload(n)
+	if err != nil {
+		return base, err
+	}
+	base.Dims = len(pts[0])
+	for _, shards := range []int{1, 2, 4, 8} {
+		e := core.NewEngineWith(core.Options{Shards: shards})
+		if err := e.AddTuples("t", pts); err != nil {
+			return base, err
+		}
+		// Build indexes outside the timed region.
+		if _, _, err := e.LinearTopKTuples("t", m, k); err != nil {
+			return base, err
+		}
+		var touched int
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			_, st, err := e.LinearTopKTuples("t", m, k)
+			if err != nil {
+				return base, err
+			}
+			touched = st.Indexed.PointsTouched
+		}
+		el := time.Since(start)
+		p := ShardPoint{
+			Shards:        shards,
+			NsPerQuery:    float64(el.Nanoseconds()) / float64(reps),
+			QueriesPerSec: float64(reps) / el.Seconds(),
+			PointsTouched: touched,
+		}
+		if len(base.Points) > 0 {
+			p.Speedup = p.QueriesPerSec / base.Points[0].QueriesPerSec
+		} else {
+			p.Speedup = 1
+		}
+		base.Points = append(base.Points, p)
+	}
+	return base, nil
+}
+
+// E9 measures shard scaling of parallel top-K query execution over the
+// tuple engine (the sharded-engine refactor; not part of the paper's
+// original E1-E8 suite).
+func E9(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "E9",
+		Title: "Shard scaling of LinearTopKTuples (8-attr Gaussian tuples, scan-bound regime)",
+		Columns: []string{
+			"shards", "queries/s", "ns/query", "pts touched", "speedup vs 1 shard",
+		},
+	}
+	base, err := shardSweep(cfg)
+	if err != nil {
+		return t, err
+	}
+	for _, p := range base.Points {
+		t.Rows = append(t.Rows, []string{
+			f("%d", p.Shards),
+			f("%.1f", p.QueriesPerSec),
+			f("%.0f", p.NsPerQuery),
+			f("%d", p.PointsTouched),
+			f("%.2fx", p.Speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		f("GOMAXPROCS=%d; shard fan-out buys wall-clock only with multiple cores", base.GOMAXPROCS),
+		"results are shard-count invariant (see core's TestShardEquivalenceAllFamilies)")
+	return t, nil
+}
+
+// WriteShardBaseline runs the shard sweep and writes the JSON baseline
+// (the BENCH_shards.json artifact produced by `benchtab -shardjson`).
+func WriteShardBaseline(cfg Config, path string) error {
+	base, err := shardSweep(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

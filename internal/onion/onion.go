@@ -161,6 +161,17 @@ type Stats struct {
 // TopK returns the k points maximizing w·x, best first, with exact
 // results and the work statistics. To minimize the model, negate w.
 func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
+	return ix.TopKShared(w, k, nil)
+}
+
+// TopKShared is TopK for an index that covers one shard of a larger
+// logical dataset: sb carries the progressive-screening floor shared
+// with the scans of the sibling shards. Whenever the local heap fills,
+// its threshold is published; layers whose upper bound falls strictly
+// below the shared floor are skipped even if the local heap could still
+// absorb them — those points cannot reach the merged global top-K. A
+// nil bound degrades to the plain single-index scan.
+func (ix *Index) TopKShared(w []float64, k int, sb *topk.Bound) ([]topk.Item, Stats, error) {
 	var st Stats
 	if len(w) != ix.dim {
 		return nil, st, fmt.Errorf("onion: weight dim %d, want %d", len(w), ix.dim)
@@ -171,8 +182,11 @@ func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
 	}
 	prevMax := math.Inf(1)
 	for li, layer := range ix.layers {
-		if h.Full() {
-			floor, _ := h.Threshold()
+		// Bounds are only worth computing once a break is possible:
+		// the local heap is full, or a sibling shard has published a
+		// real floor (Get is nil-safe and -Inf when unshared).
+		gf := sb.Get()
+		if h.Full() || !math.IsInf(gf, -1) {
 			// Box bound: sound for any layering.
 			bound := ix.suffixBound(li, w)
 			// Convex-layer bound: with true convex layers, everything
@@ -186,8 +200,23 @@ func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
 					bound = cb
 				}
 			}
-			if floor >= bound {
-				break // nothing deeper can beat the current top K
+			if h.Full() {
+				floor, _ := h.Threshold()
+				// Strictly below the floor only: a deeper point tied
+				// with the floor can still win the smaller-ID
+				// tie-break, and which layers hold the tied points
+				// depends on shard boundaries — a non-strict break
+				// would make results shard-dependent on ties.
+				if floor > bound {
+					break // nothing deeper can beat the current top K
+				}
+			}
+			// Strictly below the cross-shard floor: nothing deeper can
+			// enter the *merged* top-K, even though the local heap may
+			// still have room (ties keep scanning — they can win the
+			// smaller-ID tie-break at merge).
+			if bound < gf {
+				break
 			}
 		}
 		st.LayersScanned++
@@ -201,6 +230,9 @@ func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
 			h.OfferScore(int64(pi), s)
 		}
 		prevMax = layerMax
+		if t, ok := h.Threshold(); ok {
+			sb.Raise(t)
+		}
 	}
 	return h.Results(), st, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"modelir/internal/synth"
+	"modelir/internal/topk"
 )
 
 func randomWeights(rng *rand.Rand, d int) []float64 {
@@ -277,5 +278,104 @@ func TestExactnessProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTopKSharedPartitionsEqualWhole(t *testing.T) {
+	// The sharded dataflow: split the points into P contiguous
+	// partitions, index each, scan them with a shared bound, merge.
+	// The merged top-K must equal the single-index top-K for every
+	// partition count and every query direction.
+	for _, d := range []int{2, 3, 6} {
+		pts, err := synth.GaussianTuples(19, 3000, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole, err := Build(pts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(23))
+		for _, parts := range []int{2, 5} {
+			chunk := (len(pts) + parts - 1) / parts
+			var ixs []*Index
+			var offs []int
+			for lo := 0; lo < len(pts); lo += chunk {
+				hi := lo + chunk
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				ix, err := Build(pts[lo:hi], Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ixs = append(ixs, ix)
+				offs = append(offs, lo)
+			}
+			for q := 0; q < 10; q++ {
+				w := randomWeights(rng, d)
+				const k = 12
+				want, _, err := whole.TopK(w, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sb := topk.NewBound()
+				merged := topk.MustHeap(k)
+				for pi, ix := range ixs {
+					items, _, err := ix.TopKShared(w, k, sb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range items {
+						items[i].ID += int64(offs[pi])
+					}
+					topk.MergeItems(merged, items)
+				}
+				got := merged.Results()
+				if len(got) != len(want) {
+					t.Fatalf("d=%d parts=%d q=%d: %d vs %d items", d, parts, q, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+						t.Fatalf("d=%d parts=%d q=%d pos %d: %+v vs %+v",
+							d, parts, q, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSharedBoundPrunesColdShard(t *testing.T) {
+	// A floor raised above a shard's reachable scores must let its scan
+	// stop before touching deep layers.
+	pts, err := synth.GaussianTuples(29, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 1, 1}
+	_, cold, err := ix.TopKShared(w, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := topk.NewBound()
+	sb.Raise(1e9) // unreachably high cross-shard floor
+	items, hot, err := ix.TopKShared(w, 10, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.PointsTouched >= cold.PointsTouched {
+		t.Fatalf("shared floor did not prune: %d vs %d points", hot.PointsTouched, cold.PointsTouched)
+	}
+	// Pruned-away items are below the floor by construction, so an
+	// empty or truncated partial result is legitimate here.
+	for _, it := range items {
+		if it.Score >= 1e9 {
+			t.Fatalf("impossible score %v", it.Score)
+		}
 	}
 }

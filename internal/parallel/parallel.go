@@ -106,6 +106,52 @@ func TopK(n, k, workers int, score Scorer) ([]topk.Item, error) {
 	return merged.Results(), nil
 }
 
+// ShardRunner produces one shard's partial top-K. The shared bound
+// carries the highest full-heap threshold published by any shard; a
+// runner should Raise it whenever its local heap fills and may prune
+// any candidate whose upper bound falls strictly below Get().
+type ShardRunner func(shard int, bound *topk.Bound) ([]topk.Item, error)
+
+// ShardTopK evaluates one runner per shard on a pool of `workers`
+// goroutines (0 = GOMAXPROCS) and merges the partial top-Ks into the
+// global top-K, best first. Shards exchange progressive-screening
+// thresholds through a fresh atomic Bound, so a hot shard's results
+// prune cold shards' scans mid-flight. Because pruning is strict
+// (upper bound < floor), the merged result is exactly the top-K of the
+// union no matter how the scheduler interleaves shards.
+func ShardTopK(shards, k, workers int, run ShardRunner) ([]topk.Item, error) {
+	if shards < 0 {
+		return nil, errors.New("parallel: negative shard count")
+	}
+	if run == nil {
+		return nil, errors.New("parallel: nil shard runner")
+	}
+	merged, err := topk.NewHeap(k)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	if shards == 0 {
+		return merged.Results(), nil
+	}
+	bound := topk.NewBound()
+	partials := make([][]topk.Item, shards)
+	err = ForEach(shards, workers, func(s int) error {
+		items, err := run(s, bound)
+		if err != nil {
+			return err
+		}
+		partials[s] = items
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, items := range partials {
+		topk.MergeItems(merged, items)
+	}
+	return merged.Results(), nil
+}
+
 // ForEach runs fn over 0..n-1 with `workers` goroutines (0 = GOMAXPROCS)
 // and returns the first error encountered (remaining items in that
 // worker's shard are skipped; other shards run to completion).

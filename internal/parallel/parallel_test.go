@@ -149,3 +149,93 @@ func TestForEach(t *testing.T) {
 		t.Fatal("zero items must be a no-op")
 	}
 }
+
+func TestShardTopKValidation(t *testing.T) {
+	run := func(s int, sb *topk.Bound) ([]topk.Item, error) { return nil, nil }
+	if _, err := ShardTopK(-1, 1, 0, run); err == nil {
+		t.Fatal("want negative shards error")
+	}
+	if _, err := ShardTopK(1, 1, 0, nil); err == nil {
+		t.Fatal("want nil runner error")
+	}
+	if _, err := ShardTopK(1, 0, 0, run); err == nil {
+		t.Fatal("want bad capacity error")
+	}
+	items, err := ShardTopK(0, 3, 0, run)
+	if err != nil || len(items) != 0 {
+		t.Fatalf("zero shards: items=%v err=%v", items, err)
+	}
+}
+
+func TestShardTopKMergesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scores := make([]float64, 1000)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(50)) // ties across shard boundaries
+	}
+	want := topk.SelectTopK(scores, 13)
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		chunk := (len(scores) + shards - 1) / shards
+		got, err := ShardTopK(shards, 13, 4, func(s int, sb *topk.Bound) ([]topk.Item, error) {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > len(scores) {
+				hi = len(scores)
+			}
+			h := topk.MustHeap(13)
+			for i := lo; i < hi; i++ {
+				h.OfferScore(int64(i), scores[i])
+			}
+			if tr, ok := h.Threshold(); ok {
+				sb.Raise(tr)
+			}
+			return h.Results(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d items, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				t.Fatalf("shards=%d pos %d: %+v vs %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardTopKBoundIsShared(t *testing.T) {
+	// Every worker should observe raises published by earlier workers;
+	// with 1 worker the shards run in order, so shard 1 must see the
+	// floor shard 0 raised.
+	sawFloor := false
+	_, err := ShardTopK(2, 1, 1, func(s int, sb *topk.Bound) ([]topk.Item, error) {
+		if s == 0 {
+			sb.Raise(41)
+			return []topk.Item{{ID: 0, Score: 41}}, nil
+		}
+		if sb.Get() == 41 {
+			sawFloor = true
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawFloor {
+		t.Fatal("shard 1 did not observe shard 0's raised floor")
+	}
+}
+
+func TestShardTopKErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := ShardTopK(4, 2, 2, func(s int, sb *topk.Bound) ([]topk.Item, error) {
+		if s == 2 {
+			return nil, boom
+		}
+		return nil, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 
 	"modelir/internal/linear"
 	"modelir/internal/pyramid"
@@ -187,17 +188,49 @@ func (q *cellPQ) Pop() any          { old := *q; n := len(old); v := old[n-1]; *
 // min/max envelopes; cells that cannot reach the current K-th best are
 // pruned without visiting their pixels. Exact.
 func ProgData(m *linear.Model, mp *pyramid.MultibandPyramid, k int) (Result, error) {
-	return descend(m, nil, mp, k)
+	return descend(m, nil, mp, k, Roots(mp), nil)
 }
 
 // Combined is ProgData with a progressive model refinement at the pixel
 // level: pixels are first scored by the coarse sub-model and only
 // promising ones pay for the remaining terms. Exact.
 func Combined(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Result, error) {
-	return descend(pm.Full(), pm, mp, k)
+	return descend(pm.Full(), pm, mp, k, Roots(mp), nil)
 }
 
-func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Result, error) {
+// Cell identifies one pyramid cell by level and cell coordinates.
+type Cell struct {
+	Level, X, Y int
+}
+
+// Roots lists the coarsest-level cells of a pyramid in row-major order —
+// the starting frontier of a full descent, and the unit a sharded scene
+// scan partitions among workers.
+func Roots(mp *pyramid.MultibandPyramid) []Cell {
+	top := mp.NumLevels() - 1
+	coarse := mp.Band(0).Level(top).Mean
+	out := make([]Cell, 0, coarse.Width()*coarse.Height())
+	for cy := 0; cy < coarse.Height(); cy++ {
+		for cx := 0; cx < coarse.Width(); cx++ {
+			out = append(out, Cell{Level: top, X: cx, Y: cy})
+		}
+	}
+	return out
+}
+
+// CombinedShard runs Combined's branch-and-bound over only the given
+// root cells — one shard of the scene — publishing and consulting the
+// shared cross-shard floor sb (nil = unshared). A shard's partial
+// result may be truncated when sb rises above its territory's scores,
+// but everything pruned is strictly below the floor and the floor
+// never exceeds the global K-th best, so merging shard results by the
+// usual (score, ID) order still reproduces the whole-scene top-K
+// exactly. Item IDs stay global (y*W + x of the base level).
+func CombinedShard(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, sb *topk.Bound) (Result, error) {
+	return descend(pm.Full(), pm, mp, k, roots, sb)
+}
+
+func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, sb *topk.Bound) (Result, error) {
 	var res Result
 	bind, err := Bind(m, mp)
 	if err != nil {
@@ -207,7 +240,6 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 	if err != nil {
 		return res, err
 	}
-	top := mp.NumLevels() - 1
 	nTerms := m.NumTerms()
 	lo := make([]float64, nTerms)
 	hi := make([]float64, nTerms)
@@ -227,17 +259,26 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 		return ub, err
 	}
 
+	// floor is the score a candidate must beat to matter: the local
+	// heap's threshold or the cross-shard bound, whichever is higher.
+	// Both are lower bounds on the (merged) K-th best, so pruning
+	// strictly below the floor never drops a global winner.
+	floor := func() (float64, bool) {
+		f, ok := h.Threshold()
+		if g := sb.Get(); !math.IsInf(g, -1) && (!ok || g > f) {
+			f, ok = g, true
+		}
+		return f, ok
+	}
+
 	pq := &cellPQ{}
 	heap.Init(pq)
-	coarse := mp.Band(0).Level(top).Mean
-	for cy := 0; cy < coarse.Height(); cy++ {
-		for cx := 0; cx < coarse.Width(); cx++ {
-			ub, err := bound(top, cx, cy)
-			if err != nil {
-				return res, err
-			}
-			heap.Push(pq, cellEntry{level: top, x: cx, y: cy, upper: ub})
+	for _, c := range roots {
+		ub, err := bound(c.Level, c.X, c.Y)
+		if err != nil {
+			return res, err
 		}
+		heap.Push(pq, cellEntry{level: c.Level, x: c.X, y: c.Y, upper: ub})
 	}
 
 	evalPixel := func(px, py int) {
@@ -257,10 +298,8 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 		}
 		c := pm.EvalLevelUnchecked(0, x)
 		res.Stats.PixelTermEvals += pm.CostAt(0)
-		if h.Full() {
-			if floor, ok := h.Threshold(); ok && c+pm.Resid(0) < floor {
-				return // even the optimistic completion cannot enter
-			}
+		if f, ok := floor(); ok && c+pm.Resid(0) < f {
+			return // even the optimistic completion cannot enter
 		}
 		res.Stats.PixelTermEvals += nTerms - pm.CostAt(0)
 		h.OfferScore(id, m.EvalUnchecked(x))
@@ -268,16 +307,17 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 
 	for pq.Len() > 0 {
 		e := heap.Pop(pq).(cellEntry)
-		if h.Full() {
-			// Strict comparison: a cell whose bound equals the floor may
-			// still hold an equal-scoring pixel with a smaller ID, which
-			// wins the deterministic tie-break.
-			if floor, ok := h.Threshold(); ok && e.upper < floor {
-				break // best-first: nothing left can improve the heap
-			}
+		// Strict comparison: a cell whose bound equals the floor may
+		// still hold an equal-scoring pixel with a smaller ID, which
+		// wins the deterministic tie-break.
+		if f, ok := floor(); ok && e.upper < f {
+			break // best-first: nothing left can improve the result
 		}
 		if e.level == 0 {
 			evalPixel(e.x, e.y)
+			if t, ok := h.Threshold(); ok {
+				sb.Raise(t) // publish the local floor to sibling shards
+			}
 			continue
 		}
 		fine := mp.Band(0).Level(e.level - 1).Mean

@@ -7,6 +7,7 @@ import (
 	"modelir/internal/linear"
 	"modelir/internal/pyramid"
 	"modelir/internal/synth"
+	"modelir/internal/topk"
 )
 
 func hpsSetup(t *testing.T, seed int64, w, h int) (*linear.ProgressiveModel, *pyramid.MultibandPyramid) {
@@ -184,5 +185,64 @@ func TestFlatConsistentWithSurface(t *testing.T) {
 		if math.Abs(surf.At(x, y)-it.Score) > 1e-12 {
 			t.Fatalf("item %d score %v surface %v", it.ID, it.Score, surf.At(x, y))
 		}
+	}
+}
+
+func TestCombinedShardPartitionsEqualWhole(t *testing.T) {
+	pm, mp := hpsSetup(t, 91, 96, 80)
+	const k = 15
+	want, err := Combined(pm, mp, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := Roots(mp)
+	if len(roots) < 2 {
+		t.Fatalf("scene too small to shard: %d roots", len(roots))
+	}
+	for _, parts := range []int{1, 2, 3, len(roots)} {
+		chunk := (len(roots) + parts - 1) / parts
+		sb := topk.NewBound()
+		merged := topk.MustHeap(k)
+		for lo := 0; lo < len(roots); lo += chunk {
+			hi := lo + chunk
+			if hi > len(roots) {
+				hi = len(roots)
+			}
+			res, err := CombinedShard(pm, mp, k, roots[lo:hi], sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topk.MergeItems(merged, res.Items)
+		}
+		got := merged.Results()
+		if len(got) != len(want.Items) {
+			t.Fatalf("parts=%d: %d vs %d items", parts, len(got), len(want.Items))
+		}
+		for i := range want.Items {
+			if got[i].ID != want.Items[i].ID || got[i].Score != want.Items[i].Score {
+				t.Fatalf("parts=%d pos %d: %+v vs %+v", parts, i, got[i], want.Items[i])
+			}
+		}
+	}
+}
+
+func TestRootsCoverCoarsestLevel(t *testing.T) {
+	_, mp := hpsSetup(t, 92, 64, 64)
+	roots := Roots(mp)
+	top := mp.NumLevels() - 1
+	coarse := mp.Band(0).Level(top).Mean
+	if len(roots) != coarse.Width()*coarse.Height() {
+		t.Fatalf("%d roots for %dx%d coarsest level",
+			len(roots), coarse.Width(), coarse.Height())
+	}
+	seen := make(map[Cell]bool, len(roots))
+	for _, c := range roots {
+		if c.Level != top {
+			t.Fatalf("root %+v not at top level %d", c, top)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate root %+v", c)
+		}
+		seen[c] = true
 	}
 }

@@ -1,0 +1,197 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refTopK is the oracle: sort the full item set by (score desc, ID asc)
+// and truncate to k.
+func refTopK(items []Item, k int) []Item {
+	all := append([]Item(nil), items...)
+	sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func sameItems(t *testing.T, got, want []Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("pos %d: got %v/%v want %v/%v",
+				i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// shardAndMerge partitions items into `shards` contiguous heaps of
+// capacity k and merges them — the exact dataflow of a sharded query.
+func shardAndMerge(items []Item, shards, k int) []Item {
+	if shards < 1 {
+		shards = 1
+	}
+	merged := MustHeap(k)
+	chunk := (len(items) + shards - 1) / shards
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		local := MustHeap(k)
+		for _, it := range items[lo:hi] {
+			local.Offer(it)
+		}
+		Merge(merged, local)
+	}
+	return merged.Results()
+}
+
+func TestMergeShardedEqualsConcatenated(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		k := 1 + rng.Intn(20)
+		shards := 1 + rng.Intn(9)
+		items := make([]Item, n)
+		for i := range items {
+			// Coarse quantization forces plenty of score ties.
+			items[i] = Item{ID: int64(i), Score: float64(rng.Intn(12))}
+		}
+		want := refTopK(items, k)
+		got := shardAndMerge(items, shards, k)
+		sameItems(t, got, want)
+	}
+}
+
+func TestMergeItemsMatchesMerge(t *testing.T) {
+	src := MustHeap(4)
+	for i := 0; i < 10; i++ {
+		src.OfferScore(int64(i), float64(i%5))
+	}
+	viaHeap := Merge(MustHeap(3), src).Results()
+	viaItems := MergeItems(MustHeap(3), src.Results()).Results()
+	sameItems(t, viaItems, viaHeap)
+}
+
+func TestMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, 120)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Score: float64(rng.Intn(6))}
+	}
+	// Merge the same three partitions in every order; result must not move.
+	parts := [][]Item{items[:40], items[40:80], items[80:]}
+	var first []Item
+	for _, order := range [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		h := MustHeap(7)
+		for _, pi := range order {
+			MergeItems(h, parts[pi])
+		}
+		got := h.Results()
+		if first == nil {
+			first = got
+			sameItems(t, got, refTopK(items, 7))
+			continue
+		}
+		sameItems(t, got, first)
+	}
+}
+
+func TestBoundMonotoneAndNilSafe(t *testing.T) {
+	var nilB *Bound
+	if !math.IsInf(nilB.Get(), -1) {
+		t.Fatalf("nil bound Get = %v, want -Inf", nilB.Get())
+	}
+	nilB.Raise(5) // must not panic
+
+	b := NewBound()
+	if !math.IsInf(b.Get(), -1) {
+		t.Fatalf("fresh bound Get = %v, want -Inf", b.Get())
+	}
+	b.Raise(1.5)
+	if b.Get() != 1.5 {
+		t.Fatalf("Get = %v, want 1.5", b.Get())
+	}
+	b.Raise(0.5) // lower: ignored
+	if b.Get() != 1.5 {
+		t.Fatalf("Get after lower Raise = %v, want 1.5", b.Get())
+	}
+	b.Raise(math.NaN()) // NaN: ignored
+	if b.Get() != 1.5 {
+		t.Fatalf("Get after NaN Raise = %v, want 1.5", b.Get())
+	}
+	b.Raise(-2) // negative but lower than current: ignored
+	if b.Get() != 1.5 {
+		t.Fatalf("Get = %v, want 1.5", b.Get())
+	}
+	b.Raise(3)
+	if b.Get() != 3 {
+		t.Fatalf("Get = %v, want 3", b.Get())
+	}
+}
+
+func TestBoundNegativeRange(t *testing.T) {
+	// Float bit patterns of negatives are not order-preserving as
+	// integers; Raise must still compare as floats.
+	b := NewBound()
+	b.Raise(-10)
+	if b.Get() != -10 {
+		t.Fatalf("Get = %v, want -10", b.Get())
+	}
+	b.Raise(-3)
+	if b.Get() != -3 {
+		t.Fatalf("Get = %v, want -3", b.Get())
+	}
+	b.Raise(-7)
+	if b.Get() != -3 {
+		t.Fatalf("Get = %v, want -3", b.Get())
+	}
+}
+
+// FuzzHeapMerge asserts the sharded-merge invariant the engine relies
+// on: for any scores (ties included), any k and any shard count, the
+// merged top-K of per-shard heaps equals the top-K of the concatenated
+// input.
+func FuzzHeapMerge(f *testing.F) {
+	f.Add(int64(1), 10, 3, 2, false)
+	f.Add(int64(2), 100, 1, 7, true)
+	f.Add(int64(3), 1, 5, 5, false)
+	f.Add(int64(4), 257, 16, 4, true)
+	f.Fuzz(func(t *testing.T, seed int64, n, k, shards int, quantize bool) {
+		if n < 1 || n > 2000 || k < 1 || k > 64 || shards < 1 || shards > 32 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]Item, n)
+		for i := range items {
+			s := rng.NormFloat64()
+			if quantize {
+				// Few distinct values: dense ties exercise the ID
+				// tie-break across shard boundaries.
+				s = float64(int(s * 2))
+			}
+			items[i] = Item{ID: int64(i), Score: s}
+		}
+		want := refTopK(items, k)
+		got := shardAndMerge(items, shards, k)
+		if len(got) != len(want) {
+			t.Fatalf("got %d items, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				t.Fatalf("pos %d: got %v/%v want %v/%v",
+					i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	})
+}

@@ -43,11 +43,22 @@ import (
 )
 
 // Engine is the retrieval engine: register archives, then query them
-// with models. See core.Engine for method documentation.
+// with models. Archives are sharded at ingest and queries execute in
+// parallel across shards; the engine is safe for concurrent
+// registration and querying. See core.Engine for method documentation.
 type Engine = core.Engine
 
-// NewEngine returns an empty retrieval engine.
+// EngineOptions tunes engine construction; the zero value shards each
+// dataset GOMAXPROCS ways. Shards=1 reproduces a sequential engine.
+// The Onion field takes a modelir.OnionOptions value.
+type EngineOptions = core.Options
+
+// NewEngine returns an empty retrieval engine with default options.
 func NewEngine() *Engine { return core.NewEngine() }
+
+// NewEngineWithOptions returns an empty retrieval engine with the given
+// shard count and index tuning.
+func NewEngineWithOptions(opt EngineOptions) *Engine { return core.NewEngineWith(opt) }
 
 // Retrieval plumbing.
 type (

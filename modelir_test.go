@@ -200,3 +200,44 @@ func TestPublicProgressiveCompare(t *testing.T) {
 		t.Fatalf("combined speedup %v < 1", sp.PmPd())
 	}
 }
+
+func TestPublicShardedEngineOptions(t *testing.T) {
+	pts, err := modelir.GenerateTuples(2, 6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := modelir.NewLinearModel([]string{"a", "b", "c"}, []float64{2, -1, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []modelir.Item
+	for _, shards := range []int{1, 3, 8} {
+		e := modelir.NewEngineWithOptions(modelir.EngineOptions{Shards: shards})
+		if e.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", e.NumShards(), shards)
+		}
+		if err := e.AddTuples("t", pts); err != nil {
+			t.Fatal(err)
+		}
+		items, _, err := e.LinearTopKTuples("t", m, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = items
+			continue
+		}
+		if len(items) != len(want) {
+			t.Fatalf("shards=%d: %d vs %d items", shards, len(items), len(want))
+		}
+		for i := range want {
+			if items[i].ID != want[i].ID || items[i].Score != want[i].Score {
+				t.Fatalf("shards=%d pos %d: %+v vs %+v", shards, i, items[i], want[i])
+			}
+		}
+	}
+	// Zero options default to GOMAXPROCS shards.
+	if got := modelir.NewEngineWithOptions(modelir.EngineOptions{}).NumShards(); got < 1 {
+		t.Fatalf("default NumShards = %d", got)
+	}
+}

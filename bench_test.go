@@ -5,6 +5,7 @@
 package modelir_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,12 +19,14 @@ import (
 	"modelir/internal/linear"
 	"modelir/internal/metrics"
 	"modelir/internal/onion"
+	"modelir/internal/parallel"
 	"modelir/internal/progressive"
 	"modelir/internal/pyramid"
 	"modelir/internal/raster"
 	"modelir/internal/rtree"
 	"modelir/internal/sproc"
 	"modelir/internal/synth"
+	"modelir/internal/topk"
 )
 
 // ---- E1: Onion vs scan vs R-tree on 3-attr Gaussian tuples ----
@@ -594,5 +597,109 @@ func BenchmarkLinearTopKSharded(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- Unified Run API overhead vs the direct shard fan-out ----
+
+// BenchmarkRunOverhead pins the cost of the Engine.Run request plumbing
+// (Request validation, ctx checks, stats normalization) against the
+// deprecated per-family entry point on the same engine and workload.
+// The two share the execution path, so CI asserts they stay within
+// noise of each other — the API redesign must not tax the hot path.
+func BenchmarkRunOverhead(b *testing.B) {
+	d, err := e9Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.NewEngineWith(core.Options{Shards: 4})
+	if err := e.AddTuples("t", d.pts); err != nil {
+		b.Fatal(err)
+	}
+	// First query builds the per-shard indexes outside the timed region.
+	if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: d.m}, K: 10}
+
+	b.Run("unified-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy-wrapper", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-shard-fanout", func(b *testing.B) {
+		// The pre-redesign execution core, bypassing Request plumbing:
+		// raw ShardTopK over the cached per-shard indexes.
+		ixs := make([]*onion.Index, 4)
+		offs := make([]int, 4)
+		n := len(d.pts)
+		for s := 0; s < 4; s++ {
+			lo, hi := s*n/4, (s+1)*n/4
+			ix, err := onion.Build(d.pts[lo:hi], onion.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ixs[s], offs[s] = ix, lo
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := parallel.ShardTopK(4, 10, 0, func(si int, sb *topk.Bound) ([]topk.Item, error) {
+				its, _, err := ixs[si].TopKShared(d.m.Coeffs, 10, sb)
+				if err != nil {
+					return nil, err
+				}
+				for j := range its {
+					its[j].ID += int64(offs[si])
+				}
+				return its, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRunProgressiveDrain measures the streaming variant with a
+// draining consumer, including snapshot assembly and delivery.
+func BenchmarkRunProgressiveDrain(b *testing.B) {
+	pts, err := synth.GaussianTuples(77, 20_000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := linear.New([]string{"a", "b", "c"}, []float64{1, 0.5, -0.25}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.NewEngineWith(core.Options{Shards: 2})
+	if err := e.AddTuples("t", pts); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: m}, K: 10}
+	if _, err := e.Run(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := e.RunProgressive(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for snap := range ch {
+			if snap.Err != nil {
+				b.Fatal(snap.Err)
+			}
+		}
 	}
 }

@@ -7,9 +7,19 @@
 //	benchtab -e e1,e5                    # run selected experiments
 //	benchtab -quick                      # small data sizes (seconds instead of minutes)
 //	benchtab -shardjson BENCH_shards.json  # also write the shard-scaling baseline
+//	benchtab -timeout 30s                # bound the run with a context deadline
+//
+// -timeout wires a context.WithTimeout through the experiment driver:
+// the shard sweep cancels its Engine.Run queries mid-shard when the
+// deadline fires and records the cancellation in the -shardjson
+// artifact (cancelled/cancel_error fields); remaining experiments are
+// skipped. A timed-out run prints what completed and exits 0 — the
+// deadline is an operational bound, not a failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +40,17 @@ func run(args []string) error {
 	expList := fs.String("e", "all", "comma-separated ids (e1..e9 experiments, a1..a4 ablations), all, or ablations")
 	quick := fs.Bool("quick", false, "shrink data sizes for a fast smoke run")
 	shardJSON := fs.String("shardjson", "", "write the shard-scaling baseline (ShardBaseline JSON) to this path")
+	timeout := fs.Duration("timeout", 0, "overall deadline; cancels in-flight queries mid-shard and records it in -shardjson (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Quick: *quick, Ctx: ctx, Timeout: *timeout}
 	// Validate the -e selection before any benchmark work (including
 	// the -shardjson sweep) so a typo'd id fails fast instead of after
 	// minutes of timing runs.
@@ -52,19 +69,12 @@ func run(args []string) error {
 	}
 
 	var tables []experiments.Table
+	var runErr error
 	switch *expList {
 	case "all":
-		all, err := experiments.All(cfg)
-		if err != nil {
-			return err
-		}
-		tables = all
+		tables, runErr = experiments.All(cfg)
 	case "ablations":
-		abl, err := experiments.Ablations(cfg)
-		if err != nil {
-			return err
-		}
-		tables = abl
+		tables, runErr = experiments.Ablations(cfg)
 	default:
 		for _, id := range strings.Split(*expList, ",") {
 			id = strings.TrimSpace(id)
@@ -72,15 +82,29 @@ func run(args []string) error {
 			if !ok {
 				return fmt.Errorf("unknown experiment %q (want e1..e9 or a1..a4)", id)
 			}
-			tbl, err := runner(cfg)
-			if err != nil {
-				return err
+			if runErr = ctx.Err(); runErr != nil {
+				break // deadline fired between experiments
+			}
+			var tbl experiments.Table
+			tbl, runErr = runner(cfg)
+			if runErr != nil {
+				break
 			}
 			tables = append(tables, tbl)
 		}
 	}
 	for _, t := range tables {
 		printTable(t)
+	}
+	if runErr != nil {
+		// A fired deadline is an operational bound the caller asked
+		// for, not a failure: report what completed and exit clean.
+		if ce := ctx.Err(); ce != nil && errors.Is(runErr, ce) {
+			fmt.Printf("timeout %v reached (%v): %d experiment table(s) completed before cancellation\n",
+				*timeout, ce, len(tables))
+			return nil
+		}
+		return runErr
 	}
 	return nil
 }

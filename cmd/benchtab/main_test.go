@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"modelir/internal/experiments"
+)
 
 func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-e", "e99"}); err == nil {
@@ -18,5 +24,29 @@ func TestRunSelectedQuick(t *testing.T) {
 	}
 	if err := run([]string{"-quick", "-e", "a3"}); err != nil {
 		t.Fatalf("a3 quick: %v", err)
+	}
+}
+
+func TestRunTimeoutRecordsCancellation(t *testing.T) {
+	// A microscopic deadline cancels the sweep mid-shard; the artifact
+	// must still be written, recording the cancellation, and the run
+	// must exit cleanly (a fired deadline is not a failure).
+	path := t.TempDir() + "/shards.json"
+	if err := run([]string{"-quick", "-timeout", "1ns", "-e", "e9", "-shardjson", path}); err != nil {
+		t.Fatalf("timed-out run failed: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base experiments.ShardBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if !base.Cancelled || base.CancelError == "" {
+		t.Fatalf("cancellation not recorded: %+v", base)
+	}
+	if base.TimeoutMS != 0 { // 1ns rounds to 0ms; the field still records intent
+		t.Fatalf("timeout_ms = %d", base.TimeoutMS)
 	}
 }

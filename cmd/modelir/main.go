@@ -12,14 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"modelir"
-	"modelir/internal/core"
 )
 
 func main() {
@@ -73,10 +74,20 @@ func genScene(args []string) error {
 	return nil
 }
 
+// queryCtx builds the execution context for a query subcommand's
+// -timeout flag (0 = no deadline).
+func queryCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
 func queryHPS(args []string) error {
 	fs := flag.NewFlagSet("query-hps", flag.ContinueOnError)
 	path := fs.String("archive", "scene.gob", "scene archive path")
 	k := fs.Int("k", 10, "number of results")
+	timeout := fs.Duration("timeout", 0, "query deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,18 +104,25 @@ func queryHPS(args []string) error {
 	if err != nil {
 		return err
 	}
-	items, stats, err := engine.SceneTopK("scene", prog, *k)
+	ctx, cancel := queryCtx(*timeout)
+	defer cancel()
+	res, err := engine.Run(ctx, modelir.Request{
+		Dataset: "scene",
+		Query:   modelir.SceneQuery{Model: prog},
+		K:       *k,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("top-%d HPS risk locations in %s:\n", *k, *path)
-	for i, it := range items {
+	for i, it := range res.Items {
 		fmt.Printf("  %2d. (%4d,%4d)  R = %.2f\n",
 			i+1, int(it.ID)%arch.W, int(it.ID)/arch.W, it.Score)
 	}
 	flat := arch.W * arch.H * 4
-	fmt.Printf("work: %d term evals (flat would be %d; %.1fx saved)\n",
-		stats.Work(), flat, float64(flat)/float64(stats.Work()))
+	fmt.Printf("work: %d term evals in %v (flat would be %d; %.1fx saved)\n",
+		res.Stats.Evaluations, res.Stats.Wall.Round(time.Microsecond), flat,
+		float64(flat)/float64(res.Stats.Evaluations))
 	return nil
 }
 
@@ -127,13 +145,17 @@ func fireAnts(args []string) error {
 	if err := engine.AddSeries("w", arch); err != nil {
 		return err
 	}
-	items, st, err := engine.FSMTopK("w", modelir.FireAntsModel(), *k, core.FireAntsPrefilter)
+	res, err := engine.Run(context.Background(), modelir.Request{
+		Dataset: "w",
+		Query:   modelir.FSMQuery{Machine: modelir.FireAntsModel(), Prefilter: modelir.FireAntsPrefilter},
+		K:       *k,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("top-%d fire-ant fly-risk regions (%d/%d regions pruned from metadata):\n",
-		*k, st.RegionsPruned, st.RegionsTotal)
-	for i, it := range items {
+		*k, res.Stats.Pruned, res.Stats.Pruned+res.Stats.Examined)
+	for i, it := range res.Items {
 		fmt.Printf("  %2d. region %4d  score %.3f\n", i+1, it.ID, it.Score)
 	}
 	return nil
@@ -148,7 +170,7 @@ func geology(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var m core.GeologyMethod
+	var m modelir.GeologyMethod
 	switch *method {
 	case "brute":
 		m = modelir.GeoBruteForce
@@ -167,18 +189,22 @@ func geology(args []string) error {
 	if err := engine.AddWells("basin", ws); err != nil {
 		return err
 	}
-	q := modelir.GeologyQuery{
-		Sequence: []modelir.Lithology{modelir.Shale, modelir.Sandstone, modelir.Siltstone},
-		MaxGapFt: 10,
-		MinGamma: 45,
-	}
-	matches, st, err := engine.GeologyTopK("basin", q, *k, m)
+	res, err := engine.Run(context.Background(), modelir.Request{
+		Dataset: "basin",
+		Query: modelir.GeologyQuery{
+			Sequence: []modelir.Lithology{modelir.Shale, modelir.Sandstone, modelir.Siltstone},
+			MaxGapFt: 10,
+			MinGamma: 45,
+			Method:   m,
+		},
+		K: *k,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("top-%d riverbed wells (%s, %d pair evals):\n", *k, *method, st.PairEvals)
-	for i, w := range matches {
-		fmt.Printf("  %2d. well %4d  score %.3f\n", i+1, w.Well, w.Score)
+	fmt.Printf("top-%d riverbed wells (%s, %d unary+pair evals):\n", *k, *method, res.Stats.Evaluations)
+	for i, it := range res.Items {
+		fmt.Printf("  %2d. well %4d  score %.3f\n", i+1, it.ID, it.Score)
 	}
 	return nil
 }
@@ -189,6 +215,8 @@ func tuples(args []string) error {
 	k := fs.Int("k", 10, "number of results")
 	weights := fs.String("w", "0.443,0.222,0.153", "comma-separated model weights")
 	seed := fs.Int64("seed", 42, "generator seed")
+	timeout := fs.Duration("timeout", 0, "query deadline (0 = none)")
+	budget := fs.Int("budget", 0, "max points the query may score (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,13 +244,24 @@ func tuples(args []string) error {
 	if err != nil {
 		return err
 	}
-	items, st, err := engine.LinearTopKTuples("t", model, *k)
+	ctx, cancel := queryCtx(*timeout)
+	defer cancel()
+	res, err := engine.Run(ctx, modelir.Request{
+		Dataset: "t",
+		Query:   modelir.LinearQuery{Model: model},
+		K:       *k,
+		Budget:  *budget,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("top-%d of %d tuples (index touched %d points, %d layers):\n",
-		*k, *n, st.Indexed.PointsTouched, st.Indexed.LayersScanned)
-	for i, it := range items {
+	truncated := ""
+	if res.Stats.Truncated {
+		truncated = ", budget exhausted — best-effort results"
+	}
+	fmt.Printf("top-%d of %d tuples (index touched %d points in %v%s):\n",
+		*k, *n, res.Stats.Examined, res.Stats.Wall.Round(time.Microsecond), truncated)
+	for i, it := range res.Items {
 		fmt.Printf("  %2d. tuple %7d  score %.4f\n", i+1, it.ID, it.Score)
 	}
 	return nil

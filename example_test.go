@@ -1,15 +1,16 @@
 package modelir_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"modelir"
 )
 
-// Retrieval by linear model over a tuple archive: the library's core
-// loop in six lines.
-func ExampleEngine_linearModel() {
+// Retrieval by linear model over a tuple archive through the unified
+// request API: the library's core loop.
+func ExampleEngine_Run() {
 	points := [][]float64{
 		{1, 0, 0},
 		{0, 2, 0},
@@ -24,11 +25,15 @@ func ExampleEngine_linearModel() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	top, _, err := engine.LinearTopKTuples("demo", model, 2)
+	res, err := engine.Run(context.Background(), modelir.Request{
+		Dataset: "demo",
+		Query:   modelir.LinearQuery{Model: model},
+		K:       2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, it := range top {
+	for _, it := range res.Items {
 		fmt.Printf("tuple %d scores %.0f\n", it.ID, it.Score)
 	}
 	// Output:

@@ -1,14 +1,17 @@
 // Credit scoring (Section 2.1's FICO example): a linear scoring model
-// over a tuple archive of applicant attribute vectors, retrieved through
-// the Onion index. The model is minimized (find the riskiest applicants)
-// by negating the weights, and the Fig. 5 workflow refits the model from
+// over a tuple archive of applicant attribute vectors, retrieved
+// through the unified Engine.Run API. The model is minimized (find the
+// riskiest applicants) by negating the weights, a MinScore floor keeps
+// only prime-band files, and the Fig. 5 workflow refits the model from
 // observed foreclosure outcomes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"modelir"
 )
@@ -46,15 +49,24 @@ func run() error {
 	if err := engine.AddTuples("applicants", applicants); err != nil {
 		return err
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 
 	// Highest scores: negate nothing — the model's coefficients are
-	// already negative penalties, so maximizing finds the cleanest files.
-	best, stats, err := engine.LinearTopKTuples("applicants", model, 5)
+	// already negative penalties, so maximizing finds the cleanest
+	// files. The MinScore floor keeps prime-band files (>= 680) only.
+	prime := 680.0
+	best, err := engine.Run(ctx, modelir.Request{
+		Dataset:  "applicants",
+		Query:    modelir.LinearQuery{Model: model},
+		K:        5,
+		MinScore: &prime,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("5 best credit files:")
-	for i, it := range best {
+	fmt.Println("5 best credit files (prime band only):")
+	for i, it := range best.Items {
 		band, err := bandOf(it.Score)
 		if err != nil {
 			return err
@@ -62,8 +74,9 @@ func run() error {
 		fmt.Printf("  %d. applicant %5d  score %.0f (%s)  P[foreclose] %.2f%%\n",
 			i+1, it.ID, it.Score, band, 100*modelir.ForeclosureProbability(it.Score))
 	}
-	fmt.Printf("  (index touched %d of %d applicants)\n",
-		stats.Indexed.PointsTouched, stats.ScanCost)
+	fmt.Printf("  (%s query examined %d of %d applicants in %v)\n",
+		best.Stats.Kind, best.Stats.Examined, best.Stats.Examined+best.Stats.Pruned,
+		best.Stats.Wall.Round(time.Microsecond))
 
 	// Riskiest applicants: minimize the score by negating the weights.
 	neg := make([]float64, nAttrs)
@@ -74,12 +87,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	worst, _, err := engine.LinearTopKTuples("applicants", inverse, 5)
+	worst, err := engine.Run(ctx, modelir.Request{
+		Dataset: "applicants",
+		Query:   modelir.LinearQuery{Model: inverse},
+		K:       5,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Println("\n5 riskiest credit files:")
-	for i, it := range worst {
+	for i, it := range worst.Items {
 		score := -it.Score // undo the negation
 		band, err := bandOf(score)
 		if err != nil {

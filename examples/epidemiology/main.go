@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"modelir"
 	"modelir/internal/progressive"
@@ -48,19 +50,27 @@ func run() error {
 		return err
 	}
 
-	// 3. Retrieve the 20 highest-risk locations progressively.
-	top, stats, err := engine.SceneTopK("hps-region", prog, 20)
+	// 3. Retrieve the 20 highest-risk locations through the unified
+	//    request API, with a deadline bounding the scan.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := engine.Run(ctx, modelir.Request{
+		Dataset: "hps-region",
+		Query:   modelir.SceneQuery{Model: prog},
+		K:       20,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Println("top-20 HPS risk locations (x, y, R):")
-	for i, it := range top {
+	for i, it := range res.Items {
 		x, y := int(it.ID)%arch.W, int(it.ID)/arch.W
 		fmt.Printf("  %2d. (%3d,%3d)  R = %.2f\n", i+1, x, y, it.Score)
 	}
 	flatWork := arch.W * arch.H * model.NumTerms()
-	fmt.Printf("\nwork: %d term evaluations vs %d flat (%.1fx speedup)\n",
-		stats.Work(), flatWork, float64(flatWork)/float64(stats.Work()))
+	fmt.Printf("\nwork: %d term evaluations vs %d flat (%.1fx speedup) in %v\n",
+		res.Stats.Evaluations, flatWork, float64(flatWork)/float64(res.Stats.Evaluations),
+		res.Stats.Wall.Round(time.Millisecond))
 
 	// 4. Accuracy against a synthetic outbreak (Section 4.1): risk
 	//    surface -> threshold sweep -> CT and precision/recall@K.

@@ -3,6 +3,12 @@
 // days, and a day at or above 25°C. The example retrieves the top
 // fly-risk regions, shows the metadata-level pruning win, and ranks a
 // corrupted-sensor region by FSM distance.
+//
+// This example deliberately stays on the deprecated per-family methods
+// (Engine.FSMTopK) as the compatibility demo: code written against the
+// pre-Run API keeps compiling and returns results bit-identical to
+// Engine.Run with an FSMQuery. New code should prefer Run — see
+// examples/quickstart and examples/credit.
 package main
 
 import (
@@ -10,7 +16,6 @@ import (
 	"log"
 
 	"modelir"
-	"modelir/internal/core"
 	"modelir/internal/fsm"
 	"modelir/internal/synth"
 )
@@ -48,7 +53,7 @@ func run() error {
 
 	// Metadata pruning: regions whose summaries prove a zero score are
 	// skipped without scanning their days.
-	_, pruned, err := engine.FSMTopK("plains", machine, 10, core.FireAntsPrefilter)
+	_, pruned, err := engine.FSMTopK("plains", machine, 10, modelir.FireAntsPrefilter)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,13 @@ func run() error {
 		GammaRampAPI: 5, // fuzzy edge: 40 API grades 0, 50 API grades 1
 	}
 
-	matches, dpStats, err := engine.GeologyTopK("basin", query, 10, modelir.GeoDP)
+	ctx := context.Background()
+	query.Method = modelir.GeoDP
+	dp, err := engine.Run(ctx, modelir.Request{Dataset: "basin", Query: query, K: 10})
+	if err != nil {
+		return err
+	}
+	matches, err := modelir.WellMatches(dp.Items)
 	if err != nil {
 		return err
 	}
@@ -47,19 +54,30 @@ func run() error {
 			i+1, m.Well, m.Score, s.TopFt)
 	}
 
-	// Work comparison across evaluators.
-	_, prStats, err := engine.GeologyTopK("basin", query, 10, modelir.GeoPruned)
+	// Work comparison across evaluators (Stats.Evaluations counts
+	// unary+pair grades; the pruned evaluator does strictly less).
+	query.Method = modelir.GeoPruned
+	pruned, err := engine.Run(ctx, modelir.Request{Dataset: "basin", Query: query, K: 10})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\npair-constraint evaluations: DP %d, pruned %d (%.1fx less)\n",
-		dpStats.PairEvals, prStats.PairEvals,
-		float64(dpStats.PairEvals)/float64(prStats.PairEvals))
+	fmt.Printf("\nfuzzy-grade evaluations: DP %d, pruned %d (%.1fx less)\n",
+		dp.Stats.Evaluations, pruned.Stats.Evaluations,
+		float64(dp.Stats.Evaluations)/float64(pruned.Stats.Evaluations))
 
-	// Validation against the oracle on the planted ground truth.
+	// Validation against the oracle on the planted ground truth. A
+	// MinScore floor retrieves exactly the full-score wells.
 	found := 0
 	retrieved := make(map[int]bool, len(matches))
-	all, _, err := engine.GeologyTopK("basin", query, len(wells), modelir.GeoDP)
+	fullScore := 0.999
+	query.Method = modelir.GeoDP
+	allRes, err := engine.Run(ctx, modelir.Request{
+		Dataset: "basin", Query: query, K: len(wells), MinScore: &fullScore,
+	})
+	if err != nil {
+		return err
+	}
+	all, err := modelir.WellMatches(allRes.Items)
 	if err != nil {
 		return err
 	}

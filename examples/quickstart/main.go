@@ -1,11 +1,13 @@
-// Quickstart: build a tuple archive, pose a linear model query, and
-// compare the Onion-indexed retrieval against a sequential scan — the
-// smallest end-to-end use of the library.
+// Quickstart: build a tuple archive, pose a linear model query through
+// the unified Engine.Run entry point, and watch the same query stream
+// progressive snapshots — the smallest end-to-end use of the library.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"modelir"
 )
@@ -39,20 +41,52 @@ func run() error {
 		return err
 	}
 
-	// 3. Top-10 retrieval through the model-specific index.
-	top, stats, err := engine.LinearTopKTuples("demo", model, 10)
+	// 3. Top-10 retrieval through the unified request API: one entry
+	//    point for every model family, with a deadline attached.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := engine.Run(ctx, modelir.Request{
+		Dataset: "demo",
+		Query:   modelir.LinearQuery{Model: model},
+		K:       10,
+	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Println("top-10 tuples maximizing the model:")
-	for i, it := range top {
+	for i, it := range res.Items {
 		p := points[it.ID]
 		fmt.Printf("  %2d. tuple %6d  score %.4f  (%.3f, %.3f, %.3f)\n",
 			i+1, it.ID, it.Score, p[0], p[1], p[2])
 	}
-	fmt.Printf("\nwork: Onion touched %d of %d points (%d layers) — %.0fx fewer than a scan\n",
-		stats.Indexed.PointsTouched, stats.ScanCost, stats.Indexed.LayersScanned,
-		float64(stats.ScanCost)/float64(stats.Indexed.PointsTouched))
+	st := res.Stats
+	fmt.Printf("\nwork: %s query evaluated %d of %d candidates across %d shards in %v — %.0fx fewer than a scan\n",
+		st.Kind, st.Examined, st.Examined+st.Pruned, st.Shards, st.Wall.Round(time.Microsecond),
+		float64(st.Examined+st.Pruned)/float64(st.Examined))
+
+	// 4. The same request, delivered progressively: snapshots improve
+	//    monotonically as Onion layers complete, ending with the exact
+	//    final answer.
+	ch, err := engine.RunProgressive(ctx, modelir.Request{
+		Dataset: "demo",
+		Query:   modelir.LinearQuery{Model: model},
+		K:       10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nprogressive delivery:")
+	for snap := range ch {
+		if snap.Err != nil {
+			return snap.Err
+		}
+		tag := fmt.Sprintf("%s %d", snap.Stage, snap.Level)
+		if snap.Final {
+			tag = "final"
+		}
+		fmt.Printf("  snapshot %d (%s): best %.4f, %d items\n",
+			snap.Seq, tag, snap.Items[0].Score, len(snap.Items))
+	}
 	return nil
 }

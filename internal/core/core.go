@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -32,7 +33,6 @@ import (
 	"modelir/internal/fsm"
 	"modelir/internal/linear"
 	"modelir/internal/onion"
-	"modelir/internal/parallel"
 	"modelir/internal/progressive"
 	"modelir/internal/sproc"
 	"modelir/internal/synth"
@@ -226,90 +226,56 @@ type LinearTupleStats struct {
 	ScanCost int
 }
 
+// legacyK rejects result counts Run's K-defaulting would otherwise
+// mask, preserving the deprecated wrappers' k >= 1 contract.
+func legacyK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: k %d: %w", k, topk.ErrBadCapacity)
+	}
+	return nil
+}
+
 // LinearTopKTuples retrieves the top-K tuples maximizing the model over
-// a registered tuple archive. Each shard's Onion index (built in
-// parallel and cached on first use) is scanned by its own worker; the
-// workers exchange screening thresholds through a shared atomic bound
-// and their partial heaps merge into the exact global top-K. The
-// model's coefficient order must match the tuple attribute order.
+// a registered tuple archive. See LinearQuery for the execution notes.
+//
+// Deprecated: use Run with a LinearQuery; this wrapper exists for
+// callers that predate the unified request API and adds no behavior.
 func (e *Engine) LinearTopKTuples(dataset string, m *linear.Model, k int) ([]topk.Item, LinearTupleStats, error) {
 	var st LinearTupleStats
-	e.mu.RLock()
-	ts, ok := e.tuples[dataset]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	if err := legacyK(k); err != nil {
+		return nil, st, err
 	}
-	perShard := make([]onion.Stats, len(ts.shards))
-	items, err := parallel.ShardTopK(len(ts.shards), k, 0, func(si int, sb *topk.Bound) ([]topk.Item, error) {
-		sh := ts.shards[si]
-		// First query builds this shard's index inside the fan-out we
-		// already pay for; afterwards this is a sync.Once hit.
-		ix, err := sh.ensureIndex(e.onionOpt)
-		if err != nil {
-			return nil, err
-		}
-		its, ost, err := ix.TopKShared(m.Coeffs, k, sb)
-		if err != nil {
-			return nil, err
-		}
-		perShard[si] = ost
-		// Shard indexes number points locally; lift IDs into the
-		// global tuple index space.
-		for i := range its {
-			its[i].ID += int64(sh.offset)
-		}
-		return its, nil
+	res, err := e.Run(context.Background(), Request{
+		Dataset: dataset,
+		Query:   LinearQuery{Model: m},
+		K:       k,
 	})
 	if err != nil {
 		return nil, st, err
 	}
-	for _, s := range perShard {
-		st.Indexed.LayersScanned += s.LayersScanned
-		st.Indexed.PointsTouched += s.PointsTouched
-	}
-	st.ScanCost = len(ts.points)
-	// The model's intercept shifts every score identically; add it so
-	// returned scores equal model values.
-	if m.Intercept != 0 {
-		for i := range items {
-			items[i].Score += m.Intercept
-		}
-	}
-	return items, st, nil
+	st, _ = res.Stats.Detail.(LinearTupleStats)
+	return res.Items, st, nil
 }
 
 // SceneTopK retrieves the top-K locations of a linear risk model over a
-// registered raster archive using combined progressive execution, one
-// branch-and-bound worker per shard of the coarsest pyramid level. The
-// returned item IDs encode locations as y*W + x.
+// registered raster archive. See SceneQuery for the execution notes.
+//
+// Deprecated: use Run with a SceneQuery; this wrapper exists for
+// callers that predate the unified request API and adds no behavior.
 func (e *Engine) SceneTopK(dataset string, pm *linear.ProgressiveModel, k int) ([]topk.Item, progressive.Stats, error) {
-	e.mu.RLock()
-	ss, ok := e.scenes[dataset]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, progressive.Stats{}, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	if err := legacyK(k); err != nil {
+		return nil, progressive.Stats{}, err
 	}
-	perShard := make([]progressive.Stats, len(ss.roots))
-	items, err := parallel.ShardTopK(len(ss.roots), k, 0, func(si int, sb *topk.Bound) ([]topk.Item, error) {
-		res, err := progressive.CombinedShard(pm, ss.scene.Pyramid(), k, ss.roots[si], sb)
-		if err != nil {
-			return nil, err
-		}
-		perShard[si] = res.Stats
-		return res.Items, nil
+	res, err := e.Run(context.Background(), Request{
+		Dataset: dataset,
+		Query:   SceneQuery{Model: pm},
+		K:       k,
 	})
 	if err != nil {
 		return nil, progressive.Stats{}, err
 	}
-	var agg progressive.Stats
-	for _, s := range perShard {
-		agg.PixelTermEvals += s.PixelTermEvals
-		agg.CellTermEvals += s.CellTermEvals
-		agg.PixelsVisited += s.PixelsVisited
-		agg.CellsVisited += s.CellsVisited
-	}
-	return items, agg, nil
+	st, _ := res.Stats.Detail.(progressive.Stats)
+	return res.Items, st, nil
 }
 
 // FSMStats reports finite-state retrieval work.
@@ -331,85 +297,57 @@ func FireAntsPrefilter(s synth.DrySpellStats) bool {
 }
 
 // FSMTopK ranks regions of a series archive by fsm.FlyScore under the
-// given machine, one DFA-scan worker per shard. A nil prefilter scans
-// every region (the baseline); a prefilter skips regions whose
-// metadata proves a zero score.
+// given machine. See FSMQuery for the execution notes.
+//
+// Deprecated: use Run with an FSMQuery; this wrapper exists for
+// callers that predate the unified request API and adds no behavior.
 func (e *Engine) FSMTopK(dataset string, m *fsm.Machine, k int, pre FSMPrefilter) ([]topk.Item, FSMStats, error) {
 	return e.fsmTopK(dataset, m, k, pre, 0)
 }
 
 func (e *Engine) fsmTopK(dataset string, m *fsm.Machine, k int, pre FSMPrefilter, workers int) ([]topk.Item, FSMStats, error) {
 	var st FSMStats
-	e.mu.RLock()
-	ss, ok := e.series[dataset]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	if err := legacyK(k); err != nil {
+		return nil, st, err
 	}
-	st.RegionsTotal = ss.total
-	perShard := make([]FSMStats, len(ss.shards))
-	items, err := parallel.ShardTopK(len(ss.shards), k, workers, func(si int, _ *topk.Bound) ([]topk.Item, error) {
-		sh := ss.shards[si]
-		h := topk.MustHeap(k)
-		for i, r := range sh.regions {
-			if pre != nil && !pre(sh.sums[i]) {
-				perShard[si].RegionsPruned++
-				continue
-			}
-			events := fsm.ClassifySeries(r.Days)
-			perShard[si].DaysScanned += len(events)
-			score, err := fsm.FlyScore(m, events)
-			if err != nil {
-				return nil, err
-			}
-			if score > 0 {
-				h.OfferScore(int64(r.Region), score)
-			}
-		}
-		return h.Results(), nil
+	res, err := e.Run(context.Background(), Request{
+		Dataset: dataset,
+		Query:   FSMQuery{Machine: m, Prefilter: pre},
+		K:       k,
+		Workers: workers,
 	})
-	for _, s := range perShard {
-		st.RegionsPruned += s.RegionsPruned
-		st.DaysScanned += s.DaysScanned
-	}
 	if err != nil {
 		return nil, st, err
 	}
-	return items, st, nil
+	st, _ = res.Stats.Detail.(FSMStats)
+	return res.Items, st, nil
 }
 
 // FSMDistanceRank ranks regions by how closely the machine their data
-// exhibits matches the target machine (smaller distance = better rank,
-// so scores are 1-distance), one extract-and-compare worker per shard.
-// This is the paper's "distance between these two finite state
-// machines" retrieval mode.
+// exhibits matches the target machine. See FSMDistanceQuery for the
+// execution notes.
+//
+// Deprecated: use Run with an FSMDistanceQuery; this wrapper exists for
+// callers that predate the unified request API and adds no behavior.
 func (e *Engine) FSMDistanceRank(dataset string, target *fsm.Machine, k, horizon int) ([]topk.Item, error) {
-	e.mu.RLock()
-	ss, ok := e.series[dataset]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
+	if err := legacyK(k); err != nil {
+		return nil, err
 	}
-	return parallel.ShardTopK(len(ss.shards), k, 0, func(si int, _ *topk.Bound) ([]topk.Item, error) {
-		h := topk.MustHeap(k)
-		for _, r := range ss.shards[si].regions {
-			events := fsm.ClassifySeries(r.Days)
-			extracted, err := fsm.Extract(target, [][]fsm.Event{events})
-			if err != nil {
-				return nil, err
-			}
-			d, err := fsm.Distance(target, extracted, horizon)
-			if err != nil {
-				return nil, err
-			}
-			h.OfferScore(int64(r.Region), 1-d)
-		}
-		return h.Results(), nil
+	res, err := e.Run(context.Background(), Request{
+		Dataset: dataset,
+		Query:   FSMDistanceQuery{Target: target, Horizon: horizon},
+		K:       k,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Items, nil
 }
 
 // GeologyQuery is the Fig. 4 knowledge model: an ordered lithology
-// sequence with adjacency and gamma-ray constraints.
+// sequence with adjacency and gamma-ray constraints, retrieved over a
+// well archive with the chosen SPROC evaluator. It implements Query
+// directly (item Payloads carry the matched strata indices).
 type GeologyQuery struct {
 	// Sequence is the top-down lithology pattern (e.g. shale, sandstone,
 	// siltstone).
@@ -422,6 +360,8 @@ type GeologyQuery struct {
 	// GammaRampAPI softens the gamma threshold: grades ramp from 0 at
 	// MinGamma-GammaRamp to 1 at MinGamma+GammaRamp. Zero = crisp.
 	GammaRampAPI float64
+	// Method selects the SPROC evaluator; zero means GeoDP.
+	Method GeologyMethod
 }
 
 // Validate checks the query.
@@ -454,80 +394,57 @@ const (
 )
 
 // GeologyTopK retrieves the top-K wells whose strata best satisfy the
-// knowledge model, one SPROC worker per shard of the well archive, each
-// evaluating its wells' composite queries with the chosen method and
-// ranking wells by their best match score.
+// knowledge model. See GeologyQuery for the execution notes.
+//
+// Deprecated: use Run with a GeologyQuery (set its Method field); this
+// wrapper exists for callers that predate the unified request API and
+// adds no behavior beyond converting items to WellMatch values.
 func (e *Engine) GeologyTopK(dataset string, q GeologyQuery, k int, method GeologyMethod) ([]WellMatch, sproc.Stats, error) {
 	return e.geologyTopK(dataset, q, k, method, 0)
 }
 
 func (e *Engine) geologyTopK(dataset string, q GeologyQuery, k int, method GeologyMethod, workers int) ([]WellMatch, sproc.Stats, error) {
 	var agg sproc.Stats
-	if err := q.Validate(); err != nil {
+	if err := legacyK(k); err != nil {
 		return nil, agg, err
 	}
+	// The legacy signature takes the method positionally and never
+	// accepted zero; only the unified path defaults it to GeoDP.
 	switch method {
 	case GeoBruteForce, GeoDP, GeoPruned:
 	default:
 		return nil, agg, fmt.Errorf("core: unknown geology method %d", method)
 	}
-	e.mu.RLock()
-	ws, ok := e.wells[dataset]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, agg, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
-	}
-	perShard := make([]sproc.Stats, len(ws.shards))
-	items, err := parallel.ShardTopK(len(ws.shards), k, workers, func(si int, _ *topk.Bound) ([]topk.Item, error) {
-		h := topk.MustHeap(k)
-		for _, well := range ws.shards[si] {
-			sq := geologySprocQuery(well, q)
-			var (
-				matches []sproc.Match
-				st      sproc.Stats
-				err     error
-			)
-			switch method {
-			case GeoBruteForce:
-				matches, st, err = sproc.BruteForce(len(well.Strata), sq, 1)
-			case GeoDP:
-				matches, st, err = sproc.DP(len(well.Strata), sq, 1)
-			case GeoPruned:
-				matches, st, err = sproc.Pruned(len(well.Strata), sq, 1)
-			}
-			if err != nil {
-				return nil, err
-			}
-			perShard[si].UnaryEvals += st.UnaryEvals
-			perShard[si].PairEvals += st.PairEvals
-			perShard[si].TuplesConsidered += st.TuplesConsidered
-			if len(matches) > 0 && matches[0].Score > 0 {
-				h.Offer(topk.Item{
-					ID:      int64(well.Well),
-					Score:   matches[0].Score,
-					Payload: matches[0].Items,
-				})
-			}
-		}
-		return h.Results(), nil
+	q.Method = method
+	res, err := e.Run(context.Background(), Request{
+		Dataset: dataset,
+		Query:   q,
+		K:       k,
+		Workers: workers,
 	})
-	for _, s := range perShard {
-		agg.UnaryEvals += s.UnaryEvals
-		agg.PairEvals += s.PairEvals
-		agg.TuplesConsidered += s.TuplesConsidered
-	}
 	if err != nil {
 		return nil, agg, err
 	}
+	agg, _ = res.Stats.Detail.(sproc.Stats)
+	out, err := WellMatches(res.Items)
+	if err != nil {
+		return nil, agg, err
+	}
+	return out, agg, nil
+}
+
+// WellMatches converts GeologyQuery result items (well IDs with strata
+// payloads) into WellMatch values.
+func WellMatches(items []topk.Item) ([]WellMatch, error) {
 	var out []WellMatch
 	for _, it := range items {
 		strata, ok := it.Payload.([]int)
 		if !ok {
-			return nil, agg, errors.New("core: internal payload corruption")
+			return nil, errors.New("core: geology item without strata payload")
 		}
 		out = append(out, WellMatch{Well: int(it.ID), Score: it.Score, Strata: strata})
 	}
-	return out, agg, nil
+	return out, nil
 }
 
 // geologySprocQuery compiles the Fig. 4 model into a SPROC query over

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
 	"modelir/internal/bayes"
 	"modelir/internal/topk"
@@ -24,44 +23,26 @@ type KnowledgeStats struct {
 	RawSamplesAvoided int
 }
 
-// KnowledgeTopKTiles ranks a scene's tiles by rule-set score. Item IDs
-// are tile indices into the archive's Tiles slice.
+// KnowledgeTopKTiles ranks a scene's tiles by rule-set score. See
+// KnowledgeQuery for the execution notes.
+//
+// Deprecated: use Run with a KnowledgeQuery; this wrapper exists for
+// callers that predate the unified request API and adds no behavior.
 func (e *Engine) KnowledgeTopKTiles(dataset string, rules *bayes.RuleSet, k int) ([]topk.Item, KnowledgeStats, error) {
 	var st KnowledgeStats
-	if rules == nil || rules.Len() == 0 {
-		return nil, st, errors.New("core: empty rule set")
+	if err := legacyK(k); err != nil {
+		return nil, st, err
 	}
-	sc, err := e.Scene(dataset)
+	res, err := e.Run(context.Background(), Request{
+		Dataset: dataset,
+		Query:   KnowledgeQuery{Rules: rules},
+		K:       k,
+	})
 	if err != nil {
 		return nil, st, err
 	}
-	h, err := topk.NewHeap(k)
-	if err != nil {
-		return nil, st, err
-	}
-	vals := make(map[string]float64, 4*sc.NumBands())
-	for ti, tile := range sc.Tiles {
-		for b, name := range sc.BandNames {
-			feat, err := sc.Feature(b, ti)
-			if err != nil {
-				return nil, st, err
-			}
-			vals[name+".mean"] = feat.Stats.Mean
-			vals[name+".std"] = feat.Stats.Std
-			vals[name+".min"] = feat.Stats.Min
-			vals[name+".max"] = feat.Stats.Max
-		}
-		score, err := rules.Score(vals)
-		if err != nil {
-			return nil, st, fmt.Errorf("core: tile %d: %w", ti, err)
-		}
-		st.TilesScored++
-		st.RawSamplesAvoided += tile.Area() * sc.NumBands()
-		if score > 0 {
-			h.OfferScore(int64(ti), score)
-		}
-	}
-	return h.Results(), st, nil
+	st, _ = res.Stats.Detail.(KnowledgeStats)
+	return res.Items, st, nil
 }
 
 // HPSTileRules compiles the Fig. 3 knowledge model into a feature-level

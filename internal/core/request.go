@@ -1,0 +1,837 @@
+// The unified query surface: "a query is a model" (the paper's central
+// abstraction) made literal in the API. Every model family — linear
+// over tuples, linear over rasters, finite-state over series, knowledge
+// over composite objects or tiles — is a Query value executed through
+// one entry point, Engine.Run(ctx, Request), returning one Result shape
+// with one normalized QueryStats. RunProgressive streams monotonically
+// improving top-K snapshots as the paper's screening levels complete
+// (onion layers, pyramid levels, scanned shards), making progressive
+// retrieval user-visible instead of a hidden implementation detail.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"modelir/internal/bayes"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/onion"
+	"modelir/internal/parallel"
+	"modelir/internal/progressive"
+	"modelir/internal/sproc"
+	"modelir/internal/topk"
+)
+
+// DefaultK is the result count used when Request.K is zero.
+const DefaultK = 10
+
+// Request describes one retrieval: which dataset, which model-query,
+// and per-request execution options. The zero values of the options are
+// sensible defaults (K=DefaultK, Workers=GOMAXPROCS, no budget, no
+// score floor).
+type Request struct {
+	// Dataset names a registered archive of the kind the query expects
+	// (tuples for LinearQuery, a scene for SceneQuery and
+	// KnowledgeQuery, series for FSM queries, wells for GeologyQuery).
+	Dataset string
+	// Query is the model to retrieve with. Construct one of the
+	// family-specific query types (LinearQuery, SceneQuery, FSMQuery,
+	// FSMDistanceQuery, GeologyQuery, KnowledgeQuery); the interface is
+	// sealed to this package.
+	Query Query
+	// K is the number of results wanted; 0 means DefaultK.
+	K int
+	// Workers bounds the goroutine pool the shard fan-out runs on;
+	// 0 means GOMAXPROCS. Results are identical for any worker count.
+	Workers int
+	// Budget caps the work the query may spend, measured in the
+	// family's evaluation unit (see QueryStats.Evaluations); 0 means
+	// unlimited. A query that exhausts its budget stops early and
+	// returns the exact top-K of everything evaluated so far with
+	// Stats.Truncated set — a best-effort answer, not an error.
+	Budget int
+	// MinScore, when non-nil, is an inclusive score floor: only results
+	// scoring >= *MinScore are returned, and execution may use the
+	// floor to prune work early. Nil means no floor (note that 0 is a
+	// meaningful floor for some families, hence the pointer).
+	MinScore *float64
+}
+
+// QueryStats is the normalized work report every family returns: what a
+// caller needs for observability without knowing which model family
+// ran. Family-specific counters remain available through Detail.
+type QueryStats struct {
+	// Kind is the model family that executed.
+	Kind ModelKind
+	// Evaluations counts the family's primary work unit: points scored
+	// (linear over tuples), term evaluations (scenes), days scanned
+	// (finite-state), unary+pair grades (geology), rule evaluations
+	// (knowledge tiles).
+	Evaluations int
+	// Examined counts candidates actually inspected (points, pixels and
+	// cells, regions, wells, tiles).
+	Examined int
+	// Pruned counts candidates the screening machinery ruled out
+	// without evaluating them (index pruning, metadata prefilters,
+	// pyramid descent). Candidates left unscanned by budget exhaustion
+	// are not counted — in Truncated runs, Examined + Pruned can fall
+	// short of the dataset size by the budget-skipped remainder.
+	// (Scene queries are the one approximation: their unvisited-pixel
+	// count cannot split descent pruning from budget truncation.)
+	Pruned int
+	// Shards is the fan-out width the dataset was partitioned into.
+	Shards int
+	// Wall is the end-to-end execution time of the request.
+	Wall time.Duration
+	// Truncated reports that Request.Budget ran out before the scan
+	// finished: Items are the exact top-K of what was evaluated, which
+	// may differ from the true top-K.
+	Truncated bool
+	// Detail carries the family-specific stats struct
+	// (LinearTupleStats, progressive.Stats, FSMStats, sproc.Stats,
+	// KnowledgeStats) for callers that want the legacy counters.
+	Detail any
+}
+
+// Result is the uniform response of Engine.Run: ranked items plus the
+// normalized stats. Item IDs are family-specific (tuple index, y*W+x
+// pixel location, region id, well id, tile index); GeologyQuery items
+// carry the matched strata indices in Payload.
+type Result struct {
+	Items []topk.Item
+	Stats QueryStats
+}
+
+// Snapshot is one progressive-delivery event from Engine.RunProgressive:
+// the best top-K known so far, improving monotonically from snapshot to
+// snapshot (an item set never gets worse, only refines toward the final
+// answer). The last snapshot of a successful stream has Final set and
+// carries the full Result contents; a failed stream ends with a
+// snapshot whose Err is set.
+type Snapshot struct {
+	// Seq numbers snapshots from 0 in delivery order.
+	Seq int
+	// Level is the family-specific screening level the emitting worker
+	// had reached (pyramid level still outstanding, onion layer index,
+	// shard index); coarser levels emit first.
+	Level int
+	// Stage labels the screening mechanism that produced the event
+	// ("onion layer", "pyramid level", "series shard", ...).
+	Stage string
+	// Items is the current best-first top-K (already MinScore-filtered).
+	Items []topk.Item
+	// Stats is populated on the Final snapshot only.
+	Stats QueryStats
+	// Final marks the terminal snapshot: Items/Stats equal what
+	// Engine.Run would have returned for the same request.
+	Final bool
+	// Err is the terminal error, if the query failed or was cancelled.
+	Err error
+}
+
+// Query is one executable model query — the paper's "query is a model"
+// as a type. It is implemented by the family query types in this
+// package and sealed (the run method is unexported): external packages
+// compose queries from LinearQuery, SceneQuery, FSMQuery,
+// FSMDistanceQuery, GeologyQuery and KnowledgeQuery.
+type Query interface {
+	// Kind reports the model family.
+	Kind() ModelKind
+	// run executes against the engine. snap is nil for plain Run.
+	run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error)
+}
+
+// Run executes one request: resolve the dataset, fan the query out
+// across its shards with cross-shard screening, honor ctx cancellation
+// and the request's budget, and merge the exact top-K. All model
+// families flow through this entry point; the per-family methods on
+// Engine are deprecated wrappers around it.
+//
+// Cancellation is cooperative and prompt: every family checks ctx
+// inside its per-shard scan loops (per onion layer, per pyramid cell,
+// per region, per well, per tile), so a cancelled or timed-out request
+// stops burning CPU mid-shard and returns ctx.Err().
+func (e *Engine) Run(ctx context.Context, req Request) (Result, error) {
+	return e.runReq(ctx, req, nil)
+}
+
+func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateRequest(&req); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	items, st, err := req.Query.run(ctx, e, req, snap)
+	if err != nil {
+		// Surface cancellation as the bare ctx.Err() the caller acted
+		// on, not wrapped in shard-fanout annotations.
+		if ce := ctx.Err(); ce != nil && errors.Is(err, ce) {
+			return Result{}, ce
+		}
+		return Result{}, err
+	}
+	if req.MinScore != nil {
+		items = filterMinScore(items, *req.MinScore)
+	}
+	st.Kind = req.Query.Kind()
+	st.Wall = time.Since(start)
+	return Result{Items: items, Stats: st}, nil
+}
+
+// RunProgressive executes the request like Run but streams monotonically
+// improving top-K snapshots as screening levels complete, ending with a
+// Final snapshot equal to Run's result (or a snapshot carrying the
+// terminal error). The channel is closed when the query ends; consumers
+// must drain it (snapshot delivery is flow-controlled, so an abandoned
+// consumer must cancel ctx to release the query's workers).
+func (e *Engine) RunProgressive(ctx context.Context, req Request) (<-chan Snapshot, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateRequest(&req); err != nil {
+		return nil, err
+	}
+	ch := make(chan Snapshot, 1)
+	snap := &snapshotter{
+		ctx:  ctx,
+		h:    topk.MustHeap(req.K),
+		best: make(map[int64]float64),
+		ch:   ch,
+		min:  req.MinScore,
+	}
+	go func() {
+		defer close(ch)
+		res, err := e.runReq(ctx, req, snap)
+		fin := Snapshot{Final: true}
+		if err != nil {
+			fin.Err = err
+		} else {
+			fin.Items = res.Items
+			fin.Stats = res.Stats
+		}
+		snap.terminal(fin)
+	}()
+	return ch, nil
+}
+
+// validateRequest normalizes defaults and rejects malformed requests.
+func validateRequest(req *Request) error {
+	if req.Query == nil {
+		return errors.New("core: request needs a Query")
+	}
+	if req.K == 0 {
+		req.K = DefaultK
+	}
+	if req.K < 1 {
+		return fmt.Errorf("core: request K %d: %w", req.K, topk.ErrBadCapacity)
+	}
+	if req.Budget < 0 {
+		return errors.New("core: negative request Budget")
+	}
+	if req.Workers < 0 {
+		return errors.New("core: negative request Workers")
+	}
+	if req.MinScore != nil && math.IsNaN(*req.MinScore) {
+		return errors.New("core: NaN request MinScore")
+	}
+	return nil
+}
+
+func filterMinScore(items []topk.Item, min float64) []topk.Item {
+	out := items[:0]
+	for _, it := range items {
+		if it.Score >= min {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// floorOf translates the request's MinScore into a screening-bound seed
+// (shift adjusts for score transforms applied after scanning, like the
+// linear model's intercept).
+func floorOf(req Request, shift float64) float64 {
+	if req.MinScore == nil {
+		return math.Inf(-1)
+	}
+	return *req.MinScore - shift
+}
+
+// snapshotter assembles the global progressive view for RunProgressive:
+// shard workers publish their partial heaps at screening-level
+// boundaries, and the snapshotter merges them into one monotonically
+// improving top-K, emitting a snapshot whenever the merged view
+// actually improved. Delivery blocks until the consumer receives (or
+// ctx is cancelled), which flow-controls the query to the consumer.
+type snapshotter struct {
+	ctx context.Context
+	ch  chan Snapshot
+	min *float64
+
+	mu sync.Mutex
+	h  *topk.Heap
+	// best dedups re-published items: workers publish cumulative heap
+	// contents, and an item must not enter the merged heap twice.
+	best map[int64]float64
+	seq  int
+}
+
+// publish merges a worker's current partial results and emits a
+// snapshot if the merged top-K improved. Returns ctx.Err() when the
+// consumer is gone, aborting the publishing worker.
+func (s *snapshotter) publish(level int, stage string, items []topk.Item) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	improved := false
+	for _, it := range items {
+		if prev, ok := s.best[it.ID]; ok && prev >= it.Score {
+			continue
+		}
+		s.best[it.ID] = it.Score
+		if s.h.Offer(it) {
+			improved = true
+		}
+	}
+	if !improved {
+		return nil
+	}
+	out := s.h.Results()
+	if s.min != nil {
+		out = filterMinScore(out, *s.min)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	snap := Snapshot{Seq: s.seq, Level: level, Stage: stage, Items: out}
+	select {
+	case s.ch <- snap:
+		s.seq++
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+// terminal delivers the final snapshot. Every stream ends with it:
+// when ctx is cancelled and the one-slot buffer still holds an
+// undelivered intermediate snapshot, that snapshot is evicted to make
+// room — all publishers have returned by the time terminal runs, so
+// the snapshotter owns the channel's send side and the non-blocking
+// send after eviction cannot fail.
+func (s *snapshotter) terminal(fin Snapshot) {
+	s.mu.Lock()
+	fin.Seq = s.seq
+	s.seq++
+	s.mu.Unlock()
+	select {
+	case s.ch <- fin:
+	case <-s.ctx.Done():
+		select {
+		case <-s.ch:
+		default:
+		}
+		select {
+		case s.ch <- fin:
+		default:
+		}
+	}
+}
+
+// ---- Linear models over tuple archives ----
+
+// LinearQuery retrieves the top-K tuples maximizing a linear model over
+// a tuple archive through the per-shard Onion indexes (Section 3.2).
+// Item IDs index the registered tuple slice; scores include the model's
+// intercept. To minimize the model, negate its coefficients.
+type LinearQuery struct {
+	Model *linear.Model
+}
+
+// Kind reports the linear model family.
+func (LinearQuery) Kind() ModelKind { return KindLinear }
+
+func (q LinearQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
+	var st QueryStats
+	if q.Model == nil {
+		return nil, st, errors.New("core: LinearQuery needs a model")
+	}
+	m := q.Model
+	e.mu.RLock()
+	ts, ok := e.tuples[req.Dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	meter := topk.NewMeter(req.Budget)
+	perShard := make([]onion.Stats, len(ts.shards))
+	// The shared bound screens pre-intercept scores, so the MinScore
+	// floor is shifted into that scale.
+	items, err := parallel.ShardTopKCtx(ctx, len(ts.shards), req.K, req.Workers, floorOf(req, m.Intercept),
+		func(si int, sb *topk.Bound) ([]topk.Item, error) {
+			sh := ts.shards[si]
+			// First query builds this shard's index inside the fan-out we
+			// already pay for; afterwards this is a sync.Once hit.
+			ix, err := sh.ensureIndex(e.onionOpt)
+			if err != nil {
+				return nil, err
+			}
+			opt := onion.ScanOpts{Ctx: ctx, Bound: sb, Meter: meter}
+			if snap != nil {
+				opt.OnLayer = func(layer int, sofar []topk.Item) error {
+					// Lift shard-local IDs and pre-intercept scores into
+					// the caller-visible scale before publishing.
+					for i := range sofar {
+						sofar[i].ID += int64(sh.offset)
+						sofar[i].Score += m.Intercept
+					}
+					return snap.publish(layer, "onion layer", sofar)
+				}
+			}
+			its, ost, err := ix.Scan(m.Coeffs, req.K, opt)
+			if err != nil {
+				return nil, err
+			}
+			perShard[si] = ost
+			// Shard indexes number points locally; lift IDs into the
+			// global tuple index space.
+			for i := range its {
+				its[i].ID += int64(sh.offset)
+			}
+			return its, nil
+		})
+	if err != nil {
+		return nil, st, err
+	}
+	var det LinearTupleStats
+	for _, s := range perShard {
+		det.Indexed.LayersScanned += s.LayersScanned
+		det.Indexed.PointsTouched += s.PointsTouched
+		det.Indexed.PointsSkippedByBudget += s.PointsSkippedByBudget
+	}
+	det.ScanCost = len(ts.points)
+	// The model's intercept shifts every score identically; add it so
+	// returned scores equal model values.
+	if m.Intercept != 0 {
+		for i := range items {
+			items[i].Score += m.Intercept
+		}
+	}
+	st = QueryStats{
+		Evaluations: det.Indexed.PointsTouched,
+		Examined:    det.Indexed.PointsTouched,
+		Pruned:      det.ScanCost - det.Indexed.PointsTouched - det.Indexed.PointsSkippedByBudget,
+		Shards:      len(ts.shards),
+		Truncated:   meter.Exhausted(),
+		Detail:      det,
+	}
+	return items, st, nil
+}
+
+// ---- Linear models over raster archives ----
+
+// SceneQuery retrieves the top-K locations of a progressive linear risk
+// model over a raster archive by combined progressive execution
+// (Section 3.1): branch-and-bound pyramid descent with sub-model
+// screening at the pixels. Item IDs encode locations as y*W + x.
+type SceneQuery struct {
+	Model *linear.ProgressiveModel
+}
+
+// Kind reports the linear model family.
+func (SceneQuery) Kind() ModelKind { return KindLinear }
+
+func (q SceneQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
+	var st QueryStats
+	if q.Model == nil {
+		return nil, st, errors.New("core: SceneQuery needs a progressive model")
+	}
+	e.mu.RLock()
+	ss, ok := e.scenes[req.Dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	meter := topk.NewMeter(req.Budget)
+	perShard := make([]progressive.Stats, len(ss.roots))
+	items, err := parallel.ShardTopKCtx(ctx, len(ss.roots), req.K, req.Workers, floorOf(req, 0),
+		func(si int, sb *topk.Bound) ([]topk.Item, error) {
+			opt := progressive.DescendOpts{Ctx: ctx, Bound: sb, Meter: meter}
+			if snap != nil {
+				opt.OnLevel = func(level int, sofar []topk.Item) error {
+					return snap.publish(level, "pyramid level", sofar)
+				}
+			}
+			res, err := progressive.CombinedShardOpts(q.Model, ss.scene.Pyramid(), req.K, ss.roots[si], opt)
+			if err != nil {
+				return nil, err
+			}
+			perShard[si] = res.Stats
+			return res.Items, nil
+		})
+	if err != nil {
+		return nil, st, err
+	}
+	var det progressive.Stats
+	for _, s := range perShard {
+		det.PixelTermEvals += s.PixelTermEvals
+		det.CellTermEvals += s.CellTermEvals
+		det.PixelsVisited += s.PixelsVisited
+		det.CellsVisited += s.CellsVisited
+	}
+	st = QueryStats{
+		Evaluations: det.Work(),
+		Examined:    det.PixelsVisited + det.CellsVisited,
+		Pruned:      ss.scene.W*ss.scene.H - det.PixelsVisited,
+		Shards:      len(ss.roots),
+		Truncated:   meter.Exhausted(),
+		Detail:      det,
+	}
+	return items, st, nil
+}
+
+// ---- Finite-state models over series archives ----
+
+// snapEveryRegions batches progressive publications for scan-shaped
+// families (series regions, wells, tiles): workers publish their
+// partial top-K after each batch and at shard end.
+const snapEveryRegions = 16
+
+// shardScan fans a scan-shaped family (series regions, wells) across
+// shards with the shared per-candidate scaffold: a context check and
+// budget gate before each candidate, a meter charge after it, and
+// batched progressive publication. scan evaluates candidate i of shard
+// si into h and returns the work it consumed in the family's
+// evaluation unit; because the charge lands after the evaluation, a
+// budgeted query overshoots by at most one candidate per worker.
+func shardScan(ctx context.Context, req Request, snap *snapshotter,
+	nShards int, stage string, meter *topk.Meter,
+	shardSize func(si int) int,
+	scan func(si, i int, h *topk.Heap) (cost int, err error),
+) ([]topk.Item, error) {
+	done := ctx.Done()
+	return parallel.ShardTopKCtx(ctx, nShards, req.K, req.Workers, floorOf(req, 0),
+		func(si int, _ *topk.Bound) ([]topk.Item, error) {
+			h := topk.MustHeap(req.K)
+			n := shardSize(si)
+			for i := 0; i < n; i++ {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+				if meter.Exhausted() {
+					break // budget exhausted: keep what this shard has
+				}
+				cost, err := scan(si, i, h)
+				if err != nil {
+					return nil, err
+				}
+				meter.Charge(cost)
+				if snap != nil && (i+1)%snapEveryRegions == 0 {
+					if err := snap.publish(si, stage, h.Results()); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if snap != nil {
+				if err := snap.publish(si, stage, h.Results()); err != nil {
+					return nil, err
+				}
+			}
+			return h.Results(), nil
+		})
+}
+
+// FSMQuery ranks regions of a series archive by fsm.FlyScore under the
+// machine (Section 2.2). A nil Prefilter scans every region; a sound
+// prefilter skips regions whose metadata proves a zero score. Item IDs
+// are region ids.
+type FSMQuery struct {
+	Machine   *fsm.Machine
+	Prefilter FSMPrefilter
+}
+
+// Kind reports the finite-state model family.
+func (FSMQuery) Kind() ModelKind { return KindFiniteState }
+
+func (q FSMQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
+	var st QueryStats
+	if q.Machine == nil {
+		return nil, st, errors.New("core: FSMQuery needs a machine")
+	}
+	e.mu.RLock()
+	ss, ok := e.series[req.Dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	meter := topk.NewMeter(req.Budget)
+	perShard := make([]FSMStats, len(ss.shards))
+	examined := make([]int, len(ss.shards))
+	items, err := shardScan(ctx, req, snap, len(ss.shards), "series shard", meter,
+		func(si int) int { return len(ss.shards[si].regions) },
+		func(si, i int, h *topk.Heap) (int, error) {
+			sh := ss.shards[si]
+			if q.Prefilter != nil && !q.Prefilter(sh.sums[i]) {
+				perShard[si].RegionsPruned++
+				return 0, nil
+			}
+			events := fsm.ClassifySeries(sh.regions[i].Days)
+			perShard[si].DaysScanned += len(events)
+			examined[si]++
+			score, err := fsm.FlyScore(q.Machine, events)
+			if err != nil {
+				return 0, err
+			}
+			if score > 0 {
+				h.OfferScore(int64(sh.regions[i].Region), score)
+			}
+			return len(events), nil
+		})
+	det := FSMStats{RegionsTotal: ss.total}
+	scanned := 0
+	for si, s := range perShard {
+		det.RegionsPruned += s.RegionsPruned
+		det.DaysScanned += s.DaysScanned
+		scanned += examined[si]
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st = QueryStats{
+		Evaluations: det.DaysScanned,
+		Examined:    scanned,
+		Pruned:      det.RegionsPruned,
+		Shards:      len(ss.shards),
+		Truncated:   meter.Exhausted(),
+		Detail:      det,
+	}
+	return items, st, nil
+}
+
+// FSMDistanceQuery ranks regions by behavioral closeness between the
+// target machine and the machine their data exhibits (Section 3's FSM
+// similarity): scores are 1-distance over strings up to Horizon. Item
+// IDs are region ids.
+type FSMDistanceQuery struct {
+	Target *fsm.Machine
+	// Horizon bounds the string length of the exact behavioral
+	// distance.
+	Horizon int
+}
+
+// Kind reports the finite-state model family.
+func (FSMDistanceQuery) Kind() ModelKind { return KindFiniteState }
+
+func (q FSMDistanceQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
+	var st QueryStats
+	if q.Target == nil {
+		return nil, st, errors.New("core: FSMDistanceQuery needs a target machine")
+	}
+	e.mu.RLock()
+	ss, ok := e.series[req.Dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	meter := topk.NewMeter(req.Budget)
+	perShard := make([]FSMStats, len(ss.shards))
+	examined := make([]int, len(ss.shards))
+	items, err := shardScan(ctx, req, snap, len(ss.shards), "series shard", meter,
+		func(si int) int { return len(ss.shards[si].regions) },
+		func(si, i int, h *topk.Heap) (int, error) {
+			r := ss.shards[si].regions[i]
+			events := fsm.ClassifySeries(r.Days)
+			perShard[si].DaysScanned += len(events)
+			examined[si]++
+			extracted, err := fsm.Extract(q.Target, [][]fsm.Event{events})
+			if err != nil {
+				return 0, err
+			}
+			d, err := fsm.Distance(q.Target, extracted, q.Horizon)
+			if err != nil {
+				return 0, err
+			}
+			h.OfferScore(int64(r.Region), 1-d)
+			return len(events), nil
+		})
+	det := FSMStats{RegionsTotal: ss.total}
+	scanned := 0
+	for si, s := range perShard {
+		det.DaysScanned += s.DaysScanned
+		scanned += examined[si]
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st = QueryStats{
+		Evaluations: det.DaysScanned,
+		Examined:    scanned,
+		Shards:      len(ss.shards),
+		Truncated:   meter.Exhausted(),
+		Detail:      det,
+	}
+	return items, st, nil
+}
+
+// ---- Knowledge models over composite objects (geology wells) ----
+
+// Kind reports the knowledge model family.
+func (GeologyQuery) Kind() ModelKind { return KindKnowledge }
+
+func (q GeologyQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
+	var st QueryStats
+	if err := q.Validate(); err != nil {
+		return nil, st, err
+	}
+	method := q.Method
+	if method == 0 {
+		method = GeoDP
+	}
+	switch method {
+	case GeoBruteForce, GeoDP, GeoPruned:
+	default:
+		return nil, st, fmt.Errorf("core: unknown geology method %d", method)
+	}
+	e.mu.RLock()
+	ws, ok := e.wells[req.Dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	meter := topk.NewMeter(req.Budget)
+	perShard := make([]sproc.Stats, len(ws.shards))
+	examined := make([]int, len(ws.shards))
+	items, err := shardScan(ctx, req, snap, len(ws.shards), "well shard", meter,
+		func(si int) int { return len(ws.shards[si]) },
+		func(si, i int, h *topk.Heap) (int, error) {
+			well := ws.shards[si][i]
+			sq := geologySprocQuery(well, q)
+			var (
+				matches []sproc.Match
+				wst     sproc.Stats
+				err     error
+			)
+			switch method {
+			case GeoBruteForce:
+				matches, wst, err = sproc.BruteForceCtx(ctx, len(well.Strata), sq, 1)
+			case GeoDP:
+				matches, wst, err = sproc.DPCtx(ctx, len(well.Strata), sq, 1)
+			case GeoPruned:
+				matches, wst, err = sproc.PrunedCtx(ctx, len(well.Strata), sq, 1)
+			}
+			if err != nil {
+				return 0, err
+			}
+			perShard[si].UnaryEvals += wst.UnaryEvals
+			perShard[si].PairEvals += wst.PairEvals
+			perShard[si].TuplesConsidered += wst.TuplesConsidered
+			examined[si]++
+			if len(matches) > 0 && matches[0].Score > 0 {
+				h.Offer(topk.Item{
+					ID:      int64(well.Well),
+					Score:   matches[0].Score,
+					Payload: matches[0].Items,
+				})
+			}
+			return wst.UnaryEvals + wst.PairEvals, nil
+		})
+	var det sproc.Stats
+	scanned := 0
+	for si, s := range perShard {
+		det.UnaryEvals += s.UnaryEvals
+		det.PairEvals += s.PairEvals
+		det.TuplesConsidered += s.TuplesConsidered
+		scanned += examined[si]
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st = QueryStats{
+		Evaluations: det.UnaryEvals + det.PairEvals,
+		Examined:    scanned,
+		Shards:      len(ws.shards),
+		Truncated:   meter.Exhausted(),
+		Detail:      det,
+	}
+	return items, st, nil
+}
+
+// ---- Knowledge models over scene tiles ----
+
+// KnowledgeQuery ranks a scene's tiles by fuzzy rule-set score over the
+// archive's feature abstraction level (Section 2.3) — no raw pixels are
+// read. Item IDs are tile indices into the archive's Tiles slice.
+type KnowledgeQuery struct {
+	Rules *bayes.RuleSet
+}
+
+// Kind reports the knowledge model family.
+func (KnowledgeQuery) Kind() ModelKind { return KindKnowledge }
+
+func (q KnowledgeQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
+	var st QueryStats
+	if q.Rules == nil || q.Rules.Len() == 0 {
+		return nil, st, errors.New("core: empty rule set")
+	}
+	sc, err := e.Scene(req.Dataset)
+	if err != nil {
+		return nil, st, err
+	}
+	meter := topk.NewMeter(req.Budget)
+	var det KnowledgeStats
+	vals := make(map[string]float64, 4*sc.NumBands())
+	// The tile table is one un-sharded list; shardScan with a single
+	// shard still supplies the scan scaffold (ctx checks, budget gate,
+	// batched progressive publication).
+	items, err := shardScan(ctx, req, snap, 1, "feature tiles", meter,
+		func(int) int { return len(sc.Tiles) },
+		func(_, ti int, h *topk.Heap) (int, error) {
+			for b, name := range sc.BandNames {
+				feat, err := sc.Feature(b, ti)
+				if err != nil {
+					return 0, err
+				}
+				vals[name+".mean"] = feat.Stats.Mean
+				vals[name+".std"] = feat.Stats.Std
+				vals[name+".min"] = feat.Stats.Min
+				vals[name+".max"] = feat.Stats.Max
+			}
+			score, err := q.Rules.Score(vals)
+			if err != nil {
+				return 0, fmt.Errorf("core: tile %d: %w", ti, err)
+			}
+			det.TilesScored++
+			det.RawSamplesAvoided += sc.Tiles[ti].Area() * sc.NumBands()
+			if score > 0 {
+				h.OfferScore(int64(ti), score)
+			}
+			return q.Rules.Len(), nil
+		})
+	if err != nil {
+		return nil, st, err
+	}
+	st = QueryStats{
+		Evaluations: det.TilesScored * q.Rules.Len(),
+		Examined:    det.TilesScored,
+		// Tile scoring has no screening stage: every tile not examined
+		// was budget-skipped, never pruned. The abstraction-level win
+		// is Detail's RawSamplesAvoided.
+		Pruned:    0,
+		Shards:    1,
+		Truncated: meter.Exhausted(),
+		Detail:    det,
+	}
+	return items, st, nil
+}

@@ -325,6 +325,9 @@ func Ablations(cfg Config) ([]Table, error) {
 	runs := []func(Config) (Table, error){A1, A2, A3, A4}
 	out := make([]Table, 0, len(runs))
 	for _, r := range runs {
+		if err := cfg.ctx().Err(); err != nil {
+			return out, err
+		}
 		tbl, err := r(cfg)
 		if err != nil {
 			return out, err

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,6 +43,22 @@ type Table struct {
 // sizes quoted in EXPERIMENTS.md.
 type Config struct {
 	Quick bool
+	// Ctx bounds experiment execution (benchtab's -timeout flag); nil
+	// means context.Background(). The shard sweep honors it per query
+	// and records cancellation in its JSON baseline; the experiment
+	// driver checks it between experiments.
+	Ctx context.Context
+	// Timeout is the deadline Ctx was built with, recorded in the
+	// shard-sweep JSON artifact for provenance; zero means none.
+	Timeout time.Duration
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }
@@ -733,6 +750,9 @@ func All(cfg Config) ([]Table, error) {
 	runs := []func(Config) (Table, error){E1, E2, E3, E4, E5, E6, E7, E8, E9}
 	out := make([]Table, 0, len(runs))
 	for _, r := range runs {
+		if err := cfg.ctx().Err(); err != nil {
+			return out, err
+		}
 		tbl, err := r(cfg)
 		if err != nil {
 			return out, err

@@ -25,6 +25,7 @@
 package onion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -156,12 +157,17 @@ func (ix *Index) LayerSize(i int) int { return len(ix.layers[i]) }
 type Stats struct {
 	LayersScanned int
 	PointsTouched int
+	// PointsSkippedByBudget counts indexed points left unscanned
+	// because the scan's work budget ran out — distinct from points the
+	// layer bounds screened out, which the caller derives as
+	// total - touched - skipped.
+	PointsSkippedByBudget int
 }
 
 // TopK returns the k points maximizing w·x, best first, with exact
 // results and the work statistics. To minimize the model, negate w.
 func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
-	return ix.TopKShared(w, k, nil)
+	return ix.Scan(w, k, ScanOpts{})
 }
 
 // TopKShared is TopK for an index that covers one shard of a larger
@@ -172,6 +178,34 @@ func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
 // absorb them — those points cannot reach the merged global top-K. A
 // nil bound degrades to the plain single-index scan.
 func (ix *Index) TopKShared(w []float64, k int, sb *topk.Bound) ([]topk.Item, Stats, error) {
+	return ix.Scan(w, k, ScanOpts{Bound: sb})
+}
+
+// ScanOpts tunes one index scan. The zero value reproduces TopK.
+type ScanOpts struct {
+	// Ctx cancels the scan cooperatively: it is checked once per layer,
+	// and a cancelled scan returns ctx.Err(). Nil means no cancellation.
+	Ctx context.Context
+	// Bound is the cross-shard screening floor (see TopKShared).
+	Bound *topk.Bound
+	// Meter is a shared work budget charged one unit per point scored.
+	// The scan checks it before each layer and charges after scanning,
+	// so it overshoots by at most one layer; once exhausted the scan
+	// stops and returns its partial (best-effort) heap with no error,
+	// recording the unscanned remainder in Stats.PointsSkippedByBudget.
+	// The caller reads Meter.Exhausted to learn the result was
+	// truncated.
+	Meter *topk.Meter
+	// OnLayer, when non-nil, is invoked after each layer is scanned with
+	// the layer index and the heap's current best-first contents — the
+	// progressive-delivery hook. A non-nil error aborts the scan.
+	OnLayer func(layer int, sofar []topk.Item) error
+}
+
+// Scan is the full-control scan behind TopK and TopKShared: exact
+// results, plus cooperative cancellation, work budgeting, and per-layer
+// progressive delivery via opts.
+func (ix *Index) Scan(w []float64, k int, opt ScanOpts) ([]topk.Item, Stats, error) {
 	var st Stats
 	if len(w) != ix.dim {
 		return nil, st, fmt.Errorf("onion: weight dim %d, want %d", len(w), ix.dim)
@@ -180,8 +214,20 @@ func (ix *Index) TopKShared(w []float64, k int, sb *topk.Bound) ([]topk.Item, St
 	if err != nil {
 		return nil, st, err
 	}
+	sb := opt.Bound
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 	prevMax := math.Inf(1)
 	for li, layer := range ix.layers {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, st, opt.Ctx.Err()
+			default:
+			}
+		}
 		// Bounds are only worth computing once a break is possible:
 		// the local heap is full, or a sibling shard has published a
 		// real floor (Get is nil-safe and -Inf when unshared).
@@ -219,6 +265,14 @@ func (ix *Index) TopKShared(w []float64, k int, sb *topk.Bound) ([]topk.Item, St
 				break
 			}
 		}
+		if opt.Meter.Exhausted() {
+			// Budget ran out: the remaining layers are unpaid work, not
+			// screening wins. Return the best-effort partial heap.
+			for j := li; j < len(ix.layers); j++ {
+				st.PointsSkippedByBudget += len(ix.layers[j])
+			}
+			break
+		}
 		st.LayersScanned++
 		layerMax := math.Inf(-1)
 		for _, pi := range layer {
@@ -229,9 +283,15 @@ func (ix *Index) TopKShared(w []float64, k int, sb *topk.Bound) ([]topk.Item, St
 			}
 			h.OfferScore(int64(pi), s)
 		}
+		opt.Meter.Charge(len(layer))
 		prevMax = layerMax
 		if t, ok := h.Threshold(); ok {
 			sb.Raise(t)
+		}
+		if opt.OnLayer != nil {
+			if err := opt.OnLayer(li, h.Results()); err != nil {
+				return nil, st, err
+			}
 		}
 	}
 	return h.Results(), st, nil

@@ -1,6 +1,8 @@
 package onion
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -377,5 +379,93 @@ func TestTopKSharedBoundPrunesColdShard(t *testing.T) {
 		if it.Score >= 1e9 {
 			t.Fatalf("impossible score %v", it.Score)
 		}
+	}
+}
+
+// A context cancelled mid-scan (here: from the per-layer progressive
+// hook) aborts the scan at the next layer boundary with ctx.Err().
+func TestScanCancelMidLayers(t *testing.T) {
+	pts, err := synth.GaussianTuples(31, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumLayers() < 3 {
+		t.Fatalf("fixture too shallow: %d layers", ix.NumLayers())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	layers := 0
+	_, st, err := ix.Scan([]float64{1, 1, 1}, len(pts), ScanOpts{
+		Ctx: ctx,
+		OnLayer: func(layer int, sofar []topk.Item) error {
+			layers++
+			cancel()
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if layers != 1 || st.LayersScanned != 1 {
+		t.Fatalf("scanned %d layers (%d hooks) after cancel", st.LayersScanned, layers)
+	}
+}
+
+// A shared meter stops the scan once the point budget is spent; the
+// partial heap is the exact top-K of the layers that were scanned.
+func TestScanBudgetTruncates(t *testing.T) {
+	pts, err := synth.GaussianTuples(32, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, -0.5, 2}
+	full, fullSt, err := ix.Scan(w, 10, ScanOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-unit budget admits exactly the first layer (the gate is
+	// checked before a layer, the charge lands after it).
+	meter := topk.NewMeter(1)
+	part, partSt, err := ix.Scan(w, 10, ScanOpts{Meter: meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meter.Exhausted() {
+		t.Fatal("meter not exhausted")
+	}
+	if partSt.PointsTouched != ix.LayerSize(0) {
+		t.Fatalf("budgeted scan touched %d points, want first layer (%d)",
+			partSt.PointsTouched, ix.LayerSize(0))
+	}
+	if partSt.PointsTouched >= fullSt.PointsTouched {
+		t.Fatalf("budget did not reduce work: %d vs %d", partSt.PointsTouched, fullSt.PointsTouched)
+	}
+	// The meter only counts work actually performed; the unscanned
+	// remainder is attributed to the budget, not to screening.
+	if got := int(meter.Used()); got != partSt.PointsTouched {
+		t.Fatalf("meter charged %d for %d points scored", got, partSt.PointsTouched)
+	}
+	if partSt.PointsTouched+partSt.PointsSkippedByBudget != ix.NumPoints() {
+		t.Fatalf("touched %d + budget-skipped %d != %d points",
+			partSt.PointsTouched, partSt.PointsSkippedByBudget, ix.NumPoints())
+	}
+	if fullSt.PointsSkippedByBudget != 0 {
+		t.Fatalf("unbudgeted scan reported %d budget skips", fullSt.PointsSkippedByBudget)
+	}
+	if len(part) == 0 {
+		t.Fatal("budgeted scan returned nothing")
+	}
+	// The outermost layer holds the max for any positive weighting of
+	// hull-peeled Gaussian data, so the budgeted top-1 is still exact.
+	if part[0] != full[0] {
+		t.Fatalf("budgeted top-1 %+v vs %+v", part[0], full[0])
 	}
 }

@@ -13,8 +13,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -120,6 +122,17 @@ type ShardRunner func(shard int, bound *topk.Bound) ([]topk.Item, error)
 // (upper bound < floor), the merged result is exactly the top-K of the
 // union no matter how the scheduler interleaves shards.
 func ShardTopK(shards, k, workers int, run ShardRunner) ([]topk.Item, error) {
+	return ShardTopKCtx(context.Background(), shards, k, workers, math.Inf(-1), run)
+}
+
+// ShardTopKCtx is ShardTopK with cooperative cancellation and a seeded
+// screening floor. The context is checked between shard dispatches (and
+// runners are expected to check it inside their scan loops); once
+// ctx.Done() fires, no further shards start, in-flight runners abort at
+// their next check, and the first context error is returned. `floor`
+// pre-raises the shared bound — pass a minimum acceptable score to
+// prune candidates that could never be returned, or -Inf for none.
+func ShardTopKCtx(ctx context.Context, shards, k, workers int, floor float64, run ShardRunner) ([]topk.Item, error) {
 	if shards < 0 {
 		return nil, errors.New("parallel: negative shard count")
 	}
@@ -134,8 +147,9 @@ func ShardTopK(shards, k, workers int, run ShardRunner) ([]topk.Item, error) {
 		return merged.Results(), nil
 	}
 	bound := topk.NewBound()
+	bound.Raise(floor)
 	partials := make([][]topk.Item, shards)
-	err = ForEach(shards, workers, func(s int) error {
+	err = ForEachCtx(ctx, shards, workers, func(s int) error {
 		items, err := run(s, bound)
 		if err != nil {
 			return err
@@ -156,6 +170,15 @@ func ShardTopK(shards, k, workers int, run ShardRunner) ([]topk.Item, error) {
 // and returns the first error encountered (remaining items in that
 // worker's shard are skipped; other shards run to completion).
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: the context is
+// checked before every item, so a cancelled context stops each worker
+// at its next item boundary. Context errors are returned unwrapped
+// (ctx.Err() itself), so callers can compare with errors.Is without
+// peeling the per-item annotation other failures carry.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n < 0 {
 		return errors.New("parallel: negative item count")
 	}
@@ -168,10 +191,19 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	wrap := func(i int, err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return ctxErr
+		}
+		return fmt.Errorf("parallel: item %d: %w", i, err)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
-				return fmt.Errorf("parallel: item %d: %w", i, err)
+				return wrap(i, err)
 			}
 		}
 		return nil
@@ -192,14 +224,28 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				if err := fn(i); err != nil {
-					errs[w] = fmt.Errorf("parallel: item %d: %w", i, err)
+					errs[w] = wrap(i, err)
 					return
 				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Prefer reporting the context error when cancellation is the cause:
+	// several workers may fail at once, and the ctx error is the one the
+	// caller acted on.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		for _, err := range errs {
+			if err != nil && errors.Is(err, ctxErr) {
+				return ctxErr
+			}
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,7 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -237,5 +240,60 @@ func TestShardTopKErrorPropagates(t *testing.T) {
 		return nil, nil
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// ForEachCtx aborts at the next item boundary once the context is
+// cancelled, returning the bare ctx.Err().
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, 10_000, workers, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: all %d items ran despite cancel", workers, n)
+		}
+	}
+}
+
+// ShardTopKCtx returns ctx.Err() unwrapped when a shard aborts on
+// cancellation, and pre-seeds the shared bound with the floor.
+func TestShardTopKCtxFloorAndCancel(t *testing.T) {
+	// Floor seeding: shards see the floor before any heap fills.
+	items, err := ShardTopKCtx(context.Background(), 3, 5, 0, 41.5,
+		func(s int, b *topk.Bound) ([]topk.Item, error) {
+			if got := b.Get(); got != 41.5 {
+				return nil, fmt.Errorf("shard %d saw floor %v", s, got)
+			}
+			return []topk.Item{{ID: int64(s), Score: 42}}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d items", len(items))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancel()
+	_, err = ShardTopKCtx(ctx, 4, 5, 0, math.Inf(-1),
+		func(s int, b *topk.Bound) ([]topk.Item, error) {
+			return nil, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if err != context.Canceled {
+		t.Fatalf("context error arrived wrapped: %v", err)
 	}
 }

@@ -21,6 +21,7 @@ package progressive
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -188,14 +189,14 @@ func (q *cellPQ) Pop() any          { old := *q; n := len(old); v := old[n-1]; *
 // min/max envelopes; cells that cannot reach the current K-th best are
 // pruned without visiting their pixels. Exact.
 func ProgData(m *linear.Model, mp *pyramid.MultibandPyramid, k int) (Result, error) {
-	return descend(m, nil, mp, k, Roots(mp), nil)
+	return descend(m, nil, mp, k, Roots(mp), DescendOpts{})
 }
 
 // Combined is ProgData with a progressive model refinement at the pixel
 // level: pixels are first scored by the coarse sub-model and only
 // promising ones pay for the remaining terms. Exact.
 func Combined(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) (Result, error) {
-	return descend(pm.Full(), pm, mp, k, Roots(mp), nil)
+	return descend(pm.Full(), pm, mp, k, Roots(mp), DescendOpts{})
 }
 
 // Cell identifies one pyramid cell by level and cell coordinates.
@@ -227,11 +228,40 @@ func Roots(mp *pyramid.MultibandPyramid) []Cell {
 // usual (score, ID) order still reproduces the whole-scene top-K
 // exactly. Item IDs stay global (y*W + x of the base level).
 func CombinedShard(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, sb *topk.Bound) (Result, error) {
-	return descend(pm.Full(), pm, mp, k, roots, sb)
+	return descend(pm.Full(), pm, mp, k, roots, DescendOpts{Bound: sb})
 }
 
-func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, sb *topk.Bound) (Result, error) {
+// DescendOpts tunes one branch-and-bound descent. The zero value
+// reproduces Combined on the given roots.
+type DescendOpts struct {
+	// Ctx cancels the descent cooperatively: it is checked once per
+	// frontier pop, and a cancelled descent returns ctx.Err(). Nil
+	// means no cancellation.
+	Ctx context.Context
+	// Bound is the cross-shard screening floor (see CombinedShard).
+	Bound *topk.Bound
+	// Meter is a shared work budget charged in term evaluations (the
+	// same unit Stats counts). When it runs out the descent stops and
+	// returns its partial (best-effort) result with no error; the
+	// caller reads Meter.Exhausted to learn the result was truncated.
+	Meter *topk.Meter
+	// OnLevel, when non-nil, is invoked with the heap's current
+	// best-first contents when the first result lands, when the top-K
+	// first fills, and whenever a pyramid level drains from the
+	// frontier (level = the coarsest level still outstanding) — the
+	// progressive-delivery hook. A non-nil error aborts the descent.
+	OnLevel func(level int, sofar []topk.Item) error
+}
+
+// CombinedShardOpts is CombinedShard with cancellation, budgeting and
+// progressive delivery via opts.
+func CombinedShardOpts(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, opt DescendOpts) (Result, error) {
+	return descend(pm.Full(), pm, mp, k, roots, opt)
+}
+
+func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, opt DescendOpts) (Result, error) {
 	var res Result
+	sb := opt.Bound
 	bind, err := Bind(m, mp)
 	if err != nil {
 		return res, err
@@ -246,6 +276,10 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 	x := make([]float64, nTerms)
 	base := mp.Band(0).Level(0).Mean
 	w := base.Width()
+	var done <-chan struct{}
+	if opt.Ctx != nil {
+		done = opt.Ctx.Done()
+	}
 
 	bound := func(level, cx, cy int) (float64, error) {
 		for i, b := range bind.Bands {
@@ -255,6 +289,7 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 		}
 		res.Stats.CellTermEvals += 2 * nTerms
 		res.Stats.CellsVisited++
+		opt.Meter.Charge(2 * nTerms)
 		_, ub, err := m.Interval(lo, hi)
 		return ub, err
 	}
@@ -271,6 +306,12 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 		return f, ok
 	}
 
+	// outstanding[l] counts frontier entries at level l; when the
+	// coarsest still-outstanding level drains, one screening level of
+	// the descent has completed — the progressive-delivery event the
+	// OnLevel hook observes.
+	outstanding := make([]int, mp.NumLevels())
+	coarsest := 0
 	pq := &cellPQ{}
 	heap.Init(pq)
 	for _, c := range roots {
@@ -279,6 +320,35 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 			return res, err
 		}
 		heap.Push(pq, cellEntry{level: c.Level, x: c.X, y: c.Y, upper: ub})
+		outstanding[c.Level]++
+		if c.Level > coarsest {
+			coarsest = c.Level
+		}
+	}
+	started, filled := false, false
+	emit := func() error {
+		if opt.OnLevel == nil {
+			return nil
+		}
+		if !started && h.Len() > 0 {
+			started = true
+			if err := opt.OnLevel(coarsest, h.Results()); err != nil {
+				return err
+			}
+		}
+		if !filled && h.Full() {
+			filled = true
+			if err := opt.OnLevel(coarsest, h.Results()); err != nil {
+				return err
+			}
+		}
+		for coarsest > 0 && outstanding[coarsest] == 0 {
+			coarsest--
+			if err := opt.OnLevel(coarsest, h.Results()); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	evalPixel := func(px, py int) {
@@ -289,6 +359,7 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 				x[i] = mp.Band(b).Level(0).Mean.At(px, py)
 			}
 			res.Stats.PixelTermEvals += nTerms
+			opt.Meter.Charge(nTerms)
 			h.OfferScore(id, m.EvalUnchecked(x))
 			return
 		}
@@ -298,15 +369,28 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 		}
 		c := pm.EvalLevelUnchecked(0, x)
 		res.Stats.PixelTermEvals += pm.CostAt(0)
+		opt.Meter.Charge(pm.CostAt(0))
 		if f, ok := floor(); ok && c+pm.Resid(0) < f {
 			return // even the optimistic completion cannot enter
 		}
 		res.Stats.PixelTermEvals += nTerms - pm.CostAt(0)
+		opt.Meter.Charge(nTerms - pm.CostAt(0))
 		h.OfferScore(id, m.EvalUnchecked(x))
 	}
 
 	for pq.Len() > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return res, opt.Ctx.Err()
+			default:
+			}
+		}
+		if opt.Meter.Exhausted() {
+			break // budget exhausted: return the best-effort partial heap
+		}
 		e := heap.Pop(pq).(cellEntry)
+		outstanding[e.level]--
 		// Strict comparison: a cell whose bound equals the floor may
 		// still hold an equal-scoring pixel with a smaller ID, which
 		// wins the deterministic tie-break.
@@ -317,6 +401,9 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 			evalPixel(e.x, e.y)
 			if t, ok := h.Threshold(); ok {
 				sb.Raise(t) // publish the local floor to sibling shards
+			}
+			if err := emit(); err != nil {
+				return res, err
 			}
 			continue
 		}
@@ -332,7 +419,11 @@ func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.Multiband
 					return res, err
 				}
 				heap.Push(pq, cellEntry{level: e.level - 1, x: nx, y: ny, upper: ub})
+				outstanding[e.level-1]++
 			}
+		}
+		if err := emit(); err != nil {
+			return res, err
 		}
 	}
 	res.Items = h.Results()

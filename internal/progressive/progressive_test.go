@@ -1,6 +1,8 @@
 package progressive
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -244,5 +246,84 @@ func TestRootsCoverCoarsestLevel(t *testing.T) {
 			t.Fatalf("duplicate root %+v", c)
 		}
 		seen[c] = true
+	}
+}
+
+// A context cancelled mid-descent (here: from the first OnLevel event)
+// aborts the branch-and-bound loop with ctx.Err().
+func TestDescendCancelMidLevels(t *testing.T) {
+	pm, mp := hpsSetup(t, 9, 64, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := 0
+	_, err := CombinedShardOpts(pm, mp, 5, Roots(mp), DescendOpts{
+		Ctx: ctx,
+		OnLevel: func(level int, sofar []topk.Item) error {
+			events++
+			cancel()
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if events != 1 {
+		t.Fatalf("%d level events after cancel", events)
+	}
+}
+
+// OnLevel streams the earliest result, the heap fill, and each drained
+// pyramid level, with levels never coarsening.
+func TestDescendOnLevelMonotone(t *testing.T) {
+	pm, mp := hpsSetup(t, 9, 64, 64)
+	want, err := Combined(pm, mp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var levels []int
+	res, err := CombinedShardOpts(pm, mp, 5, Roots(mp), DescendOpts{
+		OnLevel: func(level int, sofar []topk.Item) error {
+			levels = append(levels, level)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) < 2 {
+		t.Fatalf("only %d level events", len(levels))
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] > levels[i-1] {
+			t.Fatalf("levels coarsened: %v", levels)
+		}
+	}
+	if len(res.Items) != len(want.Items) {
+		t.Fatalf("hooked descent changed results: %d vs %d", len(res.Items), len(want.Items))
+	}
+	for i := range want.Items {
+		if res.Items[i] != want.Items[i] {
+			t.Fatalf("hooked descent diverged at %d", i)
+		}
+	}
+}
+
+// A meter budget truncates the descent without error.
+func TestDescendBudgetTruncates(t *testing.T) {
+	pm, mp := hpsSetup(t, 9, 64, 64)
+	full, err := Combined(pm, mp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := topk.NewMeter(pm.Full().NumTerms() * 8)
+	part, err := CombinedShardOpts(pm, mp, 5, Roots(mp), DescendOpts{Meter: meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meter.Exhausted() {
+		t.Fatal("meter not exhausted")
+	}
+	if part.Stats.Work() >= full.Stats.Work() {
+		t.Fatalf("budget did not reduce work: %d vs %d", part.Stats.Work(), full.Stats.Work())
 	}
 }

@@ -21,6 +21,7 @@
 package sproc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -88,6 +89,13 @@ func minF(a, b float64) float64 {
 // BruteForce enumerates every tuple. Errors if L^M exceeds
 // MaxBruteForceTuples.
 func BruteForce(l int, q Query, k int) ([]Match, Stats, error) {
+	return BruteForceCtx(context.Background(), l, q, k)
+}
+
+// BruteForceCtx is BruteForce with cooperative cancellation: the context
+// is checked once per enumeration branch, and a cancelled evaluation
+// returns ctx.Err().
+func BruteForceCtx(ctx context.Context, l int, q Query, k int) ([]Match, Stats, error) {
 	var st Stats
 	if err := q.validate(l); err != nil {
 		return nil, st, err
@@ -103,19 +111,25 @@ func BruteForce(l int, q Query, k int) ([]Match, Stats, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	done := ctx.Done()
 	items := make([]int, q.M)
 	// Pre-compute unary grades (the baseline still pays L·M evals).
 	unary := precomputeUnary(l, q, &st)
-	var rec func(m int, score float64)
+	var rec func(m int, score float64) error
 	id := int64(0)
-	rec = func(m int, score float64) {
+	rec = func(m int, score float64) error {
 		if m == q.M {
 			st.TuplesConsidered++
 			tuple := make([]int, q.M)
 			copy(tuple, items)
 			h.Offer(topk.Item{ID: id, Score: score, Payload: tuple})
 			id++
-			return
+			return nil
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
 		}
 		for j := 0; j < l; j++ {
 			s := minF(score, unary[m][j])
@@ -124,10 +138,15 @@ func BruteForce(l int, q Query, k int) ([]Match, Stats, error) {
 				s = minF(s, q.Pair(m, items[m-1], j))
 			}
 			items[m] = j
-			rec(m+1, s)
+			if err := rec(m+1, s); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0, 1)
+	if err := rec(0, 1); err != nil {
+		return nil, st, err
+	}
 	return heapToMatches(h), st, nil
 }
 
@@ -135,6 +154,13 @@ func BruteForce(l int, q Query, k int) ([]Match, Stats, error) {
 // ending item j it keeps the K best partial scores (with back-pointers),
 // transitioning over all L predecessor items — O(M·K·L²).
 func DP(l int, q Query, k int) ([]Match, Stats, error) {
+	return DPCtx(context.Background(), l, q, k)
+}
+
+// DPCtx is DP with cooperative cancellation: the context is checked once
+// per (slot, ending item) DP cell, and a cancelled evaluation returns
+// ctx.Err().
+func DPCtx(ctx context.Context, l int, q Query, k int) ([]Match, Stats, error) {
 	var st Stats
 	if err := q.validate(l); err != nil {
 		return nil, st, err
@@ -147,7 +173,7 @@ func DP(l int, q Query, k int) ([]Match, Stats, error) {
 		items[j] = j
 	}
 	unary := precomputeUnary(l, q, &st)
-	return dpOver(items, unary, q, k, &st)
+	return dpOver(ctx, items, unary, q, k, &st)
 }
 
 // Pruned runs the [16]-style sorted pruning, then exact DP on survivors:
@@ -158,6 +184,13 @@ func DP(l int, q Query, k int) ([]Match, Stats, error) {
 //     k best items to preserve exact top-K.
 //  3. Exact DP over the surviving items.
 func Pruned(l int, q Query, k int) ([]Match, Stats, error) {
+	return PrunedCtx(context.Background(), l, q, k)
+}
+
+// PrunedCtx is Pruned with cooperative cancellation: the context is
+// checked per beam slot and per DP cell, and a cancelled evaluation
+// returns ctx.Err().
+func PrunedCtx(ctx context.Context, l int, q Query, k int) ([]Match, Stats, error) {
 	var st Stats
 	if err := q.validate(l); err != nil {
 		return nil, st, err
@@ -165,10 +198,16 @@ func Pruned(l int, q Query, k int) ([]Match, Stats, error) {
 	if k < 1 {
 		return nil, st, errors.New("sproc: k must be >= 1")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	unary := precomputeUnary(l, q, &st)
 
 	// Stage 1: beam lower bound.
-	lb := beamLowerBound(l, unary, q, k, &st)
+	lb, err := beamLowerBound(ctx, l, unary, q, k, &st)
+	if err != nil {
+		return nil, st, err
+	}
 
 	// Stage 2: sorted pruning per slot.
 	st.ItemsAfterPrune = make([]int, q.M)
@@ -211,7 +250,7 @@ func Pruned(l int, q Query, k int) ([]Match, Stats, error) {
 
 	// Stage 3: exact DP over survivors. Different slots may keep
 	// different item subsets, so dpOver receives per-slot item lists.
-	return dpOverPerSlot(kept, unary, q, k, &st)
+	return dpOverPerSlot(ctx, kept, unary, q, k, &st)
 }
 
 func precomputeUnary(l int, q Query, st *Stats) [][]float64 {
@@ -229,11 +268,12 @@ func precomputeUnary(l int, q Query, st *Stats) [][]float64 {
 // beamLowerBound runs a width-k greedy beam over slots and returns the
 // k-th best (or worst surviving) complete score — a valid lower bound on
 // the true k-th best, used only for pruning.
-func beamLowerBound(l int, unary [][]float64, q Query, k int, st *Stats) float64 {
+func beamLowerBound(ctx context.Context, l int, unary [][]float64, q Query, k int, st *Stats) (float64, error) {
 	type partial struct {
 		item  int
 		score float64
 	}
+	done := ctx.Done()
 	beam := make([]partial, 0, k)
 	// Seed with the k best slot-0 items.
 	idx := topk.SelectTopK(unary[0], k)
@@ -241,6 +281,11 @@ func beamLowerBound(l int, unary [][]float64, q Query, k int, st *Stats) float64
 		beam = append(beam, partial{item: int(it.ID), score: it.Score})
 	}
 	for m := 1; m < q.M; m++ {
+		select {
+		case <-done:
+			return 0, ctx.Err()
+		default:
+		}
 		h := topk.MustHeap(k)
 		for bi, p := range beam {
 			for j := 0; j < l; j++ {
@@ -261,7 +306,7 @@ func beamLowerBound(l int, unary [][]float64, q Query, k int, st *Stats) float64
 		beam = nb
 	}
 	if len(beam) == 0 {
-		return 0
+		return 0, nil
 	}
 	// Worst score still on the beam is the bound.
 	lb := beam[0].score
@@ -270,7 +315,7 @@ func beamLowerBound(l int, unary [][]float64, q Query, k int, st *Stats) float64
 			lb = p.score
 		}
 	}
-	return lb
+	return lb, nil
 }
 
 type dpEntry struct {
@@ -280,17 +325,18 @@ type dpEntry struct {
 }
 
 // dpOver runs exact top-K DP when every slot uses the same item list.
-func dpOver(items []int, unary [][]float64, q Query, k int, st *Stats) ([]Match, Stats, error) {
+func dpOver(ctx context.Context, items []int, unary [][]float64, q Query, k int, st *Stats) ([]Match, Stats, error) {
 	perSlot := make([][]int, q.M)
 	for m := range perSlot {
 		perSlot[m] = items
 	}
-	return dpOverPerSlot(perSlot, unary, q, k, st)
+	return dpOverPerSlot(ctx, perSlot, unary, q, k, st)
 }
 
 // dpOverPerSlot runs exact top-K DP with per-slot candidate item lists.
 // unary is indexed by original item id.
-func dpOverPerSlot(perSlot [][]int, unary [][]float64, q Query, k int, st *Stats) ([]Match, Stats, error) {
+func dpOverPerSlot(ctx context.Context, perSlot [][]int, unary [][]float64, q Query, k int, st *Stats) ([]Match, Stats, error) {
+	done := ctx.Done()
 	m0 := perSlot[0]
 	// table[m][ji] = up to k entries, best first.
 	table := make([][][]dpEntry, q.M)
@@ -304,6 +350,11 @@ func dpOverPerSlot(perSlot [][]int, unary [][]float64, q Query, k int, st *Stats
 		prev := perSlot[m-1]
 		table[m] = make([][]dpEntry, len(cur))
 		for ji, j := range cur {
+			select {
+			case <-done:
+				return nil, *st, ctx.Err()
+			default:
+			}
 			h := topk.MustHeap(k)
 			for pi, p := range prev {
 				st.PairEvals++

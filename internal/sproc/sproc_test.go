@@ -1,6 +1,8 @@
 package sproc
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -249,5 +251,67 @@ func TestStatsGrowth(t *testing.T) {
 	ratio := float64(st2.PairEvals) / float64(st1.PairEvals)
 	if ratio < 3.5 || ratio > 4.5 {
 		t.Fatalf("pair-eval growth %vx for 2x L, want ~4x", ratio)
+	}
+}
+
+// A context cancelled from inside a scoring callback aborts every
+// evaluator at its next check with ctx.Err() — the geology engine path
+// relies on this to stop SPROC work mid-well.
+func TestEvaluatorsCancelMidQuery(t *testing.T) {
+	base := randomQuery(7, 12, 3)
+	evals := map[string]func(context.Context, int, Query, int) ([]Match, Stats, error){
+		"brute":  BruteForceCtx,
+		"dp":     DPCtx,
+		"pruned": PrunedCtx,
+	}
+	for name, eval := range evals {
+		ctx, cancel := context.WithCancel(context.Background())
+		q := base
+		q.Pair = func(mi, prev, cur int) float64 {
+			cancel() // fire during evaluation, after unary precompute
+			return base.Pair(mi, prev, cur)
+		}
+		_, _, err := eval(ctx, 12, q, 2)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// The ctx-less entry points remain the uncancellable originals.
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	q := randomQuery(8, 10, 3)
+	ctx := context.Background()
+	for name, pair := range map[string][2]func() ([]Match, Stats, error){
+		"brute": {
+			func() ([]Match, Stats, error) { return BruteForce(10, q, 3) },
+			func() ([]Match, Stats, error) { return BruteForceCtx(ctx, 10, q, 3) },
+		},
+		"dp": {
+			func() ([]Match, Stats, error) { return DP(10, q, 3) },
+			func() ([]Match, Stats, error) { return DPCtx(ctx, 10, q, 3) },
+		},
+		"pruned": {
+			func() ([]Match, Stats, error) { return Pruned(10, q, 3) },
+			func() ([]Match, Stats, error) { return PrunedCtx(ctx, 10, q, 3) },
+		},
+	} {
+		plain, _, err := pair[0]()
+		if err != nil {
+			t.Fatal(err)
+		}
+		withCtx, _, err := pair[1]()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain) != len(withCtx) {
+			t.Fatalf("%s: %d vs %d matches", name, len(plain), len(withCtx))
+		}
+		for i := range plain {
+			if plain[i].Score != withCtx[i].Score {
+				t.Fatalf("%s: score mismatch at %d", name, i)
+			}
+		}
 	}
 }

@@ -1,0 +1,52 @@
+package topk
+
+import "sync/atomic"
+
+// Meter is a work budget shared by concurrent workers assembling one
+// logical query result: each worker charges the evaluations it is about
+// to perform and stops scanning once the pooled total crosses the
+// limit. Budgeted queries trade exactness for a hard cap on work — the
+// result is the exact top-K of everything evaluated before the budget
+// ran out, which is a best-effort answer, not the true top-K.
+//
+// A nil *Meter is a valid "unlimited" meter: Charge always reports
+// true and Exhausted reports false, so unbudgeted queries pay no
+// atomic traffic beyond a nil check.
+type Meter struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewMeter returns a meter allowing `limit` units of work, or nil (the
+// unlimited meter) when limit <= 0.
+func NewMeter(limit int) *Meter {
+	if limit <= 0 {
+		return nil
+	}
+	return &Meter{limit: int64(limit)}
+}
+
+// Charge records n units of work and reports whether the budget still
+// holds. Scanners gate on Exhausted before starting an item and Charge
+// its actual cost after performing it, so the meter only ever counts
+// work that was really done and a budgeted query overshoots by at most
+// one item (layer, region, well, tile) per worker.
+func (m *Meter) Charge(n int) bool {
+	if m == nil {
+		return true
+	}
+	return m.used.Add(int64(n)) <= m.limit
+}
+
+// Exhausted reports whether the budget has been crossed.
+func (m *Meter) Exhausted() bool {
+	return m != nil && m.used.Load() > m.limit
+}
+
+// Used returns the total work charged so far.
+func (m *Meter) Used() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.used.Load()
+}

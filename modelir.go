@@ -16,12 +16,27 @@
 //     optimization, SPROC dynamic programming for fuzzy composite
 //     queries).
 //
+// Every query family flows through one entry point — "a query is a
+// model" made literal: build a Request around a family-specific Query
+// value and execute it with Engine.Run, which honors context
+// cancellation and deadlines, per-request tuning (K, Workers, Budget,
+// MinScore), and returns one normalized Result/QueryStats shape.
+// Engine.RunProgressive streams monotonically improving top-K
+// snapshots as screening levels complete.
+//
 // Quick start:
 //
 //	engine := modelir.NewEngine()
 //	_ = engine.AddTuples("credit", rows)
 //	model, _ := modelir.NewLinearModel(attrs, weights, 0)
-//	top, stats, _ := engine.LinearTopKTuples("credit", model, 10)
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, _ := engine.Run(ctx, modelir.Request{
+//		Dataset: "credit",
+//		Query:   modelir.LinearQuery{Model: model},
+//		K:       10,
+//	})
+//	// res.Items is the exact top-10; res.Stats the normalized work report.
 //
 // See examples/ for end-to-end scenarios (epidemiology, fire ants,
 // geology, credit scoring) and DESIGN.md for the system inventory.
@@ -74,6 +89,53 @@ const (
 	KindFiniteState = core.KindFiniteState
 	KindKnowledge   = core.KindKnowledge
 )
+
+// The unified query surface: one Request/Result shape for every model
+// family, executed via Engine.Run / Engine.RunProgressive.
+type (
+	// Request describes one retrieval: dataset, query, and per-request
+	// options (K, Workers, Budget, MinScore).
+	Request = core.Request
+	// Result is Run's uniform response: ranked items plus normalized
+	// stats.
+	Result = core.Result
+	// QueryStats is the normalized work report shared by all families.
+	QueryStats = core.QueryStats
+	// Snapshot is one progressive-delivery event from RunProgressive.
+	Snapshot = core.Snapshot
+	// Query is an executable model query (sealed; use the family query
+	// types below).
+	Query = core.Query
+
+	// LinearQuery runs a linear model over a tuple archive (Onion
+	// index).
+	LinearQuery = core.LinearQuery
+	// SceneQuery runs a progressive linear model over a raster archive
+	// (combined progressive execution).
+	SceneQuery = core.SceneQuery
+	// FSMQuery ranks series regions by finite-state model score.
+	FSMQuery = core.FSMQuery
+	// FSMDistanceQuery ranks series regions by machine distance.
+	FSMDistanceQuery = core.FSMDistanceQuery
+	// KnowledgeQuery ranks scene tiles by fuzzy rule-set score.
+	KnowledgeQuery = core.KnowledgeQuery
+
+	// FSMPrefilter screens series regions from metadata alone.
+	FSMPrefilter = core.FSMPrefilter
+	// GeologyMethod selects the SPROC evaluator for GeologyQuery.
+	GeologyMethod = core.GeologyMethod
+)
+
+// DefaultK is the result count used when Request.K is zero.
+const DefaultK = core.DefaultK
+
+// FireAntsPrefilter is the sound metadata prefilter for the Fig. 1
+// fire-ants machine, usable as FSMQuery.Prefilter.
+func FireAntsPrefilter(s synth.DrySpellStats) bool { return core.FireAntsPrefilter(s) }
+
+// WellMatches converts GeologyQuery result items (well IDs with strata
+// payloads) into WellMatch values.
+func WellMatches(items []Item) ([]WellMatch, error) { return core.WellMatches(items) }
 
 // Linear models (Section 2.1).
 type (

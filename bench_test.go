@@ -480,7 +480,10 @@ var e7Engine = sync.OnceValues(func() (*core.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := core.NewEngine()
+	// Timing engines disable the serving-layer result cache: these
+	// benchmarks measure execution, and a repeated identical query
+	// would otherwise be served from memory after the first rep.
+	e := core.NewEngineWith(core.Options{CacheEntries: -1})
 	if err := e.AddSeries("w", arch); err != nil {
 		return nil, err
 	}
@@ -522,7 +525,7 @@ var e8Engine = sync.OnceValues(func() (*core.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := core.NewEngine()
+	e := core.NewEngineWith(core.Options{CacheEntries: -1})
 	if err := e.AddWells("basin", wells); err != nil {
 		return nil, err
 	}
@@ -581,7 +584,7 @@ func BenchmarkLinearTopKSharded(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			e := core.NewEngineWith(core.Options{Shards: shards})
+			e := core.NewEngineWith(core.Options{Shards: shards, CacheEntries: -1})
 			if err := e.AddTuples("t", d.pts); err != nil {
 				b.Fatal(err)
 			}
@@ -612,7 +615,7 @@ func BenchmarkRunOverhead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	e := core.NewEngineWith(core.Options{Shards: 4})
+	e := core.NewEngineWith(core.Options{Shards: 4, CacheEntries: -1})
 	if err := e.AddTuples("t", d.pts); err != nil {
 		b.Fatal(err)
 	}
@@ -702,4 +705,115 @@ func BenchmarkRunProgressiveDrain(b *testing.B) {
 			}
 		}
 	}
+}
+
+// ---- Serving layer: RunBatch amortization and the result cache ----
+
+// BenchmarkRunBatch compares a batch of distinct linear requests
+// executed as one serving unit (shared worker pool, one admission
+// grant) against the same requests issued as individual Runs. Caches
+// are disabled on both engines so the comparison is pure execution;
+// the cache's own win is BenchmarkCacheHit's subject.
+func BenchmarkRunBatch(b *testing.B) {
+	d, err := e9Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.NewEngineWith(core.Options{Shards: 4, CacheEntries: -1})
+	if err := e.AddTuples("t", d.pts); err != nil {
+		b.Fatal(err)
+	}
+	const width = 8
+	dim := len(d.pts[0])
+	reqs := make([]core.Request, width)
+	for i := range reqs {
+		attrs := make([]string, dim)
+		coeffs := make([]float64, dim)
+		for j := range coeffs {
+			attrs[j] = fmt.Sprintf("x%d", j)
+			coeffs[j] = d.m.Coeffs[j] + float64(i)*0.01*float64(j+1)
+		}
+		m, err := linear.New(attrs, coeffs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = core.Request{Dataset: "t", Query: core.LinearQuery{Model: m}, K: 10}
+	}
+	ctx := context.Background()
+	// Build the per-shard indexes outside the timed region.
+	if _, err := e.Run(ctx, reqs[0]); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("batch-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch, err := e.RunBatch(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, br := range batch {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+	})
+	b.Run("solo-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, err := e.Run(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCacheHit pins the acceptance criterion: on the linear
+// family, a cache hit must be at least 10x cheaper than the cold
+// execution it replays (CI compares the two ns/op lines; the
+// benchtab -servejson artifact records the ratio).
+func BenchmarkCacheHit(b *testing.B) {
+	d, err := e9Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		e := core.NewEngineWith(core.Options{Shards: 4, CacheEntries: -1})
+		if err := e.AddTuples("t", d.pts); err != nil {
+			b.Fatal(err)
+		}
+		req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: d.m}, K: 10}
+		if _, err := e.Run(ctx, req); err != nil { // index build untimed
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		e := core.NewEngineWith(core.Options{Shards: 4})
+		if err := e.AddTuples("t", d.pts); err != nil {
+			b.Fatal(err)
+		}
+		req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: d.m}, K: 10}
+		if _, err := e.Run(ctx, req); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Run(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stats.Cache.Hit {
+				b.Fatal("benchmark fell off the cache path")
+			}
+		}
+	})
 }

@@ -7,6 +7,7 @@
 //	benchtab -e e1,e5                    # run selected experiments
 //	benchtab -quick                      # small data sizes (seconds instead of minutes)
 //	benchtab -shardjson BENCH_shards.json  # also write the shard-scaling baseline
+//	benchtab -servejson BENCH_serve.json   # also write the serving-layer baseline
 //	benchtab -timeout 30s                # bound the run with a context deadline
 //
 // -timeout wires a context.WithTimeout through the experiment driver:
@@ -40,6 +41,7 @@ func run(args []string) error {
 	expList := fs.String("e", "all", "comma-separated ids (e1..e9 experiments, a1..a4 ablations), all, or ablations")
 	quick := fs.Bool("quick", false, "shrink data sizes for a fast smoke run")
 	shardJSON := fs.String("shardjson", "", "write the shard-scaling baseline (ShardBaseline JSON) to this path")
+	serveJSON := fs.String("servejson", "", "write the serving-layer baseline (ServeBaseline JSON: cache hit-vs-cold, batch-vs-solo) to this path")
 	timeout := fs.Duration("timeout", 0, "overall deadline; cancels in-flight queries mid-shard and records it in -shardjson (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +68,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *shardJSON)
+	}
+	if *serveJSON != "" {
+		if err := experiments.WriteServeBaseline(cfg, *serveJSON); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *serveJSON)
 	}
 
 	var tables []experiments.Table

@@ -1,0 +1,128 @@
+// modelird is the model-retrieval serving daemon: an HTTP front end
+// over the sharded, cached, admission-controlled engine, loaded at
+// startup with deterministic synthetic demo archives (one per model
+// family).
+//
+// Usage:
+//
+//	modelird [-addr :8077] [-shards 0] [-cache 0] [-maxworkers 0]
+//	         [-tuples 20000] [-scene 128] [-regions 300] [-wells 200]
+//
+// Endpoints (JSON):
+//
+//	POST /run    one request:   {"dataset":"tuples","k":5,
+//	             "query":{"kind":"linear","coeffs":[0.4,0.3,0.3]}}
+//	POST /batch  many requests: {"requests":[...]} — deduped, cached,
+//	             and executed per family on one shared worker pool
+//	GET  /stats  cache counters, epoch, uptime
+//
+// Query kinds: linear, scene, fsm, fsm-distance, geology, knowledge
+// (see the wire shapes in server.go). Requests are cancelled when the
+// client disconnects.
+//
+// Demo datasets: "tuples" (Gaussian rows, linear), "scene" (Landsat-
+// like raster, scene + knowledge), "weather" (regional daily series,
+// fsm + fsm-distance), "basin" (well logs, geology).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"modelir"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modelird:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("modelird", flag.ContinueOnError)
+	addr := fs.String("addr", ":8077", "listen address")
+	shards := fs.Int("shards", 0, "shards per dataset (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "result cache entries (0 = default, <0 = disabled)")
+	maxWorkers := fs.Int("maxworkers", 0, "admission budget: total fan-out workers in flight (0 = default, <0 = unbounded)")
+	tuples := fs.Int("tuples", 20000, "demo tuple archive rows")
+	scene := fs.Int("scene", 128, "demo scene width and height")
+	regions := fs.Int("regions", 300, "demo weather archive regions")
+	wells := fs.Int("wells", 200, "demo well archive size")
+	seed := fs.Int64("seed", 7, "demo data generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engine, err := buildEngine(demoConfig{
+		Shards: *shards, Cache: *cache, MaxWorkers: *maxWorkers,
+		Tuples: *tuples, Scene: *scene, Regions: *regions, Wells: *wells, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(engine),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("modelird listening on %s (tuples=%d scene=%dx%d regions=%d wells=%d)",
+		*addr, *tuples, *scene, *scene, *regions, *wells)
+	return srv.ListenAndServe()
+}
+
+// demoConfig sizes the synthetic archives the daemon serves.
+type demoConfig struct {
+	Shards, Cache, MaxWorkers     int
+	Tuples, Scene, Regions, Wells int
+	Seed                          int64
+}
+
+// buildEngine registers the four demo archives, one per model family.
+func buildEngine(cfg demoConfig) (*modelir.Engine, error) {
+	e := modelir.NewEngineWithOptions(modelir.EngineOptions{
+		Shards:       cfg.Shards,
+		CacheEntries: cfg.Cache,
+		MaxWorkers:   cfg.MaxWorkers,
+	})
+	pts, err := modelir.GenerateTuples(cfg.Seed, cfg.Tuples, 3)
+	if err != nil {
+		return nil, fmt.Errorf("tuples: %w", err)
+	}
+	if err := e.AddTuples("tuples", pts); err != nil {
+		return nil, err
+	}
+	sc, err := modelir.GenerateScene(modelir.SceneConfig{Seed: cfg.Seed + 1, W: cfg.Scene, H: cfg.Scene})
+	if err != nil {
+		return nil, fmt.Errorf("scene: %w", err)
+	}
+	arch, err := modelir.BuildSceneArchive("scene", sc.Bands, modelir.ArchiveOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("scene archive: %w", err)
+	}
+	if err := e.AddScene("scene", arch); err != nil {
+		return nil, err
+	}
+	weather, err := modelir.GenerateWeather(modelir.WeatherConfig{
+		Seed: cfg.Seed + 2, Regions: cfg.Regions, Days: 365,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("weather: %w", err)
+	}
+	if err := e.AddSeries("weather", weather); err != nil {
+		return nil, err
+	}
+	ws, _, err := modelir.GenerateWells(modelir.WellConfig{Seed: cfg.Seed + 3, Wells: cfg.Wells})
+	if err != nil {
+		return nil, fmt.Errorf("wells: %w", err)
+	}
+	if err := e.AddWells("basin", ws); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

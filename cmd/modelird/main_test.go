@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"modelir"
+)
+
+// testEngine builds a small demo engine shared by the endpoint tests.
+func testEngine(t *testing.T) *modelir.Engine {
+	t.Helper()
+	e, err := buildEngine(demoConfig{
+		Shards: 4, Tuples: 3000, Scene: 32, Regions: 40, Wells: 30, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// wireRequests covers every family through the wire format.
+func wireRequests() []wireRequest {
+	min := 0.5
+	return []wireRequest{
+		{Dataset: "tuples", K: 5, Query: wireQuery{Kind: "linear", Coeffs: []float64{0.4, 0.3, 0.3}}},
+		{Dataset: "scene", K: 5, Query: wireQuery{Kind: "scene"}},
+		{Dataset: "weather", K: 5, Query: wireQuery{Kind: "fsm", Prefilter: true}},
+		{Dataset: "weather", K: 5, Query: wireQuery{Kind: "fsm-distance", Horizon: 6}},
+		{Dataset: "basin", K: 5, Query: wireQuery{
+			Kind: "geology", Sequence: []string{"shale", "sandstone"},
+			MaxGapFt: 10, MinGamma: 45, Method: "pruned",
+		}},
+		{Dataset: "scene", K: 5, Query: wireQuery{Kind: "knowledge", Rules: "hps"}},
+		{Dataset: "tuples", K: 3, MinScore: &min, Query: wireQuery{Kind: "linear", Coeffs: []float64{0.4, 0.3, 0.3}}},
+	}
+}
+
+// TestBatchEndpointMatchesRun is the end-to-end equivalence pin the CI
+// smoke job mirrors: POST /batch results must equal what the engine's
+// own Run returns for each compiled request, for every family.
+func TestBatchEndpointMatchesRun(t *testing.T) {
+	engine := testEngine(t)
+	srv := httptest.NewServer(newServer(engine))
+	defer srv.Close()
+
+	reqs := wireRequests()
+	resp := postJSON(t, srv, "/batch", wireBatch{Requests: reqs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/batch status %d", resp.StatusCode)
+	}
+	batch := decode[wireBatchResponse](t, resp)
+	if len(batch.Results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(batch.Results), len(reqs))
+	}
+	for i, wr := range reqs {
+		label := fmt.Sprintf("req %d (%s)", i, wr.Query.Kind)
+		if batch.Results[i].Error != "" {
+			t.Fatalf("%s: %s", label, batch.Results[i].Error)
+		}
+		req, err := compileRequest(wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.Run(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch.Results[i]
+		if len(got.Items) != len(want.Items) {
+			t.Fatalf("%s: %d vs %d items", label, len(got.Items), len(want.Items))
+		}
+		for j, it := range want.Items {
+			if got.Items[j].ID != it.ID || got.Items[j].Score != it.Score {
+				t.Fatalf("%s item %d: %d/%v vs %d/%v",
+					label, j, got.Items[j].ID, got.Items[j].Score, it.ID, it.Score)
+			}
+		}
+		if got.Stats.Kind != want.Stats.Kind.String() || got.Stats.Shards != want.Stats.Shards {
+			t.Fatalf("%s stats: %+v vs %+v", label, got.Stats, want.Stats)
+		}
+	}
+}
+
+// TestRunEndpoint pins the single-request path plus cache visibility:
+// the second identical POST must report a cache hit with identical
+// items.
+func TestRunEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newServer(testEngine(t)))
+	defer srv.Close()
+
+	wr := wireRequest{Dataset: "tuples", K: 5, Query: wireQuery{Kind: "linear", Coeffs: []float64{0.4, 0.3, 0.3}}}
+	cold := decode[wireResult](t, postJSON(t, srv, "/run", wr))
+	if cold.Error != "" {
+		t.Fatal(cold.Error)
+	}
+	if len(cold.Items) != 5 || cold.Stats.Cache.Hit {
+		t.Fatalf("cold run: %+v", cold)
+	}
+	warm := decode[wireResult](t, postJSON(t, srv, "/run", wr))
+	if !warm.Stats.Cache.Hit {
+		t.Fatal("repeat run did not hit the cache")
+	}
+	for i := range cold.Items {
+		if warm.Items[i].ID != cold.Items[i].ID || warm.Items[i].Score != cold.Items[i].Score {
+			t.Fatalf("hit item %d differs: %+v vs %+v", i, warm.Items[i], cold.Items[i])
+		}
+	}
+
+	// Geology payloads survive the wire.
+	geo := decode[wireResult](t, postJSON(t, srv, "/run", wireRequest{
+		Dataset: "basin", K: 3,
+		Query: wireQuery{Kind: "geology", Sequence: []string{"shale", "sandstone"}, MaxGapFt: 10, MinGamma: 45},
+	}))
+	if geo.Error != "" {
+		t.Fatal(geo.Error)
+	}
+	if len(geo.Items) == 0 || len(geo.Items[0].Strata) == 0 {
+		t.Fatalf("geology result lost its strata payload: %+v", geo.Items)
+	}
+}
+
+// TestEndpointErrors pins the HTTP error mapping.
+func TestEndpointErrors(t *testing.T) {
+	srv := httptest.NewServer(newServer(testEngine(t)))
+	defer srv.Close()
+
+	// Unknown dataset → 404.
+	resp := postJSON(t, srv, "/run", wireRequest{Dataset: "nope", K: 3,
+		Query: wireQuery{Kind: "linear", Coeffs: []float64{1, 1, 1}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown kind → 400.
+	resp = postJSON(t, srv, "/run", wireRequest{Dataset: "tuples", Query: wireQuery{Kind: "wat"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed JSON → 400.
+	r2, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+
+	// GET /run → 405.
+	r3, err := http.Get(srv.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run: status %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+
+	// A batch with one bad slot still serves the good slots.
+	batch := decode[wireBatchResponse](t, postJSON(t, srv, "/batch", wireBatch{Requests: []wireRequest{
+		{Dataset: "tuples", K: 3, Query: wireQuery{Kind: "linear", Coeffs: []float64{1, 1, 1}}},
+		{Dataset: "tuples", Query: wireQuery{Kind: "wat"}},
+	}}))
+	if batch.Results[0].Error != "" || len(batch.Results[0].Items) != 3 {
+		t.Fatalf("good slot: %+v", batch.Results[0])
+	}
+	if batch.Results[1].Error == "" {
+		t.Fatal("bad slot served")
+	}
+}
+
+// TestStatsEndpoint pins /stats.
+func TestStatsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newServer(testEngine(t)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[wireServerStats](t, resp)
+	if st.Epoch != 4 || st.Shards != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,416 @@
+// HTTP wiring for modelird: JSON request/response shapes, query
+// compilation from the wire format, and the three handlers (/run,
+// /batch, /stats). Every query handler threads the http.Request
+// context into the engine, so a client that disconnects mid-query
+// cancels its shard fan-out instead of burning CPU for nobody.
+
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"modelir"
+)
+
+// wireQuery is the JSON query shape: kind selects the family, the
+// remaining fields are family-specific.
+type wireQuery struct {
+	Kind string `json:"kind"`
+
+	// linear + scene: the model. Attrs defaults to x0..xn-1. For scene
+	// queries with explicit coefficients, AttrLo/AttrHi/Levels control
+	// the progressive decomposition; with no coefficients the demo HPS
+	// risk model is used.
+	Attrs     []string  `json:"attrs,omitempty"`
+	Coeffs    []float64 `json:"coeffs,omitempty"`
+	Intercept float64   `json:"intercept,omitempty"`
+	AttrLo    []float64 `json:"attr_lo,omitempty"`
+	AttrHi    []float64 `json:"attr_hi,omitempty"`
+	Levels    []int     `json:"levels,omitempty"`
+
+	// fsm + fsm-distance: a named machine ("fireants" is the built-in)
+	// and options.
+	Machine   string `json:"machine,omitempty"`
+	Prefilter bool   `json:"prefilter,omitempty"`
+	Horizon   int    `json:"horizon,omitempty"`
+
+	// geology.
+	Sequence     []string `json:"sequence,omitempty"`
+	MaxGapFt     float64  `json:"max_gap_ft,omitempty"`
+	MinGamma     float64  `json:"min_gamma,omitempty"`
+	GammaRampAPI float64  `json:"gamma_ramp_api,omitempty"`
+	Method       string   `json:"method,omitempty"`
+
+	// knowledge: a named rule set ("hps" is the built-in).
+	Rules string `json:"rules,omitempty"`
+}
+
+// wireRequest is the JSON request shape accepted by /run and inside
+// /batch.
+type wireRequest struct {
+	Dataset  string    `json:"dataset"`
+	Query    wireQuery `json:"query"`
+	K        int       `json:"k,omitempty"`
+	Workers  int       `json:"workers,omitempty"`
+	Budget   int       `json:"budget,omitempty"`
+	MinScore *float64  `json:"min_score,omitempty"`
+}
+
+type wireItem struct {
+	ID     int64   `json:"id"`
+	Score  float64 `json:"score"`
+	Strata []int   `json:"strata,omitempty"`
+}
+
+type wireCache struct {
+	Hit           bool   `json:"hit"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+type wireStats struct {
+	Kind        string    `json:"kind"`
+	Evaluations int       `json:"evaluations"`
+	Examined    int       `json:"examined"`
+	Pruned      int       `json:"pruned"`
+	Shards      int       `json:"shards"`
+	WallNS      int64     `json:"wall_ns"`
+	Truncated   bool      `json:"truncated"`
+	Cache       wireCache `json:"cache"`
+}
+
+type wireResult struct {
+	Items []wireItem `json:"items"`
+	Stats wireStats  `json:"stats"`
+	Error string     `json:"error,omitempty"`
+}
+
+func toWireResult(res modelir.Result, err error) wireResult {
+	if err != nil {
+		return wireResult{Error: err.Error()}
+	}
+	out := wireResult{
+		Items: make([]wireItem, len(res.Items)),
+		Stats: wireStats{
+			Kind:        res.Stats.Kind.String(),
+			Evaluations: res.Stats.Evaluations,
+			Examined:    res.Stats.Examined,
+			Pruned:      res.Stats.Pruned,
+			Shards:      res.Stats.Shards,
+			WallNS:      res.Stats.Wall.Nanoseconds(),
+			Truncated:   res.Stats.Truncated,
+			Cache: wireCache{
+				Hit:           res.Stats.Cache.Hit,
+				Hits:          res.Stats.Cache.Hits,
+				Misses:        res.Stats.Cache.Misses,
+				Evictions:     res.Stats.Cache.Evictions,
+				Invalidations: res.Stats.Cache.Invalidations,
+			},
+		},
+	}
+	for i, it := range res.Items {
+		w := wireItem{ID: it.ID, Score: it.Score}
+		if strata, ok := it.Payload.([]int); ok {
+			w.Strata = strata
+		}
+		out.Items[i] = w
+	}
+	return out
+}
+
+// compileRequest turns a wire request into an engine request.
+func compileRequest(wr wireRequest) (modelir.Request, error) {
+	q, err := compileQuery(wr.Query)
+	if err != nil {
+		return modelir.Request{}, err
+	}
+	return modelir.Request{
+		Dataset:  wr.Dataset,
+		Query:    q,
+		K:        wr.K,
+		Workers:  wr.Workers,
+		Budget:   wr.Budget,
+		MinScore: wr.MinScore,
+	}, nil
+}
+
+func compileQuery(wq wireQuery) (modelir.Query, error) {
+	switch strings.ToLower(wq.Kind) {
+	case "linear":
+		m, err := linearModelOf(wq)
+		if err != nil {
+			return nil, err
+		}
+		return modelir.LinearQuery{Model: m}, nil
+	case "scene":
+		if len(wq.Coeffs) == 0 {
+			// The built-in demo: the paper's HPS risk model over
+			// Landsat bands + elevation, 2-term coarse level.
+			pm, err := modelir.DecomposeLinear(modelir.HPSRiskModel(),
+				[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4)
+			if err != nil {
+				return nil, err
+			}
+			return modelir.SceneQuery{Model: pm}, nil
+		}
+		m, err := linearModelOf(wq)
+		if err != nil {
+			return nil, err
+		}
+		if len(wq.AttrLo) != len(wq.Coeffs) || len(wq.AttrHi) != len(wq.Coeffs) || len(wq.Levels) == 0 {
+			return nil, errors.New("scene query needs attr_lo/attr_hi/levels matching coeffs")
+		}
+		pm, err := modelir.DecomposeLinear(m, wq.AttrLo, wq.AttrHi, wq.Levels...)
+		if err != nil {
+			return nil, err
+		}
+		return modelir.SceneQuery{Model: pm}, nil
+	case "fsm":
+		m, err := machineOf(wq.Machine)
+		if err != nil {
+			return nil, err
+		}
+		fq := modelir.FSMQuery{Machine: m}
+		if wq.Prefilter {
+			// The prefilter is sound only for the fire-ants machine.
+			fq.Prefilter = modelir.FireAntsPrefilter
+		}
+		return fq, nil
+	case "fsm-distance":
+		m, err := machineOf(wq.Machine)
+		if err != nil {
+			return nil, err
+		}
+		return modelir.FSMDistanceQuery{Target: m, Horizon: wq.Horizon}, nil
+	case "geology":
+		seq := make([]modelir.Lithology, 0, len(wq.Sequence))
+		for _, s := range wq.Sequence {
+			l, err := lithologyOf(s)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, l)
+		}
+		method, err := methodOf(wq.Method)
+		if err != nil {
+			return nil, err
+		}
+		return modelir.GeologyQuery{
+			Sequence:     seq,
+			MaxGapFt:     wq.MaxGapFt,
+			MinGamma:     wq.MinGamma,
+			GammaRampAPI: wq.GammaRampAPI,
+			Method:       method,
+		}, nil
+	case "knowledge":
+		switch wq.Rules {
+		case "", "hps":
+			return modelir.KnowledgeQuery{Rules: modelir.HPSTileRules()}, nil
+		default:
+			return nil, fmt.Errorf("unknown rule set %q (built-in: hps)", wq.Rules)
+		}
+	default:
+		return nil, fmt.Errorf("unknown query kind %q (want linear, scene, fsm, fsm-distance, geology, knowledge)", wq.Kind)
+	}
+}
+
+func linearModelOf(wq wireQuery) (*modelir.LinearModel, error) {
+	if len(wq.Coeffs) == 0 {
+		return nil, errors.New("query needs coeffs")
+	}
+	attrs := wq.Attrs
+	if len(attrs) == 0 {
+		attrs = make([]string, len(wq.Coeffs))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+	return modelir.NewLinearModel(attrs, wq.Coeffs, wq.Intercept)
+}
+
+func machineOf(name string) (*modelir.Machine, error) {
+	switch name {
+	case "", "fireants":
+		return modelir.FireAntsModel(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (built-in: fireants)", name)
+	}
+}
+
+func lithologyOf(s string) (modelir.Lithology, error) {
+	switch strings.ToLower(s) {
+	case "shale":
+		return modelir.Shale, nil
+	case "sandstone":
+		return modelir.Sandstone, nil
+	case "siltstone":
+		return modelir.Siltstone, nil
+	case "limestone":
+		return modelir.Limestone, nil
+	default:
+		return 0, fmt.Errorf("unknown lithology %q", s)
+	}
+}
+
+func methodOf(s string) (modelir.GeologyMethod, error) {
+	switch strings.ToLower(s) {
+	case "", "dp":
+		return modelir.GeoDP, nil
+	case "brute":
+		return modelir.GeoBruteForce, nil
+	case "pruned":
+		return modelir.GeoPruned, nil
+	default:
+		return 0, fmt.Errorf("unknown geology method %q (want dp, brute, pruned)", s)
+	}
+}
+
+// server bundles the engine with serving metadata.
+type server struct {
+	engine  *modelir.Engine
+	started time.Time
+}
+
+// newServer routes the three endpoints.
+func newServer(e *modelir.Engine) http.Handler {
+	s := &server{engine: e, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // a failed write means the client is gone
+}
+
+// statusOf maps engine errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, modelir.ErrUnknownDataset):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var wr wireRequest
+	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireResult{Error: "bad request JSON: " + err.Error()})
+		return
+	}
+	req, err := compileRequest(wr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wireResult{Error: err.Error()})
+		return
+	}
+	// r.Context() ends when the client disconnects: the engine aborts
+	// the fan-out mid-shard and we have nobody left to answer.
+	res, err := s.engine.Run(r.Context(), req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; the response writer is dead
+		}
+		writeJSON(w, statusOf(err), wireResult{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireResult(res, nil))
+}
+
+// wireBatch is the /batch request and response envelope.
+type wireBatch struct {
+	Requests []wireRequest `json:"requests"`
+}
+
+type wireBatchResponse struct {
+	Results []wireResult `json:"results"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var wb wireBatch
+	if err := json.NewDecoder(r.Body).Decode(&wb); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireResult{Error: "bad batch JSON: " + err.Error()})
+		return
+	}
+	reqs := make([]modelir.Request, len(wb.Requests))
+	compileErrs := make([]error, len(wb.Requests))
+	for i, wr := range wb.Requests {
+		reqs[i], compileErrs[i] = compileRequest(wr)
+	}
+	// Compile failures ride along as per-slot errors: the engine skips
+	// nil-query requests with a validation error in the same slot.
+	batch, err := s.engine.RunBatch(r.Context(), reqs)
+	if err != nil && r.Context().Err() != nil {
+		return // client gone
+	}
+	resp := wireBatchResponse{Results: make([]wireResult, len(batch))}
+	for i, br := range batch {
+		switch {
+		case compileErrs[i] != nil:
+			resp.Results[i] = wireResult{Error: compileErrs[i].Error()}
+		case br.Err != nil:
+			resp.Results[i] = wireResult{Error: br.Err.Error()}
+		default:
+			resp.Results[i] = toWireResult(br.Result, nil)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wireServerStats is the /stats response.
+type wireServerStats struct {
+	UptimeS    float64 `json:"uptime_s"`
+	Epoch      uint64  `json:"epoch"`
+	Shards     int     `json:"shards"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Cache      struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Stores        uint64 `json:"stores"`
+		Evictions     uint64 `json:"evictions"`
+		Invalidations uint64 `json:"invalidations"`
+		Entries       int    `json:"entries"`
+	} `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var out wireServerStats
+	out.UptimeS = time.Since(s.started).Seconds()
+	out.Epoch = s.engine.Epoch()
+	out.Shards = s.engine.NumShards()
+	out.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	cs := s.engine.CacheStats()
+	out.Cache.Hits = cs.Hits
+	out.Cache.Misses = cs.Misses
+	out.Cache.Stores = cs.Stores
+	out.Cache.Evictions = cs.Evictions
+	out.Cache.Invalidations = cs.Invalidations
+	out.Cache.Entries = cs.Entries
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,44 @@
+// Canonical byte encoding for cache fingerprinting (see the matching
+// methods in internal/linear; framing primitives in internal/canon).
+// A rule set canonicalizes clause by clause in declaration order —
+// clause order does not change a score (min is commutative), so
+// identical rule sets written in different orders fingerprint apart,
+// which only under-shares the cache, never aliases it.
+
+package bayes
+
+import (
+	"modelir/internal/canon"
+)
+
+// AppendCanonical appends the rule set's canonical encoding. ok is
+// false when a clause uses a Membership implementation this package
+// does not know how to serialize — such rule sets cannot be
+// fingerprinted and their queries bypass the result cache.
+func (r *RuleSet) AppendCanonical(b []byte) ([]byte, bool) {
+	b = append(b, 'R', 'S')
+	b = canon.AppendUint(b, uint64(len(r.clauses)))
+	for i, c := range r.clauses {
+		b = canon.AppendString(b, c.Feature)
+		b = canon.AppendFloat(b, r.weights[i])
+		switch m := c.Member.(type) {
+		case Trapezoid:
+			b = append(b, 'T')
+			b = canon.AppendFloat(b, m.A)
+			b = canon.AppendFloat(b, m.B)
+			b = canon.AppendFloat(b, m.C)
+			b = canon.AppendFloat(b, m.D)
+		case Above:
+			b = append(b, 'A')
+			b = canon.AppendFloat(b, m.Lo)
+			b = canon.AppendFloat(b, m.Hi)
+		case Below:
+			b = append(b, 'B')
+			b = canon.AppendFloat(b, m.Lo)
+			b = canon.AppendFloat(b, m.Hi)
+		default:
+			return b, false
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,41 @@
+// Package canon holds the shared primitives for canonical byte
+// encodings used in cache fingerprinting (the AppendCanonical methods
+// in internal/{linear,fsm,bayes}). The cache key's collision-freedom
+// depends on every encoder framing fields the same way, so the framing
+// lives in exactly one place: lengths and integers are fixed-width
+// big-endian, floats are IEEE-754 bit patterns, and variable-size
+// values are length-prefixed so adjacent fields can never
+// re-associate.
+package canon
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendUint appends v as 8 big-endian bytes.
+func AppendUint(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// AppendFloat appends v's IEEE-754 bit pattern as 8 big-endian bytes.
+// Distinct bit patterns (including ±0 and NaN payloads) encode
+// distinctly; callers that treat them as equal must normalize first.
+func AppendFloat(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendString appends s length-prefixed.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendFloats appends vs count-prefixed, element by element.
+func AppendFloats(b []byte, vs []float64) []byte {
+	b = AppendUint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = AppendFloat(b, v)
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+// Admission control: a weighted semaphore bounding the total fan-out
+// workers in flight across all concurrent requests. Without it, N
+// concurrent callers each spawning a GOMAXPROCS-wide pool oversubscribe
+// the scheduler N-fold; with it, contended requests degrade to narrower
+// fan-outs (down to one worker) instead of stacking goroutines, and
+// callers block only when the budget is fully committed. Clamping a
+// request's workers is always result-safe: every query path returns
+// identical items and scores for any worker count (DESIGN.md §2).
+
+package core
+
+import (
+	"context"
+	"runtime"
+)
+
+// DefaultMaxWorkers is the admission budget used when Options.MaxWorkers
+// is zero: enough oversubscription to keep cores busy through the
+// blocking-free scan loops, small enough that heavy concurrent traffic
+// degrades width instead of exploding goroutine counts.
+func DefaultMaxWorkers() int { return 4 * runtime.GOMAXPROCS(0) }
+
+// effectiveWorkers resolves a request's fan-out width before admission:
+// the requested count (0 = GOMAXPROCS) clamped to the plan's shard
+// count, since workers beyond one-per-shard never get work.
+func effectiveWorkers(requested, shards int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if shards >= 1 && w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// admit reserves fan-out workers from the engine's admission budget,
+// returning the (possibly clamped) width to run at and a release func.
+// With admission disabled it grants the full want.
+func (e *Engine) admit(ctx context.Context, want int) (int, func(), error) {
+	if e.adm == nil {
+		return want, func() {}, nil
+	}
+	got, err := e.adm.AcquireUpTo(ctx, want)
+	if err != nil {
+		return 0, nil, err
+	}
+	return got, func() { e.adm.Release(got) }, nil
+}

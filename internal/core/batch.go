@@ -1,0 +1,198 @@
+// Engine.RunBatch: the serving layer's many-requests entry point. A
+// batch is cheaper than its requests run separately for three reasons,
+// applied in order:
+//
+//  1. cache — each request is probed against the result cache first;
+//  2. dedup — identical cacheable requests (same canonical fingerprint)
+//     execute once, with followers receiving copies of the leader's
+//     result;
+//  3. amortized fan-out — surviving requests are ordered into per-
+//     model-family groups and ALL of their (request, shard) cells are
+//     scheduled on ONE shared worker pool (parallel.BatchShardTopKCtx)
+//     under ONE admission grant, instead of a pool and a grant per
+//     request; mixed-family batches run their families concurrently.
+//
+// Every request's items and stats are bit-identical (modulo Wall and
+// Cache) to what a solo Engine.Run of the same request would return:
+// batching, like sharding and worker clamping, changes scheduling only.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"modelir/internal/parallel"
+	"modelir/internal/qcache"
+)
+
+// BatchResult is one request's outcome within a batch: exactly one of
+// Result or Err is meaningful (Err nil means Result is valid).
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// batchEntry is one deduped unit of execution: a validated request plus
+// the batch positions its result must be copied to.
+type batchEntry struct {
+	idx       int     // position in the caller's request slice
+	req       Request // validated copy (defaults resolved)
+	key       qcache.Key
+	cacheable bool
+	epoch     uint64
+	followers []int // positions holding identical requests
+}
+
+// RunBatch executes many requests as one serving unit and returns one
+// BatchResult per request, positionally. Failures are isolated: a
+// malformed or failing request poisons only its own slot. The error
+// return is non-nil only for whole-batch conditions (context
+// cancellation), in which case every not-yet-completed slot also
+// carries that error.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out, err
+	}
+	start := time.Now()
+
+	// Phase 1: validate, probe the cache, dedup identical requests.
+	var exec []*batchEntry
+	leaderByKey := make(map[qcache.Key]*batchEntry)
+	for i := range reqs {
+		req := reqs[i]
+		if err := validateRequest(&req); err != nil {
+			out[i].Err = err
+			continue
+		}
+		var key qcache.Key
+		cacheable := false
+		if e.cache != nil {
+			key, cacheable = fingerprintRequest(req)
+		}
+		epoch := e.epoch.Load()
+		if cacheable {
+			if res, ok := e.cacheGet(key, epoch, start); ok {
+				out[i].Result = res
+				continue
+			}
+			if l, ok := leaderByKey[key]; ok {
+				l.followers = append(l.followers, i)
+				continue
+			}
+		}
+		en := &batchEntry{idx: i, req: req, key: key, cacheable: cacheable, epoch: epoch}
+		if cacheable {
+			leaderByKey[key] = en
+		}
+		exec = append(exec, en)
+	}
+	if len(exec) == 0 {
+		return out, nil
+	}
+
+	// Phase 2: order the survivors family-major (compatible requests
+	// grouped per model family, first-appearance order), then plan and
+	// execute EVERY group's (request, shard) cells on one shared pool
+	// under one admission grant — a mixed-family batch runs its
+	// families concurrently, not back to back.
+	groups := make(map[ModelKind][]*batchEntry)
+	var order []ModelKind
+	for _, en := range exec {
+		k := en.req.Query.Kind()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], en)
+	}
+	exec = exec[:0]
+	for _, kind := range order {
+		exec = append(exec, groups[kind]...)
+	}
+
+	live := make([]*batchEntry, 0, len(exec))
+	plans := make([]queryPlan, 0, len(exec))
+	specs := make([]parallel.BatchSpec, 0, len(exec))
+	want := 1
+	for _, en := range exec {
+		p, err := en.req.Query.plan(ctx, e, en.req, nil)
+		if err != nil {
+			fillBatchErr(out, en, bareCtxErr(ctx, err))
+			continue
+		}
+		// The batch admits once, at the widest width any member would
+		// have used solo — batching never consumes more of the worker
+		// budget than the largest single request.
+		if w := effectiveWorkers(en.req.Workers, p.shards); w > want {
+			want = w
+		}
+		live = append(live, en)
+		plans = append(plans, p)
+		specs = append(specs, parallel.BatchSpec{Shards: p.shards, K: en.req.K, Floor: p.floor, Run: p.run})
+	}
+	if len(live) == 0 {
+		return out, nil
+	}
+	workers, release, err := e.admit(ctx, want)
+	if err != nil {
+		for _, en := range live {
+			fillBatchErr(out, en, err)
+		}
+		return out, err
+	}
+	defer release()
+
+	results, errs := parallel.BatchShardTopKCtx(ctx, workers, specs)
+	var ctxErr error
+	for gi, en := range live {
+		if errs[gi] != nil {
+			err := bareCtxErr(ctx, errs[gi])
+			if ce := ctx.Err(); ce != nil && errors.Is(err, ce) {
+				ctxErr = ce
+			}
+			fillBatchErr(out, en, err)
+			continue
+		}
+		items, st, err := plans[gi].finish(results[gi])
+		if err != nil {
+			fillBatchErr(out, en, bareCtxErr(ctx, err))
+			continue
+		}
+		if en.req.MinScore != nil {
+			items = filterMinScore(items, *en.req.MinScore)
+		}
+		st.Kind = en.req.Query.Kind()
+		if en.cacheable {
+			e.cachePut(en.key, en.epoch, items, st)
+		}
+		st.Wall = time.Since(start)
+		st.Cache = e.cacheInfo(false)
+		out[en.idx] = BatchResult{Result: Result{Items: items, Stats: st}}
+		// Followers get their own copies: batchmates must not share
+		// mutable slices.
+		for _, fi := range en.followers {
+			fst := st
+			fst.Wall = time.Since(start)
+			out[fi] = BatchResult{Result: Result{Items: cloneItems(items), Stats: fst}}
+		}
+	}
+	return out, ctxErr
+}
+
+func fillBatchErr(out []BatchResult, en *batchEntry, err error) {
+	out[en.idx].Err = err
+	for _, fi := range en.followers {
+		out[fi].Err = err
+	}
+}

@@ -1,0 +1,197 @@
+// Result-cache wiring: canonical Request fingerprinting, epoch-checked
+// lookup, and defensive copying so cached results stay immutable no
+// matter what callers do with the slices they receive.
+//
+// What is cacheable: a request whose result is a pure function of
+// (dataset name, K, MinScore, query content). Three things opt a
+// request out:
+//
+//   - Budget > 0 — truncation depends on scheduling, so two identical
+//     budgeted runs may legitimately differ;
+//   - an FSMQuery with a Prefilter — func values have no canonical
+//     content to fingerprint;
+//   - a KnowledgeQuery whose rule set uses a Membership implementation
+//     the bayes package cannot serialize.
+//
+// Workers is deliberately absent from the fingerprint: the engine
+// guarantees identical results for any worker count, so requests that
+// differ only in fan-out width share a cache line.
+//
+// Invalidation is epoch-based and engine-wide: every Register* bumps
+// Engine.epoch, and qcache.Get refuses entries stamped with any other
+// epoch. Registered datasets are immutable, so this is conservative
+// today — but it is the contract persistence and replication will rely
+// on, and it guarantees a stale entry is never served after a
+// registration no matter how the bump races in-flight queries.
+
+package core
+
+import (
+	"time"
+
+	"modelir/internal/qcache"
+	"modelir/internal/topk"
+)
+
+// CacheInfo reports the result cache's involvement in one request.
+type CacheInfo struct {
+	// Hit is true when the result was served from the cache,
+	// bit-identical to the cold run that populated it.
+	Hit bool
+	// Hits, Misses, Evictions and Invalidations sample the engine-wide
+	// cache counters as the request completed (all zero when the cache
+	// is disabled).
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+}
+
+// cachedResult is one stored answer. Its items and stats are never
+// handed out directly: cacheGet clones on the way out exactly as
+// cachePut clones on the way in.
+type cachedResult struct {
+	items []topk.Item
+	stats QueryStats // Wall and Cache zeroed; filled per serve
+}
+
+// cloneItems deep-copies a result set far enough that no caller can
+// reach cached memory: the slice itself plus the one payload type the
+// engine produces (geology strata indices).
+func cloneItems(items []topk.Item) []topk.Item {
+	out := make([]topk.Item, len(items))
+	copy(out, items)
+	for i, it := range out {
+		if strata, ok := it.Payload.([]int); ok {
+			out[i].Payload = append([]int(nil), strata...)
+		}
+	}
+	return out
+}
+
+// cacheGet serves a live cached result, stamping the hit's own Wall and
+// cache counters onto otherwise bit-identical stats.
+func (e *Engine) cacheGet(key qcache.Key, epoch uint64, start time.Time) (Result, bool) {
+	v, ok := e.cache.Get(key, epoch)
+	if !ok {
+		return Result{}, false
+	}
+	cr := v.(*cachedResult)
+	st := cr.stats
+	st.Wall = time.Since(start)
+	st.Cache = e.cacheInfo(true)
+	return Result{Items: cloneItems(cr.items), Stats: st}, true
+}
+
+// cachePut stores a cold result under the epoch observed before its
+// execution began.
+func (e *Engine) cachePut(key qcache.Key, epoch uint64, items []topk.Item, st QueryStats) {
+	st.Wall = 0
+	st.Cache = CacheInfo{}
+	e.cache.Put(key, epoch, &cachedResult{items: cloneItems(items), stats: st})
+}
+
+// cacheInfo samples the engine-wide counters into a per-request view.
+// It reads only the atomic counters (qcache.Counters), never the
+// shard-locking entry count — this runs on every request completion.
+func (e *Engine) cacheInfo(hit bool) CacheInfo {
+	if e.cache == nil {
+		return CacheInfo{Hit: hit}
+	}
+	s := e.cache.Counters()
+	return CacheInfo{
+		Hit:           hit,
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Invalidations: s.Invalidations,
+	}
+}
+
+// CacheStats samples the result cache's counters (zero when the cache
+// is disabled).
+func (e *Engine) CacheStats() qcache.Stats {
+	if e.cache == nil {
+		return qcache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// Epoch reports the cache-invalidation epoch: the number of successful
+// dataset registrations. Cached results from earlier epochs are never
+// served.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// fingerprintRequest computes the canonical cache key of a validated
+// request, or ok=false when the request is not cacheable.
+func fingerprintRequest(req Request) (qcache.Key, bool) {
+	if req.Budget > 0 {
+		return qcache.Key{}, false
+	}
+	f := qcache.NewFingerprint()
+	f.Field("dataset").String(req.Dataset)
+	f.Field("k").Int(int64(req.K))
+	f.Field("minscore")
+	if req.MinScore != nil {
+		f.Float(*req.MinScore)
+	} else {
+		f.Nil()
+	}
+	f.Field("query")
+	if !fingerprintQuery(f, req.Query) {
+		return qcache.Key{}, false
+	}
+	return f.Key(), true
+}
+
+// fingerprintQuery appends the query's family tag and canonical model
+// content. Unknown query shapes (including pointer-wrapped family
+// types) conservatively bypass the cache.
+func fingerprintQuery(f *qcache.Fingerprint, q Query) bool {
+	switch q := q.(type) {
+	case LinearQuery:
+		if q.Model == nil {
+			return false
+		}
+		f.String("linear").Bytes(q.Model.AppendCanonical(nil))
+	case SceneQuery:
+		if q.Model == nil {
+			return false
+		}
+		f.String("scene").Bytes(q.Model.AppendCanonical(nil))
+	case FSMQuery:
+		if q.Machine == nil || q.Prefilter != nil {
+			return false
+		}
+		f.String("fsm").Bytes(q.Machine.AppendCanonical(nil))
+	case FSMDistanceQuery:
+		if q.Target == nil {
+			return false
+		}
+		f.String("fsm-distance").Bytes(q.Target.AppendCanonical(nil)).Int(int64(q.Horizon))
+	case GeologyQuery:
+		seq := make([]int, len(q.Sequence))
+		for i, l := range q.Sequence {
+			seq[i] = int(l)
+		}
+		method := q.Method
+		if method == 0 {
+			method = GeoDP // the execution default; fingerprint what runs
+		}
+		f.String("geology").Ints(seq).
+			Float(q.MaxGapFt).Float(q.MinGamma).Float(q.GammaRampAPI).
+			Int(int64(method))
+	case KnowledgeQuery:
+		if q.Rules == nil {
+			return false
+		}
+		b, ok := q.Rules.AppendCanonical(nil)
+		if !ok {
+			return false
+		}
+		f.String("knowledge").Bytes(b)
+	default:
+		return false
+	}
+	return true
+}

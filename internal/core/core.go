@@ -28,12 +28,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"modelir/internal/archive"
 	"modelir/internal/fsm"
 	"modelir/internal/linear"
 	"modelir/internal/onion"
+	"modelir/internal/parallel"
 	"modelir/internal/progressive"
+	"modelir/internal/qcache"
 	"modelir/internal/sproc"
 	"modelir/internal/synth"
 	"modelir/internal/topk"
@@ -71,15 +74,35 @@ type Options struct {
 	Shards int
 	// Onion tunes the per-shard Onion indexes built for tuple archives.
 	Onion onion.Options
+	// CacheEntries caps the result cache (see DESIGN.md §6): 0 means
+	// qcache.DefaultEntries, negative disables caching entirely.
+	CacheEntries int
+	// MaxWorkers is the admission-control budget: the total fan-out
+	// workers allowed in flight across all concurrent requests. 0 means
+	// DefaultMaxWorkers(); negative disables admission control (every
+	// request gets the width it asked for, as in the pre-serving
+	// engine).
+	MaxWorkers int
 }
 
 // Engine is the retrieval front end. Registration and queries may be
 // interleaved freely from any number of goroutines: the dataset tables
 // are guarded by an RWMutex, and each registered dataset is immutable
 // after ingest, so the query hot path runs lock-free over its shards.
+// The serving layer rides on top: a result cache keyed by canonical
+// request fingerprints (invalidated by the registration epoch) and a
+// weighted admission semaphore bounding total fan-out workers.
 type Engine struct {
 	shards   int
 	onionOpt onion.Options
+
+	// epoch counts successful registrations; cached results are
+	// stamped with it and never served across a bump (cache.go).
+	epoch atomic.Uint64
+	// cache is the result cache (nil = disabled).
+	cache *qcache.Cache
+	// adm is the admission semaphore (nil = unbounded).
+	adm *parallel.Weighted
 
 	mu     sync.RWMutex
 	tuples map[string]*tupleSet
@@ -97,7 +120,7 @@ func NewEngineWith(opt Options) *Engine {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		shards:   shards,
 		onionOpt: opt.Onion,
 		tuples:   make(map[string]*tupleSet),
@@ -105,6 +128,22 @@ func NewEngineWith(opt Options) *Engine {
 		series:   make(map[string]*seriesSet),
 		wells:    make(map[string]*wellSet),
 	}
+	if opt.CacheEntries >= 0 {
+		e.cache = qcache.New(qcache.Options{Entries: opt.CacheEntries})
+	}
+	if opt.MaxWorkers >= 0 {
+		limit := opt.MaxWorkers
+		if limit == 0 {
+			limit = DefaultMaxWorkers()
+		}
+		w, err := parallel.NewWeighted(limit)
+		if err != nil {
+			// limit >= 1 by construction.
+			panic(err)
+		}
+		e.adm = w
+	}
+	return e
 }
 
 // NumShards reports how many partitions each dataset is split into.
@@ -148,6 +187,9 @@ func (e *Engine) AddTuples(name string, points [][]float64) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
 	e.tuples[name] = ts
+	// Registration bumps the cache epoch: any result computed against
+	// the pre-registration world is now stale (cache.go).
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -167,6 +209,7 @@ func (e *Engine) AddScene(name string, sc *archive.Scene) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
 	e.scenes[name] = ss
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -186,6 +229,7 @@ func (e *Engine) AddSeries(name string, rs []synth.RegionSeries) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
 	e.series[name] = ss
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -204,6 +248,7 @@ func (e *Engine) AddWells(name string, ws []synth.WellLog) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
 	e.wells[name] = s
+	e.epoch.Add(1)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"modelir/internal/onion"
 	"modelir/internal/parallel"
 	"modelir/internal/progressive"
+	"modelir/internal/qcache"
 	"modelir/internal/sproc"
 	"modelir/internal/topk"
 )
@@ -93,6 +94,13 @@ type QueryStats struct {
 	// finished: Items are the exact top-K of what was evaluated, which
 	// may differ from the true top-K.
 	Truncated bool
+	// Cache reports the result cache's involvement in this request:
+	// whether it was served from cache, plus a sample of the
+	// engine-wide hit/miss/eviction/invalidation counters taken as the
+	// request completed. Every field except Wall and Cache is
+	// bit-identical between a cache hit and the cold run that populated
+	// it.
+	Cache CacheInfo
 	// Detail carries the family-specific stats struct
 	// (LinearTupleStats, progressive.Stats, FSMStats, sproc.Stats,
 	// KnowledgeStats) for callers that want the legacy counters.
@@ -137,14 +145,31 @@ type Snapshot struct {
 
 // Query is one executable model query — the paper's "query is a model"
 // as a type. It is implemented by the family query types in this
-// package and sealed (the run method is unexported): external packages
+// package and sealed (the plan method is unexported): external packages
 // compose queries from LinearQuery, SceneQuery, FSMQuery,
 // FSMDistanceQuery, GeologyQuery and KnowledgeQuery.
 type Query interface {
 	// Kind reports the model family.
 	Kind() ModelKind
-	// run executes against the engine. snap is nil for plain Run.
-	run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error)
+	// plan compiles the query against the engine into a single-use
+	// shard fan-out. snap is nil except for RunProgressive.
+	plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error)
+}
+
+// queryPlan is one compiled request: a shard fan-out Run can execute on
+// its own pool and RunBatch can schedule cell-by-cell on a shared pool.
+// Plans are single-use — the runner and finish closures carry the
+// per-execution accounting state (budget meter, per-shard stat slots).
+type queryPlan struct {
+	// shards is the fan-out width (one runner call per shard).
+	shards int
+	// floor seeds the cross-shard screening bound (-Inf for none).
+	floor float64
+	// run scans one shard; see parallel.ShardRunner.
+	run parallel.ShardRunner
+	// finish turns the merged top-K into the caller-visible items and
+	// normalized stats (score shifts, per-shard stat aggregation).
+	finish func(items []topk.Item) ([]topk.Item, QueryStats, error)
 }
 
 // Run executes one request: resolve the dataset, fan the query out
@@ -153,12 +178,28 @@ type Query interface {
 // families flow through this entry point; the per-family methods on
 // Engine are deprecated wrappers around it.
 //
+// Serving behavior: cacheable requests (see DESIGN.md §6) are answered
+// from the result cache when a live entry exists — bit-identical to a
+// cold run, with only Stats.Wall and Stats.Cache reflecting the hit —
+// and admission control clamps the fan-out width when the engine's
+// worker budget is contended, which changes scheduling only, never
+// results.
+//
 // Cancellation is cooperative and prompt: every family checks ctx
 // inside its per-shard scan loops (per onion layer, per pyramid cell,
 // per region, per well, per tile), so a cancelled or timed-out request
 // stops burning CPU mid-shard and returns ctx.Err().
 func (e *Engine) Run(ctx context.Context, req Request) (Result, error) {
 	return e.runReq(ctx, req, nil)
+}
+
+// bareCtxErr surfaces cancellation as the bare ctx.Err() the caller
+// acted on, not wrapped in shard-fanout annotations.
+func bareCtxErr(ctx context.Context, err error) error {
+	if ce := ctx.Err(); ce != nil && errors.Is(err, ce) {
+		return ce
+	}
+	return err
 }
 
 func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter) (Result, error) {
@@ -172,20 +213,51 @@ func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter) (Re
 		return Result{}, err
 	}
 	start := time.Now()
-	items, st, err := req.Query.run(ctx, e, req, snap)
-	if err != nil {
-		// Surface cancellation as the bare ctx.Err() the caller acted
-		// on, not wrapped in shard-fanout annotations.
-		if ce := ctx.Err(); ce != nil && errors.Is(err, ce) {
-			return Result{}, ce
+
+	// Result cache probe. Progressive streams bypass the cache: their
+	// contract is a stream of snapshots, not one result.
+	var key qcache.Key
+	cacheable := false
+	if snap == nil && e.cache != nil {
+		key, cacheable = fingerprintRequest(req)
+	}
+	// The epoch is sampled before the dataset tables are read, so a
+	// registration racing this request either lands before the sample
+	// (and the cached entry is valid for the new epoch) or after it
+	// (and the entry is stale-marked the moment it is written).
+	epoch := e.epoch.Load()
+	if cacheable {
+		if res, ok := e.cacheGet(key, epoch, start); ok {
+			return res, nil
 		}
+	}
+
+	p, err := req.Query.plan(ctx, e, req, snap)
+	if err != nil {
+		return Result{}, bareCtxErr(ctx, err)
+	}
+	workers, release, err := e.admit(ctx, effectiveWorkers(req.Workers, p.shards))
+	if err != nil {
 		return Result{}, err
+	}
+	defer release()
+	items, err := parallel.ShardTopKCtx(ctx, p.shards, req.K, workers, p.floor, p.run)
+	if err != nil {
+		return Result{}, bareCtxErr(ctx, err)
+	}
+	items, st, err := p.finish(items)
+	if err != nil {
+		return Result{}, bareCtxErr(ctx, err)
 	}
 	if req.MinScore != nil {
 		items = filterMinScore(items, *req.MinScore)
 	}
 	st.Kind = req.Query.Kind()
+	if cacheable {
+		e.cachePut(key, epoch, items, st)
+	}
 	st.Wall = time.Since(start)
+	st.Cache = e.cacheInfo(false)
 	return Result{Items: items, Stats: st}, nil
 }
 
@@ -361,24 +433,25 @@ type LinearQuery struct {
 // Kind reports the linear model family.
 func (LinearQuery) Kind() ModelKind { return KindLinear }
 
-func (q LinearQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
-	var st QueryStats
+func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error) {
 	if q.Model == nil {
-		return nil, st, errors.New("core: LinearQuery needs a model")
+		return queryPlan{}, errors.New("core: LinearQuery needs a model")
 	}
 	m := q.Model
 	e.mu.RLock()
 	ts, ok := e.tuples[req.Dataset]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
 	perShard := make([]onion.Stats, len(ts.shards))
-	// The shared bound screens pre-intercept scores, so the MinScore
-	// floor is shifted into that scale.
-	items, err := parallel.ShardTopKCtx(ctx, len(ts.shards), req.K, req.Workers, floorOf(req, m.Intercept),
-		func(si int, sb *topk.Bound) ([]topk.Item, error) {
+	return queryPlan{
+		shards: len(ts.shards),
+		// The shared bound screens pre-intercept scores, so the
+		// MinScore floor is shifted into that scale.
+		floor: floorOf(req, m.Intercept),
+		run: func(si int, sb *topk.Bound) ([]topk.Item, error) {
 			sh := ts.shards[si]
 			// First query builds this shard's index inside the fan-out we
 			// already pay for; afterwards this is a sync.Once hit.
@@ -409,33 +482,33 @@ func (q LinearQuery) run(ctx context.Context, e *Engine, req Request, snap *snap
 				its[i].ID += int64(sh.offset)
 			}
 			return its, nil
-		})
-	if err != nil {
-		return nil, st, err
-	}
-	var det LinearTupleStats
-	for _, s := range perShard {
-		det.Indexed.LayersScanned += s.LayersScanned
-		det.Indexed.PointsTouched += s.PointsTouched
-		det.Indexed.PointsSkippedByBudget += s.PointsSkippedByBudget
-	}
-	det.ScanCost = len(ts.points)
-	// The model's intercept shifts every score identically; add it so
-	// returned scores equal model values.
-	if m.Intercept != 0 {
-		for i := range items {
-			items[i].Score += m.Intercept
-		}
-	}
-	st = QueryStats{
-		Evaluations: det.Indexed.PointsTouched,
-		Examined:    det.Indexed.PointsTouched,
-		Pruned:      det.ScanCost - det.Indexed.PointsTouched - det.Indexed.PointsSkippedByBudget,
-		Shards:      len(ts.shards),
-		Truncated:   meter.Exhausted(),
-		Detail:      det,
-	}
-	return items, st, nil
+		},
+		finish: func(items []topk.Item) ([]topk.Item, QueryStats, error) {
+			var det LinearTupleStats
+			for _, s := range perShard {
+				det.Indexed.LayersScanned += s.LayersScanned
+				det.Indexed.PointsTouched += s.PointsTouched
+				det.Indexed.PointsSkippedByBudget += s.PointsSkippedByBudget
+			}
+			det.ScanCost = len(ts.points)
+			// The model's intercept shifts every score identically; add
+			// it so returned scores equal model values.
+			if m.Intercept != 0 {
+				for i := range items {
+					items[i].Score += m.Intercept
+				}
+			}
+			st := QueryStats{
+				Evaluations: det.Indexed.PointsTouched,
+				Examined:    det.Indexed.PointsTouched,
+				Pruned:      det.ScanCost - det.Indexed.PointsTouched - det.Indexed.PointsSkippedByBudget,
+				Shards:      len(ts.shards),
+				Truncated:   meter.Exhausted(),
+				Detail:      det,
+			}
+			return items, st, nil
+		},
+	}, nil
 }
 
 // ---- Linear models over raster archives ----
@@ -451,21 +524,22 @@ type SceneQuery struct {
 // Kind reports the linear model family.
 func (SceneQuery) Kind() ModelKind { return KindLinear }
 
-func (q SceneQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
-	var st QueryStats
+func (q SceneQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error) {
 	if q.Model == nil {
-		return nil, st, errors.New("core: SceneQuery needs a progressive model")
+		return queryPlan{}, errors.New("core: SceneQuery needs a progressive model")
 	}
 	e.mu.RLock()
 	ss, ok := e.scenes[req.Dataset]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
 	perShard := make([]progressive.Stats, len(ss.roots))
-	items, err := parallel.ShardTopKCtx(ctx, len(ss.roots), req.K, req.Workers, floorOf(req, 0),
-		func(si int, sb *topk.Bound) ([]topk.Item, error) {
+	return queryPlan{
+		shards: len(ss.roots),
+		floor:  floorOf(req, 0),
+		run: func(si int, sb *topk.Bound) ([]topk.Item, error) {
 			opt := progressive.DescendOpts{Ctx: ctx, Bound: sb, Meter: meter}
 			if snap != nil {
 				opt.OnLevel = func(level int, sofar []topk.Item) error {
@@ -478,26 +552,26 @@ func (q SceneQuery) run(ctx context.Context, e *Engine, req Request, snap *snaps
 			}
 			perShard[si] = res.Stats
 			return res.Items, nil
-		})
-	if err != nil {
-		return nil, st, err
-	}
-	var det progressive.Stats
-	for _, s := range perShard {
-		det.PixelTermEvals += s.PixelTermEvals
-		det.CellTermEvals += s.CellTermEvals
-		det.PixelsVisited += s.PixelsVisited
-		det.CellsVisited += s.CellsVisited
-	}
-	st = QueryStats{
-		Evaluations: det.Work(),
-		Examined:    det.PixelsVisited + det.CellsVisited,
-		Pruned:      ss.scene.W*ss.scene.H - det.PixelsVisited,
-		Shards:      len(ss.roots),
-		Truncated:   meter.Exhausted(),
-		Detail:      det,
-	}
-	return items, st, nil
+		},
+		finish: func(items []topk.Item) ([]topk.Item, QueryStats, error) {
+			var det progressive.Stats
+			for _, s := range perShard {
+				det.PixelTermEvals += s.PixelTermEvals
+				det.CellTermEvals += s.CellTermEvals
+				det.PixelsVisited += s.PixelsVisited
+				det.CellsVisited += s.CellsVisited
+			}
+			st := QueryStats{
+				Evaluations: det.Work(),
+				Examined:    det.PixelsVisited + det.CellsVisited,
+				Pruned:      ss.scene.W*ss.scene.H - det.PixelsVisited,
+				Shards:      len(ss.roots),
+				Truncated:   meter.Exhausted(),
+				Detail:      det,
+			}
+			return items, st, nil
+		},
+	}, nil
 }
 
 // ---- Finite-state models over series archives ----
@@ -507,21 +581,25 @@ func (q SceneQuery) run(ctx context.Context, e *Engine, req Request, snap *snaps
 // partial top-K after each batch and at shard end.
 const snapEveryRegions = 16
 
-// shardScan fans a scan-shaped family (series regions, wells) across
-// shards with the shared per-candidate scaffold: a context check and
-// budget gate before each candidate, a meter charge after it, and
-// batched progressive publication. scan evaluates candidate i of shard
-// si into h and returns the work it consumed in the family's
-// evaluation unit; because the charge lands after the evaluation, a
-// budgeted query overshoots by at most one candidate per worker.
-func shardScan(ctx context.Context, req Request, snap *snapshotter,
+// scanPlan builds the fan-out for a scan-shaped family (series
+// regions, wells, tiles) with the shared per-candidate scaffold: a
+// context check and budget gate before each candidate, a meter charge
+// after it, and batched progressive publication. scan evaluates
+// candidate i of shard si into h and returns the work it consumed in
+// the family's evaluation unit; because the charge lands after the
+// evaluation, a budgeted query overshoots by at most one candidate per
+// worker.
+func scanPlan(ctx context.Context, req Request, snap *snapshotter,
 	nShards int, stage string, meter *topk.Meter,
 	shardSize func(si int) int,
 	scan func(si, i int, h *topk.Heap) (cost int, err error),
-) ([]topk.Item, error) {
+	finish func(items []topk.Item) ([]topk.Item, QueryStats, error),
+) queryPlan {
 	done := ctx.Done()
-	return parallel.ShardTopKCtx(ctx, nShards, req.K, req.Workers, floorOf(req, 0),
-		func(si int, _ *topk.Bound) ([]topk.Item, error) {
+	return queryPlan{
+		shards: nShards,
+		floor:  floorOf(req, 0),
+		run: func(si int, _ *topk.Bound) ([]topk.Item, error) {
 			h := topk.MustHeap(req.K)
 			n := shardSize(si)
 			for i := 0; i < n; i++ {
@@ -550,7 +628,9 @@ func shardScan(ctx context.Context, req Request, snap *snapshotter,
 				}
 			}
 			return h.Results(), nil
-		})
+		},
+		finish: finish,
+	}
 }
 
 // FSMQuery ranks regions of a series archive by fsm.FlyScore under the
@@ -565,21 +645,20 @@ type FSMQuery struct {
 // Kind reports the finite-state model family.
 func (FSMQuery) Kind() ModelKind { return KindFiniteState }
 
-func (q FSMQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
-	var st QueryStats
+func (q FSMQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error) {
 	if q.Machine == nil {
-		return nil, st, errors.New("core: FSMQuery needs a machine")
+		return queryPlan{}, errors.New("core: FSMQuery needs a machine")
 	}
 	e.mu.RLock()
 	ss, ok := e.series[req.Dataset]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
 	perShard := make([]FSMStats, len(ss.shards))
 	examined := make([]int, len(ss.shards))
-	items, err := shardScan(ctx, req, snap, len(ss.shards), "series shard", meter,
+	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
 		func(si int) int { return len(ss.shards[si].regions) },
 		func(si, i int, h *topk.Heap) (int, error) {
 			sh := ss.shards[si]
@@ -598,26 +677,25 @@ func (q FSMQuery) run(ctx context.Context, e *Engine, req Request, snap *snapsho
 				h.OfferScore(int64(sh.regions[i].Region), score)
 			}
 			return len(events), nil
-		})
-	det := FSMStats{RegionsTotal: ss.total}
-	scanned := 0
-	for si, s := range perShard {
-		det.RegionsPruned += s.RegionsPruned
-		det.DaysScanned += s.DaysScanned
-		scanned += examined[si]
-	}
-	if err != nil {
-		return nil, st, err
-	}
-	st = QueryStats{
-		Evaluations: det.DaysScanned,
-		Examined:    scanned,
-		Pruned:      det.RegionsPruned,
-		Shards:      len(ss.shards),
-		Truncated:   meter.Exhausted(),
-		Detail:      det,
-	}
-	return items, st, nil
+		},
+		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
+			det := FSMStats{RegionsTotal: ss.total}
+			scanned := 0
+			for si, s := range perShard {
+				det.RegionsPruned += s.RegionsPruned
+				det.DaysScanned += s.DaysScanned
+				scanned += examined[si]
+			}
+			st := QueryStats{
+				Evaluations: det.DaysScanned,
+				Examined:    scanned,
+				Pruned:      det.RegionsPruned,
+				Shards:      len(ss.shards),
+				Truncated:   meter.Exhausted(),
+				Detail:      det,
+			}
+			return items, st, nil
+		}), nil
 }
 
 // FSMDistanceQuery ranks regions by behavioral closeness between the
@@ -634,21 +712,20 @@ type FSMDistanceQuery struct {
 // Kind reports the finite-state model family.
 func (FSMDistanceQuery) Kind() ModelKind { return KindFiniteState }
 
-func (q FSMDistanceQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
-	var st QueryStats
+func (q FSMDistanceQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error) {
 	if q.Target == nil {
-		return nil, st, errors.New("core: FSMDistanceQuery needs a target machine")
+		return queryPlan{}, errors.New("core: FSMDistanceQuery needs a target machine")
 	}
 	e.mu.RLock()
 	ss, ok := e.series[req.Dataset]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
 	perShard := make([]FSMStats, len(ss.shards))
 	examined := make([]int, len(ss.shards))
-	items, err := shardScan(ctx, req, snap, len(ss.shards), "series shard", meter,
+	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
 		func(si int) int { return len(ss.shards[si].regions) },
 		func(si, i int, h *topk.Heap) (int, error) {
 			r := ss.shards[si].regions[i]
@@ -665,24 +742,23 @@ func (q FSMDistanceQuery) run(ctx context.Context, e *Engine, req Request, snap 
 			}
 			h.OfferScore(int64(r.Region), 1-d)
 			return len(events), nil
-		})
-	det := FSMStats{RegionsTotal: ss.total}
-	scanned := 0
-	for si, s := range perShard {
-		det.DaysScanned += s.DaysScanned
-		scanned += examined[si]
-	}
-	if err != nil {
-		return nil, st, err
-	}
-	st = QueryStats{
-		Evaluations: det.DaysScanned,
-		Examined:    scanned,
-		Shards:      len(ss.shards),
-		Truncated:   meter.Exhausted(),
-		Detail:      det,
-	}
-	return items, st, nil
+		},
+		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
+			det := FSMStats{RegionsTotal: ss.total}
+			scanned := 0
+			for si, s := range perShard {
+				det.DaysScanned += s.DaysScanned
+				scanned += examined[si]
+			}
+			st := QueryStats{
+				Evaluations: det.DaysScanned,
+				Examined:    scanned,
+				Shards:      len(ss.shards),
+				Truncated:   meter.Exhausted(),
+				Detail:      det,
+			}
+			return items, st, nil
+		}), nil
 }
 
 // ---- Knowledge models over composite objects (geology wells) ----
@@ -690,10 +766,9 @@ func (q FSMDistanceQuery) run(ctx context.Context, e *Engine, req Request, snap 
 // Kind reports the knowledge model family.
 func (GeologyQuery) Kind() ModelKind { return KindKnowledge }
 
-func (q GeologyQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
-	var st QueryStats
+func (q GeologyQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error) {
 	if err := q.Validate(); err != nil {
-		return nil, st, err
+		return queryPlan{}, err
 	}
 	method := q.Method
 	if method == 0 {
@@ -702,18 +777,18 @@ func (q GeologyQuery) run(ctx context.Context, e *Engine, req Request, snap *sna
 	switch method {
 	case GeoBruteForce, GeoDP, GeoPruned:
 	default:
-		return nil, st, fmt.Errorf("core: unknown geology method %d", method)
+		return queryPlan{}, fmt.Errorf("core: unknown geology method %d", method)
 	}
 	e.mu.RLock()
 	ws, ok := e.wells[req.Dataset]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, st, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
 	perShard := make([]sproc.Stats, len(ws.shards))
 	examined := make([]int, len(ws.shards))
-	items, err := shardScan(ctx, req, snap, len(ws.shards), "well shard", meter,
+	return scanPlan(ctx, req, snap, len(ws.shards), "well shard", meter,
 		func(si int) int { return len(ws.shards[si]) },
 		func(si, i int, h *topk.Heap) (int, error) {
 			well := ws.shards[si][i]
@@ -746,26 +821,25 @@ func (q GeologyQuery) run(ctx context.Context, e *Engine, req Request, snap *sna
 				})
 			}
 			return wst.UnaryEvals + wst.PairEvals, nil
-		})
-	var det sproc.Stats
-	scanned := 0
-	for si, s := range perShard {
-		det.UnaryEvals += s.UnaryEvals
-		det.PairEvals += s.PairEvals
-		det.TuplesConsidered += s.TuplesConsidered
-		scanned += examined[si]
-	}
-	if err != nil {
-		return nil, st, err
-	}
-	st = QueryStats{
-		Evaluations: det.UnaryEvals + det.PairEvals,
-		Examined:    scanned,
-		Shards:      len(ws.shards),
-		Truncated:   meter.Exhausted(),
-		Detail:      det,
-	}
-	return items, st, nil
+		},
+		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
+			var det sproc.Stats
+			scanned := 0
+			for si, s := range perShard {
+				det.UnaryEvals += s.UnaryEvals
+				det.PairEvals += s.PairEvals
+				det.TuplesConsidered += s.TuplesConsidered
+				scanned += examined[si]
+			}
+			st := QueryStats{
+				Evaluations: det.UnaryEvals + det.PairEvals,
+				Examined:    scanned,
+				Shards:      len(ws.shards),
+				Truncated:   meter.Exhausted(),
+				Detail:      det,
+			}
+			return items, st, nil
+		}), nil
 }
 
 // ---- Knowledge models over scene tiles ----
@@ -780,22 +854,21 @@ type KnowledgeQuery struct {
 // Kind reports the knowledge model family.
 func (KnowledgeQuery) Kind() ModelKind { return KindKnowledge }
 
-func (q KnowledgeQuery) run(ctx context.Context, e *Engine, req Request, snap *snapshotter) ([]topk.Item, QueryStats, error) {
-	var st QueryStats
+func (q KnowledgeQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapshotter) (queryPlan, error) {
 	if q.Rules == nil || q.Rules.Len() == 0 {
-		return nil, st, errors.New("core: empty rule set")
+		return queryPlan{}, errors.New("core: empty rule set")
 	}
 	sc, err := e.Scene(req.Dataset)
 	if err != nil {
-		return nil, st, err
+		return queryPlan{}, err
 	}
 	meter := topk.NewMeter(req.Budget)
-	var det KnowledgeStats
+	det := &KnowledgeStats{}
 	vals := make(map[string]float64, 4*sc.NumBands())
-	// The tile table is one un-sharded list; shardScan with a single
+	// The tile table is one un-sharded list; scanPlan with a single
 	// shard still supplies the scan scaffold (ctx checks, budget gate,
 	// batched progressive publication).
-	items, err := shardScan(ctx, req, snap, 1, "feature tiles", meter,
+	return scanPlan(ctx, req, snap, 1, "feature tiles", meter,
 		func(int) int { return len(sc.Tiles) },
 		func(_, ti int, h *topk.Heap) (int, error) {
 			for b, name := range sc.BandNames {
@@ -818,20 +891,19 @@ func (q KnowledgeQuery) run(ctx context.Context, e *Engine, req Request, snap *s
 				h.OfferScore(int64(ti), score)
 			}
 			return q.Rules.Len(), nil
-		})
-	if err != nil {
-		return nil, st, err
-	}
-	st = QueryStats{
-		Evaluations: det.TilesScored * q.Rules.Len(),
-		Examined:    det.TilesScored,
-		// Tile scoring has no screening stage: every tile not examined
-		// was budget-skipped, never pruned. The abstraction-level win
-		// is Detail's RawSamplesAvoided.
-		Pruned:    0,
-		Shards:    1,
-		Truncated: meter.Exhausted(),
-		Detail:    det,
-	}
-	return items, st, nil
+		},
+		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
+			st := QueryStats{
+				Evaluations: det.TilesScored * q.Rules.Len(),
+				Examined:    det.TilesScored,
+				// Tile scoring has no screening stage: every tile not
+				// examined was budget-skipped, never pruned. The
+				// abstraction-level win is Detail's RawSamplesAvoided.
+				Pruned:    0,
+				Shards:    1,
+				Truncated: meter.Exhausted(),
+				Detail:    *det,
+			}
+			return items, st, nil
+		}), nil
 }

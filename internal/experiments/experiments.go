@@ -622,7 +622,7 @@ func E7(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		e := core.NewEngine()
+		e := core.NewEngineWith(core.Options{CacheEntries: -1})
 		if err := e.AddSeries("w", arch); err != nil {
 			return t, err
 		}
@@ -677,7 +677,7 @@ func E8(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	e := core.NewEngine()
+	e := core.NewEngineWith(core.Options{CacheEntries: -1})
 	if err := e.AddWells("basin", wells); err != nil {
 		return t, err
 	}

@@ -1,0 +1,183 @@
+// Serving-layer baseline: the machine-readable artifact CI archives as
+// BENCH_serve.json, tracking the result cache's hit-vs-cold ratio and
+// RunBatch's amortization against solo Runs across commits. The
+// cache-hit speedup is an acceptance-pinned number (>= 10x on the
+// linear family); the batch ratio is informational on single-core
+// hosts and becomes a win under multi-core contention.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"modelir/internal/core"
+	"modelir/internal/linear"
+	"modelir/internal/topk"
+)
+
+// ServeBaseline is the BENCH_serve.json artifact.
+type ServeBaseline struct {
+	Tuples     int `json:"tuples"`
+	Dims       int `json:"dims"`
+	K          int `json:"k"`
+	BatchWidth int `json:"batch_width"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// ColdNsPerOp / HitNsPerOp time the same linear request executed
+	// against the archive vs served from the result cache.
+	ColdNsPerOp float64 `json:"cold_ns_per_op"`
+	HitNsPerOp  float64 `json:"hit_ns_per_op"`
+	// CacheSpeedup = cold / hit; the acceptance floor is 10.
+	CacheSpeedup float64 `json:"cache_speedup"`
+
+	// BatchNsPerReq / SoloNsPerReq time BatchWidth distinct requests
+	// through one RunBatch vs individual Runs (caches disabled).
+	BatchNsPerReq float64 `json:"batch_ns_per_req"`
+	SoloNsPerReq  float64 `json:"solo_ns_per_req"`
+	BatchSpeedup  float64 `json:"batch_speedup"`
+
+	// CacheHitStatsIdentical records the serve-path sanity check: the
+	// hit's items and stats matched the cold run bit for bit.
+	CacheHitStatsIdentical bool `json:"cache_hit_stats_identical"`
+}
+
+// serveSweep measures the serving baseline on the E9 workload (shrunk
+// under Quick).
+func serveSweep(cfg Config) (ServeBaseline, error) {
+	n, k, width := ShardWorkloadSize, 10, 8
+	reps := 30
+	if cfg.Quick {
+		n, reps = 5_000, 10
+	}
+	base := ServeBaseline{Tuples: n, K: k, BatchWidth: width, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	pts, m, err := ShardWorkload(n)
+	if err != nil {
+		return base, err
+	}
+	base.Dims = len(pts[0])
+	ctx := cfg.ctx()
+
+	// Cold vs hit on one cached engine plus one cache-disabled engine.
+	cold := core.NewEngineWith(core.Options{Shards: 4, CacheEntries: -1})
+	warm := core.NewEngineWith(core.Options{Shards: 4})
+	if err := cold.AddTuples("t", pts); err != nil {
+		return base, err
+	}
+	if err := warm.AddTuples("t", pts); err != nil {
+		return base, err
+	}
+	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: m}, K: k}
+	coldRes, err := cold.Run(ctx, req) // index build untimed
+	if err != nil {
+		return base, err
+	}
+	warmRes, err := warm.Run(ctx, req) // warm the cache
+	if err != nil {
+		return base, err
+	}
+
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := cold.Run(ctx, req); err != nil {
+			return base, err
+		}
+	}
+	base.ColdNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(reps)
+
+	hitReps := reps * 100 // hits are microseconds; sample enough of them
+	var hit core.Result
+	start = time.Now()
+	for r := 0; r < hitReps; r++ {
+		res, err := warm.Run(ctx, req)
+		if err != nil {
+			return base, err
+		}
+		hit = res
+	}
+	base.HitNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(hitReps)
+	if base.HitNsPerOp > 0 {
+		base.CacheSpeedup = base.ColdNsPerOp / base.HitNsPerOp
+	}
+	base.CacheHitStatsIdentical = hit.Stats.Cache.Hit &&
+		itemsMatch(hit.Items, coldRes.Items) && itemsMatch(hit.Items, warmRes.Items)
+
+	// Batch vs solo on a cache-disabled engine with distinct models.
+	be := core.NewEngineWith(core.Options{Shards: 4, CacheEntries: -1})
+	if err := be.AddTuples("t", pts); err != nil {
+		return base, err
+	}
+	reqs := make([]core.Request, width)
+	for i := range reqs {
+		attrs := make([]string, base.Dims)
+		coeffs := make([]float64, base.Dims)
+		for j := range coeffs {
+			attrs[j] = fmt.Sprintf("x%d", j)
+			coeffs[j] = m.Coeffs[j] + float64(i)*0.01*float64(j+1)
+		}
+		mi, err := linear.New(attrs, coeffs, 0)
+		if err != nil {
+			return base, err
+		}
+		reqs[i] = core.Request{Dataset: "t", Query: core.LinearQuery{Model: mi}, K: k}
+	}
+	if _, err := be.Run(ctx, reqs[0]); err != nil { // index build untimed
+		return base, err
+	}
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		batch, err := be.RunBatch(ctx, reqs)
+		if err != nil {
+			return base, err
+		}
+		for _, br := range batch {
+			if br.Err != nil {
+				return base, br.Err
+			}
+		}
+	}
+	base.BatchNsPerReq = float64(time.Since(start).Nanoseconds()) / float64(reps*width)
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		for _, rq := range reqs {
+			if _, err := be.Run(ctx, rq); err != nil {
+				return base, err
+			}
+		}
+	}
+	base.SoloNsPerReq = float64(time.Since(start).Nanoseconds()) / float64(reps*width)
+	if base.BatchNsPerReq > 0 {
+		base.BatchSpeedup = base.SoloNsPerReq / base.BatchNsPerReq
+	}
+	return base, nil
+}
+
+func itemsMatch(a, b []topk.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteServeBaseline runs the serving sweep and writes the JSON
+// baseline (the BENCH_serve.json artifact produced by `benchtab
+// -servejson`).
+func WriteServeBaseline(cfg Config, path string) error {
+	base, err := serveSweep(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -132,7 +132,8 @@ func runShardSweep(cfg Config) (ShardBaseline, error) {
 		return false
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
-		e := core.NewEngineWith(core.Options{Shards: shards})
+		// Cache disabled: the sweep times execution, not cache serving.
+		e := core.NewEngineWith(core.Options{Shards: shards, CacheEntries: -1})
 		if err := e.AddTuples("t", pts); err != nil {
 			return base, err
 		}

@@ -1,0 +1,39 @@
+// Canonical byte encoding for cache fingerprinting (see the matching
+// methods in internal/linear; framing primitives in internal/canon).
+// A machine's semantics are exactly its alphabet, state set, start
+// state, accept set, and transition table, so that is what the
+// encoding covers. State and event *names* are included deliberately:
+// two structurally identical machines with different labels fingerprint
+// apart, which can only under-share a cache, never alias it.
+
+package fsm
+
+import (
+	"modelir/internal/canon"
+)
+
+// AppendCanonical appends the machine's canonical encoding.
+func (m *Machine) AppendCanonical(b []byte) []byte {
+	b = append(b, 'F', 'S')
+	b = canon.AppendUint(b, uint64(len(m.alphabet)))
+	for _, e := range m.alphabet {
+		b = canon.AppendString(b, e)
+	}
+	b = canon.AppendUint(b, uint64(len(m.states)))
+	for _, s := range m.states {
+		b = canon.AppendString(b, s)
+	}
+	b = canon.AppendUint(b, uint64(m.start))
+	for _, a := range m.accept {
+		if a {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = canon.AppendUint(b, uint64(len(m.trans)))
+	for _, t := range m.trans {
+		b = canon.AppendUint(b, uint64(t))
+	}
+	return b
+}

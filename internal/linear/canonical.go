@@ -1,0 +1,43 @@
+// Canonical byte encodings for cache fingerprinting. The serving
+// layer's result cache keys requests by content, so every model type a
+// query can embed provides AppendCanonical: a deterministic, framed
+// encoding (internal/canon) in which semantically different models
+// never produce the same bytes.
+
+package linear
+
+import (
+	"modelir/internal/canon"
+)
+
+// AppendCanonical appends the model's canonical encoding: attribute
+// names, coefficients, and intercept.
+func (m *Model) AppendCanonical(b []byte) []byte {
+	b = append(b, 'L', 'M')
+	b = canon.AppendUint(b, uint64(len(m.Attrs)))
+	for _, a := range m.Attrs {
+		b = canon.AppendString(b, a)
+	}
+	b = canon.AppendFloats(b, m.Coeffs)
+	return canon.AppendFloat(b, m.Intercept)
+}
+
+// AppendCanonical appends the decomposition's canonical encoding: the
+// exact underlying model plus the level structure (term order, level
+// term counts, residual bounds). Two decompositions of the same model
+// with different level plans execute differently but return the same
+// answers; they still fingerprint distinctly, which is safe (a cache
+// can only under-share, never alias).
+func (p *ProgressiveModel) AppendCanonical(b []byte) []byte {
+	b = append(b, 'P', 'M')
+	b = p.full.AppendCanonical(b)
+	b = canon.AppendUint(b, uint64(len(p.order)))
+	for _, o := range p.order {
+		b = canon.AppendUint(b, uint64(o))
+	}
+	b = canon.AppendUint(b, uint64(len(p.levels)))
+	for _, l := range p.levels {
+		b = canon.AppendUint(b, uint64(l))
+	}
+	return canon.AppendFloats(b, p.resid)
+}

@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(0); err == nil {
+		t.Fatal("capacity 0: want error")
+	}
+	if _, err := NewWeighted(-3); err == nil {
+		t.Fatal("negative capacity: want error")
+	}
+}
+
+func TestWeightedPartialAcquisition(t *testing.T) {
+	w, err := NewWeighted(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	got, err := w.AcquireUpTo(ctx, 3)
+	if err != nil || got != 3 {
+		t.Fatalf("first acquire: got %d, %v; want 3, nil", got, err)
+	}
+	// Only one unit left: a want of 8 degrades to 1 instead of blocking.
+	got, err = w.AcquireUpTo(ctx, 8)
+	if err != nil || got != 1 {
+		t.Fatalf("degraded acquire: got %d, %v; want 1, nil", got, err)
+	}
+	// Want below 1 is treated as 1.
+	w.Release(1)
+	got, err = w.AcquireUpTo(ctx, 0)
+	if err != nil || got != 1 {
+		t.Fatalf("zero-want acquire: got %d, %v; want 1, nil", got, err)
+	}
+	w.Release(4)
+}
+
+func TestWeightedBlocksAtZeroAndWakes(t *testing.T) {
+	w, err := NewWeighted(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if got, _ := w.AcquireUpTo(ctx, 2); got != 2 {
+		t.Fatalf("drain: got %d", got)
+	}
+
+	acquired := make(chan int, 1)
+	go func() {
+		got, err := w.AcquireUpTo(ctx, 2)
+		if err != nil {
+			acquired <- -1
+			return
+		}
+		acquired <- got
+	}()
+	select {
+	case got := <-acquired:
+		t.Fatalf("acquire at zero returned %d before release", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+	w.Release(1)
+	select {
+	case got := <-acquired:
+		if got != 1 {
+			t.Fatalf("woken acquire got %d, want 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after release")
+	}
+	w.Release(1)
+}
+
+func TestWeightedAcquireCancelled(t *testing.T) {
+	w, err := NewWeighted(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.AcquireUpTo(context.Background(), 1); got != 1 {
+		t.Fatal("drain failed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.AcquireUpTo(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// The abandoned waiter must not eat the next wakeup.
+	w.Release(1)
+	if got, err := w.AcquireUpTo(context.Background(), 1); err != nil || got != 1 {
+		t.Fatalf("post-cancel acquire: got %d, %v", got, err)
+	}
+	w.Release(1)
+}
+
+// TestWeightedStress hammers the semaphore from many goroutines and
+// checks the invariant that grants in flight never exceed capacity.
+func TestWeightedStress(t *testing.T) {
+	const capacity = 7
+	w, err := NewWeighted(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := w.AcquireUpTo(ctx, 1+(g+i)%5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cur := inFlight.Add(int64(got))
+				for {
+					m := maxSeen.Load()
+					if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				inFlight.Add(int64(-got))
+				w.Release(got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > capacity {
+		t.Fatalf("in-flight grants peaked at %d, capacity %d", m, capacity)
+	}
+	// All units must be back: a full acquire succeeds immediately.
+	got, err := w.AcquireUpTo(ctx, capacity)
+	if err != nil || got != capacity {
+		t.Fatalf("final acquire: got %d, %v; want %d", got, err, capacity)
+	}
+}
+
+// waitForWaiters spins until n waiters are queued (in-package peek).
+func waitForWaiters(t *testing.T, w *Weighted, n int) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		w.mu.Lock()
+		q := len(w.waiters)
+		w.mu.Unlock()
+		if q >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never saw %d queued waiters", n)
+}
+
+// TestWeightedFIFOOrder pins the no-starvation contract: waiters are
+// granted in arrival order, and a newcomer cannot barge past a queue.
+func TestWeightedFIFOOrder(t *testing.T) {
+	w, err := NewWeighted(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if got, _ := w.AcquireUpTo(ctx, 1); got != 1 {
+		t.Fatal("drain failed")
+	}
+	order := make(chan string, 2)
+	go func() {
+		if _, err := w.AcquireUpTo(ctx, 1); err == nil {
+			order <- "B"
+			w.Release(1)
+		}
+	}()
+	waitForWaiters(t, w, 1)
+	go func() {
+		if _, err := w.AcquireUpTo(ctx, 1); err == nil {
+			order <- "C"
+			w.Release(1)
+		}
+	}()
+	waitForWaiters(t, w, 2)
+	w.Release(1)
+	if first := <-order; first != "B" {
+		t.Fatalf("grant order started with %q, want B (FIFO)", first)
+	}
+	if second := <-order; second != "C" {
+		t.Fatalf("second grant %q, want C", second)
+	}
+	// All units returned.
+	if got, err := w.AcquireUpTo(ctx, 1); err != nil || got != 1 {
+		t.Fatalf("final acquire: %d, %v", got, err)
+	}
+	w.Release(1)
+}

@@ -1,0 +1,162 @@
+// Canonical request fingerprinting. A cache key must satisfy two
+// properties the tests pin:
+//
+//  1. no collisions between semantically different requests — two
+//     requests that could return different results must never share a
+//     key;
+//  2. stability — the key is a pure function of the request's semantic
+//     field values, independent of construction order, map iteration,
+//     or process lifetime.
+//
+// Both come from framing: every write is tagged with its type and
+// length-prefixed before entering a SHA-256, so adjacent fields can
+// never re-associate (("ab","c") vs ("a","bc")), a missing optional
+// field is distinguishable from a zero value, and numeric types with
+// identical bit patterns but different meanings stay distinct. SHA-256
+// makes engineered collisions infeasible and accidental ones
+// negligible (2^-128 birthday bound dwarfs any fleet's query volume).
+
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// KeySize is the fingerprint digest width in bytes.
+const KeySize = sha256.Size
+
+// Type tags. Each framed write starts with one, so values of different
+// types never collide even when their payload bytes match.
+const (
+	tagString byte = iota + 1
+	tagBytes
+	tagInt
+	tagUint
+	tagFloat
+	tagBool
+	tagNil
+	tagList
+	tagField
+)
+
+// Fingerprint accumulates a canonical encoding of one request and
+// digests it into a Key. The zero value is ready to use.
+type Fingerprint struct {
+	buf []byte
+}
+
+// NewFingerprint returns an empty fingerprint builder.
+func NewFingerprint() *Fingerprint { return &Fingerprint{} }
+
+func (f *Fingerprint) frame(tag byte, payload int) {
+	f.buf = append(f.buf, tag)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(payload))
+	f.buf = append(f.buf, n[:]...)
+}
+
+// Field marks the start of a named field. Writing the field name as its
+// own framed token keeps reordered or renamed fields from colliding
+// with value bytes.
+func (f *Fingerprint) Field(name string) *Fingerprint {
+	f.frame(tagField, len(name))
+	f.buf = append(f.buf, name...)
+	return f
+}
+
+// String appends a framed string value.
+func (f *Fingerprint) String(s string) *Fingerprint {
+	f.frame(tagString, len(s))
+	f.buf = append(f.buf, s...)
+	return f
+}
+
+// Bytes appends a framed byte-slice value.
+func (f *Fingerprint) Bytes(b []byte) *Fingerprint {
+	f.frame(tagBytes, len(b))
+	f.buf = append(f.buf, b...)
+	return f
+}
+
+// Int appends a framed signed integer.
+func (f *Fingerprint) Int(v int64) *Fingerprint {
+	f.frame(tagInt, 8)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(v))
+	f.buf = append(f.buf, n[:]...)
+	return f
+}
+
+// Uint appends a framed unsigned integer.
+func (f *Fingerprint) Uint(v uint64) *Fingerprint {
+	f.frame(tagUint, 8)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], v)
+	f.buf = append(f.buf, n[:]...)
+	return f
+}
+
+// Float appends a framed float64 by IEEE-754 bit pattern. Distinct bit
+// patterns (including ±0) fingerprint distinctly; callers that treat
+// them as equal must normalize first.
+func (f *Fingerprint) Float(v float64) *Fingerprint {
+	f.frame(tagFloat, 8)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], math.Float64bits(v))
+	f.buf = append(f.buf, n[:]...)
+	return f
+}
+
+// Bool appends a framed boolean.
+func (f *Fingerprint) Bool(v bool) *Fingerprint {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	f.frame(tagBool, 1)
+	f.buf = append(f.buf, b)
+	return f
+}
+
+// Nil appends an explicit absent-value marker, distinguishing "field
+// not set" from any set value (e.g. a nil MinScore vs a zero floor).
+func (f *Fingerprint) Nil() *Fingerprint {
+	f.frame(tagNil, 0)
+	return f
+}
+
+// Floats appends a framed float64 list: the element count is part of
+// the frame, so [1,2]+[3] never collides with [1]+[2,3].
+func (f *Fingerprint) Floats(vs []float64) *Fingerprint {
+	f.frame(tagList, len(vs))
+	for _, v := range vs {
+		f.Float(v)
+	}
+	return f
+}
+
+// Strings appends a framed string list.
+func (f *Fingerprint) Strings(vs []string) *Fingerprint {
+	f.frame(tagList, len(vs))
+	for _, v := range vs {
+		f.String(v)
+	}
+	return f
+}
+
+// Ints appends a framed int list.
+func (f *Fingerprint) Ints(vs []int) *Fingerprint {
+	f.frame(tagList, len(vs))
+	for _, v := range vs {
+		f.Int(int64(v))
+	}
+	return f
+}
+
+// Key digests everything written so far. The builder may keep
+// accumulating afterwards (later Keys cover the longer prefix).
+func (f *Fingerprint) Key() Key {
+	return Key(sha256.Sum256(f.buf))
+}

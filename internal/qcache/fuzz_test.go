@@ -1,0 +1,99 @@
+package qcache
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fingerprintRecord encodes a Request-shaped record the way the engine
+// does (dataset, options, query kind, model parameters): one framed
+// field at a time, in a fixed canonical order. The fuzz target below
+// pins the two cache-key properties on it: determinism (same record,
+// same key — regardless of how the record was assembled) and
+// distinctness (semantically different records never collide).
+func fingerprintRecord(dataset, kind string, k int64, hasMin bool, minScore float64, coeffs []float64, intercept float64) Key {
+	f := NewFingerprint()
+	f.Field("dataset").String(dataset)
+	f.Field("k").Int(k)
+	f.Field("minscore")
+	if hasMin {
+		f.Float(minScore)
+	} else {
+		f.Nil()
+	}
+	f.Field("query").String(kind)
+	f.Field("coeffs").Floats(coeffs)
+	f.Field("intercept").Float(intercept)
+	return f.Key()
+}
+
+func coeffsFrom(b []byte) []float64 {
+	out := make([]float64, 0, len(b)/8)
+	for len(b) >= 8 {
+		out = append(out, math.Float64frombits(binary.BigEndian.Uint64(b[:8])))
+		b = b[8:]
+	}
+	return out
+}
+
+// FuzzRequestFingerprint drives the record fingerprint with arbitrary
+// field values and checks that the key is a pure function of the
+// record's semantic content: rebuilding the identical record from
+// copied fields reproduces the key bit for bit, while perturbing any
+// single field — dataset, K, the optional MinScore (including merely
+// toggling its presence against an identical value), query kind, any
+// coefficient, the coefficient count, or the intercept — always
+// changes it.
+func FuzzRequestFingerprint(f *testing.F) {
+	f.Add("gauss", "linear", int64(10), false, 0.0, []byte("\x3f\xf0\x00\x00\x00\x00\x00\x00"), 3.0)
+	f.Add("", "", int64(0), true, 0.0, []byte{}, 0.0)
+	f.Add("weather", "fsm", int64(1), true, -1.5, []byte("abcdefghABCDEFGH"), -0.0)
+	// Re-association bait: dataset/kind boundary and coefficient
+	// framing are exactly what these seeds probe.
+	f.Add("ab", "c", int64(7), false, 0.0, []byte("\x00\x00\x00\x00\x00\x00\x00\x00"), 0.0)
+	f.Add("a", "bc", int64(7), false, 0.0, []byte{}, 0.0)
+
+	f.Fuzz(func(t *testing.T, dataset, kind string, k int64, hasMin bool, minScore float64, coeffBytes []byte, intercept float64) {
+		coeffs := coeffsFrom(coeffBytes)
+		key := fingerprintRecord(dataset, kind, k, hasMin, minScore, coeffs, intercept)
+
+		// Determinism: rebuilding from copied fields reproduces the key.
+		coeffs2 := append([]float64(nil), coeffs...)
+		if again := fingerprintRecord(dataset, kind, k, hasMin, minScore, coeffs2, intercept); again != key {
+			t.Fatalf("fingerprint not deterministic: %x vs %x", key, again)
+		}
+
+		// Distinctness: every single-field perturbation moves the key.
+		type variant struct {
+			name string
+			key  Key
+		}
+		variants := []variant{
+			{"dataset", fingerprintRecord(dataset+"x", kind, k, hasMin, minScore, coeffs, intercept)},
+			{"kind", fingerprintRecord(dataset, kind+"x", k, hasMin, minScore, coeffs, intercept)},
+			{"k", fingerprintRecord(dataset, kind, k+1, hasMin, minScore, coeffs, intercept)},
+			{"minscore-presence", fingerprintRecord(dataset, kind, k, !hasMin, minScore, coeffs, intercept)},
+			{"coeff-count", fingerprintRecord(dataset, kind, k, hasMin, minScore, append(coeffs2, 1), intercept)},
+		}
+		if hasMin {
+			flipped := math.Float64frombits(math.Float64bits(minScore) ^ 1)
+			variants = append(variants,
+				variant{"minscore", fingerprintRecord(dataset, kind, k, hasMin, flipped, coeffs, intercept)})
+		}
+		if len(coeffs) > 0 {
+			mut := append([]float64(nil), coeffs...)
+			mut[0] = math.Float64frombits(math.Float64bits(mut[0]) ^ 1)
+			variants = append(variants,
+				variant{"coeff-bits", fingerprintRecord(dataset, kind, k, hasMin, minScore, mut, intercept)})
+		}
+		flippedIc := math.Float64frombits(math.Float64bits(intercept) ^ 1)
+		variants = append(variants,
+			variant{"intercept", fingerprintRecord(dataset, kind, k, hasMin, minScore, coeffs, flippedIc)})
+		for _, v := range variants {
+			if v.key == key {
+				t.Fatalf("perturbing %s did not change the fingerprint", v.name)
+			}
+		}
+	})
+}

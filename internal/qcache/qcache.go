@@ -1,0 +1,266 @@
+// Package qcache is the engine's query-result cache: a sharded LRU
+// keyed by a canonical Request fingerprint (see Fingerprint) and
+// invalidated wholesale by an epoch counter the engine bumps on every
+// registration. The paper's screening/pruning structure makes repeated
+// and near-duplicate queries highly cacheable — a model re-run against
+// an unchanged archive is, by the engine's determinism guarantee,
+// guaranteed to produce the same answer, so serving it from memory is
+// exact, not approximate.
+//
+// Concurrency: the cache is sharded by key prefix, each shard guarded
+// by its own mutex, so concurrent hits on different shards never
+// contend. Counters are engine-wide atomics.
+//
+// Invalidation: every entry records the epoch it was computed under.
+// Get compares the entry's epoch against the caller's current epoch and
+// treats any mismatch as a miss, deleting the stale entry — so after a
+// registration bumps the epoch, no pre-registration result is ever
+// served again.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a canonical request fingerprint (see Fingerprint.Key).
+type Key [KeySize]byte
+
+// Options tunes cache construction.
+type Options struct {
+	// Entries caps the total cached results across all shards; 0 means
+	// DefaultEntries.
+	Entries int
+	// Shards is the number of independently locked partitions; 0 means
+	// DefaultShards. Rounded up to a power of two.
+	Shards int
+}
+
+// Default sizing: a serving deployment tunes these via Options.
+const (
+	DefaultEntries = 1024
+	DefaultShards  = 16
+)
+
+// Stats is a point-in-time sample of the cache counters.
+type Stats struct {
+	// Hits counts Gets that returned a live entry.
+	Hits uint64
+	// Misses counts Gets that found nothing (including epoch
+	// invalidations, which are also counted separately).
+	Misses uint64
+	// Stores counts Puts (inserts and replacements both).
+	Stores uint64
+	// Evictions counts entries dropped by LRU capacity pressure.
+	Evictions uint64
+	// Invalidations counts entries dropped because their epoch was
+	// stale at lookup.
+	Invalidations uint64
+	// Entries is the number of currently cached results.
+	Entries int
+}
+
+// Cache is a sharded, epoch-checked LRU. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	shards []*cacheShard
+	mask   uint64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	stores        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// New builds a cache. Entries is split evenly across shards (each shard
+// holds at least one entry, so tiny Entries with many shards rounds the
+// effective capacity up).
+func New(opt Options) *Cache {
+	entries := opt.Entries
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	// Round shards up to a power of two so key-prefix masking is a
+	// single AND.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (entries + n - 1) / n
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = newCacheShard(perShard)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key Key) *cacheShard {
+	// The key is a cryptographic hash: any 8 bytes are uniformly
+	// distributed, so the low word picks shards evenly.
+	v := uint64(key[0]) | uint64(key[1])<<8 | uint64(key[2])<<16 | uint64(key[3])<<24 |
+		uint64(key[4])<<32 | uint64(key[5])<<40 | uint64(key[6])<<48 | uint64(key[7])<<56
+	return c.shards[v&c.mask]
+}
+
+// Get returns the value cached under key if it is live at the given
+// epoch. A stale entry (any epoch mismatch) is deleted and reported as
+// a miss.
+func (c *Cache) Get(key Key, epoch uint64) (any, bool) {
+	v, ok, stale := c.shardFor(key).get(key, epoch)
+	if stale {
+		c.invalidations.Add(1)
+	}
+	if ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put caches value under key at the given epoch, replacing any previous
+// entry for the key and evicting the least-recently-used entry when the
+// shard is full.
+func (c *Cache) Put(key Key, epoch uint64, value any) {
+	c.stores.Add(1)
+	if c.shardFor(key).put(key, epoch, value) {
+		c.evictions.Add(1)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.len()
+	}
+	return n
+}
+
+// Stats samples the counters including the entry count. Counting
+// entries locks every shard in turn; hot paths that only need the
+// atomic counters should use Counters.
+func (c *Cache) Stats() Stats {
+	s := c.Counters()
+	s.Entries = c.Len()
+	return s
+}
+
+// Counters samples only the lock-free atomic counters (Entries stays
+// zero). This is the per-request sampling path: it takes no locks and
+// never contends with cache traffic on other shards.
+func (c *Cache) Counters() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Stores:        c.stores.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// entry is one cached result on a shard's intrusive LRU list.
+type entry struct {
+	key        Key
+	epoch      uint64
+	value      any
+	prev, next *entry
+}
+
+// cacheShard is one locked partition: a map for lookup plus a doubly
+// linked list in recency order (head = most recent).
+type cacheShard struct {
+	mu         sync.Mutex
+	capacity   int
+	table      map[Key]*entry
+	head, tail *entry
+}
+
+func newCacheShard(capacity int) *cacheShard {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cacheShard{capacity: capacity, table: make(map[Key]*entry, capacity)}
+}
+
+func (s *cacheShard) get(key Key, epoch uint64) (v any, ok, stale bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.table[key]
+	if !found {
+		return nil, false, false
+	}
+	if e.epoch != epoch {
+		s.unlink(e)
+		delete(s.table, key)
+		return nil, false, true
+	}
+	s.moveToFront(e)
+	return e.value, true, false
+}
+
+func (s *cacheShard) put(key Key, epoch uint64, value any) (evicted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, found := s.table[key]; found {
+		e.epoch = epoch
+		e.value = value
+		s.moveToFront(e)
+		return false
+	}
+	if len(s.table) >= s.capacity {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.table, lru.key)
+		evicted = true
+	}
+	e := &entry{key: key, epoch: epoch, value: value}
+	s.table[key] = e
+	s.pushFront(e)
+	return evicted
+}
+
+func (s *cacheShard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+func (s *cacheShard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

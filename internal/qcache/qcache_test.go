@@ -1,0 +1,162 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func keyOf(s string) Key {
+	return NewFingerprint().String(s).Key()
+}
+
+func TestGetPutBasics(t *testing.T) {
+	c := New(Options{Entries: 8, Shards: 2})
+	k := keyOf("a")
+	if _, ok := c.Get(k, 0); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, 0, "va")
+	v, ok := c.Get(k, 0)
+	if !ok || v.(string) != "va" {
+		t.Fatalf("got %v/%v, want va", v, ok)
+	}
+	// Replacement updates in place.
+	c.Put(k, 0, "vb")
+	if v, _ := c.Get(k, 0); v.(string) != "vb" {
+		t.Fatalf("replace: got %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(Options{Entries: 8, Shards: 1})
+	k := keyOf("a")
+	c.Put(k, 1, "old")
+	// Stale lookups miss, delete the entry, and count an invalidation.
+	if _, ok := c.Get(k, 2); ok {
+		t.Fatal("stale entry served")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Misses != 1 || st.Entries != 0 {
+		t.Fatalf("stats after invalidation: %+v", st)
+	}
+	// Even a LOWER epoch invalidates: any mismatch is stale.
+	c.Put(k, 5, "new")
+	if _, ok := c.Get(k, 4); ok {
+		t.Fatal("mismatched-epoch entry served")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard, capacity 3: inserting a 4th entry evicts the least
+	// recently used.
+	c := New(Options{Entries: 3, Shards: 1})
+	ka, kb, kc, kd := keyOf("a"), keyOf("b"), keyOf("c"), keyOf("d")
+	c.Put(ka, 0, "a")
+	c.Put(kb, 0, "b")
+	c.Put(kc, 0, "c")
+	// Touch a and c so b is the LRU.
+	c.Get(ka, 0)
+	c.Get(kc, 0)
+	c.Put(kd, 0, "d")
+	if _, ok := c.Get(kb, 0); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []Key{ka, kc, kd} {
+		if _, ok := c.Get(k, 0); !ok {
+			t.Fatalf("recently used entry evicted")
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestShardRoundingAndDefaults(t *testing.T) {
+	c := New(Options{})
+	if len(c.shards) != DefaultShards {
+		t.Fatalf("default shards %d, want %d", len(c.shards), DefaultShards)
+	}
+	// Shards round up to a power of two.
+	c = New(Options{Entries: 10, Shards: 5})
+	if len(c.shards) != 8 {
+		t.Fatalf("shards %d, want 8", len(c.shards))
+	}
+	// Every shard holds at least one entry.
+	c = New(Options{Entries: 1, Shards: 4})
+	for i := 0; i < 64; i++ {
+		c.Put(keyOf(fmt.Sprint(i)), 0, i)
+	}
+	if c.Len() < 1 {
+		t.Fatal("cache lost everything")
+	}
+}
+
+// TestConcurrentMixedTraffic hammers all operations from many
+// goroutines; run with -race. Correctness invariant: a hit must return
+// the value put under that key and epoch.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	c := New(Options{Entries: 64, Shards: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := (g*31 + i) % 40
+				k := keyOf(fmt.Sprint("key", id))
+				epoch := uint64(i % 3)
+				if i%2 == 0 {
+					c.Put(k, epoch, id)
+				} else if v, ok := c.Get(k, epoch); ok && v.(int) != id {
+					t.Errorf("key %d returned %v", id, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Stats() // must not race
+}
+
+func TestFingerprintFraming(t *testing.T) {
+	// Adjacent strings must not re-associate.
+	a := NewFingerprint().String("ab").String("c").Key()
+	b := NewFingerprint().String("a").String("bc").Key()
+	if a == b {
+		t.Fatal("string framing collision")
+	}
+	// List boundaries are part of the frame.
+	a = NewFingerprint().Floats([]float64{1, 2}).Floats([]float64{3}).Key()
+	b = NewFingerprint().Floats([]float64{1}).Floats([]float64{2, 3}).Key()
+	if a == b {
+		t.Fatal("list framing collision")
+	}
+	// Types with identical payload bytes stay distinct.
+	a = NewFingerprint().Int(0).Key()
+	b = NewFingerprint().Uint(0).Key()
+	if a == b {
+		t.Fatal("int/uint collision")
+	}
+	// Absent is not zero.
+	a = NewFingerprint().Nil().Key()
+	b = NewFingerprint().Float(0).Key()
+	if a == b {
+		t.Fatal("nil/zero collision")
+	}
+	// Field names bind to their values.
+	a = NewFingerprint().Field("k").Int(3).Key()
+	b = NewFingerprint().Field("budget").Int(3).Key()
+	if a == b {
+		t.Fatal("field-name collision")
+	}
+	// Pure function of content: rebuilt fingerprints agree.
+	a = NewFingerprint().Field("q").Strings([]string{"x", "y"}).Bool(true).Key()
+	b = NewFingerprint().Field("q").Strings([]string{"x", "y"}).Bool(true).Key()
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

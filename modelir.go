@@ -75,6 +75,15 @@ func NewEngine() *Engine { return core.NewEngine() }
 // shard count and index tuning.
 func NewEngineWithOptions(opt EngineOptions) *Engine { return core.NewEngineWith(opt) }
 
+// Engine registration errors, for errors.Is against Run/RunBatch and
+// the Add* methods.
+var (
+	// ErrUnknownDataset reports a query against an unregistered name.
+	ErrUnknownDataset = core.ErrUnknownDataset
+	// ErrDuplicateDataset reports a re-registration of a taken name.
+	ErrDuplicateDataset = core.ErrDuplicateDataset
+)
+
 // Retrieval plumbing.
 type (
 	// Item is one scored retrieval result.
@@ -103,6 +112,11 @@ type (
 	QueryStats = core.QueryStats
 	// Snapshot is one progressive-delivery event from RunProgressive.
 	Snapshot = core.Snapshot
+	// BatchResult is one request's outcome within Engine.RunBatch.
+	BatchResult = core.BatchResult
+	// CacheInfo reports the result cache's involvement in one request
+	// (QueryStats.Cache).
+	CacheInfo = core.CacheInfo
 	// Query is an executable model query (sealed; use the family query
 	// types below).
 	Query = core.Query

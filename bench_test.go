@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"modelir/internal/bayes"
+	"modelir/internal/colstore"
 	"modelir/internal/core"
 	"modelir/internal/experiments"
 	"modelir/internal/features"
@@ -69,6 +70,7 @@ func benchOnionK(b *testing.B, k int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := d.onion.TopK(d.ws[i&31], k); err != nil {
@@ -86,6 +88,7 @@ func BenchmarkE1SequentialScanTop10(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := onion.ScanTopK(d.pts, d.ws[i&31], 10); err != nil {
@@ -99,6 +102,7 @@ func BenchmarkE1RTreeTop10(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := d.rtree.LinearTopK(d.ws[i&31], 10); err != nil {
@@ -172,6 +176,7 @@ func BenchmarkE2FlatClassification(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := d.gnb.ClassifyScene(d.mb); err != nil {
@@ -186,6 +191,7 @@ func BenchmarkE2ProgressiveClassification(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := bayes.ProgressiveOptions{MarginThreshold: 10, MaxRange: 80}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := d.gnb.ClassifyProgressiveOpts(d.mp, opt); err != nil {
@@ -252,6 +258,7 @@ func BenchmarkE3FlatTextureMatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := features.MatchFlat(d.g, d.tiles, d.q); err != nil {
@@ -265,6 +272,7 @@ func BenchmarkE3ProgressiveTextureMatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := features.MatchProgressive(d.p, d.tiles, d.q, 2); err != nil {
@@ -302,6 +310,7 @@ var e4Query = sync.OnceValue(func() sproc.Query {
 
 func BenchmarkE4SprocBruteForce(b *testing.B) {
 	q := e4Query()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sproc.BruteForce(100, q, 10); err != nil {
@@ -312,6 +321,7 @@ func BenchmarkE4SprocBruteForce(b *testing.B) {
 
 func BenchmarkE4SprocDP(b *testing.B) {
 	q := e4Query()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sproc.DP(100, q, 10); err != nil {
@@ -322,6 +332,7 @@ func BenchmarkE4SprocDP(b *testing.B) {
 
 func BenchmarkE4SprocPruned(b *testing.B) {
 	q := e4Query()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sproc.Pruned(100, q, 10); err != nil {
@@ -362,6 +373,7 @@ func BenchmarkE5FlatRetrieval(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := progressive.Flat(d.pm.Full(), d.mp, 10); err != nil {
@@ -375,6 +387,7 @@ func BenchmarkE5ProgModelRetrieval(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := progressive.ProgModel(d.pm, d.mp, 10); err != nil {
@@ -388,6 +401,7 @@ func BenchmarkE5ProgDataRetrieval(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := progressive.ProgData(d.pm.Full(), d.mp, 10); err != nil {
@@ -401,6 +415,7 @@ func BenchmarkE5CombinedRetrieval(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := progressive.Combined(d.pm, d.mp, 10); err != nil {
@@ -450,6 +465,7 @@ func BenchmarkE6ThresholdSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	costs := metrics.Costs{Miss: 10, FalseAlarm: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := metrics.Sweep(d.risk, d.occ, d.weights, costs, 16); err != nil {
@@ -463,6 +479,7 @@ func BenchmarkE6PrecisionRecallAtK(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := metrics.PRAtK(d.risk, d.occ, []int{10, 50, 100}); err != nil {
@@ -496,6 +513,7 @@ func BenchmarkE7FSMFlatScan(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := fsm.FireAnts()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := e.FSMTopK("w", m, 10, nil); err != nil {
@@ -510,6 +528,7 @@ func BenchmarkE7FSMMetadataPruned(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := fsm.FireAnts()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := e.FSMTopK("w", m, 10, core.FireAntsPrefilter); err != nil {
@@ -543,6 +562,7 @@ func benchGeology(b *testing.B, m core.GeologyMethod) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := e.GeologyTopK("basin", e8Query, 10, m); err != nil {
@@ -593,6 +613,7 @@ func BenchmarkLinearTopKSharded(b *testing.B) {
 			if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
@@ -627,6 +648,7 @@ func BenchmarkRunOverhead(b *testing.B) {
 	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: d.m}, K: 10}
 
 	b.Run("unified-run", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Run(ctx, req); err != nil {
 				b.Fatal(err)
@@ -634,6 +656,7 @@ func BenchmarkRunOverhead(b *testing.B) {
 		}
 	})
 	b.Run("legacy-wrapper", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := e.LinearTopKTuples("t", d.m, 10); err != nil {
 				b.Fatal(err)
@@ -654,6 +677,7 @@ func BenchmarkRunOverhead(b *testing.B) {
 			}
 			ixs[s], offs[s] = ix, lo
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_, err := parallel.ShardTopK(4, 10, 0, func(si int, sb *topk.Bound) ([]topk.Item, error) {
@@ -693,6 +717,7 @@ func BenchmarkRunProgressiveDrain(b *testing.B) {
 	if _, err := e.Run(ctx, req); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ch, err := e.RunProgressive(ctx, req)
@@ -746,6 +771,7 @@ func BenchmarkRunBatch(b *testing.B) {
 	}
 
 	b.Run("batch-8", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			batch, err := e.RunBatch(ctx, reqs)
 			if err != nil {
@@ -759,6 +785,7 @@ func BenchmarkRunBatch(b *testing.B) {
 		}
 	})
 	b.Run("solo-8", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, req := range reqs {
 				if _, err := e.Run(ctx, req); err != nil {
@@ -789,6 +816,7 @@ func BenchmarkCacheHit(b *testing.B) {
 		if _, err := e.Run(ctx, req); err != nil { // index build untimed
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Run(ctx, req); err != nil {
@@ -805,6 +833,7 @@ func BenchmarkCacheHit(b *testing.B) {
 		if _, err := e.Run(ctx, req); err != nil { // warm the cache
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := e.Run(ctx, req)
@@ -816,4 +845,78 @@ func BenchmarkCacheHit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- Columnar scan-bound hot path: layout and allocation pins ----
+
+// e10Store builds the E9 scan-bound workload into a columnar store
+// (norm-ordered blocks with zone maps) — the storage layout the tuple
+// engine's Onion index scans in its weak-pruning regime.
+var e10Store = sync.OnceValues(func() (struct {
+	store *colstore.Store
+	w     []float64
+}, error) {
+	var out struct {
+		store *colstore.Store
+		w     []float64
+	}
+	pts, m, err := experiments.ShardWorkload(experiments.ShardWorkloadSize)
+	if err != nil {
+		return out, err
+	}
+	st, err := colstore.Build(pts, colstore.Options{NormOrder: true})
+	if err != nil {
+		return out, err
+	}
+	out.store, out.w = st, m.Coeffs
+	return out, nil
+})
+
+// BenchmarkLinearScanSteadyState is the zero-allocation acceptance
+// pin: the columnar blocked scan over the scan-bound workload, with a
+// pooled heap and a reused result buffer, must report 0 allocs/op — the
+// benchmark fails (not just reports) if a warmed-up scan allocates.
+func BenchmarkLinearScanSteadyState(b *testing.B) {
+	d, err := e10Store()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wNorm := colstore.WeightNorm(d.w)
+	h := topk.MustHeap(10)
+	buf := make([]topk.Item, 0, 10)
+	var st colstore.Stats
+	scan := func() {
+		h.Reset()
+		d.store.Scan(d.w, wNorm, h, nil, nil, nil, &st)
+		buf = h.AppendResults(buf[:0])
+	}
+	scan() // warm the scratch pool
+	if allocs := testing.AllocsPerRun(5, scan); allocs != 0 {
+		b.Fatalf("steady-state columnar scan allocates %.1f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan()
+	}
+	if len(buf) != 10 {
+		b.Fatalf("scan kept %d items", len(buf))
+	}
+}
+
+// BenchmarkLinearScanRowLayout is the row-layout ([][]float64)
+// sequential scan over the same workload — the baseline the columnar
+// path's speedup is measured against (benchtab -memjson records both).
+func BenchmarkLinearScanRowLayout(b *testing.B) {
+	d, err := e9Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := onion.ScanTopK(d.pts, d.m.Coeffs, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

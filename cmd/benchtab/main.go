@@ -8,6 +8,7 @@
 //	benchtab -quick                      # small data sizes (seconds instead of minutes)
 //	benchtab -shardjson BENCH_shards.json  # also write the shard-scaling baseline
 //	benchtab -servejson BENCH_serve.json   # also write the serving-layer baseline
+//	benchtab -memjson BENCH_mem.json       # also write the scan-bound memory baseline
 //	benchtab -timeout 30s                # bound the run with a context deadline
 //
 // -timeout wires a context.WithTimeout through the experiment driver:
@@ -42,6 +43,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink data sizes for a fast smoke run")
 	shardJSON := fs.String("shardjson", "", "write the shard-scaling baseline (ShardBaseline JSON) to this path")
 	serveJSON := fs.String("servejson", "", "write the serving-layer baseline (ServeBaseline JSON: cache hit-vs-cold, batch-vs-solo) to this path")
+	memJSON := fs.String("memjson", "", "write the scan-bound memory baseline (MemBaseline JSON: columnar vs row-layout ns/op, B/op, allocs/op) to this path")
 	timeout := fs.Duration("timeout", 0, "overall deadline; cancels in-flight queries mid-shard and records it in -shardjson (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +76,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *serveJSON)
+	}
+	if *memJSON != "" {
+		if err := experiments.WriteMemBaseline(cfg, *memJSON); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *memJSON)
 	}
 
 	var tables []experiments.Table

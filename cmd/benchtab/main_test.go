@@ -50,3 +50,30 @@ func TestRunTimeoutRecordsCancellation(t *testing.T) {
 		t.Fatalf("timeout_ms = %d", base.TimeoutMS)
 	}
 }
+
+func TestRunMemBaseline(t *testing.T) {
+	// -memjson writes the scan-bound memory baseline; the allocs==0
+	// gate itself lives in CI's non-race benchtab run (sync.Pool drops
+	// puts under the race detector), so here we pin shape and sanity.
+	path := t.TempDir() + "/mem.json"
+	if err := run([]string{"-quick", "-e", "e3", "-memjson", path}); err != nil {
+		t.Fatalf("memjson run failed: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base experiments.MemBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.RowScanNsPerOp <= 0 || base.ColScanNsPerOp <= 0 || base.EngineNsPerQuery <= 0 {
+		t.Fatalf("timings not populated: %+v", base)
+	}
+	if base.SpeedupVsRow <= 0 {
+		t.Fatalf("speedup not recorded: %+v", base)
+	}
+	if base.PointsTouched+base.PointsZonePruned > base.Tuples {
+		t.Fatalf("pruning accounting exceeds archive: %+v", base)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package colstore
+
+const raceEnabled = false

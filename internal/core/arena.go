@@ -1,0 +1,46 @@
+// Request-scoped scratch arena: every Run/RunBatch execution needs a
+// handful of per-shard accounting slices (family stats, examined
+// counters). A serving engine answers thousands of requests with the
+// same shard count, so these come from sync.Pools and are returned
+// inside each plan's finish hook — the last point that reads them.
+// Error paths that skip finish simply drop the slices; sync.Pool makes
+// that a lost reuse, never a leak.
+
+package core
+
+import (
+	"sync"
+
+	"modelir/internal/onion"
+	"modelir/internal/progressive"
+	"modelir/internal/sproc"
+)
+
+// slicePool recycles fixed-purpose []T scratch. get returns a zeroed
+// length-n slice; put recycles its backing array (via pointer, so the
+// pool round-trip itself does not allocate).
+type slicePool[T any] struct{ p sync.Pool }
+
+func (sp *slicePool[T]) get(n int) *[]T {
+	if v, ok := sp.p.Get().(*[]T); ok && cap(*v) >= n {
+		s := (*v)[:n]
+		var zero T
+		for i := range s {
+			s[i] = zero
+		}
+		*v = s
+		return v
+	}
+	s := make([]T, n)
+	return &s
+}
+
+func (sp *slicePool[T]) put(s *[]T) { sp.p.Put(s) }
+
+var (
+	onionStatsArena slicePool[onion.Stats]
+	progStatsArena  slicePool[progressive.Stats]
+	fsmStatsArena   slicePool[FSMStats]
+	sprocStatsArena slicePool[sproc.Stats]
+	intArena        slicePool[int]
+)

@@ -445,7 +445,8 @@ func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *sna
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShard := make([]onion.Stats, len(ts.shards))
+	perShardP := onionStatsArena.get(len(ts.shards))
+	perShard := *perShardP
 	return queryPlan{
 		shards: len(ts.shards),
 		// The shared bound screens pre-intercept scores, so the
@@ -488,8 +489,11 @@ func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *sna
 			for _, s := range perShard {
 				det.Indexed.LayersScanned += s.LayersScanned
 				det.Indexed.PointsTouched += s.PointsTouched
+				det.Indexed.PointsZonePruned += s.PointsZonePruned
+				det.Indexed.BlocksZonePruned += s.BlocksZonePruned
 				det.Indexed.PointsSkippedByBudget += s.PointsSkippedByBudget
 			}
+			onionStatsArena.put(perShardP)
 			det.ScanCost = len(ts.points)
 			// The model's intercept shifts every score identically; add
 			// it so returned scores equal model values.
@@ -535,7 +539,8 @@ func (q SceneQuery) plan(ctx context.Context, e *Engine, req Request, snap *snap
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShard := make([]progressive.Stats, len(ss.roots))
+	perShardP := progStatsArena.get(len(ss.roots))
+	perShard := *perShardP
 	return queryPlan{
 		shards: len(ss.roots),
 		floor:  floorOf(req, 0),
@@ -561,6 +566,7 @@ func (q SceneQuery) plan(ctx context.Context, e *Engine, req Request, snap *snap
 				det.PixelsVisited += s.PixelsVisited
 				det.CellsVisited += s.CellsVisited
 			}
+			progStatsArena.put(perShardP)
 			st := QueryStats{
 				Evaluations: det.Work(),
 				Examined:    det.PixelsVisited + det.CellsVisited,
@@ -581,14 +587,21 @@ func (q SceneQuery) plan(ctx context.Context, e *Engine, req Request, snap *snap
 // partial top-K after each batch and at shard end.
 const snapEveryRegions = 16
 
+// ctxCheckMask amortizes the per-candidate non-blocking ctx.Done()
+// select to one poll every 32 candidates (i&mask == 0). A final
+// ctx.Err() read before a shard returns keeps the contract that a
+// context cancelled mid-scan never yields a normal result, no matter
+// where between polls the cancellation landed.
+const ctxCheckMask = 31
+
 // scanPlan builds the fan-out for a scan-shaped family (series
-// regions, wells, tiles) with the shared per-candidate scaffold: a
-// context check and budget gate before each candidate, a meter charge
-// after it, and batched progressive publication. scan evaluates
-// candidate i of shard si into h and returns the work it consumed in
-// the family's evaluation unit; because the charge lands after the
-// evaluation, a budgeted query overshoots by at most one candidate per
-// worker.
+// regions, wells, tiles) with the shared per-candidate scaffold: an
+// amortized context check and a budget gate before each candidate, a
+// meter charge after it, and batched progressive publication. scan
+// evaluates candidate i of shard si into h and returns the work it
+// consumed in the family's evaluation unit; because the charge lands
+// after the evaluation, a budgeted query overshoots by at most one
+// candidate per worker.
 func scanPlan(ctx context.Context, req Request, snap *snapshotter,
 	nShards int, stage string, meter *topk.Meter,
 	shardSize func(si int) int,
@@ -600,13 +613,16 @@ func scanPlan(ctx context.Context, req Request, snap *snapshotter,
 		shards: nShards,
 		floor:  floorOf(req, 0),
 		run: func(si int, _ *topk.Bound) ([]topk.Item, error) {
-			h := topk.MustHeap(req.K)
+			h := topk.MustGetHeap(req.K)
+			defer topk.PutHeap(h)
 			n := shardSize(si)
 			for i := 0; i < n; i++ {
-				select {
-				case <-done:
-					return nil, ctx.Err()
-				default:
+				if i&ctxCheckMask == 0 {
+					select {
+					case <-done:
+						return nil, ctx.Err()
+					default:
+					}
 				}
 				if meter.Exhausted() {
 					break // budget exhausted: keep what this shard has
@@ -621,6 +637,9 @@ func scanPlan(ctx context.Context, req Request, snap *snapshotter,
 						return nil, err
 					}
 				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			if snap != nil {
 				if err := snap.publish(si, stage, h.Results()); err != nil {
@@ -656,8 +675,8 @@ func (q FSMQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapsh
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShard := make([]FSMStats, len(ss.shards))
-	examined := make([]int, len(ss.shards))
+	perShardP, examinedP := fsmStatsArena.get(len(ss.shards)), intArena.get(len(ss.shards))
+	perShard, examined := *perShardP, *examinedP
 	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
 		func(si int) int { return len(ss.shards[si].regions) },
 		func(si, i int, h *topk.Heap) (int, error) {
@@ -686,6 +705,8 @@ func (q FSMQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapsh
 				det.DaysScanned += s.DaysScanned
 				scanned += examined[si]
 			}
+			fsmStatsArena.put(perShardP)
+			intArena.put(examinedP)
 			st := QueryStats{
 				Evaluations: det.DaysScanned,
 				Examined:    scanned,
@@ -723,8 +744,8 @@ func (q FSMDistanceQuery) plan(ctx context.Context, e *Engine, req Request, snap
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShard := make([]FSMStats, len(ss.shards))
-	examined := make([]int, len(ss.shards))
+	perShardP, examinedP := fsmStatsArena.get(len(ss.shards)), intArena.get(len(ss.shards))
+	perShard, examined := *perShardP, *examinedP
 	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
 		func(si int) int { return len(ss.shards[si].regions) },
 		func(si, i int, h *topk.Heap) (int, error) {
@@ -750,6 +771,8 @@ func (q FSMDistanceQuery) plan(ctx context.Context, e *Engine, req Request, snap
 				det.DaysScanned += s.DaysScanned
 				scanned += examined[si]
 			}
+			fsmStatsArena.put(perShardP)
+			intArena.put(examinedP)
 			st := QueryStats{
 				Evaluations: det.DaysScanned,
 				Examined:    scanned,
@@ -786,8 +809,8 @@ func (q GeologyQuery) plan(ctx context.Context, e *Engine, req Request, snap *sn
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShard := make([]sproc.Stats, len(ws.shards))
-	examined := make([]int, len(ws.shards))
+	perShardP, examinedP := sprocStatsArena.get(len(ws.shards)), intArena.get(len(ws.shards))
+	perShard, examined := *perShardP, *examinedP
 	return scanPlan(ctx, req, snap, len(ws.shards), "well shard", meter,
 		func(si int) int { return len(ws.shards[si]) },
 		func(si, i int, h *topk.Heap) (int, error) {
@@ -831,6 +854,8 @@ func (q GeologyQuery) plan(ctx context.Context, e *Engine, req Request, snap *sn
 				det.TuplesConsidered += s.TuplesConsidered
 				scanned += examined[si]
 			}
+			sprocStatsArena.put(perShardP)
+			intArena.put(examinedP)
 			st := QueryStats{
 				Evaluations: det.UnaryEvals + det.PairEvals,
 				Examined:    scanned,

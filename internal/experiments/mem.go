@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"modelir/internal/colstore"
+	"modelir/internal/core"
+	"modelir/internal/onion"
+	"modelir/internal/topk"
+)
+
+// MemBaseline is the machine-readable memory/layout artifact CI
+// archives as BENCH_mem.json: the scan-bound regime's ns/op, B/op and
+// allocs/op on the columnar blocked-scan hot path, against the
+// row-layout ([][]float64) sequential scan it replaced. CI fails the
+// build when the steady-state columnar scan allocates at all, and the
+// speedup_vs_row field records the layout win in the perf trajectory.
+type MemBaseline struct {
+	Tuples     int `json:"tuples"`
+	Dims       int `json:"dims"`
+	K          int `json:"k"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// RowScanNsPerOp times the row-layout sequential scan (one pointer
+	// chase per row) over the whole archive.
+	RowScanNsPerOp float64 `json:"row_scan_ns_per_op"`
+	// ColScanNsPerOp times the columnar blocked scan with zone-map
+	// pruning over the same rows, steady state (pooled heap and
+	// scratch, reused result buffer).
+	ColScanNsPerOp float64 `json:"col_scan_ns_per_op"`
+	// ColScanAllocsPerOp / ColScanBytesPerOp are the steady-state
+	// allocation counters; the CI gate requires exactly zero allocs.
+	ColScanAllocsPerOp float64 `json:"col_scan_allocs_per_op"`
+	ColScanBytesPerOp  float64 `json:"col_scan_bytes_per_op"`
+	// SpeedupVsRow = RowScanNsPerOp / ColScanNsPerOp.
+	SpeedupVsRow float64 `json:"speedup_vs_row"`
+
+	// EngineNsPerQuery times the full Engine.Run tuple path (1 shard,
+	// cache disabled) on the same workload, for the end-to-end view.
+	EngineNsPerQuery float64 `json:"engine_ns_per_query"`
+	// PointsTouched / PointsZonePruned sample the engine query's
+	// pruning profile (1 shard, so the split is deterministic).
+	PointsTouched    int `json:"points_touched"`
+	PointsZonePruned int `json:"points_zone_pruned"`
+}
+
+// memBaseline measures the scan-bound regime on the E9 workload.
+func memBaseline(cfg Config) (MemBaseline, error) {
+	n, k, reps := ShardWorkloadSize, 10, 30
+	if cfg.Quick {
+		n, reps = 20_000, 10
+	}
+	base := MemBaseline{K: k, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	pts, m, err := ShardWorkload(n)
+	if err != nil {
+		return base, err
+	}
+	base.Tuples, base.Dims = n, len(pts[0])
+
+	// Row-layout baseline: the pre-columnar sequential scan.
+	if _, _, err := onion.ScanTopK(pts, m.Coeffs, k); err != nil { // warm-up
+		return base, err
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, _, err := onion.ScanTopK(pts, m.Coeffs, k); err != nil {
+			return base, err
+		}
+	}
+	base.RowScanNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(reps)
+
+	// Columnar steady state: pooled heap, reused buffer, zone maps on.
+	store, err := colstore.Build(pts, colstore.Options{NormOrder: true})
+	if err != nil {
+		return base, err
+	}
+	wNorm := colstore.WeightNorm(m.Coeffs)
+	h := topk.MustHeap(k)
+	buf := make([]topk.Item, 0, k)
+	var cst colstore.Stats
+	scan := func() {
+		h.Reset()
+		store.Scan(m.Coeffs, wNorm, h, nil, nil, nil, &cst)
+		buf = h.AppendResults(buf[:0])
+	}
+	// Allocation counting mirrors testing.AllocsPerRun: GC off so the
+	// Mallocs delta counts only the scan's own allocations, not
+	// background collector bookkeeping. The warm-up scan runs after the
+	// explicit GC because collections empty sync.Pools — steady state
+	// starts once the scratch pool is primed.
+	var m0, m1 runtime.MemStats
+	prevGC := debug.SetGCPercent(-1)
+	runtime.GC()
+	scan() // prime the scratch pool post-GC
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		scan()
+	}
+	el := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	debug.SetGCPercent(prevGC)
+	base.ColScanNsPerOp = float64(el.Nanoseconds()) / float64(reps)
+	base.ColScanAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(reps)
+	base.ColScanBytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(reps)
+	if base.ColScanNsPerOp > 0 {
+		base.SpeedupVsRow = base.RowScanNsPerOp / base.ColScanNsPerOp
+	}
+
+	// End-to-end engine view: 1 shard, cache disabled so the sweep
+	// times execution, not cache serving.
+	e := core.NewEngineWith(core.Options{Shards: 1, CacheEntries: -1})
+	if err := e.AddTuples("t", pts); err != nil {
+		return base, err
+	}
+	ctx := cfg.ctx()
+	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: m}, K: k}
+	if _, err := e.Run(ctx, req); err != nil { // index build untimed
+		return base, err
+	}
+	start = time.Now()
+	var res core.Result
+	for r := 0; r < reps; r++ {
+		if res, err = e.Run(ctx, req); err != nil {
+			return base, err
+		}
+	}
+	base.EngineNsPerQuery = float64(time.Since(start).Nanoseconds()) / float64(reps)
+	if det, ok := res.Stats.Detail.(core.LinearTupleStats); ok {
+		base.PointsTouched = det.Indexed.PointsTouched
+		base.PointsZonePruned = det.Indexed.PointsZonePruned
+	}
+	return base, nil
+}
+
+// WriteMemBaseline measures the memory baseline and writes the JSON
+// artifact (the BENCH_mem.json file produced by `benchtab -memjson`).
+func WriteMemBaseline(cfg Config, path string) error {
+	base, err := memBaseline(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

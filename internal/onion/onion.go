@@ -22,6 +22,14 @@
 // the suffix box's linear upper bound, so results are exact regardless of
 // how well the layering approximates true convex layers — layering
 // quality affects only how early the scan stops.
+//
+// Storage is columnar (DESIGN.md §7): the peeled layers are laid out
+// layer-by-layer in a colstore.Store — one flat column per attribute,
+// fixed-size blocks with min/max/norm zone maps, rows norm-ordered
+// within each layer — so the scan-bound regime (weak layering, most
+// points in the core bucket) prunes block by block and streams the
+// survivors through a cache-friendly columnar kernel instead of chasing
+// one pointer per row.
 package onion
 
 import (
@@ -32,6 +40,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"modelir/internal/colstore"
 	"modelir/internal/topk"
 )
 
@@ -45,6 +54,10 @@ type Options struct {
 	Directions int
 	// Seed makes direction sampling deterministic. Default 1.
 	Seed int64
+	// BlockRows overrides the columnar zone-map block size (0 = the
+	// colstore default). Exposed for tests; queries are block-size
+	// invariant.
+	BlockRows int
 }
 
 func (o *Options) applyDefaults() {
@@ -61,11 +74,11 @@ func (o *Options) applyDefaults() {
 
 // Index is an immutable Onion index over a fixed point set.
 type Index struct {
-	dim    int
-	points [][]float64
-	// layers[i] lists point indices in layer i (outermost first); the
-	// final layer is the core bucket if MaxLayers was hit.
-	layers [][]int
+	dim int
+	// store holds the peeled layers as columnar segments (layer i =
+	// segment i, outermost first; the final segment is the core bucket
+	// if MaxLayers was hit). Row ids are the original point indices.
+	store *colstore.Store
 	// exact reports whether layers are true convex layers (d <= 3). When
 	// true, every point in layers > i lies inside the convex hull of
 	// layer i, so layer i's maximum bounds everything deeper — the
@@ -74,9 +87,10 @@ type Index struct {
 	exact bool
 	// coreIsBucket reports whether the last layer is an un-peeled core.
 	coreIsBucket bool
-	// suffixLo/suffixHi[i] bound all points in layers i..end, per dim.
-	suffixLo [][]float64
-	suffixHi [][]float64
+	// suffixLo/suffixHi bound all points in layers i..end per dimension,
+	// flattened with stride dim (suffixLo[i*dim+d]).
+	suffixLo []float64
+	suffixHi []float64
 	// suffixNorm[i] is the largest Euclidean norm among points in layers
 	// i..end. For any weight vector w, Cauchy-Schwarz gives
 	// w·x <= |w|₂·|x|₂ <= |w|₂·suffixNorm[i] — an L2 bound that beats
@@ -84,8 +98,8 @@ type Index struct {
 	suffixNorm []float64
 }
 
-// Build constructs the index. Points must share dimension >= 2 and are
-// NOT copied (the caller must not mutate them afterwards).
+// Build constructs the index. Points must share dimension >= 1; they
+// are copied into the index's columnar layout and not retained.
 func Build(points [][]float64, opt Options) (*Index, error) {
 	opt.applyDefaults()
 	if len(points) == 0 {
@@ -106,60 +120,85 @@ func Build(points [][]float64, opt Options) (*Index, error) {
 		}
 	}
 
-	idx := &Index{dim: d, points: points}
+	idx := &Index{dim: d, exact: d <= 3}
 	remaining := make([]int, len(points))
 	for i := range remaining {
 		remaining[i] = i
 	}
 
-	idx.exact = d <= 3
 	var dirs [][]float64
 	if d > 3 {
 		dirs = peelDirections(d, opt.Directions, opt.Seed)
 	}
+	// One scratch set serves every peel iteration: the marks array
+	// backs ring-membership tests (subtract) and hull dedup, the int
+	// buffers back the 2-D chains and the per-direction argmax table —
+	// first-query index builds sit on the serving path, so Build
+	// allocates once, not once per layer.
+	scratch := newBuildScratch(len(points), len(dirs))
+	var layers [][]int
 	for layer := 0; layer < opt.MaxLayers && len(remaining) > 0; layer++ {
 		var ring []int
 		switch d {
 		case 2:
-			ring = hull2D(points, remaining)
+			ring = hull2D(points, remaining, scratch)
 		case 3:
 			ring = hull3D(points, remaining)
 		default:
-			ring = extremePeel(points, remaining, dirs)
+			ring = extremePeel(points, remaining, dirs, scratch)
 		}
 		if len(ring) == 0 {
 			break
 		}
-		idx.layers = append(idx.layers, ring)
-		remaining = subtract(remaining, ring)
+		layers = append(layers, ring)
+		remaining = subtract(remaining, ring, scratch)
 	}
 	if len(remaining) > 0 {
 		core := make([]int, len(remaining))
 		copy(core, remaining)
 		sort.Ints(core)
-		idx.layers = append(idx.layers, core)
+		layers = append(layers, core)
 		idx.coreIsBucket = true
 	}
+	store, err := colstore.BuildSegmented(points, layers, colstore.Options{
+		BlockRows: opt.BlockRows,
+		NormOrder: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("onion: %w", err)
+	}
+	idx.store = store
 	idx.buildSuffixBoxes()
 	return idx, nil
 }
 
 // NumLayers returns the layer count (including the core bucket, if any).
-func (ix *Index) NumLayers() int { return len(ix.layers) }
+func (ix *Index) NumLayers() int { return ix.store.NumSegments() }
 
 // NumPoints returns the indexed point count.
-func (ix *Index) NumPoints() int { return len(ix.points) }
+func (ix *Index) NumPoints() int { return ix.store.NumRows() }
 
 // LayerSize returns the number of points in layer i.
-func (ix *Index) LayerSize(i int) int { return len(ix.layers[i]) }
+func (ix *Index) LayerSize(i int) int { return ix.store.SegmentLen(i) }
+
+// Store exposes the index's columnar storage (read-only) for
+// benchmarks and layout-level tests.
+func (ix *Index) Store() *colstore.Store { return ix.store }
 
 // Stats reports the work one query did.
 type Stats struct {
 	LayersScanned int
 	PointsTouched int
+	// PointsZonePruned counts points inside scanned layers that were
+	// skipped wholesale because their block's zone-map bound fell
+	// strictly below the screening floor (columnar pruning; points in
+	// layers the suffix bound cut off entirely are not counted here).
+	PointsZonePruned int
+	// BlocksZonePruned counts the zone-map-skipped blocks themselves.
+	BlocksZonePruned int
 	// PointsSkippedByBudget counts indexed points left unscanned
 	// because the scan's work budget ran out — distinct from points the
-	// layer bounds screened out, which the caller derives as
+	// layer or zone bounds screened out, which the caller derives as
 	// total - touched - skipped.
 	PointsSkippedByBudget int
 }
@@ -173,10 +212,10 @@ func (ix *Index) TopK(w []float64, k int) ([]topk.Item, Stats, error) {
 // TopKShared is TopK for an index that covers one shard of a larger
 // logical dataset: sb carries the progressive-screening floor shared
 // with the scans of the sibling shards. Whenever the local heap fills,
-// its threshold is published; layers whose upper bound falls strictly
-// below the shared floor are skipped even if the local heap could still
-// absorb them — those points cannot reach the merged global top-K. A
-// nil bound degrades to the plain single-index scan.
+// its threshold is published; layers and blocks whose upper bound falls
+// strictly below the shared floor are skipped even if the local heap
+// could still absorb them — those points cannot reach the merged global
+// top-K. A nil bound degrades to the plain single-index scan.
 func (ix *Index) TopKShared(w []float64, k int, sb *topk.Bound) ([]topk.Item, Stats, error) {
 	return ix.Scan(w, k, ScanOpts{Bound: sb})
 }
@@ -189,12 +228,12 @@ type ScanOpts struct {
 	// Bound is the cross-shard screening floor (see TopKShared).
 	Bound *topk.Bound
 	// Meter is a shared work budget charged one unit per point scored.
-	// The scan checks it before each layer and charges after scanning,
-	// so it overshoots by at most one layer; once exhausted the scan
-	// stops and returns its partial (best-effort) heap with no error,
-	// recording the unscanned remainder in Stats.PointsSkippedByBudget.
-	// The caller reads Meter.Exhausted to learn the result was
-	// truncated.
+	// The scan gates on it block by block and charges after each scored
+	// block, so it overshoots by at most one block; once exhausted the
+	// scan stops and returns its partial (best-effort) heap with no
+	// error, recording the unscanned remainder in
+	// Stats.PointsSkippedByBudget. The caller reads Meter.Exhausted to
+	// learn the result was truncated.
 	Meter *topk.Meter
 	// OnLayer, when non-nil, is invoked after each layer is scanned with
 	// the layer index and the heap's current best-first contents — the
@@ -210,17 +249,21 @@ func (ix *Index) Scan(w []float64, k int, opt ScanOpts) ([]topk.Item, Stats, err
 	if len(w) != ix.dim {
 		return nil, st, fmt.Errorf("onion: weight dim %d, want %d", len(w), ix.dim)
 	}
-	h, err := topk.NewHeap(k)
+	h, err := topk.GetHeap(k)
 	if err != nil {
 		return nil, st, err
 	}
+	defer topk.PutHeap(h)
 	sb := opt.Bound
 	var done <-chan struct{}
 	if opt.Ctx != nil {
 		done = opt.Ctx.Done()
 	}
+	wNorm := colstore.WeightNorm(w)
+	var cst colstore.Stats
 	prevMax := math.Inf(1)
-	for li, layer := range ix.layers {
+	nLayers := ix.NumLayers()
+	for li := 0; li < nLayers; li++ {
 		if done != nil {
 			select {
 			case <-done:
@@ -233,13 +276,16 @@ func (ix *Index) Scan(w []float64, k int, opt ScanOpts) ([]topk.Item, Stats, err
 		// real floor (Get is nil-safe and -Inf when unshared).
 		gf := sb.Get()
 		if h.Full() || !math.IsInf(gf, -1) {
-			// Box bound: sound for any layering.
-			bound := ix.suffixBound(li, w)
+			// Box/norm suffix bound: sound for any layering.
+			bound := ix.suffixBound(li, w, wNorm)
 			// Convex-layer bound: with true convex layers, everything
 			// deeper than layer li-1 (the core bucket included) lies
 			// inside the hull of layer li-1, so that layer's maximum
 			// bounds all of it. A tiny slack absorbs epsilon-interior
-			// classifications in hull peeling.
+			// classifications in hull peeling. (With zone-map-skipped
+			// blocks prevMax is the max of scored rows and skipped
+			// blocks' zone bounds — still an upper bound on the layer's
+			// true maximum, so the rule stays sound.)
 			if ix.exact && li > 0 {
 				cb := prevMax + 1e-9*(1+math.Abs(prevMax))
 				if cb < bound {
@@ -268,25 +314,19 @@ func (ix *Index) Scan(w []float64, k int, opt ScanOpts) ([]topk.Item, Stats, err
 		if opt.Meter.Exhausted() {
 			// Budget ran out: the remaining layers are unpaid work, not
 			// screening wins. Return the best-effort partial heap.
-			for j := li; j < len(ix.layers); j++ {
-				st.PointsSkippedByBudget += len(ix.layers[j])
+			for j := li; j < nLayers; j++ {
+				st.PointsSkippedByBudget += ix.LayerSize(j)
 			}
 			break
 		}
 		st.LayersScanned++
-		layerMax := math.Inf(-1)
-		for _, pi := range layer {
-			st.PointsTouched++
-			s := dot(w, ix.points[pi])
-			if s > layerMax {
-				layerMax = s
-			}
-			h.OfferScore(int64(pi), s)
-		}
-		opt.Meter.Charge(len(layer))
+		layerMax, exhausted := ix.store.ScanSegment(li, w, wNorm, h, sb, opt.Meter, &cst)
 		prevMax = layerMax
-		if t, ok := h.Threshold(); ok {
-			sb.Raise(t)
+		if exhausted {
+			for j := li + 1; j < nLayers; j++ {
+				st.PointsSkippedByBudget += ix.LayerSize(j)
+			}
+			break
 		}
 		if opt.OnLayer != nil {
 			if err := opt.OnLayer(li, h.Results()); err != nil {
@@ -294,11 +334,17 @@ func (ix *Index) Scan(w []float64, k int, opt ScanOpts) ([]topk.Item, Stats, err
 			}
 		}
 	}
+	st.PointsTouched = cst.RowsScored
+	st.PointsZonePruned = cst.RowsZonePruned
+	st.BlocksZonePruned = cst.BlocksZonePruned
+	st.PointsSkippedByBudget += cst.RowsSkippedByBudget
 	return h.Results(), st, nil
 }
 
 // ScanTopK is the sequential-scan baseline the paper measures against:
-// evaluate the model on every point.
+// evaluate the model on every point of the row-major archive. It is
+// deliberately kept on the row layout ([][]float64) — benchtab's
+// memory baseline compares it against the columnar kernel.
 func ScanTopK(points [][]float64, w []float64, k int) ([]topk.Item, Stats, error) {
 	var st Stats
 	if len(points) == 0 {
@@ -307,10 +353,11 @@ func ScanTopK(points [][]float64, w []float64, k int) ([]topk.Item, Stats, error
 	if len(w) != len(points[0]) {
 		return nil, st, fmt.Errorf("onion: weight dim %d, want %d", len(w), len(points[0]))
 	}
-	h, err := topk.NewHeap(k)
+	h, err := topk.GetHeap(k)
 	if err != nil {
 		return nil, st, err
 	}
+	defer topk.PutHeap(h)
 	for i, p := range points {
 		st.PointsTouched++
 		h.OfferScore(int64(i), dot(w, p))
@@ -322,19 +369,17 @@ func ScanTopK(points [][]float64, w []float64, k int) ([]topk.Item, Stats, error
 // suffixBound returns an upper bound on w·x over layers li..end: the
 // minimum of the box bound and the Cauchy-Schwarz norm bound (both
 // sound; whichever is tighter wins).
-func (ix *Index) suffixBound(li int, w []float64) float64 {
-	lo, hi := ix.suffixLo[li], ix.suffixHi[li]
+func (ix *Index) suffixBound(li int, w []float64, wNorm float64) float64 {
+	lo, hi := ix.suffixLo[li*ix.dim:], ix.suffixHi[li*ix.dim:]
 	box := 0.0
-	wNorm := 0.0
 	for i, wi := range w {
 		if wi >= 0 {
 			box += wi * hi[i]
 		} else {
 			box += wi * lo[i]
 		}
-		wNorm += wi * wi
 	}
-	norm := math.Sqrt(wNorm) * ix.suffixNorm[li]
+	norm := wNorm * ix.suffixNorm[li]
 	if norm < box {
 		return norm
 	}
@@ -342,21 +387,25 @@ func (ix *Index) suffixBound(li int, w []float64) float64 {
 }
 
 func (ix *Index) buildSuffixBoxes() {
-	n := len(ix.layers)
-	ix.suffixLo = make([][]float64, n)
-	ix.suffixHi = make([][]float64, n)
+	n := ix.store.NumSegments()
+	d := ix.dim
+	ix.suffixLo = make([]float64, n*d)
+	ix.suffixHi = make([]float64, n*d)
 	ix.suffixNorm = make([]float64, n)
-	curLo := make([]float64, ix.dim)
-	curHi := make([]float64, ix.dim)
+	curLo := make([]float64, d)
+	curHi := make([]float64, d)
 	for i := range curLo {
 		curLo[i] = math.Inf(1)
 		curHi[i] = math.Inf(-1)
 	}
 	curNorm := 0.0
+	row := ix.store.NumRows()
 	for li := n - 1; li >= 0; li-- {
-		for _, pi := range ix.layers[li] {
+		for r := 0; r < ix.store.SegmentLen(li); r++ {
+			row--
 			sq := 0.0
-			for dimI, v := range ix.points[pi] {
+			for dimI := 0; dimI < d; dimI++ {
+				v := ix.store.At(row, dimI)
 				if v < curLo[dimI] {
 					curLo[dimI] = v
 				}
@@ -369,8 +418,8 @@ func (ix *Index) buildSuffixBoxes() {
 				curNorm = norm
 			}
 		}
-		ix.suffixLo[li] = append([]float64(nil), curLo...)
-		ix.suffixHi[li] = append([]float64(nil), curHi...)
+		copy(ix.suffixLo[li*d:(li+1)*d], curLo)
+		copy(ix.suffixHi[li*d:(li+1)*d], curHi)
 		ix.suffixNorm[li] = curNorm
 	}
 }
@@ -383,17 +432,38 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
+// buildScratch is the shared allocation Build's peel loop draws from:
+// one marks array over the full point set plus reusable int buffers.
+type buildScratch struct {
+	// marks flags point indices; users must unmark what they marked.
+	marks []bool
+	// idx, chainA, chainB back hull2D's sorted order and its two
+	// monotone chains.
+	idx, chainA, chainB []int
+	// best/bestV back extremePeel's per-direction argmax table.
+	best  []int
+	bestV []float64
+}
+
+func newBuildScratch(n, dirs int) *buildScratch {
+	return &buildScratch{
+		marks: make([]bool, n),
+		best:  make([]int, dirs),
+		bestV: make([]float64, dirs),
+	}
+}
+
 // hull2D returns the indices (drawn from `remaining`) on the 2-D convex
 // hull of the remaining points, via Andrew's monotone chain. Collinear
 // boundary points are included so peeling always terminates.
-func hull2D(points [][]float64, remaining []int) []int {
+func hull2D(points [][]float64, remaining []int, sc *buildScratch) []int {
 	if len(remaining) <= 2 {
 		out := make([]int, len(remaining))
 		copy(out, remaining)
 		return out
 	}
-	srt := make([]int, len(remaining))
-	copy(srt, remaining)
+	srt := append(sc.idx[:0], remaining...)
+	sc.idx = srt
 	sort.Slice(srt, func(i, j int) bool {
 		a, b := points[srt[i]], points[srt[j]]
 		if a[0] != b[0] {
@@ -404,7 +474,7 @@ func hull2D(points [][]float64, remaining []int) []int {
 	cross := func(o, a, b []float64) float64 {
 		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
 	}
-	var lower []int
+	lower := sc.chainA[:0]
 	for _, pi := range srt {
 		for len(lower) >= 2 &&
 			cross(points[lower[len(lower)-2]], points[lower[len(lower)-1]], points[pi]) < 0 {
@@ -412,7 +482,8 @@ func hull2D(points [][]float64, remaining []int) []int {
 		}
 		lower = append(lower, pi)
 	}
-	var upper []int
+	sc.chainA = lower
+	upper := sc.chainB[:0]
 	for i := len(srt) - 1; i >= 0; i-- {
 		pi := srt[i]
 		for len(upper) >= 2 &&
@@ -421,13 +492,18 @@ func hull2D(points [][]float64, remaining []int) []int {
 		}
 		upper = append(upper, pi)
 	}
-	seen := make(map[int]bool, len(lower)+len(upper))
+	sc.chainB = upper
 	var out []int
-	for _, pi := range append(lower, upper...) {
-		if !seen[pi] {
-			seen[pi] = true
-			out = append(out, pi)
+	for _, chain := range [2][]int{lower, upper} {
+		for _, pi := range chain {
+			if !sc.marks[pi] {
+				sc.marks[pi] = true
+				out = append(out, pi)
+			}
 		}
+	}
+	for _, pi := range out {
+		sc.marks[pi] = false
 	}
 	sort.Ints(out)
 	return out
@@ -435,9 +511,8 @@ func hull2D(points [][]float64, remaining []int) []int {
 
 // extremePeel returns the remaining points extremal in at least one of the
 // fixed directions.
-func extremePeel(points [][]float64, remaining []int, dirs [][]float64) []int {
-	best := make([]int, len(dirs))
-	bestV := make([]float64, len(dirs))
+func extremePeel(points [][]float64, remaining []int, dirs [][]float64, sc *buildScratch) []int {
+	best, bestV := sc.best[:len(dirs)], sc.bestV[:len(dirs)]
 	for di := range dirs {
 		best[di] = -1
 		bestV[di] = math.Inf(-1)
@@ -452,13 +527,15 @@ func extremePeel(points [][]float64, remaining []int, dirs [][]float64) []int {
 			}
 		}
 	}
-	seen := make(map[int]bool, len(dirs))
 	var out []int
 	for _, pi := range best {
-		if pi >= 0 && !seen[pi] {
-			seen[pi] = true
+		if pi >= 0 && !sc.marks[pi] {
+			sc.marks[pi] = true
 			out = append(out, pi)
 		}
+	}
+	for _, pi := range out {
+		sc.marks[pi] = false
 	}
 	sort.Ints(out)
 	return out
@@ -466,19 +543,27 @@ func extremePeel(points [][]float64, remaining []int, dirs [][]float64) []int {
 
 // peelDirections returns n unit directions in dimension d: the 2d signed
 // axis directions first (so axis-aligned queries resolve in one layer),
-// then deterministic random unit vectors.
+// then deterministic random unit vectors. All vectors are sliced from
+// one backing allocation.
 func peelDirections(d, n int, seed int64) [][]float64 {
-	dirs := make([][]float64, 0, n+2*d)
+	total := n + 2*d
+	backing := make([]float64, total*d)
+	dirs := make([][]float64, 0, total)
+	next := func() []float64 {
+		v := backing[len(dirs)*d : (len(dirs)+1)*d : (len(dirs)+1)*d]
+		return v
+	}
 	for i := 0; i < d; i++ {
-		plus := make([]float64, d)
-		minus := make([]float64, d)
+		plus := next()
 		plus[i] = 1
+		dirs = append(dirs, plus)
+		minus := next()
 		minus[i] = -1
-		dirs = append(dirs, plus, minus)
+		dirs = append(dirs, minus)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	for len(dirs) < n+2*d {
-		v := make([]float64, d)
+	for len(dirs) < total {
+		v := next()
 		norm := 0.0
 		for i := range v {
 			v[i] = rng.NormFloat64()
@@ -496,18 +581,19 @@ func peelDirections(d, n int, seed int64) [][]float64 {
 	return dirs
 }
 
-// subtract removes members of ring (sorted) from remaining, preserving
-// order.
-func subtract(remaining, ring []int) []int {
-	inRing := make(map[int]bool, len(ring))
+// subtract removes members of ring from remaining, preserving order.
+func subtract(remaining, ring []int, sc *buildScratch) []int {
 	for _, pi := range ring {
-		inRing[pi] = true
+		sc.marks[pi] = true
 	}
 	out := remaining[:0]
 	for _, pi := range remaining {
-		if !inRing[pi] {
+		if !sc.marks[pi] {
 			out = append(out, pi)
 		}
+	}
+	for _, pi := range ring {
+		sc.marks[pi] = false
 	}
 	return out
 }

@@ -187,13 +187,25 @@ func TestLayersPartitionPoints(t *testing.T) {
 	if total != ix.NumPoints() {
 		t.Fatalf("layers hold %d points, want %d", total, ix.NumPoints())
 	}
-	for _, layer := range ix.layers {
-		for _, pi := range layer {
-			if seen[pi] {
-				t.Fatalf("point %d in two layers", pi)
-			}
-			seen[pi] = true
+	// Every original point id appears exactly once across the columnar
+	// rows, and each row's values match the source point — the layout
+	// change must lose or duplicate nothing.
+	st := ix.Store()
+	for r := 0; r < st.NumRows(); r++ {
+		pi := int(st.ID(r))
+		if seen[pi] {
+			t.Fatalf("point %d stored twice", pi)
 		}
+		seen[pi] = true
+		for d := 0; d < st.Dim(); d++ {
+			if st.At(r, d) != pts[pi][d] {
+				t.Fatalf("row %d (point %d) dim %d: stored %v, want %v",
+					r, pi, d, st.At(r, d), pts[pi][d])
+			}
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("store holds %d distinct points, want %d", len(seen), len(pts))
 	}
 }
 

@@ -57,7 +57,7 @@ func BatchShardTopKCtx(ctx context.Context, workers int, specs []BatchSpec) ([][
 			errs[i] = errors.New("parallel: negative shard count")
 			continue
 		}
-		h, err := topk.NewHeap(sp.K)
+		h, err := topk.GetHeap(sp.K)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -97,19 +97,21 @@ func BatchShardTopKCtx(ctx context.Context, workers int, specs []BatchSpec) ([][
 	})
 
 	for i := range specs {
-		if errs[i] != nil {
+		if merged[i] == nil {
 			continue
 		}
-		if poolErr != nil {
+		if errs[i] == nil && poolErr != nil {
 			errs[i] = poolErr
-			continue
 		}
-		// Merge in shard order — the same order ShardTopKCtx uses — so
-		// batched results match solo runs bit for bit.
-		for _, items := range partials[i] {
-			topk.MergeItems(merged[i], items)
+		if errs[i] == nil {
+			// Merge in shard order — the same order ShardTopKCtx uses —
+			// so batched results match solo runs bit for bit.
+			for _, items := range partials[i] {
+				topk.MergeItems(merged[i], items)
+			}
+			results[i] = merged[i].Results()
 		}
-		results[i] = merged[i].Results()
+		topk.PutHeap(merged[i])
 	}
 	return results, errs
 }

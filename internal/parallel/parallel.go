@@ -139,16 +139,19 @@ func ShardTopKCtx(ctx context.Context, shards, k, workers int, floor float64, ru
 	if run == nil {
 		return nil, errors.New("parallel: nil shard runner")
 	}
-	merged, err := topk.NewHeap(k)
+	merged, err := topk.GetHeap(k)
 	if err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
+	defer topk.PutHeap(merged)
 	if shards == 0 {
 		return merged.Results(), nil
 	}
 	bound := topk.NewBound()
 	bound.Raise(floor)
-	partials := make([][]topk.Item, shards)
+	partialsP := getPartials(shards)
+	defer putPartials(partialsP)
+	partials := *partialsP
 	err = ForEachCtx(ctx, shards, workers, func(s int) error {
 		items, err := run(s, bound)
 		if err != nil {
@@ -164,6 +167,32 @@ func ShardTopKCtx(ctx context.Context, shards, k, workers int, floor float64, ru
 		topk.MergeItems(merged, items)
 	}
 	return merged.Results(), nil
+}
+
+// partialsPool recycles the per-shard partial-result table across
+// requests; entries are nilled on reuse so a recycled table never pins
+// a previous request's items.
+var partialsPool sync.Pool
+
+func getPartials(n int) *[][]topk.Item {
+	if v, ok := partialsPool.Get().(*[][]topk.Item); ok && cap(*v) >= n {
+		s := (*v)[:n]
+		for i := range s {
+			s[i] = nil
+		}
+		*v = s
+		return v
+	}
+	s := make([][]topk.Item, n)
+	return &s
+}
+
+func putPartials(p *[][]topk.Item) {
+	s := *p
+	for i := range s {
+		s[i] = nil
+	}
+	partialsPool.Put(p)
 }
 
 // ForEach runs fn over 0..n-1 with `workers` goroutines (0 = GOMAXPROCS)

@@ -86,6 +86,41 @@ func minF(a, b float64) float64 {
 	return b
 }
 
+// ctxCheckMask amortizes the evaluators' cooperative-cancellation
+// polls: the non-blocking ctx.Done() select runs once every 64 units
+// of inner-loop work (branch expansions, DP cells) instead of every
+// unit. Each evaluator performs one final ctx.Err() read before
+// returning its matches, so a cancellation that lands between polls is
+// still surfaced — an evaluation never returns normal results from a
+// cancelled context.
+const ctxCheckMask = 63
+
+// ctxTicker is the amortized poll state one evaluation threads through
+// its loops.
+type ctxTicker struct {
+	ctx  context.Context
+	done <-chan struct{}
+	n    uint
+}
+
+func newCtxTicker(ctx context.Context) *ctxTicker {
+	return &ctxTicker{ctx: ctx, done: ctx.Done()}
+}
+
+// tick polls ctx on every 64th call and returns its error once fired.
+func (t *ctxTicker) tick() error {
+	t.n++
+	if t.n&ctxCheckMask != 0 {
+		return nil
+	}
+	select {
+	case <-t.done:
+		return t.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // BruteForce enumerates every tuple. Errors if L^M exceeds
 // MaxBruteForceTuples.
 func BruteForce(l int, q Query, k int) ([]Match, Stats, error) {
@@ -111,7 +146,7 @@ func BruteForceCtx(ctx context.Context, l int, q Query, k int) ([]Match, Stats, 
 	if err != nil {
 		return nil, st, err
 	}
-	done := ctx.Done()
+	tick := newCtxTicker(ctx)
 	items := make([]int, q.M)
 	// Pre-compute unary grades (the baseline still pays L·M evals).
 	unary := precomputeUnary(l, q, &st)
@@ -126,10 +161,8 @@ func BruteForceCtx(ctx context.Context, l int, q Query, k int) ([]Match, Stats, 
 			id++
 			return nil
 		}
-		select {
-		case <-done:
-			return ctx.Err()
-		default:
+		if err := tick.tick(); err != nil {
+			return err
 		}
 		for j := 0; j < l; j++ {
 			s := minF(score, unary[m][j])
@@ -145,6 +178,11 @@ func BruteForceCtx(ctx context.Context, l int, q Query, k int) ([]Match, Stats, 
 		return nil
 	}
 	if err := rec(0, 1); err != nil {
+		return nil, st, err
+	}
+	// Final poll: a cancellation that landed between amortized checks
+	// must not be swallowed by a completed enumeration.
+	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
 	return heapToMatches(h), st, nil
@@ -336,7 +374,7 @@ func dpOver(ctx context.Context, items []int, unary [][]float64, q Query, k int,
 // dpOverPerSlot runs exact top-K DP with per-slot candidate item lists.
 // unary is indexed by original item id.
 func dpOverPerSlot(ctx context.Context, perSlot [][]int, unary [][]float64, q Query, k int, st *Stats) ([]Match, Stats, error) {
-	done := ctx.Done()
+	tick := newCtxTicker(ctx)
 	m0 := perSlot[0]
 	// table[m][ji] = up to k entries, best first.
 	table := make([][][]dpEntry, q.M)
@@ -350,10 +388,8 @@ func dpOverPerSlot(ctx context.Context, perSlot [][]int, unary [][]float64, q Qu
 		prev := perSlot[m-1]
 		table[m] = make([][]dpEntry, len(cur))
 		for ji, j := range cur {
-			select {
-			case <-done:
-				return nil, *st, ctx.Err()
-			default:
+			if err := tick.tick(); err != nil {
+				return nil, *st, err
 			}
 			h := topk.MustHeap(k)
 			for pi, p := range prev {
@@ -380,6 +416,11 @@ func dpOverPerSlot(ctx context.Context, perSlot [][]int, unary [][]float64, q Qu
 			}
 			table[m][ji] = entries
 		}
+	}
+	// Final poll (see ctxCheckMask): a cancellation between amortized
+	// checks must surface even when the DP table completed.
+	if err := ctx.Err(); err != nil {
+		return nil, *st, err
 	}
 	// Collect global top-K over final-slot entries.
 	h := topk.MustHeap(k)

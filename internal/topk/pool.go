@@ -1,0 +1,50 @@
+// Heap pooling: every query allocates per-shard and merge heaps, and a
+// serving engine runs the same K over and over. The pool recycles the
+// heap structs (and their item backing arrays) across requests so the
+// steady-state hot path allocates nothing for selection state.
+
+package topk
+
+import "sync"
+
+var heapPool = sync.Pool{New: func() any { return &Heap{} }}
+
+// GetHeap returns a pooled empty heap reinitialized to capacity k.
+// Return it with PutHeap once its results have been extracted (Results
+// copies, so the heap can be released before the copy is used).
+func GetHeap(k int) (*Heap, error) {
+	if k < 1 {
+		return nil, ErrBadCapacity
+	}
+	h := heapPool.Get().(*Heap)
+	h.k = k
+	if cap(h.items) < k {
+		h.items = make([]Item, 0, k)
+	} else {
+		h.items = h.items[:0]
+	}
+	return h, nil
+}
+
+// MustGetHeap is GetHeap for statically valid capacities.
+func MustGetHeap(k int) *Heap {
+	h, err := GetHeap(k)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// PutHeap returns a heap to the pool. The items are cleared first so a
+// pooled heap never pins caller payloads across requests.
+func PutHeap(h *Heap) {
+	if h == nil {
+		return
+	}
+	full := h.items[:cap(h.items)]
+	for i := range full {
+		full[i] = Item{}
+	}
+	h.items = h.items[:0]
+	heapPool.Put(h)
+}

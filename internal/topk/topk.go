@@ -11,6 +11,7 @@ package topk
 
 import (
 	"errors"
+	"slices"
 	"sort"
 )
 
@@ -122,6 +123,27 @@ func (h *Heap) Results() []Item {
 	copy(out, h.items)
 	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
 	return out
+}
+
+// AppendResults appends the retained items to dst ordered best-first
+// (descending score, ascending ID on ties) and returns the extended
+// slice. It is Results for allocation-free steady-state callers: pass
+// a reused dst[:0] and no garbage is produced.
+func (h *Heap) AppendResults(dst []Item) []Item {
+	start := len(dst)
+	dst = append(dst, h.items...)
+	out := dst[start:]
+	slices.SortFunc(out, func(a, b Item) int {
+		switch {
+		case worse(b, a):
+			return -1
+		case worse(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return dst
 }
 
 // Reset empties the heap, retaining capacity.

@@ -212,6 +212,7 @@ func TestOfferReportsRetention(t *testing.T) {
 }
 
 func BenchmarkHeapOffer(b *testing.B) {
+	b.ReportAllocs()
 	h := MustHeap(100)
 	rng := rand.New(rand.NewSource(1))
 	scores := make([]float64, 4096)

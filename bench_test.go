@@ -920,3 +920,76 @@ func BenchmarkLinearScanRowLayout(b *testing.B) {
 		}
 	}
 }
+
+// TestLinearScanSteadyStateUnderRace is the race-detector companion of
+// BenchmarkLinearScanSteadyState (satellite of the columnar-kernel
+// work): the zero-allocation assertion is meaningless under -race
+// (sync.Pool intentionally drops puts), so this variant exercises the
+// same steady-state loop — pooled scratch, reused heap, reused result
+// buffer — WITHOUT allocation counting and pins its results against a
+// fresh non-pooled scan each iteration. `go test -race ./...` in CI
+// therefore covers the steady-state path in both build modes.
+func TestLinearScanSteadyStateUnderRace(t *testing.T) {
+	d, err := e10Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wNorm := colstore.WeightNorm(d.w)
+	h := topk.MustHeap(10)
+	buf := make([]topk.Item, 0, 10)
+	var st colstore.Stats
+	for iter := 0; iter < 5; iter++ {
+		// Steady-state shape: reused heap and buffer.
+		h.Reset()
+		d.store.Scan(d.w, wNorm, h, nil, nil, nil, &st)
+		buf = h.AppendResults(buf[:0])
+		// Non-pooled correctness variant: fresh heap, fresh results.
+		fresh := topk.MustHeap(10)
+		var fst colstore.Stats
+		d.store.Scan(d.w, wNorm, fresh, nil, nil, nil, &fst)
+		want := fresh.Results()
+		if len(buf) != len(want) {
+			t.Fatalf("iter %d: steady-state kept %d items, fresh %d", iter, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i].ID != want[i].ID || buf[i].Score != want[i].Score {
+				t.Fatalf("iter %d pos %d: steady %+v vs fresh %+v", iter, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// ---- Columnar pyramid scan: layout and allocation pins ----
+
+// BenchmarkSceneScanSteadyState is the pyramid-family zero-allocation
+// acceptance pin: the flat-layout branch-and-bound descent with pooled
+// heap, pooled scratch and a reused result buffer must report
+// 0 allocs/op — the benchmark fails (not just reports) if a warmed-up
+// descent allocates.
+func BenchmarkSceneScanSteadyState(b *testing.B) {
+	d, err := e5Data()
+	if err != nil {
+		b.Fatal(err)
+	}
+	roots := progressive.Roots(d.mp)
+	buf := make([]topk.Item, 0, 10)
+	scan := func() {
+		var err error
+		buf, _, err = progressive.CombinedShardAppend(d.pm, d.mp, 10, roots, progressive.DescendOpts{}, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	scan() // warm the pools
+	if allocs := testing.AllocsPerRun(5, scan); allocs != 0 {
+		b.Fatalf("steady-state pyramid descent allocates %.1f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan()
+	}
+	if len(buf) != 10 {
+		b.Fatalf("descent kept %d items", len(buf))
+	}
+}

@@ -9,6 +9,9 @@
 //	benchtab -shardjson BENCH_shards.json  # also write the shard-scaling baseline
 //	benchtab -servejson BENCH_serve.json   # also write the serving-layer baseline
 //	benchtab -memjson BENCH_mem.json       # also write the scan-bound memory baseline
+//	benchtab -kerneljson BENCH_kernels.json  # also write the per-family scan-kernel baseline
+//	benchtab -cpuprofile cpu.pprof       # profile the run (go tool pprof)
+//	benchtab -memprofile mem.pprof       # heap profile at exit
 //	benchtab -timeout 30s                # bound the run with a context deadline
 //
 // -timeout wires a context.WithTimeout through the experiment driver:
@@ -25,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"modelir/internal/experiments"
@@ -44,9 +49,37 @@ func run(args []string) error {
 	shardJSON := fs.String("shardjson", "", "write the shard-scaling baseline (ShardBaseline JSON) to this path")
 	serveJSON := fs.String("servejson", "", "write the serving-layer baseline (ServeBaseline JSON: cache hit-vs-cold, batch-vs-solo) to this path")
 	memJSON := fs.String("memjson", "", "write the scan-bound memory baseline (MemBaseline JSON: columnar vs row-layout ns/op, B/op, allocs/op) to this path")
+	kernelJSON := fs.String("kerneljson", "", "write the per-family scan-kernel baseline (KernelBaseline JSON: columnar vs PR4-reference ns/op, allocs/op, steal speedups) to this path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this path")
 	timeout := fs.Duration("timeout", 0, "overall deadline; cancels in-flight queries mid-shard and records it in -shardjson (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: memprofile:", err)
+			}
+		}()
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -82,6 +115,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *memJSON)
+	}
+	if *kernelJSON != "" {
+		if err := experiments.WriteKernelBaseline(cfg, *kernelJSON); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *kernelJSON)
 	}
 
 	var tables []experiments.Table

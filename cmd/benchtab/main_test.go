@@ -77,3 +77,64 @@ func TestRunMemBaseline(t *testing.T) {
 		t.Fatalf("pruning accounting exceeds archive: %+v", base)
 	}
 }
+
+func TestRunKernelBaseline(t *testing.T) {
+	// -kerneljson writes the per-family scan-kernel baseline; the
+	// allocs==0 and scene-speedup gates live in CI's non-race benchtab
+	// run (sync.Pool drops puts under the race detector), so here we
+	// pin shape, coverage and the equality bits.
+	path := t.TempDir() + "/kernels.json"
+	if err := run([]string{"-quick", "-e", "e3", "-kerneljson", path}); err != nil {
+		t.Fatalf("kerneljson run failed: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base experiments.KernelBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"linear": false, "scene": false, "fsm": false,
+		"fsm-distance": false, "geology": false, "knowledge": false,
+	}
+	for _, f := range base.Families {
+		if _, ok := want[f.Family]; !ok {
+			t.Fatalf("unexpected family %q", f.Family)
+		}
+		want[f.Family] = true
+		if f.NsPerOp <= 0 || f.RefNsPerOp <= 0 {
+			t.Fatalf("%s: timings not populated: %+v", f.Family, f)
+		}
+		if !f.Identical {
+			t.Fatalf("%s: columnar scan diverged from reference", f.Family)
+		}
+	}
+	for fam, seen := range want {
+		if !seen {
+			t.Fatalf("family %q missing from baseline", fam)
+		}
+	}
+	if base.StealSpeedup1W <= 0 || base.StealSpeedup2W <= 0 || base.StealSpeedup4W <= 0 {
+		t.Fatalf("steal ratios not populated: %+v", base)
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	// -cpuprofile/-memprofile write non-empty pprof files.
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	if err := run([]string{"-quick", "-e", "e3", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatalf("profiled run failed: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

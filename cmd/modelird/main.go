@@ -7,6 +7,12 @@
 //
 //	modelird [-addr :8077] [-shards 0] [-cache 0] [-maxworkers 0]
 //	         [-tuples 20000] [-scene 128] [-regions 300] [-wells 200]
+//	         [-debug-addr 127.0.0.1:6060]
+//
+// -debug-addr mounts net/http/pprof (profiles, goroutine dumps,
+// /debug/pprof/…) on a SEPARATE listener so the profiling surface is
+// opt-in and never shares a port with serving traffic; empty (the
+// default) disables it entirely.
 //
 // Endpoints (JSON):
 //
@@ -29,7 +35,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -54,6 +62,7 @@ func run(args []string) error {
 	regions := fs.Int("regions", 300, "demo weather archive regions")
 	wells := fs.Int("wells", 200, "demo well archive size")
 	seed := fs.Int64("seed", 7, "demo data generator seed")
+	debugAddr := fs.String("debug-addr", "", "opt-in pprof listener (e.g. 127.0.0.1:6060); empty disables the debug surface")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +75,26 @@ func run(args []string) error {
 		return err
 	}
 
+	if *debugAddr != "" {
+		// Bind synchronously: the debug surface is an explicit opt-in,
+		// so a taken port or a typo'd address must fail startup, not
+		// degrade into a daemon that silently cannot be profiled.
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener %s: %w", *debugAddr, err)
+		}
+		dbg := &http.Server{
+			Handler:           newDebugMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		log.Printf("modelird debug (pprof) listening on %s", ln.Addr())
+		go func() {
+			if err := dbg.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("modelird debug listener: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(engine),
@@ -74,6 +103,19 @@ func run(args []string) error {
 	log.Printf("modelird listening on %s (tuples=%d scene=%dx%d regions=%d wells=%d)",
 		*addr, *tuples, *scene, *scene, *regions, *wells)
 	return srv.ListenAndServe()
+}
+
+// newDebugMux builds the opt-in profiling surface: the standard
+// net/http/pprof handlers on a private mux (never the DefaultServeMux,
+// and never mounted on the serving listener).
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // demoConfig sizes the synthetic archives the daemon serves.

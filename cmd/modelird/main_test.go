@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -213,5 +214,45 @@ func TestStatsEndpoint(t *testing.T) {
 	st := decode[wireServerStats](t, resp)
 	if st.Epoch != 4 || st.Shards != 4 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestDebugMuxServesPprof is the -debug-addr smoke test: the debug mux
+// serves the pprof index and the registered profile dumps, and is a
+// separate handler from the serving surface (no /run, /batch, /stats).
+func TestDebugMuxServesPprof(t *testing.T) {
+	srv := httptest.NewServer(newDebugMux())
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/heap?debug=1",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	// The serving endpoints must NOT exist on the debug surface.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug mux serves /stats (status %d); serving and debug surfaces must stay separate", resp.StatusCode)
 	}
 }

@@ -138,6 +138,75 @@ func (r *RuleSet) Add(feature string, m Membership, weight float64) *RuleSet {
 // Len returns the number of clauses.
 func (r *RuleSet) Len() int { return len(r.clauses) }
 
+// CompiledRuleSet is a RuleSet bound to a fixed feature-column order:
+// every clause's feature name is resolved to a column index once, so
+// scoring a candidate is a pass over a flat []float64 row — no map
+// construction, no string hashing per candidate. This is the knowledge
+// family's columnar scan kernel: the engine lays tile features out as
+// one flat matrix at ingest and compiles the query's rule set against
+// the matrix's column names at plan time.
+type CompiledRuleSet struct {
+	cols    []int // column index per clause; -1 = unknown feature
+	members []Membership
+	weights []float64
+}
+
+// Compile resolves the rule set against a column-name table. Unknown
+// feature names compile to the missing-feature grade (0), exactly as
+// Score treats features absent from its map. Weight validation happens
+// here once instead of on every Score call; the errors match.
+func (r *RuleSet) Compile(columns []string) (*CompiledRuleSet, error) {
+	if len(r.clauses) == 0 {
+		return nil, errors.New("bayes: empty rule set")
+	}
+	idx := make(map[string]int, len(columns))
+	for i, n := range columns {
+		idx[n] = i
+	}
+	c := &CompiledRuleSet{
+		cols:    make([]int, len(r.clauses)),
+		members: make([]Membership, len(r.clauses)),
+		weights: make([]float64, len(r.clauses)),
+	}
+	for i, cl := range r.clauses {
+		w := r.weights[i]
+		if w <= 0 || w > 1 {
+			return nil, fmt.Errorf("bayes: clause %d weight %v outside (0,1]", i, w)
+		}
+		col, ok := idx[cl.Feature]
+		if !ok {
+			col = -1
+		}
+		c.cols[i] = col
+		c.members[i] = cl.Member
+		c.weights[i] = w
+	}
+	return c, nil
+}
+
+// Len returns the number of compiled clauses.
+func (c *CompiledRuleSet) Len() int { return len(c.cols) }
+
+// ScoreRow grades one feature row (indexed by the column order Compile
+// was given). The arithmetic is identical to RuleSet.Score — min over
+// clauses of the weighted grade, missing features grading 0 — so
+// compiled and map-based scoring are bit-identical.
+func (c *CompiledRuleSet) ScoreRow(row []float64) float64 {
+	score := 1.0
+	for i, col := range c.cols {
+		g := 0.0
+		if col >= 0 {
+			g = c.members[i].Grade(row[col])
+		}
+		w := c.weights[i]
+		soft := 1 - w + w*g
+		if soft < score {
+			score = soft
+		}
+	}
+	return score
+}
+
 // Score grades a feature map: min over clauses of the weighted grade.
 // Missing features score 0 (a hard clause then zeroes the result).
 func (r *RuleSet) Score(featureValues map[string]float64) (float64, error) {

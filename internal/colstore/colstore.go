@@ -47,6 +47,11 @@ type Options struct {
 	// rows fill the heap early and the per-block norm bound then
 	// eliminates the low-norm tail block by block.
 	NormOrder bool
+	// ForceGenericKernel disables dimension-specialized scan kernels
+	// and scans with the generic 4-wide fallback regardless of
+	// dimension — a benchmarking hook (kernels are bit-identical, so
+	// this changes speed only).
+	ForceGenericKernel bool
 }
 
 func (o *Options) applyDefaults() {
@@ -86,6 +91,12 @@ type Store struct {
 	// maxBlock is the largest block's row count — the scratch size one
 	// scan needs, fixed at build time.
 	maxBlock int
+
+	// kern is the dot-product kernel every scan of this store uses,
+	// selected once at build time from the (fixed) dimension; kernName
+	// labels it for benchmark artifacts.
+	kern     kernelFunc
+	kernName string
 }
 
 // Build constructs a single-segment store over the given rows with ids
@@ -136,6 +147,7 @@ func BuildSegmented(points [][]float64, segments [][]int, opt Options) (*Store, 
 		segStart: make([]int, 1, len(segments)+1),
 		segBlock: make([]int, 1, len(segments)+1),
 	}
+	s.kern, s.kernName = kernelFor(dim, opt.ForceGenericKernel)
 	s.cols = make([][]float64, dim)
 	for d := 0; d < dim; d++ {
 		s.cols[d] = s.flat[d*total : (d+1)*total]
@@ -265,6 +277,11 @@ func (s *Store) ID(r int) int64 { return s.ids[r] }
 // At returns the value of attribute d at storage row r.
 func (s *Store) At(r, d int) float64 { return s.cols[d][r] }
 
+// KernelName reports which scan kernel the store selected at build
+// time ("dim2", "dim4", "dim8", "dim16" or "generic4") — surfaced in
+// benchmark artifacts.
+func (s *Store) KernelName() string { return s.kernName }
+
 // WeightNorm returns the Euclidean norm of w — the scan's
 // Cauchy-Schwarz factor, computed once per query.
 func WeightNorm(w []float64) float64 {
@@ -342,6 +359,7 @@ func (s *Store) blockBound(b int, w []float64, wNorm float64) float64 {
 // reports a mid-segment budget stop.
 func (s *Store) ScanSegment(si int, w []float64, wNorm float64, h *topk.Heap, sb *topk.Bound, meter *topk.Meter, st *Stats) (segMax float64, exhausted bool) {
 	sc := getScratch(s.maxBlock)
+	kern := s.scanKernel(w)
 	segMax = math.Inf(-1)
 	for b := s.segBlock[si]; b < s.segBlock[si+1]; b++ {
 		lo, hi := s.blockStart[b], s.blockStart[b+1]
@@ -364,7 +382,7 @@ func (s *Store) ScanSegment(si int, w []float64, wNorm float64, h *topk.Heap, sb
 			st.RowsZonePruned += hi - lo
 			continue
 		}
-		if m := s.scoreBlock(lo, hi, w, h, sc.scores[:hi-lo]); m > segMax {
+		if m := s.scoreBlock(kern, lo, hi, w, h, sc.scores[:hi-lo]); m > segMax {
 			segMax = m
 		}
 		st.RowsScored += hi - lo
@@ -384,6 +402,7 @@ func (s *Store) ScanSegment(si int, w []float64, wNorm float64, h *topk.Heap, sb
 func (s *Store) Scan(w []float64, wNorm float64, h *topk.Heap, sb *topk.Bound, meter *topk.Meter, done <-chan struct{}, st *Stats) (cancelled, exhausted bool) {
 	sc := getScratch(s.maxBlock)
 	defer putScratch(sc)
+	kern := s.scanKernel(w)
 	nb := s.NumBlocks()
 	for b := 0; b < nb; b++ {
 		if done != nil {
@@ -407,7 +426,7 @@ func (s *Store) Scan(w []float64, wNorm float64, h *topk.Heap, sb *topk.Bound, m
 			st.RowsZonePruned += hi - lo
 			continue
 		}
-		s.scoreBlock(lo, hi, w, h, sc.scores[:hi-lo])
+		s.scoreBlock(kern, lo, hi, w, h, sc.scores[:hi-lo])
 		st.RowsScored += hi - lo
 		meter.Charge(hi - lo)
 		if t, ok := h.Threshold(); ok {
@@ -417,29 +436,12 @@ func (s *Store) Scan(w []float64, wNorm float64, h *topk.Heap, sb *topk.Bound, m
 	return false, false
 }
 
-// scoreBlock is the hot kernel: accumulate w[d]·col[d] column by
-// column into the scratch buffer (the compiler keeps the coefficient
-// and both slice bases in registers; one bounds check is hoisted per
-// column), then offer each score. The running heap threshold screens
-// offers so the common case — a full heap rejecting a weak row — is
-// one comparison, not a method call.
-func (s *Store) scoreBlock(lo, hi int, w []float64, h *topk.Heap, scores []float64) float64 {
-	n := hi - lo
-	c0 := w[0]
-	col := s.cols[0][lo:hi:hi]
-	for i := 0; i < n; i++ {
-		scores[i] = c0 * col[i]
-	}
-	for d := 1; d < s.dim; d++ {
-		c := w[d]
-		if c == 0 {
-			continue
-		}
-		col := s.cols[d][lo:hi:hi]
-		for i := 0; i < n; i++ {
-			scores[i] += c * col[i]
-		}
-	}
+// scoreBlock runs the scan's selected dot-product kernel over the
+// block (see kernel.go) and offers each score. The running heap
+// threshold screens offers so the common case — a full heap rejecting
+// a weak row — is one comparison, not a method call.
+func (s *Store) scoreBlock(kern kernelFunc, lo, hi int, w []float64, h *topk.Heap, scores []float64) float64 {
+	kern(s.cols, lo, hi, w, scores)
 	blockMax := math.Inf(-1)
 	thr, full := h.Threshold()
 	for i, v := range scores {

@@ -11,6 +11,7 @@ package core
 import (
 	"sync"
 
+	"modelir/internal/fsm"
 	"modelir/internal/onion"
 	"modelir/internal/progressive"
 	"modelir/internal/sproc"
@@ -43,4 +44,14 @@ var (
 	fsmStatsArena   slicePool[FSMStats]
 	sprocStatsArena slicePool[sproc.Stats]
 	intArena        slicePool[int]
+)
+
+// Evaluator scratch pools for the columnar scan kernels: machine
+// extraction / behavioral distance buffers (FSM-distance family) and
+// the top-1 SPROC DP's working set (geology family). One scratch per
+// in-flight worker; get/put brackets each candidate so mixed
+// concurrent queries share the pools safely.
+var (
+	fsmScratchPool   = sync.Pool{New: func() any { return fsm.NewScratch() }}
+	sprocScratchPool = sync.Pool{New: func() any { return sproc.NewScratch() }}
 )

@@ -199,6 +199,9 @@ func (e *Engine) AddScene(name string, sc *archive.Scene) error {
 	if sc == nil {
 		return errors.New("core: nil scene")
 	}
+	if err := validateSceneFeatures(sc); err != nil {
+		return err
+	}
 	if err := e.checkFresh(name, func() bool { _, ok := e.scenes[name]; return ok }); err != nil {
 		return err
 	}
@@ -490,6 +493,81 @@ func WellMatches(items []topk.Item) ([]WellMatch, error) {
 		out = append(out, WellMatch{Well: int(it.ID), Score: it.Score, Strata: strata})
 	}
 	return out, nil
+}
+
+// geoShardScanner compiles the Fig. 4 model against one well shard's
+// columnar strata planes. One scanner (and one pair of grade closures)
+// is built per shard per request; advancing to the next well is a base
+// offset update, so the per-well cost is zero allocations instead of a
+// query struct and two closures. The grade formulas are identical to
+// geologySprocQuery's; only the storage they read is columnar.
+type geoShardScanner struct {
+	sh   *wellShard
+	q    GeologyQuery
+	base int
+	sq   sproc.Query
+}
+
+func newGeoShardScanner(sh *wellShard, q GeologyQuery) *geoShardScanner {
+	g := &geoShardScanner{sh: sh, q: q}
+	g.sq = sproc.Query{
+		M:     len(q.Sequence),
+		Unary: g.unary,
+		Pair:  g.pair,
+	}
+	return g
+}
+
+// setWell points the scanner at well i of its shard and returns the
+// well's stratum count.
+func (g *geoShardScanner) setWell(i int) int {
+	g.base = g.sh.off[i]
+	return g.sh.strataLen(i)
+}
+
+func (g *geoShardScanner) gammaGrade(gv float64) float64 {
+	if g.q.GammaRampAPI <= 0 {
+		if gv > g.q.MinGamma {
+			return 1
+		}
+		return 0
+	}
+	lo := g.q.MinGamma - g.q.GammaRampAPI
+	hi := g.q.MinGamma + g.q.GammaRampAPI
+	switch {
+	case gv <= lo:
+		return 0
+	case gv >= hi:
+		return 1
+	default:
+		return (gv - lo) / (hi - lo)
+	}
+}
+
+func (g *geoShardScanner) unary(m, item int) float64 {
+	s := g.base + item
+	if g.sh.lith[s] != g.q.Sequence[m] {
+		return 0
+	}
+	return g.gammaGrade(g.sh.gamma[s])
+}
+
+func (g *geoShardScanner) pair(m, prev, cur int) float64 {
+	a, b := g.base+prev, g.base+cur
+	aTop, bTop := g.sh.topFt[a], g.sh.topFt[b]
+	// The sequence is top-down: cur must start below prev's top,
+	// within the adjacency gap of prev's bottom.
+	if bTop <= aTop {
+		return 0
+	}
+	gap := bTop - (aTop + g.sh.thickFt[a])
+	if gap < 0 {
+		gap = 0
+	}
+	if gap > g.q.MaxGapFt {
+		return 0
+	}
+	return 1
 }
 
 // geologySprocQuery compiles the Fig. 4 model into a SPROC query over

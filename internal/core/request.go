@@ -596,16 +596,22 @@ const ctxCheckMask = 31
 
 // scanPlan builds the fan-out for a scan-shaped family (series
 // regions, wells, tiles) with the shared per-candidate scaffold: an
-// amortized context check and a budget gate before each candidate, a
-// meter charge after it, and batched progressive publication. scan
-// evaluates candidate i of shard si into h and returns the work it
-// consumed in the family's evaluation unit; because the charge lands
-// after the evaluation, a budgeted query overshoots by at most one
-// candidate per worker.
+// amortized context check and a budget gate before each candidate, and
+// batched progressive publication. The scan hook owns the meter: a
+// family whose candidate cost is known up front (series days, rule
+// count) charges the meter BEFORE scoring, so concurrent workers see
+// the spend the moment the work is committed rather than after it
+// completes — the overshoot window is one in-flight candidate's gate
+// race, not a whole candidate's worth of invisible work per worker.
+// Families whose cost is emergent (geology's DP work depends on
+// pruning) charge as soon as the evaluator reports it. Single-worker
+// truncation points are unchanged either way: the gate reads the meter
+// before each candidate, and the previous candidate's charge is
+// visible at that gate under both disciplines.
 func scanPlan(ctx context.Context, req Request, snap *snapshotter,
 	nShards int, stage string, meter *topk.Meter,
 	shardSize func(si int) int,
-	scan func(si, i int, h *topk.Heap) (cost int, err error),
+	scan func(si, i int, h *topk.Heap) error,
 	finish func(items []topk.Item) ([]topk.Item, QueryStats, error),
 ) queryPlan {
 	done := ctx.Done()
@@ -627,11 +633,9 @@ func scanPlan(ctx context.Context, req Request, snap *snapshotter,
 				if meter.Exhausted() {
 					break // budget exhausted: keep what this shard has
 				}
-				cost, err := scan(si, i, h)
-				if err != nil {
+				if err := scan(si, i, h); err != nil {
 					return nil, err
 				}
-				meter.Charge(cost)
 				if snap != nil && (i+1)%snapEveryRegions == 0 {
 					if err := snap.publish(si, stage, h.Results()); err != nil {
 						return nil, err
@@ -679,23 +683,27 @@ func (q FSMQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapsh
 	perShard, examined := *perShardP, *examinedP
 	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
 		func(si int) int { return len(ss.shards[si].regions) },
-		func(si, i int, h *topk.Heap) (int, error) {
+		func(si, i int, h *topk.Heap) error {
 			sh := ss.shards[si]
 			if q.Prefilter != nil && !q.Prefilter(sh.sums[i]) {
 				perShard[si].RegionsPruned++
-				return 0, nil
+				return nil
 			}
-			events := fsm.ClassifySeries(sh.regions[i].Days)
+			// The columnar event plane replaces per-query
+			// re-classification; the day count is known up front, so
+			// the budget is charged before the machine runs.
+			events := sh.eventsOf(i)
+			meter.Charge(len(events))
 			perShard[si].DaysScanned += len(events)
 			examined[si]++
 			score, err := fsm.FlyScore(q.Machine, events)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			if score > 0 {
 				h.OfferScore(int64(sh.regions[i].Region), score)
 			}
-			return len(events), nil
+			return nil
 		},
 		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
 			det := FSMStats{RegionsTotal: ss.total}
@@ -748,21 +756,25 @@ func (q FSMDistanceQuery) plan(ctx context.Context, e *Engine, req Request, snap
 	perShard, examined := *perShardP, *examinedP
 	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
 		func(si int) int { return len(ss.shards[si].regions) },
-		func(si, i int, h *topk.Heap) (int, error) {
-			r := ss.shards[si].regions[i]
-			events := fsm.ClassifySeries(r.Days)
+		func(si, i int, h *topk.Heap) error {
+			sh := ss.shards[si]
+			events := sh.eventsOf(i)
+			meter.Charge(len(events))
 			perShard[si].DaysScanned += len(events)
 			examined[si]++
-			extracted, err := fsm.Extract(q.Target, [][]fsm.Event{events})
+			sc := fsmScratchPool.Get().(*fsm.Scratch)
+			extracted, err := fsm.ExtractWith(q.Target, events, sc)
 			if err != nil {
-				return 0, err
+				fsmScratchPool.Put(sc)
+				return err
 			}
-			d, err := fsm.Distance(q.Target, extracted, q.Horizon)
+			d, err := fsm.DistanceWith(q.Target, extracted, q.Horizon, sc)
+			fsmScratchPool.Put(sc)
 			if err != nil {
-				return 0, err
+				return err
 			}
-			h.OfferScore(int64(r.Region), 1-d)
-			return len(events), nil
+			h.OfferScore(int64(sh.regions[i].Region), 1-d)
+			return nil
 		},
 		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
 			det := FSMStats{RegionsTotal: ss.total}
@@ -811,39 +823,76 @@ func (q GeologyQuery) plan(ctx context.Context, e *Engine, req Request, snap *sn
 	meter := topk.NewMeter(req.Budget)
 	perShardP, examinedP := sprocStatsArena.get(len(ws.shards)), intArena.get(len(ws.shards))
 	perShard, examined := *perShardP, *examinedP
+	// One columnar scanner per shard: the grade closures bind once and
+	// walk the shard's flat strata planes; per well only the base
+	// offset moves.
+	scanners := make([]*geoShardScanner, len(ws.shards))
+	for si, sh := range ws.shards {
+		scanners[si] = newGeoShardScanner(sh, q)
+	}
 	return scanPlan(ctx, req, snap, len(ws.shards), "well shard", meter,
-		func(si int) int { return len(ws.shards[si]) },
-		func(si, i int, h *topk.Heap) (int, error) {
-			well := ws.shards[si][i]
-			sq := geologySprocQuery(well, q)
+		func(si int) int { return len(ws.shards[si].wells) },
+		func(si, i int, h *topk.Heap) error {
+			g := scanners[si]
+			n := g.setWell(i)
 			var (
-				matches []sproc.Match
-				wst     sproc.Stats
-				err     error
+				best sproc.Match
+				wst  sproc.Stats
+				err  error
 			)
 			switch method {
 			case GeoBruteForce:
-				matches, wst, err = sproc.BruteForceCtx(ctx, len(well.Strata), sq, 1)
+				var matches []sproc.Match
+				matches, wst, err = sproc.BruteForceCtx(ctx, n, g.sq, 1)
+				if err == nil && len(matches) > 0 {
+					best = matches[0]
+				}
 			case GeoDP:
-				matches, wst, err = sproc.DPCtx(ctx, len(well.Strata), sq, 1)
+				// The serving path: scratch-backed top-1 DP,
+				// bit-identical to DPCtx(…, 1) at zero steady-state
+				// allocations. The match aliases the scratch and is
+				// copied below only if it can enter the heap.
+				sc := sprocScratchPool.Get().(*sproc.Scratch)
+				best, wst, err = sproc.DP1Ctx(ctx, n, g.sq, sc)
+				if err != nil {
+					sprocScratchPool.Put(sc)
+					break
+				}
+				if best.Score > 0 {
+					if thr, full := h.Threshold(); !full || best.Score >= thr {
+						best.Items = append([]int(nil), best.Items...)
+					} else {
+						// A full heap strictly above this score rejects
+						// it for sure; skip the copy and the offer.
+						best.Score = 0
+					}
+				}
+				sprocScratchPool.Put(sc)
 			case GeoPruned:
-				matches, wst, err = sproc.PrunedCtx(ctx, len(well.Strata), sq, 1)
+				var matches []sproc.Match
+				matches, wst, err = sproc.PrunedCtx(ctx, n, g.sq, 1)
+				if err == nil && len(matches) > 0 {
+					best = matches[0]
+				}
 			}
 			if err != nil {
-				return 0, err
+				return err
 			}
+			// The DP's work is emergent (it depends on pruning), so the
+			// meter is charged as soon as the evaluator reports it.
+			meter.Charge(wst.UnaryEvals + wst.PairEvals)
 			perShard[si].UnaryEvals += wst.UnaryEvals
 			perShard[si].PairEvals += wst.PairEvals
 			perShard[si].TuplesConsidered += wst.TuplesConsidered
 			examined[si]++
-			if len(matches) > 0 && matches[0].Score > 0 {
+			if best.Score > 0 {
 				h.Offer(topk.Item{
-					ID:      int64(well.Well),
-					Score:   matches[0].Score,
-					Payload: matches[0].Items,
+					ID:      int64(g.sh.wells[i].Well),
+					Score:   best.Score,
+					Payload: best.Items,
 				})
 			}
-			return wst.UnaryEvals + wst.PairEvals, nil
+			return nil
 		},
 		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
 			var det sproc.Stats
@@ -883,39 +932,41 @@ func (q KnowledgeQuery) plan(ctx context.Context, e *Engine, req Request, snap *
 	if q.Rules == nil || q.Rules.Len() == 0 {
 		return queryPlan{}, errors.New("core: empty rule set")
 	}
-	sc, err := e.Scene(req.Dataset)
+	e.mu.RLock()
+	ss, ok := e.scenes[req.Dataset]
+	e.mu.RUnlock()
+	if !ok {
+		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	sc := ss.scene
+	// Compile the rule set against the scene's feature-matrix columns
+	// once: the per-tile scan is then a flat-row pass with no map
+	// construction and no string hashing (scoring is bit-identical to
+	// the map path; unknown features grade 0 either way). Weight
+	// validation moves from mid-scan to plan time with it.
+	comp, err := q.Rules.Compile(ss.featCols)
 	if err != nil {
-		return queryPlan{}, err
+		return queryPlan{}, fmt.Errorf("core: %w", err)
 	}
 	meter := topk.NewMeter(req.Budget)
 	det := &KnowledgeStats{}
-	vals := make(map[string]float64, 4*sc.NumBands())
+	cost := q.Rules.Len()
 	// The tile table is one un-sharded list; scanPlan with a single
 	// shard still supplies the scan scaffold (ctx checks, budget gate,
 	// batched progressive publication).
 	return scanPlan(ctx, req, snap, 1, "feature tiles", meter,
 		func(int) int { return len(sc.Tiles) },
-		func(_, ti int, h *topk.Heap) (int, error) {
-			for b, name := range sc.BandNames {
-				feat, err := sc.Feature(b, ti)
-				if err != nil {
-					return 0, err
-				}
-				vals[name+".mean"] = feat.Stats.Mean
-				vals[name+".std"] = feat.Stats.Std
-				vals[name+".min"] = feat.Stats.Min
-				vals[name+".max"] = feat.Stats.Max
-			}
-			score, err := q.Rules.Score(vals)
-			if err != nil {
-				return 0, fmt.Errorf("core: tile %d: %w", ti, err)
-			}
+		func(_, ti int, h *topk.Heap) error {
+			// Rule-evaluation cost is fixed per tile: charge before
+			// scoring so concurrent budget gates see committed work.
+			meter.Charge(cost)
+			score := comp.ScoreRow(ss.featRow(ti))
 			det.TilesScored++
 			det.RawSamplesAvoided += sc.Tiles[ti].Area() * sc.NumBands()
 			if score > 0 {
 				h.OfferScore(int64(ti), score)
 			}
-			return q.Rules.Len(), nil
+			return nil
 		},
 		func(items []topk.Item) ([]topk.Item, QueryStats, error) {
 			st := QueryStats{

@@ -11,9 +11,11 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"modelir/internal/archive"
+	"modelir/internal/fsm"
 	"modelir/internal/onion"
 	"modelir/internal/progressive"
 	"modelir/internal/synth"
@@ -87,10 +89,24 @@ func newTupleSet(points [][]float64, shards int) *tupleSet {
 }
 
 // seriesShard is one partition of a series archive with its
-// metadata-level summaries (the prefilter index) built at ingest.
+// metadata-level summaries (the prefilter index) built at ingest, plus
+// the columnar event plane: every region's day-classified FSM events
+// in ONE flat allocation, so a query runs machines over contiguous
+// event runs instead of re-classifying raw weather structs per query
+// per region. Classification is deterministic, so precomputing it at
+// ingest changes results by exactly nothing.
 type seriesShard struct {
 	regions []synth.RegionSeries
 	sums    []synth.DrySpellStats
+	// events is the flat event plane; region i of the shard occupies
+	// events[evOff[i]:evOff[i+1]].
+	events []fsm.Event
+	evOff  []int
+}
+
+// eventsOf returns region i's precomputed event run.
+func (s *seriesShard) eventsOf(i int) []fsm.Event {
+	return s.events[s.evOff[i]:s.evOff[i+1]:s.evOff[i+1]]
 }
 
 // seriesSet is a registered series archive, sharded at ingest.
@@ -104,23 +120,75 @@ func newSeriesSet(rs []synth.RegionSeries, shards int) *seriesSet {
 	for _, r := range partition(len(rs), shards) {
 		part := rs[r[0]:r[1]]
 		sums := make([]synth.DrySpellStats, len(part))
+		total := 0
 		for i, reg := range part {
 			sums[i] = synth.SummarizeSeries(reg)
+			total += len(reg.Days)
 		}
-		ss.shards = append(ss.shards, &seriesShard{regions: part, sums: sums})
+		events := make([]fsm.Event, 0, total)
+		evOff := make([]int, 1, len(part)+1)
+		for _, reg := range part {
+			for _, d := range reg.Days {
+				events = append(events, fsm.ClassifyDay(d))
+			}
+			evOff = append(evOff, len(events))
+		}
+		ss.shards = append(ss.shards, &seriesShard{
+			regions: part, sums: sums, events: events, evOff: evOff,
+		})
 	}
 	return ss
 }
 
+// wellShard is one partition of a well-log archive with its strata
+// flattened into struct-of-arrays planes: one contiguous column per
+// stratum field, all wells back to back, so SPROC's unary/pair grades
+// index flat float64 runs instead of chasing a []Stratum slice header
+// per well. Values are copied verbatim; grades are bit-identical.
+type wellShard struct {
+	wells []synth.WellLog
+	// Columnar strata planes; stratum j of well i sits at off[i]+j.
+	lith    []synth.Lithology
+	topFt   []float64
+	thickFt []float64
+	gamma   []float64
+	off     []int
+}
+
+// strataLen returns well i's stratum count.
+func (s *wellShard) strataLen(i int) int { return s.off[i+1] - s.off[i] }
+
 // wellSet is a registered well-log archive, sharded at ingest.
 type wellSet struct {
-	shards [][]synth.WellLog
+	shards []*wellShard
 }
 
 func newWellSet(ws []synth.WellLog, shards int) *wellSet {
 	s := &wellSet{}
 	for _, r := range partition(len(ws), shards) {
-		s.shards = append(s.shards, ws[r[0]:r[1]])
+		part := ws[r[0]:r[1]]
+		total := 0
+		for _, w := range part {
+			total += len(w.Strata)
+		}
+		sh := &wellShard{
+			wells:   part,
+			lith:    make([]synth.Lithology, 0, total),
+			topFt:   make([]float64, 0, total),
+			thickFt: make([]float64, 0, total),
+			gamma:   make([]float64, 0, total),
+			off:     make([]int, 1, len(part)+1),
+		}
+		for _, w := range part {
+			for _, st := range w.Strata {
+				sh.lith = append(sh.lith, st.Lith)
+				sh.topFt = append(sh.topFt, st.TopFt)
+				sh.thickFt = append(sh.thickFt, st.ThickFt)
+				sh.gamma = append(sh.gamma, st.GammaAPI)
+			}
+			sh.off = append(sh.off, len(sh.lith))
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s
 }
@@ -128,10 +196,42 @@ func newWellSet(ws []synth.WellLog, shards int) *wellSet {
 // sceneSet is a registered raster archive. The scene's pyramid (built
 // by archive.BuildScene) is shared read-only across shards; what is
 // partitioned is the coarsest-level cell frontier, so each shard runs
-// branch-and-bound over its own territory of the scene.
+// branch-and-bound over its own territory of the scene. The tile
+// feature matrix is the knowledge family's columnar plane: one flat
+// row of per-band statistics per tile, with a fixed column-name table
+// the query's rule set is compiled against once per request — no
+// per-tile map construction, no string hashing on the scan path.
 type sceneSet struct {
 	scene *archive.Scene
 	roots [][]progressive.Cell
+	// featCols names the feature matrix's columns ("<band>.mean",
+	// ".std", ".min", ".max" per band, band-major).
+	featCols []string
+	// feat is the flat matrix: tile ti's row is
+	// feat[ti*len(featCols) : (ti+1)*len(featCols)].
+	feat []float64
+}
+
+// featRow returns tile ti's feature row.
+func (ss *sceneSet) featRow(ti int) []float64 {
+	w := len(ss.featCols)
+	return ss.feat[ti*w : (ti+1)*w : (ti+1)*w]
+}
+
+// validateSceneFeatures rejects a scene whose feature table does not
+// line up with its band and tile tables (possible for archives decoded
+// from a corrupt or truncated stream) BEFORE newSceneSet walks it — a
+// malformed archive must fail registration, not panic it.
+func validateSceneFeatures(sc *archive.Scene) error {
+	if len(sc.TileFeatures) != sc.NumBands() {
+		return fmt.Errorf("core: scene has %d feature bands for %d bands", len(sc.TileFeatures), sc.NumBands())
+	}
+	for b, feats := range sc.TileFeatures {
+		if len(feats) != len(sc.Tiles) {
+			return fmt.Errorf("core: scene band %d has %d tile features for %d tiles", b, len(feats), len(sc.Tiles))
+		}
+	}
+	return nil
 }
 
 func newSceneSet(sc *archive.Scene, shards int) *sceneSet {
@@ -139,6 +239,23 @@ func newSceneSet(sc *archive.Scene, shards int) *sceneSet {
 	roots := progressive.Roots(sc.Pyramid())
 	for _, r := range partition(len(roots), shards) {
 		ss.roots = append(ss.roots, roots[r[0]:r[1]])
+	}
+	nb := sc.NumBands()
+	ss.featCols = make([]string, 0, nb*4)
+	for _, name := range sc.BandNames {
+		ss.featCols = append(ss.featCols,
+			name+".mean", name+".std", name+".min", name+".max")
+	}
+	ss.feat = make([]float64, len(sc.Tiles)*len(ss.featCols))
+	for b := 0; b < nb; b++ {
+		for ti := range sc.Tiles {
+			st := sc.TileFeatures[b][ti].Stats
+			row := ss.feat[ti*len(ss.featCols):]
+			row[b*4] = st.Mean
+			row[b*4+1] = st.Std
+			row[b*4+2] = st.Min
+			row[b*4+3] = st.Max
+		}
 	}
 	return ss
 }

@@ -1,0 +1,712 @@
+package experiments
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modelir/internal/archive"
+	"modelir/internal/bayes"
+	"modelir/internal/colstore"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/parallel"
+	"modelir/internal/progressive"
+	"modelir/internal/pyramid"
+	"modelir/internal/sproc"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// KernelFamily is one query family's steady-state scan measurement in
+// the BENCH_kernels.json artifact: the columnar kernel (ns/op,
+// allocs/op) against the PR 4-era reference implementation of the same
+// scan, plus the equality bit proving the two return identical
+// results.
+type KernelFamily struct {
+	Family string `json:"family"`
+	// Kernel labels the columnar path (colstore kernel name, "flat-descent", ...).
+	Kernel string `json:"kernel"`
+	// RefNsPerOp times the reference (pre-columnar) implementation.
+	RefNsPerOp float64 `json:"ref_ns_per_op"`
+	// NsPerOp / AllocsPerOp / BytesPerOp are the columnar scan's
+	// steady-state numbers; CI gates AllocsPerOp == 0 for every family.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Speedup = RefNsPerOp / NsPerOp.
+	Speedup float64 `json:"speedup_vs_ref"`
+	// Identical reports the columnar scan returned exactly the
+	// reference's results.
+	Identical bool `json:"results_identical"`
+}
+
+// KernelBaseline is the whole artifact: per-family scan kernels plus
+// the work-stealing scheduler's skewed-batch wall-clock ratios
+// (steal/static at each pool width; > 1 means stealing wins).
+type KernelBaseline struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Quick      bool           `json:"quick"`
+	Families   []KernelFamily `json:"families"`
+	// StealSpeedupNW = static wall-clock / stealing wall-clock on the
+	// 16-cell skewed batch at N workers. Expect ~1 at one worker (same
+	// work, same order) and > 1 at two or more on multi-core hosts.
+	StealSpeedup1W float64 `json:"steal_speedup_1w"`
+	StealSpeedup2W float64 `json:"steal_speedup_2w"`
+	StealSpeedup4W float64 `json:"steal_speedup_4w"`
+}
+
+// measure times fn over reps with the collector parked, mirroring
+// testing.AllocsPerRun: one warm-up call primes the sync.Pools after
+// the explicit GC (collections empty pools), then the Mallocs delta
+// counts only fn's own allocations.
+func measure(reps int, fn func()) (nsPerOp, allocsPerOp, bytesPerOp float64) {
+	var m0, m1 runtime.MemStats
+	prevGC := debug.SetGCPercent(-1)
+	runtime.GC()
+	fn()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		fn()
+	}
+	el := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	debug.SetGCPercent(prevGC)
+	return float64(el.Nanoseconds()) / float64(reps),
+		float64(m1.Mallocs-m0.Mallocs) / float64(reps),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(reps)
+}
+
+func itemsEqual(a, b []topk.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Reference implementations (the PR 4 shapes) ----
+
+// gridCellPQ is the container/heap frontier the descent used before
+// the columnar rewrite — interface boxing per push and all.
+type gridCellEntry struct {
+	level, x, y int
+	upper       float64
+}
+type gridCellPQ []gridCellEntry
+
+func (q gridCellPQ) Len() int           { return len(q) }
+func (q gridCellPQ) Less(i, j int) bool { return q[i].upper > q[j].upper }
+func (q gridCellPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *gridCellPQ) Push(v any)        { *q = append(*q, v.(gridCellEntry)) }
+func (q *gridCellPQ) Pop() (v any)      { old := *q; n := len(old); v = old[n-1]; *q = old[:n-1]; return }
+
+// gridDescendRef is a faithful copy of the pre-columnar Combined
+// descent: map-based binding, per-band Grid pointer chases for every
+// envelope and pixel read, fresh frontier/heap/buffers per call. It is
+// the reference the scene family's speedup and equality are measured
+// against.
+func gridDescendRef(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int) ([]topk.Item, error) {
+	m := pm.Full()
+	bind, err := progressive.Bind(m, mp)
+	if err != nil {
+		return nil, err
+	}
+	h := topk.MustHeap(k)
+	nTerms := m.NumTerms()
+	lo := make([]float64, nTerms)
+	hi := make([]float64, nTerms)
+	x := make([]float64, nTerms)
+	w := mp.Band(0).Level(0).Mean.Width()
+
+	bound := func(level, cx, cy int) (float64, error) {
+		for i, b := range bind.Bands {
+			l := mp.Band(b).Level(level)
+			lo[i] = l.Min.At(cx, cy)
+			hi[i] = l.Max.At(cx, cy)
+		}
+		_, ub, err := m.Interval(lo, hi)
+		return ub, err
+	}
+	pq := &gridCellPQ{}
+	heap.Init(pq)
+	for _, c := range progressive.Roots(mp) {
+		ub, err := bound(c.Level, c.X, c.Y)
+		if err != nil {
+			return nil, err
+		}
+		heap.Push(pq, gridCellEntry{level: c.Level, x: c.X, y: c.Y, upper: ub})
+	}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(gridCellEntry)
+		if f, ok := h.Threshold(); ok && e.upper < f {
+			break
+		}
+		if e.level == 0 {
+			for i, b := range bind.Bands {
+				x[i] = mp.Band(b).Level(0).Mean.At(e.x, e.y)
+			}
+			c := pm.EvalLevelUnchecked(0, x)
+			if f, ok := h.Threshold(); ok && c+pm.Resid(0) < f {
+				continue
+			}
+			h.OfferScore(int64(e.y*w+e.x), m.EvalUnchecked(x))
+			continue
+		}
+		fine := mp.Band(0).Level(e.level - 1).Mean
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				nx, ny := 2*e.x+dx, 2*e.y+dy
+				if nx >= fine.Width() || ny >= fine.Height() {
+					continue
+				}
+				ub, err := bound(e.level-1, nx, ny)
+				if err != nil {
+					return nil, err
+				}
+				heap.Push(pq, gridCellEntry{level: e.level - 1, x: nx, y: ny, upper: ub})
+			}
+		}
+	}
+	return h.Results(), nil
+}
+
+// geoQueryRef reproduces core's row-shaped Fig. 4 SPROC query over one
+// well — the per-well closure-pair shape the columnar scanner replaced.
+func geoQueryRef(w synth.WellLog, seq []synth.Lithology, maxGapFt, minGamma float64) sproc.Query {
+	strata := w.Strata
+	return sproc.Query{
+		M: len(seq),
+		Unary: func(m, item int) float64 {
+			s := strata[item]
+			if s.Lith != seq[m] {
+				return 0
+			}
+			if s.GammaAPI > minGamma {
+				return 1
+			}
+			return 0
+		},
+		Pair: func(m, prev, cur int) float64 {
+			a, b := strata[prev], strata[cur]
+			if b.TopFt <= a.TopFt {
+				return 0
+			}
+			gap := b.TopFt - (a.TopFt + a.ThickFt)
+			if gap < 0 {
+				gap = 0
+			}
+			if gap > maxGapFt {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// kernelBaseline measures every family's steady-state scan kernel.
+func kernelBaseline(cfg Config) (KernelBaseline, error) {
+	base := KernelBaseline{GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: cfg.Quick}
+
+	// ---- linear: specialized colstore kernel vs generic fallback ----
+	n, reps := ShardWorkloadSize, 30
+	if cfg.Quick {
+		n, reps = 20_000, 10
+	}
+	pts, m, err := ShardWorkload(n)
+	if err != nil {
+		return base, err
+	}
+	// No norm ordering here: the zone maps would prune most blocks and
+	// the measurement would time the (kernel-invariant) pruning rather
+	// than the dot-product body the kernels differ in. BENCH_mem.json
+	// still records the pruned configuration.
+	spec, err := colstore.Build(pts, colstore.Options{})
+	if err != nil {
+		return base, err
+	}
+	gen, err := colstore.Build(pts, colstore.Options{ForceGenericKernel: true})
+	if err != nil {
+		return base, err
+	}
+	wNorm := colstore.WeightNorm(m.Coeffs)
+	{
+		h := topk.MustHeap(10)
+		buf := make([]topk.Item, 0, 10)
+		var cst colstore.Stats
+		scan := func(st *colstore.Store) []topk.Item {
+			h.Reset()
+			st.Scan(m.Coeffs, wNorm, h, nil, nil, nil, &cst)
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		refItems := append([]topk.Item(nil), scan(gen)...)
+		newItems := append([]topk.Item(nil), scan(spec)...)
+		refNs, _, _ := measure(reps, func() { scan(gen) })
+		ns, allocs, bytes := measure(reps, func() { scan(spec) })
+		base.Families = append(base.Families, family("linear", spec.KernelName(), refNs, ns, allocs, bytes, itemsEqual(refItems, newItems)))
+	}
+
+	// ---- scene: flat-pyramid descent vs Grid descent ----
+	side, sceneReps := 256, 20
+	if cfg.Quick {
+		side, sceneReps = 96, 10
+	}
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: 55, W: side, H: side})
+	if err != nil {
+		return base, err
+	}
+	mp, err := pyramid.BuildMultiband(sc.Bands, 6)
+	if err != nil {
+		return base, err
+	}
+	pm, err := linear.Decompose(linear.HPSRisk(),
+		[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4)
+	if err != nil {
+		return base, err
+	}
+	{
+		roots := progressive.Roots(mp)
+		buf := make([]topk.Item, 0, 10)
+		scan := func() []topk.Item {
+			var err error
+			buf, _, err = progressive.CombinedShardAppend(pm, mp, 10, roots, progressive.DescendOpts{}, buf[:0])
+			if err != nil {
+				panic(err)
+			}
+			return buf
+		}
+		refItems, err := gridDescendRef(pm, mp, 10)
+		if err != nil {
+			return base, err
+		}
+		newItems := append([]topk.Item(nil), scan()...)
+		refNs, _, _ := measure(sceneReps, func() {
+			if _, err := gridDescendRef(pm, mp, 10); err != nil {
+				panic(err)
+			}
+		})
+		ns, allocs, bytes := measure(sceneReps, func() { scan() })
+		base.Families = append(base.Families, family("scene", "flat-descent", refNs, ns, allocs, bytes, itemsEqual(refItems, newItems)))
+	}
+
+	// ---- fsm: precomputed event plane vs per-query classification ----
+	regions, fsmReps := 400, 30
+	if cfg.Quick {
+		regions, fsmReps = 100, 10
+	}
+	arch, err := synth.WeatherArchive(synth.WeatherConfig{Seed: 71, Regions: regions, Days: 365, MeanTempC: 16})
+	if err != nil {
+		return base, err
+	}
+	machine := fsm.FireAnts()
+	// Ingest-shaped event plane: one flat allocation plus offsets.
+	var events []fsm.Event
+	evOff := []int{0}
+	for _, reg := range arch {
+		for _, d := range reg.Days {
+			events = append(events, fsm.ClassifyDay(d))
+		}
+		evOff = append(evOff, len(events))
+	}
+	{
+		h := topk.MustHeap(10)
+		buf := make([]topk.Item, 0, 10)
+		refScan := func() []topk.Item {
+			h.Reset()
+			for _, reg := range arch {
+				ev := fsm.ClassifySeries(reg.Days)
+				score, err := fsm.FlyScore(machine, ev)
+				if err != nil {
+					panic(err)
+				}
+				if score > 0 {
+					h.OfferScore(int64(reg.Region), score)
+				}
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		newScan := func() []topk.Item {
+			h.Reset()
+			for i, reg := range arch {
+				score, err := fsm.FlyScore(machine, events[evOff[i]:evOff[i+1]])
+				if err != nil {
+					panic(err)
+				}
+				if score > 0 {
+					h.OfferScore(int64(reg.Region), score)
+				}
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		refItems := append([]topk.Item(nil), refScan()...)
+		newItems := append([]topk.Item(nil), newScan()...)
+		refNs, _, _ := measure(fsmReps, func() { refScan() })
+		ns, allocs, bytes := measure(fsmReps, func() { newScan() })
+		base.Families = append(base.Families, family("fsm", "event-plane", refNs, ns, allocs, bytes, itemsEqual(refItems, newItems)))
+	}
+
+	// ---- fsm-distance: scratch extract+distance vs fresh ----
+	distRegions, distReps := 60, 10
+	if cfg.Quick {
+		distRegions, distReps = 20, 5
+	}
+	{
+		const horizon = 6
+		h := topk.MustHeap(10)
+		buf := make([]topk.Item, 0, 10)
+		sub := arch[:distRegions]
+		sc := fsm.NewScratch()
+		refScan := func() []topk.Item {
+			h.Reset()
+			for _, reg := range sub {
+				ev := fsm.ClassifySeries(reg.Days)
+				ext, err := fsm.Extract(machine, [][]fsm.Event{ev})
+				if err != nil {
+					panic(err)
+				}
+				d, err := fsm.Distance(machine, ext, horizon)
+				if err != nil {
+					panic(err)
+				}
+				h.OfferScore(int64(reg.Region), 1-d)
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		newScan := func() []topk.Item {
+			h.Reset()
+			for i := range sub {
+				ext, err := fsm.ExtractWith(machine, events[evOff[i]:evOff[i+1]], sc)
+				if err != nil {
+					panic(err)
+				}
+				d, err := fsm.DistanceWith(machine, ext, horizon, sc)
+				if err != nil {
+					panic(err)
+				}
+				h.OfferScore(int64(sub[i].Region), 1-d)
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		refItems := append([]topk.Item(nil), refScan()...)
+		newItems := append([]topk.Item(nil), newScan()...)
+		refNs, _, _ := measure(distReps, func() { refScan() })
+		ns, allocs, bytes := measure(distReps, func() { newScan() })
+		base.Families = append(base.Families, family("fsm-distance", "scratch-extract", refNs, ns, allocs, bytes, itemsEqual(refItems, newItems)))
+	}
+
+	// ---- geology: columnar strata planes + top-1 DP vs row DP ----
+	wellCount, geoReps := 200, 10
+	if cfg.Quick {
+		wellCount, geoReps = 60, 5
+	}
+	wells, _, err := synth.WellArchive(synth.WellConfig{Seed: 81, Wells: wellCount})
+	if err != nil {
+		return base, err
+	}
+	seq := []synth.Lithology{synth.Shale, synth.Sandstone, synth.Siltstone}
+	const maxGapFt, minGamma = 10.0, 45.0
+	{
+		// Columnar strata planes (the wellShard shape).
+		var lith []synth.Lithology
+		var topFt, thickFt, gamma []float64
+		off := []int{0}
+		for _, w := range wells {
+			for _, st := range w.Strata {
+				lith = append(lith, st.Lith)
+				topFt = append(topFt, st.TopFt)
+				thickFt = append(thickFt, st.ThickFt)
+				gamma = append(gamma, st.GammaAPI)
+			}
+			off = append(off, len(lith))
+		}
+		baseOff := 0
+		colQuery := sproc.Query{
+			M: len(seq),
+			Unary: func(m, item int) float64 {
+				s := baseOff + item
+				if lith[s] != seq[m] {
+					return 0
+				}
+				if gamma[s] > minGamma {
+					return 1
+				}
+				return 0
+			},
+			Pair: func(m, prev, cur int) float64 {
+				a, b := baseOff+prev, baseOff+cur
+				if topFt[b] <= topFt[a] {
+					return 0
+				}
+				gap := topFt[b] - (topFt[a] + thickFt[a])
+				if gap < 0 {
+					gap = 0
+				}
+				if gap > maxGapFt {
+					return 0
+				}
+				return 1
+			},
+		}
+		ctx := context.Background()
+		h := topk.MustHeap(10)
+		buf := make([]topk.Item, 0, 10)
+		sc := sproc.NewScratch()
+		refScan := func() []topk.Item {
+			h.Reset()
+			for _, w := range wells {
+				q := geoQueryRef(w, seq, maxGapFt, minGamma)
+				matches, _, err := sproc.DPCtx(ctx, len(w.Strata), q, 1)
+				if err != nil {
+					panic(err)
+				}
+				if len(matches) > 0 && matches[0].Score > 0 {
+					h.OfferScore(int64(w.Well), matches[0].Score)
+				}
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		newScan := func() []topk.Item {
+			h.Reset()
+			for i, w := range wells {
+				baseOff = off[i]
+				match, _, err := sproc.DP1Ctx(ctx, len(w.Strata), colQuery, sc)
+				if err != nil {
+					panic(err)
+				}
+				if match.Score > 0 {
+					h.OfferScore(int64(w.Well), match.Score)
+				}
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		refItems := append([]topk.Item(nil), refScan()...)
+		newItems := append([]topk.Item(nil), newScan()...)
+		refNs, _, _ := measure(geoReps, func() { refScan() })
+		ns, allocs, bytes := measure(geoReps, func() { newScan() })
+		base.Families = append(base.Families, family("geology", "soa-dp1", refNs, ns, allocs, bytes, itemsEqual(refItems, newItems)))
+	}
+
+	// ---- knowledge: compiled rules over flat features vs map path ----
+	kSide, kReps := 256, 50
+	if cfg.Quick {
+		kSide, kReps = 96, 20
+	}
+	ksc, err := synth.LandsatScene(synth.SceneConfig{Seed: 9, W: kSide, H: kSide})
+	if err != nil {
+		return base, err
+	}
+	karch, err := archive.BuildScene("k", ksc.Bands, archive.Options{TileSize: 16, PyramidLevels: 3})
+	if err != nil {
+		return base, err
+	}
+	{
+		rules := bayes.NewRuleSet().
+			Require("b4.mean", bayes.Above{Lo: 120, Hi: 160}).
+			Require("b5.mean", bayes.Above{Lo: 80, Hi: 120}).
+			Add("elev.mean", bayes.Below{Lo: 800, Hi: 1200}, 0.5)
+		// Flat feature matrix (the sceneSet shape).
+		cols := make([]string, 0, karch.NumBands()*4)
+		for _, name := range karch.BandNames {
+			cols = append(cols, name+".mean", name+".std", name+".min", name+".max")
+		}
+		feat := make([]float64, len(karch.Tiles)*len(cols))
+		for b := 0; b < karch.NumBands(); b++ {
+			for ti := range karch.Tiles {
+				st := karch.TileFeatures[b][ti].Stats
+				row := feat[ti*len(cols):]
+				row[b*4], row[b*4+1], row[b*4+2], row[b*4+3] = st.Mean, st.Std, st.Min, st.Max
+			}
+		}
+		comp, err := rules.Compile(cols)
+		if err != nil {
+			return base, err
+		}
+		h := topk.MustHeap(10)
+		buf := make([]topk.Item, 0, 10)
+		vals := make(map[string]float64, len(cols))
+		refScan := func() []topk.Item {
+			h.Reset()
+			for ti := range karch.Tiles {
+				for b, name := range karch.BandNames {
+					st := karch.TileFeatures[b][ti].Stats
+					vals[name+".mean"] = st.Mean
+					vals[name+".std"] = st.Std
+					vals[name+".min"] = st.Min
+					vals[name+".max"] = st.Max
+				}
+				score, err := rules.Score(vals)
+				if err != nil {
+					panic(err)
+				}
+				if score > 0 {
+					h.OfferScore(int64(ti), score)
+				}
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		stride := len(cols)
+		newScan := func() []topk.Item {
+			h.Reset()
+			for ti := range karch.Tiles {
+				score := comp.ScoreRow(feat[ti*stride : (ti+1)*stride])
+				if score > 0 {
+					h.OfferScore(int64(ti), score)
+				}
+			}
+			buf = h.AppendResults(buf[:0])
+			return buf
+		}
+		refItems := append([]topk.Item(nil), refScan()...)
+		newItems := append([]topk.Item(nil), newScan()...)
+		refNs, _, _ := measure(kReps, func() { refScan() })
+		ns, allocs, bytes := measure(kReps, func() { newScan() })
+		base.Families = append(base.Families, family("knowledge", "compiled-rules", refNs, ns, allocs, bytes, itemsEqual(refItems, newItems)))
+	}
+
+	// ---- work-stealing: skewed 16-cell batch, static vs stealing ----
+	stealUnits := 60
+	if cfg.Quick {
+		stealUnits = 20
+	}
+	base.StealSpeedup1W = stealRatio(1, stealUnits)
+	base.StealSpeedup2W = stealRatio(2, stealUnits)
+	base.StealSpeedup4W = stealRatio(4, stealUnits)
+	return base, nil
+}
+
+func family(name, kernel string, refNs, ns, allocs, bytes float64, identical bool) KernelFamily {
+	f := KernelFamily{
+		Family: name, Kernel: kernel,
+		RefNsPerOp: refNs, NsPerOp: ns,
+		AllocsPerOp: allocs, BytesPerOp: bytes,
+		Identical: identical,
+	}
+	if ns > 0 {
+		f.Speedup = refNs / ns
+	}
+	return f
+}
+
+// stealSpin burns deterministic CPU work.
+func stealSpin(units int) uint64 {
+	x := uint64(88172645463325252)
+	for i := 0; i < units*400; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+var stealSink atomic.Uint64
+
+// stealRatio times the skewed batch (cell 0 carries 8x the work) under
+// the pre-rewrite static partitioner and under parallel.ForEachCtx's
+// work-stealing scheduler, returning static/steal (higher = stealing
+// wins). Median of 5 runs each to damp scheduler noise.
+func stealRatio(workers, units int) float64 {
+	const cells = 16
+	work := func(i int) error {
+		u := units
+		if i == 0 {
+			u *= 8
+		}
+		stealSink.Add(stealSpin(u))
+		return nil
+	}
+	static := func() {
+		var wg sync.WaitGroup
+		chunk := (cells + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > cells {
+				hi = cells
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					work(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	steal := func() {
+		if err := parallel.ForEachCtx(context.Background(), cells, workers, work); err != nil {
+			panic(err)
+		}
+	}
+	med := func(fn func()) float64 {
+		fn() // warm-up
+		var runs []float64
+		for r := 0; r < 5; r++ {
+			start := time.Now()
+			fn()
+			runs = append(runs, float64(time.Since(start).Nanoseconds()))
+		}
+		for i := range runs {
+			for j := i + 1; j < len(runs); j++ {
+				if runs[j] < runs[i] {
+					runs[i], runs[j] = runs[j], runs[i]
+				}
+			}
+		}
+		return runs[len(runs)/2]
+	}
+	s := med(static)
+	st := med(steal)
+	if st <= 0 {
+		return 0
+	}
+	return s / st
+}
+
+// WriteKernelBaseline measures the kernel baseline and writes the JSON
+// artifact (the BENCH_kernels.json file produced by
+// `benchtab -kerneljson`).
+func WriteKernelBaseline(cfg Config, path string) error {
+	base, err := kernelBaseline(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	// A human-readable echo so local runs don't need jq to read the
+	// artifact.
+	for _, f := range base.Families {
+		fmt.Printf("  %-13s %-16s %9.0f ns/op  ref %9.0f ns/op  %5.2fx  allocs/op %g  identical=%v\n",
+			f.Family, f.Kernel, f.NsPerOp, f.RefNsPerOp, f.Speedup, f.AllocsPerOp, f.Identical)
+	}
+	fmt.Printf("  steal speedup: 1w %.2fx  2w %.2fx  4w %.2fx\n",
+		base.StealSpeedup1W, base.StealSpeedup2W, base.StealSpeedup4W)
+	return nil
+}

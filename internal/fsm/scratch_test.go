@@ -1,0 +1,112 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomEventSeries draws a deterministic event series over ne events.
+func randomEventSeries(rng *rand.Rand, n, ne int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event(rng.Intn(ne))
+	}
+	return out
+}
+
+// TestExtractWithMatchesExtract: the scratch-backed single-series
+// extraction must produce exactly the machine Extract produces, for
+// many random series, reusing one scratch throughout.
+func TestExtractWithMatchesExtract(t *testing.T) {
+	ref := FireAnts()
+	rng := rand.New(rand.NewSource(41))
+	sc := NewScratch()
+	for trial := 0; trial < 50; trial++ {
+		ev := randomEventSeries(rng, 5+rng.Intn(200), ref.NumEvents())
+		want, err := Extract(ref, [][]Event{ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExtractWith(ref, ev, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.start != want.start || len(got.trans) != len(want.trans) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := range want.trans {
+			if got.trans[i] != want.trans[i] {
+				t.Fatalf("trial %d: trans[%d] = %d, want %d", trial, i, got.trans[i], want.trans[i])
+			}
+		}
+		for s := range want.accept {
+			if got.accept[s] != want.accept[s] {
+				t.Fatalf("trial %d: accept[%d] differs", trial, s)
+			}
+		}
+	}
+	// Out-of-range events surface the same error.
+	if _, err := ExtractWith(ref, []Event{99}, sc); err == nil {
+		t.Fatal("want out-of-range event error")
+	}
+	if _, err := ExtractWith(nil, nil, sc); err == nil {
+		t.Fatal("want nil reference error")
+	}
+}
+
+// TestDistanceWithMatchesDistance: the scratch-backed distance must be
+// bit-identical to Distance across random extracted machines and
+// horizons, with one scratch reused for every call.
+func TestDistanceWithMatchesDistance(t *testing.T) {
+	ref := FireAnts()
+	rng := rand.New(rand.NewSource(43))
+	sc := NewScratch()
+	for trial := 0; trial < 30; trial++ {
+		ev := randomEventSeries(rng, 10+rng.Intn(150), ref.NumEvents())
+		ext, err := ExtractWith(ref, ev, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, horizon := range []int{1, 3, 7} {
+			want, err := Distance(ref, ext, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DistanceWith(ref, ext, horizon, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d horizon %d: %v vs %v", trial, horizon, got, want)
+			}
+		}
+	}
+	if _, err := DistanceWith(ref, nil, 3, sc); err == nil {
+		t.Fatal("want nil machine error")
+	}
+	if _, err := DistanceWith(ref, ref, 0, sc); err == nil {
+		t.Fatal("want bad horizon error")
+	}
+}
+
+// TestScratchSteadyStateZeroAllocs: a warmed-up extract+distance cycle
+// must not allocate — the FSM-distance family's scan-kernel guarantee.
+func TestScratchSteadyStateZeroAllocs(t *testing.T) {
+	ref := FireAnts()
+	rng := rand.New(rand.NewSource(47))
+	ev := randomEventSeries(rng, 365, ref.NumEvents())
+	sc := NewScratch()
+	cycle := func() {
+		ext, err := ExtractWith(ref, ev, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DistanceWith(ref, ext, 8, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Fatalf("steady-state extract+distance allocates %.1f allocs/op, want 0", allocs)
+	}
+}

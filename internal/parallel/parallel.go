@@ -196,8 +196,10 @@ func putPartials(p *[][]topk.Item) {
 }
 
 // ForEach runs fn over 0..n-1 with `workers` goroutines (0 = GOMAXPROCS)
-// and returns the first error encountered (remaining items in that
-// worker's shard are skipped; other shards run to completion).
+// and returns the first error encountered. The failing worker stops
+// and discards the chunks still queued to it; items another worker
+// already stole or is running complete normally (work-stealing moves
+// ownership, see steal.go).
 func ForEach(n, workers int, fn func(i int) error) error {
 	return ForEachCtx(context.Background(), n, workers, fn)
 }
@@ -207,6 +209,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // at its next item boundary. Context errors are returned unwrapped
 // (ctx.Err() itself), so callers can compare with errors.Is without
 // peeling the per-item annotation other failures carry.
+//
+// Scheduling is work-stealing (steal.go): items are partitioned into
+// bounded per-worker chunk deques, and a worker that drains its own
+// deque steals the oldest chunk from a sibling, so a skewed item (one
+// slow shard, one heavy batch cell) no longer strands the rest of the
+// pool. With one worker items run in ascending order, exactly as
+// before; with many, only the item→worker assignment changes — results
+// are scheduling-invariant by the package's determinism contract.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n < 0 {
 		return errors.New("parallel: negative item count")
@@ -237,34 +247,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 		}
 		return nil
 	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if err := ctx.Err(); err != nil {
-					errs[w] = err
-					return
-				}
-				if err := fn(i); err != nil {
-					errs[w] = wrap(i, err)
-					return
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	errs := forEachSteal(ctx.Err, n, workers, fn, wrap)
 	// Prefer reporting the context error when cancellation is the cause:
 	// several workers may fail at once, and the ctx error is the one the
 	// caller acted on.

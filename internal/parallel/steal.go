@@ -1,0 +1,140 @@
+// Work-stealing fan-out. ForEachCtx used to slice 0..n-1 into one
+// static contiguous range per worker, which stranded the pool whenever
+// work was skewed: one slow shard (or one heavy request's cells inside
+// a batch) pinned its worker while the others idled. The multi-worker
+// path now runs on bounded per-worker deques of item chunks: each
+// worker drains its own deque front to back — visiting its items in
+// ascending order, exactly like a LIFO stack seeded in reverse, which
+// preserves the in-order guarantee single-worker callers rely on — and
+// a worker whose deque empties steals from the BACK of a sibling's
+// deque, i.e. the oldest-queued chunk, the one farthest from where the
+// victim is currently working, which minimizes contention on the
+// victim's hot end.
+//
+// The deques are bounded by construction and allocation-free on the
+// chunk path: a deque is just a [front, back) window over the
+// arithmetic chunk numbering (chunk c covers items [c·size,
+// min(n, (c+1)·size))), seeded once from the static partition; owner
+// pops and steals only shrink the window, and nothing is ever enqueued
+// after seeding. Results remain bit-identical: every item still runs
+// exactly once; only the assignment of items to workers changes.
+
+package parallel
+
+import "sync"
+
+// stealDeque is one worker's bounded chunk queue: the window
+// [front, back) of chunk indices still queued to it. A plain mutex is
+// enough — operations move whole chunks, so the lock is taken once per
+// chunk, not once per item.
+type stealDeque struct {
+	mu          sync.Mutex
+	front, back int
+}
+
+// takeFront takes the owner's next chunk (ascending order).
+func (d *stealDeque) takeFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.front >= d.back {
+		return 0, false
+	}
+	c := d.front
+	d.front++
+	return c, true
+}
+
+// takeBack takes the victim's oldest-queued chunk (the back of the
+// window, farthest from the owner's current position).
+func (d *stealDeque) takeBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.front >= d.back {
+		return 0, false
+	}
+	d.back--
+	return d.back, true
+}
+
+// drain discards everything still queued — a failing worker's way of
+// honoring the "remaining items in that worker's share are skipped"
+// contract: chunks it still owns never run (chunks already stolen are
+// another worker's share by then).
+func (d *stealDeque) drain() {
+	d.mu.Lock()
+	d.front = d.back
+	d.mu.Unlock()
+}
+
+// stealChunkSize picks the steal granularity: single items while the
+// item count is small relative to the pool (shard fan-outs, batch
+// cells), coarser chunks when a caller fans out over many items so the
+// per-chunk locking stays amortized.
+func stealChunkSize(n, workers int) int {
+	if n <= workers*8 {
+		return 1
+	}
+	return (n + workers*8 - 1) / (workers * 8)
+}
+
+// forEachSteal is the multi-worker body of ForEachCtx. Contract as
+// documented there: fn runs exactly once per item unless an error or
+// cancellation intervenes; the first error is reported per worker
+// order with context errors preferred.
+func forEachSteal(ctxErr func() error, n, workers int, fn func(i int) error, wrap func(i int, err error) error) []error {
+	size := stealChunkSize(n, workers)
+	nChunks := (n + size - 1) / size
+
+	// Seed each worker's deque with its static share of the chunk
+	// numbering.
+	deques := make([]stealDeque, workers)
+	per := (nChunks + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		front := w * per
+		back := front + per
+		if back > nChunks {
+			back = nChunks
+		}
+		if front > back {
+			front = back
+		}
+		deques[w].front, deques[w].back = front, back
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				chunk, ok := deques[w].takeFront()
+				for v := 1; !ok && v < workers; v++ {
+					chunk, ok = deques[(w+v)%workers].takeBack()
+				}
+				if !ok {
+					return
+				}
+				lo := chunk * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := ctxErr(); err != nil {
+						errs[w] = err
+						deques[w].drain()
+						return
+					}
+					if err := fn(i); err != nil {
+						errs[w] = wrap(i, err)
+						deques[w].drain()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errs
+}

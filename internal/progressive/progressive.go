@@ -20,11 +20,11 @@
 package progressive
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"modelir/internal/linear"
 	"modelir/internal/pyramid"
@@ -40,20 +40,31 @@ type Binding struct {
 
 // Bind resolves a model's attribute names against a pyramid's band names.
 func Bind(m *linear.Model, mp *pyramid.MultibandPyramid) (Binding, error) {
-	names := mp.BandNames()
-	idx := make(map[string]int, len(names))
-	for i, n := range names {
-		idx[n] = i
-	}
 	out := Binding{Bands: make([]int, len(m.Attrs))}
-	for i, a := range m.Attrs {
-		b, ok := idx[a]
-		if !ok {
-			return Binding{}, fmt.Errorf("progressive: no band %q for model attribute %d", a, i)
-		}
-		out.Bands[i] = b
+	if err := bindAttrs(m.Attrs, mp, out.Bands); err != nil {
+		return Binding{}, err
 	}
 	return out, nil
+}
+
+// bindAttrs resolves attribute names into dst without allocating
+// (duplicate band names resolve to the last occurrence, matching the
+// map-based resolution this replaced).
+func bindAttrs(attrs []string, mp *pyramid.MultibandPyramid, dst []int) error {
+	nb := mp.NumBands()
+	for i, a := range attrs {
+		found := -1
+		for b := 0; b < nb; b++ {
+			if mp.BandName(b) == a {
+				found = b
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("progressive: no band %q for model attribute %d", a, i)
+		}
+		dst[i] = found
+	}
+	return nil
 }
 
 // Stats measures the work of one retrieval in term evaluations: each
@@ -176,14 +187,6 @@ type cellEntry struct {
 	upper       float64
 }
 
-type cellPQ []cellEntry
-
-func (q cellPQ) Len() int           { return len(q) }
-func (q cellPQ) Less(i, j int) bool { return q[i].upper > q[j].upper }
-func (q cellPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *cellPQ) Push(v any)        { *q = append(*q, v.(cellEntry)) }
-func (q *cellPQ) Pop() any          { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
-
 // ProgData runs best-first branch-and-bound on the pyramid: coarse cells
 // are bounded with the full model's interval arithmetic over their
 // min/max envelopes; cells that cannot reach the current K-th best are
@@ -259,175 +262,290 @@ func CombinedShardOpts(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid
 	return descend(pm.Full(), pm, mp, k, roots, opt)
 }
 
+// CombinedShardAppend is CombinedShardOpts for allocation-free serving
+// loops: the merged top-K is appended to dst (pass a reused dst[:0]),
+// the selection heap comes from the shared pool, and every scratch
+// structure of the descent — frontier queue, interval buffers, level
+// accounting — is drawn from a pooled arena. A warmed-up call performs
+// zero allocations. Results and stats are bit-identical to
+// CombinedShardOpts.
+func CombinedShardAppend(pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, opt DescendOpts, dst []topk.Item) ([]topk.Item, Stats, error) {
+	return descendInto(pm.Full(), pm, mp, k, roots, opt, dst)
+}
+
 func descend(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, opt DescendOpts) (Result, error) {
-	var res Result
-	sb := opt.Bound
-	bind, err := Bind(m, mp)
-	if err != nil {
-		return res, err
-	}
-	h, err := topk.NewHeap(k)
-	if err != nil {
-		return res, err
-	}
-	nTerms := m.NumTerms()
-	lo := make([]float64, nTerms)
-	hi := make([]float64, nTerms)
-	x := make([]float64, nTerms)
-	base := mp.Band(0).Level(0).Mean
-	w := base.Width()
-	var done <-chan struct{}
-	if opt.Ctx != nil {
-		done = opt.Ctx.Done()
-	}
+	items, st, err := descendInto(m, pm, mp, k, roots, opt, nil)
+	return Result{Items: items, Stats: st}, err
+}
 
-	bound := func(level, cx, cy int) (float64, error) {
-		for i, b := range bind.Bands {
-			l := mp.Band(b).Level(level)
-			lo[i] = l.Min.At(cx, cy)
-			hi[i] = l.Max.At(cx, cy)
-		}
-		res.Stats.CellTermEvals += 2 * nTerms
-		res.Stats.CellsVisited++
-		opt.Meter.Charge(2 * nTerms)
-		_, ub, err := m.Interval(lo, hi)
-		return ub, err
-	}
+// descentScratch is the pooled per-descent working set: the frontier
+// priority queue, the per-level outstanding counters, and the interval
+// and pixel buffers sized to the model's term count.
+type descentScratch struct {
+	pq          []cellEntry
+	outstanding []int
+	bind        []int
+	lo, hi, x   []float64
+	// st is the descent's stats accumulator; it lives in the pooled
+	// scratch so taking its address does not force a heap allocation
+	// per descent.
+	st Stats
+}
 
-	// floor is the score a candidate must beat to matter: the local
-	// heap's threshold or the cross-shard bound, whichever is higher.
-	// Both are lower bounds on the (merged) K-th best, so pruning
-	// strictly below the floor never drops a global winner.
-	floor := func() (float64, bool) {
-		f, ok := h.Threshold()
-		if g := sb.Get(); !math.IsInf(g, -1) && (!ok || g > f) {
-			f, ok = g, true
-		}
-		return f, ok
-	}
+var descentScratchPool = sync.Pool{New: func() any { return new(descentScratch) }}
 
-	// outstanding[l] counts frontier entries at level l; when the
-	// coarsest still-outstanding level drains, one screening level of
-	// the descent has completed — the progressive-delivery event the
-	// OnLevel hook observes.
-	outstanding := make([]int, mp.NumLevels())
-	coarsest := 0
-	pq := &cellPQ{}
-	heap.Init(pq)
-	for _, c := range roots {
-		ub, err := bound(c.Level, c.X, c.Y)
-		if err != nil {
-			return res, err
-		}
-		heap.Push(pq, cellEntry{level: c.Level, x: c.X, y: c.Y, upper: ub})
-		outstanding[c.Level]++
-		if c.Level > coarsest {
-			coarsest = c.Level
-		}
+func (sc *descentScratch) reset(nTerms, nLevels int) {
+	if cap(sc.pq) == 0 {
+		sc.pq = make([]cellEntry, 0, 64)
 	}
-	started, filled := false, false
-	emit := func() error {
-		if opt.OnLevel == nil {
-			return nil
+	sc.pq = sc.pq[:0]
+	if cap(sc.outstanding) < nLevels {
+		sc.outstanding = make([]int, nLevels)
+	}
+	sc.outstanding = sc.outstanding[:nLevels]
+	for i := range sc.outstanding {
+		sc.outstanding[i] = 0
+	}
+	if cap(sc.bind) < nTerms {
+		sc.bind = make([]int, nTerms)
+		sc.lo = make([]float64, nTerms)
+		sc.hi = make([]float64, nTerms)
+		sc.x = make([]float64, nTerms)
+	}
+	sc.bind = sc.bind[:nTerms]
+	sc.lo, sc.hi, sc.x = sc.lo[:nTerms], sc.hi[:nTerms], sc.x[:nTerms]
+}
+
+// descender carries one branch-and-bound descent. It replaces the
+// closure-per-call structure this file used before the columnar
+// rewrite: methods on one stack value allocate nothing, the frontier
+// is a concrete max-heap (no container/heap interface boxing), and
+// every envelope read goes through the pyramid's flat cell-major
+// planes instead of chasing one Grid pointer per band per plane.
+type descender struct {
+	m      *linear.Model
+	pm     *linear.ProgressiveModel
+	mp     *pyramid.MultibandPyramid
+	h      *topk.Heap
+	sb     *topk.Bound
+	meter  *topk.Meter
+	ctx    context.Context
+	done   <-chan struct{}
+	onLvl  func(level int, sofar []topk.Item) error
+	st     *Stats
+	sc     *descentScratch
+	base   *pyramid.FlatLevel
+	nTerms int
+	w      int
+
+	coarsest        int
+	started, filled bool
+}
+
+// pqPush inserts a frontier entry (max-heap on upper bound).
+func (d *descender) pqPush(e cellEntry) {
+	pq := append(d.sc.pq, e)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if pq[parent].upper >= pq[i].upper {
+			break
 		}
-		if !started && h.Len() > 0 {
-			started = true
-			if err := opt.OnLevel(coarsest, h.Results()); err != nil {
-				return err
-			}
+		pq[i], pq[parent] = pq[parent], pq[i]
+		i = parent
+	}
+	d.sc.pq = pq
+}
+
+// pqPop removes and returns the highest-bound entry.
+func (d *descender) pqPop() cellEntry {
+	pq := d.sc.pq
+	top := pq[0]
+	n := len(pq) - 1
+	pq[0] = pq[n]
+	pq = pq[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && pq[l].upper > pq[largest].upper {
+			largest = l
 		}
-		if !filled && h.Full() {
-			filled = true
-			if err := opt.OnLevel(coarsest, h.Results()); err != nil {
-				return err
-			}
+		if r < n && pq[r].upper > pq[largest].upper {
+			largest = r
 		}
-		for coarsest > 0 && outstanding[coarsest] == 0 {
-			coarsest--
-			if err := opt.OnLevel(coarsest, h.Results()); err != nil {
-				return err
-			}
+		if largest == i {
+			break
 		}
+		pq[i], pq[largest] = pq[largest], pq[i]
+		i = largest
+	}
+	d.sc.pq = pq
+	return top
+}
+
+// bound upper-bounds the model over cell (cx, cy) of `level` from the
+// flat min/max envelope, charging the meter in term evaluations.
+func (d *descender) bound(level, cx, cy int) (float64, error) {
+	d.mp.Flat(level).Envelope(cx, cy, d.sc.bind, d.sc.lo, d.sc.hi)
+	d.st.CellTermEvals += 2 * d.nTerms
+	d.st.CellsVisited++
+	d.meter.Charge(2 * d.nTerms)
+	_, ub, err := d.m.Interval(d.sc.lo, d.sc.hi)
+	return ub, err
+}
+
+// floor is the score a candidate must beat to matter: the local heap's
+// threshold or the cross-shard bound, whichever is higher. Both are
+// lower bounds on the (merged) K-th best, so pruning strictly below
+// the floor never drops a global winner.
+func (d *descender) floor() (float64, bool) {
+	f, ok := d.h.Threshold()
+	if g := d.sb.Get(); !math.IsInf(g, -1) && (!ok || g > f) {
+		f, ok = g, true
+	}
+	return f, ok
+}
+
+// emit fires the OnLevel hook when the first result lands, when the
+// top-K first fills, and whenever the coarsest still-outstanding level
+// drains from the frontier.
+func (d *descender) emit() error {
+	if d.onLvl == nil {
 		return nil
 	}
+	if !d.started && d.h.Len() > 0 {
+		d.started = true
+		if err := d.onLvl(d.coarsest, d.h.Results()); err != nil {
+			return err
+		}
+	}
+	if !d.filled && d.h.Full() {
+		d.filled = true
+		if err := d.onLvl(d.coarsest, d.h.Results()); err != nil {
+			return err
+		}
+	}
+	for d.coarsest > 0 && d.sc.outstanding[d.coarsest] == 0 {
+		d.coarsest--
+		if err := d.onLvl(d.coarsest, d.h.Results()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-	evalPixel := func(px, py int) {
-		id := int64(py*w + px)
-		res.Stats.PixelsVisited++
-		if pm == nil {
-			for i, b := range bind.Bands {
-				x[i] = mp.Band(b).Level(0).Mean.At(px, py)
-			}
-			res.Stats.PixelTermEvals += nTerms
-			opt.Meter.Charge(nTerms)
-			h.OfferScore(id, m.EvalUnchecked(x))
-			return
-		}
-		// Progressive pixel refinement: coarse sub-model first.
-		for i, b := range bind.Bands {
-			x[i] = mp.Band(b).Level(0).Mean.At(px, py)
-		}
-		c := pm.EvalLevelUnchecked(0, x)
-		res.Stats.PixelTermEvals += pm.CostAt(0)
-		opt.Meter.Charge(pm.CostAt(0))
-		if f, ok := floor(); ok && c+pm.Resid(0) < f {
-			return // even the optimistic completion cannot enter
-		}
-		res.Stats.PixelTermEvals += nTerms - pm.CostAt(0)
-		opt.Meter.Charge(nTerms - pm.CostAt(0))
-		h.OfferScore(id, m.EvalUnchecked(x))
+// evalPixel scores the base-level cell (px, py), with progressive
+// sub-model screening when a progressive model is present.
+func (d *descender) evalPixel(px, py int) {
+	id := int64(py*d.w + px)
+	d.st.PixelsVisited++
+	d.base.Means(px, py, d.sc.bind, d.sc.x)
+	if d.pm == nil {
+		d.st.PixelTermEvals += d.nTerms
+		d.meter.Charge(d.nTerms)
+		d.h.OfferScore(id, d.m.EvalUnchecked(d.sc.x))
+		return
+	}
+	// Progressive pixel refinement: coarse sub-model first.
+	c := d.pm.EvalLevelUnchecked(0, d.sc.x)
+	d.st.PixelTermEvals += d.pm.CostAt(0)
+	d.meter.Charge(d.pm.CostAt(0))
+	if f, ok := d.floor(); ok && c+d.pm.Resid(0) < f {
+		return // even the optimistic completion cannot enter
+	}
+	d.st.PixelTermEvals += d.nTerms - d.pm.CostAt(0)
+	d.meter.Charge(d.nTerms - d.pm.CostAt(0))
+	d.h.OfferScore(id, d.m.EvalUnchecked(d.sc.x))
+}
+
+func descendInto(m *linear.Model, pm *linear.ProgressiveModel, mp *pyramid.MultibandPyramid, k int, roots []Cell, opt DescendOpts, dst []topk.Item) ([]topk.Item, Stats, error) {
+	h, err := topk.GetHeap(k)
+	if err != nil {
+		return dst, Stats{}, err
+	}
+	defer topk.PutHeap(h)
+	sc := descentScratchPool.Get().(*descentScratch)
+	defer descentScratchPool.Put(sc)
+	nTerms := m.NumTerms()
+	sc.reset(nTerms, mp.NumLevels())
+	st := &sc.st
+	*st = Stats{}
+	if err := bindAttrs(m.Attrs, mp, sc.bind); err != nil {
+		return dst, *st, err
 	}
 
-	for pq.Len() > 0 {
-		if done != nil {
+	d := descender{
+		m: m, pm: pm, mp: mp, h: h, sb: opt.Bound, meter: opt.Meter,
+		ctx: opt.Ctx, onLvl: opt.OnLevel, st: st, sc: sc,
+		base: mp.Flat(0), nTerms: nTerms,
+	}
+	d.w = d.base.W
+	if opt.Ctx != nil {
+		d.done = opt.Ctx.Done()
+	}
+
+	for _, c := range roots {
+		ub, err := d.bound(c.Level, c.X, c.Y)
+		if err != nil {
+			return dst, *st, err
+		}
+		d.pqPush(cellEntry{level: c.Level, x: c.X, y: c.Y, upper: ub})
+		sc.outstanding[c.Level]++
+		if c.Level > d.coarsest {
+			d.coarsest = c.Level
+		}
+	}
+
+	for len(sc.pq) > 0 {
+		if d.done != nil {
 			select {
-			case <-done:
-				return res, opt.Ctx.Err()
+			case <-d.done:
+				return dst, *st, d.ctx.Err()
 			default:
 			}
 		}
-		if opt.Meter.Exhausted() {
+		if d.meter.Exhausted() {
 			break // budget exhausted: return the best-effort partial heap
 		}
-		e := heap.Pop(pq).(cellEntry)
-		outstanding[e.level]--
+		e := d.pqPop()
+		sc.outstanding[e.level]--
 		// Strict comparison: a cell whose bound equals the floor may
 		// still hold an equal-scoring pixel with a smaller ID, which
 		// wins the deterministic tie-break.
-		if f, ok := floor(); ok && e.upper < f {
+		if f, ok := d.floor(); ok && e.upper < f {
 			break // best-first: nothing left can improve the result
 		}
 		if e.level == 0 {
-			evalPixel(e.x, e.y)
+			d.evalPixel(e.x, e.y)
 			if t, ok := h.Threshold(); ok {
-				sb.Raise(t) // publish the local floor to sibling shards
+				d.sb.Raise(t) // publish the local floor to sibling shards
 			}
-			if err := emit(); err != nil {
-				return res, err
+			if err := d.emit(); err != nil {
+				return dst, *st, err
 			}
 			continue
 		}
-		fine := mp.Band(0).Level(e.level - 1).Mean
+		fine := mp.Flat(e.level - 1)
 		for dy := 0; dy < 2; dy++ {
 			for dx := 0; dx < 2; dx++ {
 				nx, ny := 2*e.x+dx, 2*e.y+dy
-				if nx >= fine.Width() || ny >= fine.Height() {
+				if nx >= fine.W || ny >= fine.H {
 					continue
 				}
-				ub, err := bound(e.level-1, nx, ny)
+				ub, err := d.bound(e.level-1, nx, ny)
 				if err != nil {
-					return res, err
+					return dst, *st, err
 				}
-				heap.Push(pq, cellEntry{level: e.level - 1, x: nx, y: ny, upper: ub})
-				outstanding[e.level-1]++
+				d.pqPush(cellEntry{level: e.level - 1, x: nx, y: ny, upper: ub})
+				sc.outstanding[e.level-1]++
 			}
 		}
-		if err := emit(); err != nil {
-			return res, err
+		if err := d.emit(); err != nil {
+			return dst, *st, err
 		}
 	}
-	res.Items = h.Results()
-	return res, nil
+	return h.AppendResults(dst), *st, nil
 }
 
 // Speedups summarizes an E5-style four-cell comparison.

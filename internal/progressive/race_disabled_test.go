@@ -1,0 +1,5 @@
+//go:build !race
+
+package progressive
+
+const raceEnabled = false

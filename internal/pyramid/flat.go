@@ -1,0 +1,110 @@
+// Columnar pyramid storage. The per-band Grid pyramids (pyramid.go)
+// keep mean, min and max in six-plus separate allocations per level,
+// so one branch-and-bound cell bound pays a pointer chase per band per
+// plane. FlatLevel rebuilds each level as ONE allocation holding every
+// band's mean/min/max triples in cell-major order:
+//
+//	vals[((y*W+x)*Bands + b)*3 + plane]   plane: 0=mean 1=min 2=max
+//
+// so the whole envelope of a cell — all bands, both bounds — sits in
+// one or two cache lines, read with a single base computation. Cells
+// are row-major blocks of the level below: each level-l cell IS the
+// zone map (min/max box) of the 2×2 block of level-(l-1) cells it
+// covers, which is exactly what the descent's interval bound consumes
+// to prune a whole tile block before touching its pixels.
+//
+// Values are copied verbatim from the Grid pyramids, so every bound
+// and every pixel score computed through the flat view is bit-identical
+// to the Grid path.
+package pyramid
+
+import "modelir/internal/raster"
+
+// FlatLevel is one pyramid level across all bands in a single
+// cell-major allocation. See the package comment in flat.go for the
+// layout.
+type FlatLevel struct {
+	// W, H are the level's cell grid dimensions; Scale is the linear
+	// downsampling factor relative to level 0.
+	W, H, Scale int
+	// Bands is the band count (the stride multiplier).
+	Bands int
+	// vals holds W*H*Bands*3 float64s, cell-major then band then
+	// mean/min/max.
+	vals []float64
+}
+
+// Envelope fills lo[i], hi[i] with the min/max envelope of model
+// attribute i (bound to band bands[i]) at cell (x, y). Callers must
+// pass in-bounds coordinates; this is the descent's hot bound path.
+func (fl *FlatLevel) Envelope(x, y int, bands []int, lo, hi []float64) {
+	base := (y*fl.W + x) * fl.Bands * 3
+	v := fl.vals[base : base+fl.Bands*3 : base+fl.Bands*3]
+	for i, b := range bands {
+		lo[i] = v[b*3+1]
+		hi[i] = v[b*3+2]
+	}
+}
+
+// Means fills dst[i] with the mean value of band bands[i] at cell
+// (x, y) — the pixel-evaluation read at level 0.
+func (fl *FlatLevel) Means(x, y int, bands []int, dst []float64) {
+	base := (y*fl.W + x) * fl.Bands * 3
+	v := fl.vals[base : base+fl.Bands*3 : base+fl.Bands*3]
+	for i, b := range bands {
+		dst[i] = v[b*3]
+	}
+}
+
+// At returns one plane value (0=mean, 1=min, 2=max) of band b at cell
+// (x, y) — the single-value accessor tests and tools use.
+func (fl *FlatLevel) At(x, y, b, plane int) float64 {
+	return fl.vals[((y*fl.W+x)*fl.Bands+b)*3+plane]
+}
+
+// buildFlatLevels constructs the cell-major flat view of every level
+// shared by all bands (the minimum level count across bands).
+func buildFlatLevels(bands []*Pyramid) []FlatLevel {
+	if len(bands) == 0 {
+		return nil
+	}
+	nLevels := bands[0].NumLevels()
+	for _, p := range bands[1:] {
+		if p.NumLevels() < nLevels {
+			nLevels = p.NumLevels()
+		}
+	}
+	nb := len(bands)
+	out := make([]FlatLevel, nLevels)
+	for l := 0; l < nLevels; l++ {
+		lvl := bands[0].Level(l)
+		w, h := lvl.Mean.Width(), lvl.Mean.Height()
+		fl := FlatLevel{W: w, H: h, Scale: lvl.Scale, Bands: nb,
+			vals: make([]float64, w*h*nb*3)}
+		for b, p := range bands {
+			bl := p.Level(l)
+			mean, min, max := bl.Mean, bl.Min, bl.Max
+			fillFlatBand(&fl, b, mean, min, max)
+		}
+		out[l] = fl
+	}
+	return out
+}
+
+func fillFlatBand(fl *FlatLevel, b int, mean, min, max *raster.Grid) {
+	stride := fl.Bands * 3
+	for y := 0; y < fl.H; y++ {
+		mr, nr, xr := mean.Row(y), min.Row(y), max.Row(y)
+		rowBase := y * fl.W * stride
+		for x := 0; x < fl.W; x++ {
+			o := rowBase + x*stride + b*3
+			fl.vals[o] = mr[x]
+			fl.vals[o+1] = nr[x]
+			fl.vals[o+2] = xr[x]
+		}
+	}
+}
+
+// Flat returns the columnar view of level l. The flat planes are built
+// once at BuildMultiband time and shared read-only by every query.
+func (mp *MultibandPyramid) Flat(l int) *FlatLevel { return &mp.flat[l] }

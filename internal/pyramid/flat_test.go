@@ -1,0 +1,94 @@
+package pyramid
+
+import (
+	"math/rand"
+	"testing"
+
+	"modelir/internal/raster"
+)
+
+func randomMultiband(t *testing.T, seed int64, w, h, nb int) *raster.Multiband {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	grids := make([]*raster.Grid, nb)
+	names := make([]string, nb)
+	for b := range grids {
+		g := raster.MustGrid(w, h)
+		for i := range g.Data() {
+			g.Data()[i] = rng.NormFloat64() * 50
+		}
+		grids[b] = g
+		names[b] = string(rune('a' + b))
+	}
+	mb, err := raster.Stack(names, grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mb
+}
+
+// TestFlatMatchesGrids: every flat-plane value must equal the Grid
+// pyramid value it was copied from, at every level, band and cell —
+// the bit-identity foundation of the columnar descent.
+func TestFlatMatchesGrids(t *testing.T) {
+	for _, dims := range [][2]int{{16, 16}, {13, 9}, {1, 7}} {
+		mb := randomMultiband(t, int64(dims[0]*100+dims[1]), dims[0], dims[1], 3)
+		mp, err := BuildMultiband(mb, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < mp.NumLevels(); l++ {
+			fl := mp.Flat(l)
+			for b := 0; b < mp.NumBands(); b++ {
+				lvl := mp.Band(b).Level(l)
+				if fl.W != lvl.Mean.Width() || fl.H != lvl.Mean.Height() || fl.Scale != lvl.Scale {
+					t.Fatalf("level %d shape: flat %dx%d scale %d vs grid %dx%d scale %d",
+						l, fl.W, fl.H, fl.Scale, lvl.Mean.Width(), lvl.Mean.Height(), lvl.Scale)
+				}
+				for y := 0; y < fl.H; y++ {
+					for x := 0; x < fl.W; x++ {
+						if fl.At(x, y, b, 0) != lvl.Mean.At(x, y) ||
+							fl.At(x, y, b, 1) != lvl.Min.At(x, y) ||
+							fl.At(x, y, b, 2) != lvl.Max.At(x, y) {
+							t.Fatalf("level %d band %d cell (%d,%d): flat (%v,%v,%v) vs grid (%v,%v,%v)",
+								l, b, x, y,
+								fl.At(x, y, b, 0), fl.At(x, y, b, 1), fl.At(x, y, b, 2),
+								lvl.Mean.At(x, y), lvl.Min.At(x, y), lvl.Max.At(x, y))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatEnvelopeAndMeans exercises the vector accessors the descent
+// uses, including band bindings that reorder and repeat bands.
+func TestFlatEnvelopeAndMeans(t *testing.T) {
+	mb := randomMultiband(t, 5, 8, 8, 4)
+	mp, err := BuildMultiband(mb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := []int{2, 0, 3, 2}
+	lo := make([]float64, len(bind))
+	hi := make([]float64, len(bind))
+	xs := make([]float64, len(bind))
+	for l := 0; l < mp.NumLevels(); l++ {
+		fl := mp.Flat(l)
+		for y := 0; y < fl.H; y++ {
+			for x := 0; x < fl.W; x++ {
+				fl.Envelope(x, y, bind, lo, hi)
+				fl.Means(x, y, bind, xs)
+				for i, b := range bind {
+					lvl := mp.Band(b).Level(l)
+					if lo[i] != lvl.Min.At(x, y) || hi[i] != lvl.Max.At(x, y) || xs[i] != lvl.Mean.At(x, y) {
+						t.Fatalf("level %d cell (%d,%d) attr %d (band %d): envelope (%v,%v) mean %v vs grid (%v,%v) %v",
+							l, x, y, i, b, lo[i], hi[i], xs[i],
+							lvl.Min.At(x, y), lvl.Max.At(x, y), lvl.Mean.At(x, y))
+					}
+				}
+			}
+		}
+	}
+}

@@ -137,6 +137,9 @@ func downMax(g *raster.Grid) *raster.Grid {
 type MultibandPyramid struct {
 	names []string
 	bands []*Pyramid
+	// flat is the columnar per-level view (flat.go): one allocation per
+	// level holding every band's mean/min/max, cell-major.
+	flat []FlatLevel
 }
 
 // BuildMultiband builds aligned pyramids for every band of m.
@@ -152,6 +155,7 @@ func BuildMultiband(m *raster.Multiband, levels int) (*MultibandPyramid, error) 
 		}
 		out.bands[i] = p
 	}
+	out.flat = buildFlatLevels(out.bands)
 	return out, nil
 }
 
@@ -178,3 +182,7 @@ func (mp *MultibandPyramid) BandNames() []string {
 	copy(out, mp.names)
 	return out
 }
+
+// BandName returns the name of band i without copying the name table —
+// the allocation-free accessor hot binding paths use.
+func (mp *MultibandPyramid) BandName(i int) string { return mp.names[i] }

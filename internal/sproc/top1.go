@@ -1,0 +1,120 @@
+// Top-1 DP with a reusable scratch. The engine's geology scan asks
+// every well for its single best slot assignment (k == 1); running the
+// general DP for that pays per-cell heaps with boxed payloads, a
+// [][]float64 unary table and a three-level back-pointer table — per
+// well, per query. DP1Ctx is the same dynamic program specialized to
+// k == 1: per (slot, item) cell it keeps one best score and one back
+// pointer in flat scratch arrays, with the identical tie rule (equal
+// scores resolve to the smallest predecessor index, matching the
+// (score, ID) heap order DPCtx uses), the identical Stats counters and
+// the identical cancellation points — so its answer and accounting are
+// bit-identical to DPCtx(ctx, l, q, 1)'s first match, at zero
+// steady-state allocations.
+
+package sproc
+
+import "context"
+
+// Scratch is DP1Ctx's reusable working set. Buffers regrow as needed;
+// one scratch must not be shared concurrently — pool one per worker.
+type Scratch struct {
+	unary     []float64 // M*L unary grades, slot-major
+	prev, cur []float64 // per-item best partial scores, two slots
+	back      []int     // M*L back pointers (best predecessor item)
+	items     []int     // reconstructed winning assignment
+}
+
+// NewScratch returns an empty scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (sc *Scratch) size(m, l int) {
+	if cap(sc.unary) < m*l {
+		sc.unary = make([]float64, m*l)
+		sc.back = make([]int, m*l)
+	}
+	sc.unary = sc.unary[:m*l]
+	sc.back = sc.back[:m*l]
+	if cap(sc.prev) < l {
+		sc.prev = make([]float64, l)
+		sc.cur = make([]float64, l)
+	}
+	sc.prev, sc.cur = sc.prev[:l], sc.cur[:l]
+	if cap(sc.items) < m {
+		sc.items = make([]int, m)
+	}
+	sc.items = sc.items[:m]
+}
+
+// DP1Ctx computes the exact best (top-1) assignment. The returned
+// Match.Items slice is owned by the scratch and valid only until the
+// next DP1Ctx call with the same scratch; callers that retain it must
+// copy. Stats and the match are bit-identical to DPCtx(ctx, l, q, 1).
+func DP1Ctx(ctx context.Context, l int, q Query, sc *Scratch) (Match, Stats, error) {
+	var st Stats
+	if err := q.validate(l); err != nil {
+		return Match{}, st, err
+	}
+	sc.size(q.M, l)
+	tick := newCtxTicker(ctx)
+
+	// Unary precompute, slot-major — the same evaluation order and
+	// count as precomputeUnary.
+	for m := 0; m < q.M; m++ {
+		row := sc.unary[m*l : (m+1)*l]
+		for j := 0; j < l; j++ {
+			row[j] = q.Unary(m, j)
+			st.UnaryEvals++
+		}
+	}
+
+	// Slot 0 seeds the partial scores (one tuple considered per item,
+	// as in the general DP's first table row).
+	copy(sc.prev, sc.unary[:l])
+	st.TuplesConsidered += l
+
+	for m := 1; m < q.M; m++ {
+		row := sc.unary[m*l : (m+1)*l]
+		backRow := sc.back[m*l : (m+1)*l]
+		for j := 0; j < l; j++ {
+			if err := tick.tick(); err != nil {
+				return Match{}, st, err
+			}
+			u := row[j]
+			best, bestPi := -1.0, -1
+			for pi := 0; pi < l; pi++ {
+				st.PairEvals++
+				pairS := q.Pair(m, pi, j)
+				s := minF(sc.prev[pi], minF(u, pairS))
+				st.TuplesConsidered++
+				// Strictly greater keeps the first (smallest) pi on
+				// ties — the (score, ID) order of the general DP's
+				// per-cell heap.
+				if bestPi < 0 || s > best {
+					best, bestPi = s, pi
+				}
+			}
+			sc.cur[j] = best
+			backRow[j] = bestPi
+		}
+		sc.prev, sc.cur = sc.cur, sc.prev
+	}
+	// Final poll (see ctxCheckMask): a cancellation between amortized
+	// checks must surface even when the DP completed.
+	if err := ctx.Err(); err != nil {
+		return Match{}, st, err
+	}
+
+	// Global best over the last slot, ties to the smallest item index.
+	bestJ := 0
+	for j := 1; j < l; j++ {
+		if sc.prev[j] > sc.prev[bestJ] {
+			bestJ = j
+		}
+	}
+	items := sc.items
+	items[q.M-1] = bestJ
+	for m := q.M - 1; m >= 1; m-- {
+		items[m-1] = sc.back[m*l+items[m]]
+	}
+	return Match{Items: items, Score: sc.prev[bestJ]}, st, nil
+}

@@ -1,0 +1,128 @@
+package sproc
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// randomTop1Query builds a random fuzzy Cartesian query over l items
+// with deliberate grade collisions so the tie rules are exercised.
+func randomTop1Query(rng *rand.Rand, l, m int) Query {
+	unary := make([][]float64, m)
+	for mi := range unary {
+		unary[mi] = make([]float64, l)
+		for j := range unary[mi] {
+			unary[mi][j] = float64(rng.Intn(8)) / 8 // coarse: many ties
+		}
+	}
+	pair := make([]float64, l*l)
+	for i := range pair {
+		pair[i] = float64(rng.Intn(4)) / 4
+	}
+	return Query{
+		M:     m,
+		Unary: func(mi, item int) float64 { return unary[mi][item] },
+		Pair:  func(mi, a, b int) float64 { return pair[a*l+b] },
+	}
+}
+
+// TestDP1MatchesDPTop1: DP1Ctx must reproduce DPCtx(k=1)'s first match
+// — items, score and every Stats counter — across random queries,
+// sizes and slot counts, with one scratch reused throughout.
+func TestDP1MatchesDPTop1(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sc := NewScratch()
+	ctx := context.Background()
+	for trial := 0; trial < 60; trial++ {
+		l := 1 + rng.Intn(40)
+		m := 1 + rng.Intn(4)
+		q := randomTop1Query(rng, l, m)
+		wantMatches, wantSt, err := DPCtx(ctx, l, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotSt, err := DP1Ctx(ctx, l, q, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantMatches) != 1 {
+			t.Fatalf("trial %d: DP returned %d matches", trial, len(wantMatches))
+		}
+		want := wantMatches[0]
+		if got.Score != want.Score {
+			t.Fatalf("trial %d (l=%d m=%d): score %v, want %v", trial, l, m, got.Score, want.Score)
+		}
+		if len(got.Items) != len(want.Items) {
+			t.Fatalf("trial %d: %d items, want %d", trial, len(got.Items), len(want.Items))
+		}
+		for i := range want.Items {
+			if got.Items[i] != want.Items[i] {
+				t.Fatalf("trial %d slot %d: item %d, want %d (got %v want %v)",
+					trial, i, got.Items[i], want.Items[i], got.Items, want.Items)
+			}
+		}
+		if gotSt.UnaryEvals != wantSt.UnaryEvals || gotSt.PairEvals != wantSt.PairEvals ||
+			gotSt.TuplesConsidered != wantSt.TuplesConsidered {
+			t.Fatalf("trial %d: stats %+v, want %+v", trial, gotSt, wantSt)
+		}
+	}
+}
+
+// TestDP1Validation mirrors the general evaluators' input checks.
+func TestDP1Validation(t *testing.T) {
+	sc := NewScratch()
+	ctx := context.Background()
+	if _, _, err := DP1Ctx(ctx, 0, Query{M: 1, Unary: func(int, int) float64 { return 0 }}, sc); err == nil {
+		t.Fatal("want empty item set error")
+	}
+	if _, _, err := DP1Ctx(ctx, 3, Query{M: 0}, sc); err == nil {
+		t.Fatal("want bad M error")
+	}
+	if _, _, err := DP1Ctx(ctx, 3, Query{M: 2, Unary: func(int, int) float64 { return 0 }}, sc); err == nil {
+		t.Fatal("want nil pair error")
+	}
+}
+
+// TestDP1CancelMidQuery: cancellation inside the DP surfaces ctx.Err()
+// exactly as DPCtx does.
+func TestDP1CancelMidQuery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	q := Query{
+		M: 3,
+		Unary: func(m, item int) float64 {
+			return 0.5
+		},
+		Pair: func(m, a, b int) float64 {
+			calls++
+			if calls == 5000 {
+				cancel()
+			}
+			return 1
+		},
+	}
+	_, _, err := DP1Ctx(ctx, 120, q, NewScratch())
+	cancel()
+	if err == nil {
+		t.Fatal("cancelled DP1 returned normally")
+	}
+}
+
+// TestDP1SteadyStateZeroAllocs: the geology scan kernel must not
+// allocate once its scratch is warm.
+func TestDP1SteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	q := randomTop1Query(rng, 30, 3)
+	sc := NewScratch()
+	ctx := context.Background()
+	run := func() {
+		if _, _, err := DP1Ctx(ctx, 30, q, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("steady-state DP1 allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -5,14 +5,30 @@
 //
 // Usage:
 //
-//	modelird [-addr :8077] [-shards 0] [-cache 0] [-maxworkers 0]
-//	         [-tuples 20000] [-scene 128] [-regions 300] [-wells 200]
-//	         [-debug-addr 127.0.0.1:6060]
+//	modelird [-role single] [-addr :8077] [-shards 0] [-cache 0]
+//	         [-maxworkers 0] [-tuples 20000] [-scene 128]
+//	         [-regions 300] [-wells 200] [-debug-addr 127.0.0.1:6060]
 //
 // -debug-addr mounts net/http/pprof (profiles, goroutine dumps,
 // /debug/pprof/…) on a SEPARATE listener so the profiling surface is
 // opt-in and never shares a port with serving traffic; empty (the
 // default) disables it entirely.
+//
+// Roles (DESIGN.md §9): the default "single" serves everything from an
+// in-process engine. A cluster splits the same daemon into shard
+// servers and a front end:
+//
+//	modelird -role=node -addr 127.0.0.1:9001 \
+//	         -peers 127.0.0.1:9001,127.0.0.1:9002 [-self 127.0.0.1:9001]
+//	modelird -role=router -addr :8077 \
+//	         -peers 127.0.0.1:9001,127.0.0.1:9002 [-replication 1]
+//
+// Every node and the router must be given the same -peers list and
+// -replication: placement is consistent-hashed from them, so they ARE
+// the cluster configuration. Nodes generate the same demo archives and
+// keep only their assigned partitions; the router serves the usual
+// HTTP endpoints and scatter-gathers each query, returning answers
+// bit-identical to -role=single over the same archives.
 //
 // Endpoints (JSON):
 //
@@ -32,6 +48,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +56,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"modelir"
@@ -53,7 +71,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("modelird", flag.ContinueOnError)
+	role := fs.String("role", "single", "serving role: single, router, or node")
 	addr := fs.String("addr", ":8077", "listen address")
+	peers := fs.String("peers", "", "comma-separated node addresses, identical on every router and node (cluster roles)")
+	self := fs.String("self", "", "this node's address in -peers (node role; defaults to -addr)")
+	replication := fs.Int("replication", 1, "replicas per partition, identical on every router and node (cluster roles)")
 	shards := fs.Int("shards", 0, "shards per dataset (0 = GOMAXPROCS)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = default, <0 = disabled)")
 	maxWorkers := fs.Int("maxworkers", 0, "admission budget: total fan-out workers in flight (0 = default, <0 = unbounded)")
@@ -67,12 +89,33 @@ func run(args []string) error {
 		return err
 	}
 
-	engine, err := buildEngine(demoConfig{
+	cfg := demoConfig{
 		Shards: *shards, Cache: *cache, MaxWorkers: *maxWorkers,
 		Tuples: *tuples, Scene: *scene, Regions: *regions, Wells: *wells, Seed: *seed,
-	})
-	if err != nil {
-		return err
+	}
+
+	var b backend
+	switch *role {
+	case "single":
+		engine, err := buildEngine(cfg)
+		if err != nil {
+			return err
+		}
+		b = engineBackend{engine: engine}
+	case "router":
+		topo, err := topologyOf(*peers, *replication)
+		if err != nil {
+			return err
+		}
+		b = routerBackend{router: modelir.NewClusterRouter(topo), peers: len(topo.Nodes)}
+	case "node":
+		topo, err := topologyOf(*peers, *replication)
+		if err != nil {
+			return err
+		}
+		return runNode(topo, *addr, *self, cfg)
+	default:
+		return fmt.Errorf("unknown -role %q (want single, router, or node)", *role)
 	}
 
 	if *debugAddr != "" {
@@ -97,12 +140,70 @@ func run(args []string) error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(engine),
+		Handler:           newServer(b),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("modelird listening on %s (tuples=%d scene=%dx%d regions=%d wells=%d)",
-		*addr, *tuples, *scene, *scene, *regions, *wells)
+	log.Printf("modelird %s listening on %s (tuples=%d scene=%dx%d regions=%d wells=%d)",
+		*role, *addr, *tuples, *scene, *scene, *regions, *wells)
 	return srv.ListenAndServe()
+}
+
+// topologyOf parses the shared cluster configuration flags.
+func topologyOf(peers string, replication int) (modelir.ClusterTopology, error) {
+	var nodes []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) == 0 {
+		return modelir.ClusterTopology{}, errors.New("cluster roles need -peers (comma-separated node addresses)")
+	}
+	return modelir.ClusterTopology{Nodes: nodes, Replication: replication}, nil
+}
+
+// runNode builds this node's partitions of the demo archives and serves
+// them until the process is killed.
+func runNode(topo modelir.ClusterTopology, addr, self string, cfg demoConfig) error {
+	if self == "" {
+		self = addr
+	}
+	found := false
+	for _, p := range topo.Nodes {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("node address %q is not in -peers %v (set -self if -addr differs)", self, topo.Nodes)
+	}
+	n := modelir.NewClusterNode(self, topo, modelir.ClusterNodeOptions{
+		Shards:       cfg.Shards,
+		CacheEntries: cfg.Cache,
+	})
+	data, err := buildDemoData(cfg)
+	if err != nil {
+		return err
+	}
+	if err := n.AddTuples("tuples", data.pts); err != nil {
+		return err
+	}
+	if err := n.AddScene("scene", data.scene); err != nil {
+		return err
+	}
+	if err := n.AddSeries("weather", data.weather); err != nil {
+		return err
+	}
+	if err := n.AddWells("basin", data.wells); err != nil {
+		return err
+	}
+	if err := n.Serve(addr); err != nil {
+		return err
+	}
+	log.Printf("modelird node %s serving on %s (%d peers, replication %d)",
+		self, n.Addr(), len(topo.Nodes), topo.Replication)
+	select {} // serve until killed
 }
 
 // newDebugMux builds the opt-in profiling surface: the standard
@@ -125,45 +226,64 @@ type demoConfig struct {
 	Seed                          int64
 }
 
-// buildEngine registers the four demo archives, one per model family.
+// demoData holds the generated demo archives, ready to ingest into an
+// engine (single role) or a cluster node (node role, which keeps only
+// its assigned partitions).
+type demoData struct {
+	pts     [][]float64
+	scene   *modelir.SceneArchive
+	weather []modelir.RegionSeries
+	wells   []modelir.WellLog
+}
+
+// buildDemoData generates the four demo archives, one per model family.
+// The generators are deterministic in cfg, so every node of a cluster
+// derives the same archives and placement slices them consistently.
+func buildDemoData(cfg demoConfig) (demoData, error) {
+	var d demoData
+	var err error
+	if d.pts, err = modelir.GenerateTuples(cfg.Seed, cfg.Tuples, 3); err != nil {
+		return d, fmt.Errorf("tuples: %w", err)
+	}
+	sc, err := modelir.GenerateScene(modelir.SceneConfig{Seed: cfg.Seed + 1, W: cfg.Scene, H: cfg.Scene})
+	if err != nil {
+		return d, fmt.Errorf("scene: %w", err)
+	}
+	if d.scene, err = modelir.BuildSceneArchive("scene", sc.Bands, modelir.ArchiveOptions{}); err != nil {
+		return d, fmt.Errorf("scene archive: %w", err)
+	}
+	if d.weather, err = modelir.GenerateWeather(modelir.WeatherConfig{
+		Seed: cfg.Seed + 2, Regions: cfg.Regions, Days: 365,
+	}); err != nil {
+		return d, fmt.Errorf("weather: %w", err)
+	}
+	if d.wells, _, err = modelir.GenerateWells(modelir.WellConfig{Seed: cfg.Seed + 3, Wells: cfg.Wells}); err != nil {
+		return d, fmt.Errorf("wells: %w", err)
+	}
+	return d, nil
+}
+
+// buildEngine registers the demo archives on an in-process engine.
 func buildEngine(cfg demoConfig) (*modelir.Engine, error) {
 	e := modelir.NewEngineWithOptions(modelir.EngineOptions{
 		Shards:       cfg.Shards,
 		CacheEntries: cfg.Cache,
 		MaxWorkers:   cfg.MaxWorkers,
 	})
-	pts, err := modelir.GenerateTuples(cfg.Seed, cfg.Tuples, 3)
+	data, err := buildDemoData(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("tuples: %w", err)
-	}
-	if err := e.AddTuples("tuples", pts); err != nil {
 		return nil, err
 	}
-	sc, err := modelir.GenerateScene(modelir.SceneConfig{Seed: cfg.Seed + 1, W: cfg.Scene, H: cfg.Scene})
-	if err != nil {
-		return nil, fmt.Errorf("scene: %w", err)
-	}
-	arch, err := modelir.BuildSceneArchive("scene", sc.Bands, modelir.ArchiveOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("scene archive: %w", err)
-	}
-	if err := e.AddScene("scene", arch); err != nil {
+	if err := e.AddTuples("tuples", data.pts); err != nil {
 		return nil, err
 	}
-	weather, err := modelir.GenerateWeather(modelir.WeatherConfig{
-		Seed: cfg.Seed + 2, Regions: cfg.Regions, Days: 365,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("weather: %w", err)
-	}
-	if err := e.AddSeries("weather", weather); err != nil {
+	if err := e.AddScene("scene", data.scene); err != nil {
 		return nil, err
 	}
-	ws, _, err := modelir.GenerateWells(modelir.WellConfig{Seed: cfg.Seed + 3, Wells: cfg.Wells})
-	if err != nil {
-		return nil, fmt.Errorf("wells: %w", err)
+	if err := e.AddSeries("weather", data.weather); err != nil {
+		return nil, err
 	}
-	if err := e.AddWells("basin", ws); err != nil {
+	if err := e.AddWells("basin", data.wells); err != nil {
 		return nil, err
 	}
 	return e, nil

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -70,7 +71,7 @@ func wireRequests() []wireRequest {
 // own Run returns for each compiled request, for every family.
 func TestBatchEndpointMatchesRun(t *testing.T) {
 	engine := testEngine(t)
-	srv := httptest.NewServer(newServer(engine))
+	srv := httptest.NewServer(newServer(engineBackend{engine: engine}))
 	defer srv.Close()
 
 	reqs := wireRequests()
@@ -115,7 +116,7 @@ func TestBatchEndpointMatchesRun(t *testing.T) {
 // the second identical POST must report a cache hit with identical
 // items.
 func TestRunEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newServer(testEngine(t)))
+	srv := httptest.NewServer(newServer(engineBackend{engine: testEngine(t)}))
 	defer srv.Close()
 
 	wr := wireRequest{Dataset: "tuples", K: 5, Query: wireQuery{Kind: "linear", Coeffs: []float64{0.4, 0.3, 0.3}}}
@@ -151,7 +152,7 @@ func TestRunEndpoint(t *testing.T) {
 
 // TestEndpointErrors pins the HTTP error mapping.
 func TestEndpointErrors(t *testing.T) {
-	srv := httptest.NewServer(newServer(testEngine(t)))
+	srv := httptest.NewServer(newServer(engineBackend{engine: testEngine(t)}))
 	defer srv.Close()
 
 	// Unknown dataset → 404.
@@ -202,9 +203,83 @@ func TestEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestRouterRoleBatchMatchesSingle is the cluster e2e pin the CI smoke
+// job mirrors with real processes: the same /batch against a
+// router-role server over two nodes and against a single-role server
+// must produce identical items for every family.
+func TestRouterRoleBatchMatchesSingle(t *testing.T) {
+	cfg := demoConfig{Shards: 2, Tuples: 3000, Scene: 32, Regions: 40, Wells: 30, Seed: 7}
+	data, err := buildDemoData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bind first so the topology is built from real addresses.
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		if lns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = lns[i].Addr().String()
+	}
+	topo := modelir.ClusterTopology{Nodes: addrs, Replication: 1}
+	for i := range lns {
+		n := modelir.NewClusterNode(addrs[i], topo, modelir.ClusterNodeOptions{Shards: cfg.Shards})
+		for _, step := range []error{
+			n.AddTuples("tuples", data.pts),
+			n.AddScene("scene", data.scene),
+			n.AddSeries("weather", data.weather),
+			n.AddWells("basin", data.wells),
+		} {
+			if step != nil {
+				t.Fatal(step)
+			}
+		}
+		n.ServeListener(lns[i])
+		t.Cleanup(n.Close)
+	}
+
+	router := httptest.NewServer(newServer(routerBackend{
+		router: modelir.NewClusterRouter(topo), peers: len(addrs),
+	}))
+	defer router.Close()
+	single := httptest.NewServer(newServer(engineBackend{engine: testEngine(t)}))
+	defer single.Close()
+
+	reqs := wireRequests()
+	got := decode[wireBatchResponse](t, postJSON(t, router, "/batch", wireBatch{Requests: reqs}))
+	want := decode[wireBatchResponse](t, postJSON(t, single, "/batch", wireBatch{Requests: reqs}))
+	for i := range reqs {
+		label := fmt.Sprintf("req %d (%s)", i, reqs[i].Query.Kind)
+		if got.Results[i].Error != "" || want.Results[i].Error != "" {
+			t.Fatalf("%s: router=%q single=%q", label, got.Results[i].Error, want.Results[i].Error)
+		}
+		g, w := got.Results[i].Items, want.Results[i].Items
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d vs %d items", label, len(g), len(w))
+		}
+		for j := range w {
+			if g[j].ID != w[j].ID || g[j].Score != w[j].Score {
+				t.Fatalf("%s item %d: %d/%v vs %d/%v", label, j, g[j].ID, g[j].Score, w[j].ID, w[j].Score)
+			}
+		}
+	}
+
+	// The router's /stats reports its role, not a phantom engine.
+	resp, err := http.Get(router.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[wireServerStats](t, resp)
+	if st.Role != "router" || st.Peers != len(addrs) {
+		t.Fatalf("router stats %+v", st)
+	}
+}
+
 // TestStatsEndpoint pins /stats.
 func TestStatsEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newServer(testEngine(t)))
+	srv := httptest.NewServer(newServer(engineBackend{engine: testEngine(t)}))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/stats")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -273,15 +274,89 @@ func methodOf(s string) (modelir.GeologyMethod, error) {
 	}
 }
 
-// server bundles the engine with serving metadata.
+// backend is what the HTTP surface serves from: a local engine in the
+// single role, a cluster router in the router role. Both return exact
+// answers, so the endpoints and wire shapes are role-independent.
+type backend interface {
+	Run(ctx context.Context, req modelir.Request) (modelir.Result, error)
+	RunBatch(ctx context.Context, reqs []modelir.Request) ([]modelir.BatchResult, error)
+	// serverStats fills the role-specific part of /stats.
+	serverStats() wireServerStats
+}
+
+// engineBackend serves from an in-process engine (the single role).
+type engineBackend struct {
+	engine *modelir.Engine
+}
+
+func (b engineBackend) Run(ctx context.Context, req modelir.Request) (modelir.Result, error) {
+	return b.engine.Run(ctx, req)
+}
+
+func (b engineBackend) RunBatch(ctx context.Context, reqs []modelir.Request) ([]modelir.BatchResult, error) {
+	return b.engine.RunBatch(ctx, reqs)
+}
+
+func (b engineBackend) serverStats() wireServerStats {
+	var out wireServerStats
+	out.Role = "single"
+	out.Epoch = b.engine.Epoch()
+	out.Shards = b.engine.NumShards()
+	cs := b.engine.CacheStats()
+	out.Cache.Hits = cs.Hits
+	out.Cache.Misses = cs.Misses
+	out.Cache.Stores = cs.Stores
+	out.Cache.Evictions = cs.Evictions
+	out.Cache.Invalidations = cs.Invalidations
+	out.Cache.Entries = cs.Entries
+	return out
+}
+
+// routerBackend serves by scatter-gathering over cluster nodes (the
+// router role). Results are bit-identical to the single role over the
+// union of the partitions; caching and stats beyond the merge live on
+// the nodes.
+type routerBackend struct {
+	router *modelir.ClusterRouter
+	peers  int
+}
+
+func clusterRequest(req modelir.Request) modelir.ClusterRequest {
+	return modelir.ClusterRequest{
+		Dataset:  req.Dataset,
+		Query:    req.Query,
+		K:        req.K,
+		Workers:  req.Workers,
+		Budget:   req.Budget,
+		MinScore: req.MinScore,
+	}
+}
+
+func (b routerBackend) Run(ctx context.Context, req modelir.Request) (modelir.Result, error) {
+	return b.router.Run(ctx, clusterRequest(req))
+}
+
+func (b routerBackend) RunBatch(ctx context.Context, reqs []modelir.Request) ([]modelir.BatchResult, error) {
+	creqs := make([]modelir.ClusterRequest, len(reqs))
+	for i, r := range reqs {
+		creqs[i] = clusterRequest(r)
+	}
+	return b.router.RunBatch(ctx, creqs), nil
+}
+
+func (b routerBackend) serverStats() wireServerStats {
+	return wireServerStats{Role: "router", Peers: b.peers}
+}
+
+// server bundles the backend with serving metadata.
 type server struct {
-	engine  *modelir.Engine
+	backend backend
 	started time.Time
 }
 
-// newServer routes the three endpoints.
-func newServer(e *modelir.Engine) http.Handler {
-	s := &server{engine: e, started: time.Now()}
+// newServer routes the three endpoints over a backend.
+func newServer(b backend) http.Handler {
+	s := &server{backend: b, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/batch", s.handleBatch)
@@ -297,11 +372,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // a failed write means the client is gone
 }
 
-// statusOf maps engine errors onto HTTP statuses.
+// statusOf maps engine and cluster errors onto HTTP statuses.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, modelir.ErrUnknownDataset):
 		return http.StatusNotFound
+	case errors.Is(err, modelir.ErrPartitionUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
@@ -324,7 +401,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	// r.Context() ends when the client disconnects: the engine aborts
 	// the fan-out mid-shard and we have nobody left to answer.
-	res, err := s.engine.Run(r.Context(), req)
+	res, err := s.backend.Run(r.Context(), req)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; the response writer is dead
@@ -361,7 +438,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Compile failures ride along as per-slot errors: the engine skips
 	// nil-query requests with a validation error in the same slot.
-	batch, err := s.engine.RunBatch(r.Context(), reqs)
+	batch, err := s.backend.RunBatch(r.Context(), reqs)
 	if err != nil && r.Context().Err() != nil {
 		return // client gone
 	}
@@ -379,8 +456,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// wireServerStats is the /stats response.
+// wireServerStats is the /stats response. Role-specific fields are
+// zero for the roles they do not apply to: a router has no engine
+// epoch, shards, or cache; a single engine has no peers.
 type wireServerStats struct {
+	Role       string  `json:"role"`
+	Peers      int     `json:"peers,omitempty"`
 	UptimeS    float64 `json:"uptime_s"`
 	Epoch      uint64  `json:"epoch"`
 	Shards     int     `json:"shards"`
@@ -400,17 +481,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	var out wireServerStats
+	out := s.backend.serverStats()
 	out.UptimeS = time.Since(s.started).Seconds()
-	out.Epoch = s.engine.Epoch()
-	out.Shards = s.engine.NumShards()
 	out.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	cs := s.engine.CacheStats()
-	out.Cache.Hits = cs.Hits
-	out.Cache.Misses = cs.Misses
-	out.Cache.Stores = cs.Stores
-	out.Cache.Evictions = cs.Evictions
-	out.Cache.Invalidations = cs.Invalidations
-	out.Cache.Entries = cs.Entries
 	writeJSON(w, http.StatusOK, out)
 }

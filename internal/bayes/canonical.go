@@ -1,13 +1,18 @@
-// Canonical byte encoding for cache fingerprinting (see the matching
-// methods in internal/linear; framing primitives in internal/canon).
-// A rule set canonicalizes clause by clause in declaration order —
-// clause order does not change a score (min is commutative), so
-// identical rule sets written in different orders fingerprint apart,
-// which only under-shares the cache, never aliases it.
+// Canonical byte encoding for cache fingerprinting and, since the
+// cluster layer, for shipping rule sets between router and shard-server
+// nodes (see the matching methods in internal/linear; framing
+// primitives in internal/canon). A rule set canonicalizes clause by
+// clause in declaration order — clause order does not change a score
+// (min is commutative), so identical rule sets written in different
+// orders fingerprint apart, which only under-shares the cache, never
+// aliases it. DecodeRuleSet is the exact inverse over the membership
+// kinds this package knows how to serialize.
 
 package bayes
 
 import (
+	"fmt"
+
 	"modelir/internal/canon"
 )
 
@@ -41,4 +46,73 @@ func (r *RuleSet) AppendCanonical(b []byte) ([]byte, bool) {
 		}
 	}
 	return b, true
+}
+
+// DecodeRuleSet consumes one canonical rule-set encoding from r.
+// Trapezoids are rebuilt through NewTrapezoid so ordering violations in
+// a corrupt stream are rejected; unknown membership tags fail with
+// canon.ErrCorrupt (rule sets with unserializable memberships were
+// never encodable in the first place).
+func DecodeRuleSet(r *canon.Reader) (*RuleSet, error) {
+	if err := r.Expect("RS"); err != nil {
+		return nil, err
+	}
+	// A clause is at least a feature length prefix, a weight, a
+	// membership tag, and two float parameters.
+	n, err := r.Count(8 + 8 + 1 + 16)
+	if err != nil {
+		return nil, err
+	}
+	rs := NewRuleSet()
+	for i := 0; i < n; i++ {
+		feature, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		weight, err := r.Float()
+		if err != nil {
+			return nil, err
+		}
+		tag, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		var member Membership
+		switch tag {
+		case 'T':
+			var p [4]float64
+			for j := range p {
+				if p[j], err = r.Float(); err != nil {
+					return nil, err
+				}
+			}
+			t, err := NewTrapezoid(p[0], p[1], p[2], p[3])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", canon.ErrCorrupt, err)
+			}
+			member = t
+		case 'A':
+			var a Above
+			if a.Lo, err = r.Float(); err != nil {
+				return nil, err
+			}
+			if a.Hi, err = r.Float(); err != nil {
+				return nil, err
+			}
+			member = a
+		case 'B':
+			var bl Below
+			if bl.Lo, err = r.Float(); err != nil {
+				return nil, err
+			}
+			if bl.Hi, err = r.Float(); err != nil {
+				return nil, err
+			}
+			member = bl
+		default:
+			return nil, canon.ErrCorrupt
+		}
+		rs.Add(feature, member, weight)
+	}
+	return rs, nil
 }

@@ -1,0 +1,73 @@
+package bayes
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"modelir/internal/canon"
+)
+
+func testRuleSet(t *testing.T) *RuleSet {
+	t.Helper()
+	trap, err := NewTrapezoid(1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRuleSet().
+		Require("gamma", trap).
+		Add("depth", Above{Lo: 100, Hi: 200}, 0.75).
+		Add("porosity", Below{Lo: 0.1, Hi: 0.3}, 0.5)
+}
+
+func TestRuleSetCanonicalRoundTrip(t *testing.T) {
+	rs := testRuleSet(t)
+	enc, ok := rs.AppendCanonical(nil)
+	if !ok {
+		t.Fatal("AppendCanonical: not serializable")
+	}
+	r := canon.NewReader(enc)
+	got, err := DecodeRuleSet(r)
+	if err != nil {
+		t.Fatalf("DecodeRuleSet: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("decode left %d bytes", r.Remaining())
+	}
+	re, ok := got.AppendCanonical(nil)
+	if !ok || !bytes.Equal(re, enc) {
+		t.Fatal("re-encoded rule set differs from original encoding")
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeRuleSet(canon.NewReader(enc[:n])); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", n)
+		}
+	}
+}
+
+func TestDecodeRuleSetRejectsCorrupt(t *testing.T) {
+	// Unknown membership tag.
+	b := []byte{'R', 'S'}
+	b = canon.AppendUint(b, 1)
+	b = canon.AppendString(b, "f")
+	b = canon.AppendFloat(b, 1)
+	b = append(b, 'Z')
+	b = canon.AppendFloat(b, 0)
+	b = canon.AppendFloat(b, 1)
+	if _, err := DecodeRuleSet(canon.NewReader(b)); !errors.Is(err, canon.ErrCorrupt) {
+		t.Fatalf("unknown tag: err = %v, want ErrCorrupt", err)
+	}
+
+	// Trapezoid with out-of-order knees must be rejected by NewTrapezoid.
+	b = []byte{'R', 'S'}
+	b = canon.AppendUint(b, 1)
+	b = canon.AppendString(b, "f")
+	b = canon.AppendFloat(b, 1)
+	b = append(b, 'T')
+	for _, v := range []float64{4, 3, 2, 1} {
+		b = canon.AppendFloat(b, v)
+	}
+	if _, err := DecodeRuleSet(canon.NewReader(b)); !errors.Is(err, canon.ErrCorrupt) {
+		t.Fatalf("bad trapezoid: err = %v, want ErrCorrupt", err)
+	}
+}

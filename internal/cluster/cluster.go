@@ -1,0 +1,186 @@
+// Package cluster scales the engine past one machine: a router
+// consistent-hashes each dataset's partitions across shard-server
+// nodes, fans a compiled request out over length-prefixed frames on
+// TCP, and merges the per-node top-K partials with the exact
+// (score desc, ID asc) rule pinned by internal/topk — so node count,
+// like shard count one layer down, changes wall-clock time only, never
+// answers. The screening floor (topk.Bound) is piggybacked both ways on
+// the partial-result streams: a hot node's floor prunes cold nodes'
+// Onion layers and pyramid descents mid-flight (see DESIGN.md §9).
+//
+// This file is placement: a consistent-hash ring with virtual nodes
+// mapping (dataset, partition) to a replica preference list. Placement
+// is a pure function of the topology, so the router and every node
+// compute identical layouts without coordination.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DataKind is the archive family a dataset belongs to; it decides both
+// the partitioning strategy and which engine table serves it.
+type DataKind int
+
+// Archive families. Tuples, series and wells partition by contiguous
+// index ranges (their per-item scores are independent, so partition
+// top-Ks merge exactly). Scenes do not partition: raster queries are
+// scene-global (pyramid descent, tile geometry), so a scene is homed
+// whole on its first-preference node and replicated.
+const (
+	KindTuples DataKind = iota + 1
+	KindSeries
+	KindWells
+	KindScene
+)
+
+// Partitioned reports whether datasets of this kind split across nodes.
+func (k DataKind) Partitioned() bool { return k != KindScene }
+
+// Topology is the cluster shape both router and nodes agree on. Nodes
+// are dial addresses; order matters only for tie-free determinism of
+// the ring, not for placement quality.
+type Topology struct {
+	Nodes []string
+	// Replication is the number of nodes holding each partition
+	// (primary + failover replicas). Values < 1 mean 1; values above
+	// the node count are capped.
+	Replication int
+}
+
+func (t Topology) replicas() int {
+	r := t.Replication
+	if r < 1 {
+		r = 1
+	}
+	if r > len(t.Nodes) {
+		r = len(t.Nodes)
+	}
+	return r
+}
+
+// Placement is one partition's home: the nodes holding it, primary
+// first. The router tries them in order; a node ingests the partition
+// if it appears anywhere in the list.
+type Placement struct {
+	Part  int
+	Nodes []string
+}
+
+// vnodes is the virtual-node multiplier smoothing the ring. 64 keeps
+// the max/min load ratio close to 1 for small clusters without making
+// ring construction noticeable.
+const vnodes = 64
+
+type ringEntry struct {
+	hash uint64
+	node int // index into Topology.Nodes
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func (t Topology) ring() []ringEntry {
+	ring := make([]ringEntry, 0, len(t.Nodes)*vnodes)
+	for i, n := range t.Nodes {
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringEntry{hash64(n + "@" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(ring, func(a, b int) bool {
+		if ring[a].hash != ring[b].hash {
+			return ring[a].hash < ring[b].hash
+		}
+		return ring[a].node < ring[b].node
+	})
+	return ring
+}
+
+// prefer walks the ring clockwise from key and returns the first r
+// distinct nodes.
+func prefer(ring []ringEntry, nodes []string, key string, r int) []string {
+	out := make([]string, 0, r)
+	seen := make(map[int]bool, r)
+	h := hash64(key)
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	for i := 0; i < len(ring) && len(out) < r; i++ {
+		e := ring[(start+i)%len(ring)]
+		if !seen[e.node] {
+			seen[e.node] = true
+			out = append(out, nodes[e.node])
+		}
+	}
+	return out
+}
+
+// Layout maps a dataset to its partition placements: one partition per
+// node for partitioned kinds (the fan-out width that keeps every
+// machine busy), a single whole-dataset placement for scenes. The same
+// function runs on the router (to route) and on every node (to decide
+// what to ingest), so agreement is structural.
+func (t Topology) Layout(dataset string, kind DataKind) []Placement {
+	if len(t.Nodes) == 0 {
+		return nil
+	}
+	parts := 1
+	if kind.Partitioned() {
+		parts = len(t.Nodes)
+	}
+	ring := t.ring()
+	r := t.replicas()
+	out := make([]Placement, parts)
+	for p := range out {
+		key := dataset + "#" + strconv.Itoa(p)
+		out[p] = Placement{Part: p, Nodes: prefer(ring, t.Nodes, key, r)}
+	}
+	return out
+}
+
+// partRange returns partition p's half-open index range when n items
+// split into `parts` contiguous ranges with sizes differing by at most
+// one — the same rule core uses for shards, one level down.
+func partRange(n, parts, p int) (lo, hi int) {
+	base, rem := n/parts, n%parts
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Assignment is one partition a specific node must ingest: the
+// partition index plus the half-open item range it covers (Lo == Hi
+// for kinds that do not partition, where the node takes the whole
+// dataset).
+type Assignment struct {
+	Part   int
+	Lo, Hi int
+}
+
+// Assignments lists the partitions of an n-item dataset that `self`
+// holds under this topology.
+func (t Topology) Assignments(self, dataset string, kind DataKind, n int) []Assignment {
+	var out []Assignment
+	for _, pl := range t.Layout(dataset, kind) {
+		for _, node := range pl.Nodes {
+			if node != self {
+				continue
+			}
+			a := Assignment{Part: pl.Part}
+			if kind.Partitioned() {
+				a.Lo, a.Hi = partRange(n, len(t.Nodes), pl.Part)
+			} else {
+				a.Hi = n
+			}
+			out = append(out, a)
+			break
+		}
+	}
+	return out
+}

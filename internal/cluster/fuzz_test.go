@@ -1,0 +1,116 @@
+// Fuzzing for the partial-result wire codec, alongside the
+// FuzzRequestFingerprint pattern in internal/qcache: round-trips must
+// be exact, and malformed frames must be rejected with an error — never
+// a panic, never an oversized allocation. The committed seed corpus in
+// testdata/fuzz covers well-formed partials (empty, multi-item, geology
+// payloads) plus truncation shapes.
+
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"modelir/internal/topk"
+)
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpus from the
+// current codec when REGEN_CORPUS is set; otherwise it verifies every
+// committed well-formed seed still decodes. Run with
+//
+//	REGEN_CORPUS=1 go test ./internal/cluster/ -run TestRegenerateFuzzCorpus
+//
+// after a deliberate wire-format change.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	full := encodePartial(Partial{Items: []topk.Item{{ID: 1, Score: 2}}})
+	seeds := map[string][]byte{
+		"seed-empty": encodePartial(Partial{Floor: math.Inf(-1)}),
+		"seed-items": encodePartial(Partial{
+			Floor: 12.5,
+			Items: []topk.Item{{ID: 3, Score: 9.25}, {ID: 7, Score: 9.25}, {ID: 9, Score: -1}},
+			Stats: PartialStats{Evaluations: 100, Examined: 80, Pruned: 20, Shards: 4, Wall: time.Millisecond},
+		}),
+		"seed-geology-payload": encodePartial(Partial{
+			Items: []topk.Item{{ID: 41, Score: 0.75, Payload: []int{2, 5, 9}}},
+			Stats: PartialStats{Truncated: true},
+		}),
+		"seed-truncated":   full[:len(full)-5],
+		"seed-bad-version": append([]byte{99}, full[1:]...),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzPartialCodec")
+	if os.Getenv("REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range seeds {
+			content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for _, name := range []string{"seed-empty", "seed-items", "seed-geology-payload"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing (run with REGEN_CORPUS=1): %v", name, err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a corpus file", name)
+		}
+		b, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := decodePartial([]byte(b)); err != nil {
+			t.Fatalf("%s no longer decodes: %v", name, err)
+		}
+	}
+}
+
+func FuzzPartialCodec(f *testing.F) {
+	f.Add(encodePartial(Partial{Floor: math.Inf(-1)}))
+	f.Add(encodePartial(Partial{
+		Floor: 12.5,
+		Items: []topk.Item{{ID: 3, Score: 9.25}, {ID: 7, Score: 9.25}},
+		Stats: PartialStats{Evaluations: 100, Examined: 80, Pruned: 20, Shards: 4, Wall: time.Millisecond},
+	}))
+	f.Add(encodePartial(Partial{
+		Floor: 0,
+		Items: []topk.Item{{ID: 41, Score: 0.75, Payload: []int{2, 5, 9}}},
+		Stats: PartialStats{Truncated: true},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePartial(data)
+		if err != nil {
+			return // malformed input rejected cleanly — the property under test
+		}
+		// Anything that decodes must re-encode to the identical bytes
+		// (the canonical encoding is injective) and decode again to an
+		// equal value.
+		enc := encodePartial(p)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode differs:\n in: %x\nout: %x", data, enc)
+		}
+		q, err := decodePartial(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.Floor != p.Floor && !(math.IsNaN(q.Floor) && math.IsNaN(p.Floor)) {
+			t.Fatalf("floor drifted: %v vs %v", q.Floor, p.Floor)
+		}
+		if len(q.Items) != len(p.Items) || q.Stats != p.Stats {
+			t.Fatalf("partial drifted: %+v vs %+v", q, p)
+		}
+	})
+}

@@ -1,0 +1,406 @@
+// The shard-server role: a Node owns a private engine holding its
+// assigned partitions of each dataset and serves one query per inbound
+// connection. While a query runs, the node and router exchange floor
+// raises ('F' frames) both ways: remote floors feed the query's
+// SharedBound and prune the local scan mid-flight, and local raises are
+// published back so the router can gossip them to the other nodes.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modelir/internal/archive"
+	"modelir/internal/core"
+	"modelir/internal/synth"
+)
+
+// floorPollInterval is how often the node checks whether its local
+// floor rose enough to publish. Floor frames are an optimization — the
+// result is bit-identical with or without them — so a coarse interval
+// costs only pruning opportunity, never correctness.
+const floorPollInterval = 200 * time.Microsecond
+
+// NodeOptions configures a shard server.
+type NodeOptions struct {
+	// Shards is the engine fan-out within this node (0 = default).
+	Shards int
+	// CacheEntries sizes the node engine's result cache (0 = default,
+	// negative = disabled), passed through to core.Options.
+	CacheEntries int
+	// BeforeExec, when set, runs after a query is decoded and resolved
+	// but before execution starts — a test hook for deterministic
+	// fault injection (kill or block the node mid-query).
+	BeforeExec func(dataset string, part int)
+}
+
+type partEntry struct {
+	local  string // engine-local dataset name, "" for an empty partition
+	offset int64  // added to result IDs (tuples only; 0 elsewhere)
+}
+
+// Node is one shard server: a listener plus the engine serving its
+// partitions.
+type Node struct {
+	self string
+	topo Topology
+	opt  NodeOptions
+	eng  *core.Engine
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	parts map[string]map[int]partEntry
+
+	served    atomic.Int64
+	cancelled atomic.Int64
+	failed    atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewNode creates a node for `self` (its dial address in the topology).
+// Datasets must be added before Serve makes the node reachable.
+func NewNode(self string, topo Topology, opt NodeOptions) *Node {
+	return &Node{
+		self:  self,
+		topo:  topo,
+		opt:   opt,
+		eng:   core.NewEngineWith(core.Options{Shards: opt.Shards, CacheEntries: opt.CacheEntries}),
+		conns: make(map[net.Conn]struct{}),
+		parts: make(map[string]map[int]partEntry),
+	}
+}
+
+func (n *Node) localName(dataset string, part int) string {
+	return dataset + "#" + strconv.Itoa(part)
+}
+
+func (n *Node) register(dataset string, part int, e partEntry) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.parts[dataset][part]; dup {
+		return fmt.Errorf("%w: %q part %d", core.ErrDuplicateDataset, dataset, part)
+	}
+	if n.parts[dataset] == nil {
+		n.parts[dataset] = make(map[int]partEntry)
+	}
+	n.parts[dataset][part] = e
+	return nil
+}
+
+// AddTuples ingests this node's partitions of a tuple dataset. Every
+// node receives the full point set and keeps only its assigned ranges;
+// result IDs are lifted by the range offset so they match the global
+// row indices a single-node engine would return.
+func (n *Node) AddTuples(dataset string, points [][]float64) error {
+	for _, a := range n.topo.Assignments(n.self, dataset, KindTuples, len(points)) {
+		e := partEntry{offset: int64(a.Lo)}
+		if a.Lo < a.Hi {
+			e.local = n.localName(dataset, a.Part)
+			if err := n.eng.AddTuples(e.local, points[a.Lo:a.Hi]); err != nil {
+				return err
+			}
+		}
+		if err := n.register(dataset, a.Part, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSeries ingests this node's partitions of a weather-series archive.
+// Region IDs are intrinsic to the records, so no offset lift is needed.
+func (n *Node) AddSeries(dataset string, rs []synth.RegionSeries) error {
+	for _, a := range n.topo.Assignments(n.self, dataset, KindSeries, len(rs)) {
+		var e partEntry
+		if a.Lo < a.Hi {
+			e.local = n.localName(dataset, a.Part)
+			if err := n.eng.AddSeries(e.local, rs[a.Lo:a.Hi]); err != nil {
+				return err
+			}
+		}
+		if err := n.register(dataset, a.Part, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddWells ingests this node's partitions of a well-log archive. Well
+// IDs are intrinsic to the records, so no offset lift is needed.
+func (n *Node) AddWells(dataset string, ws []synth.WellLog) error {
+	for _, a := range n.topo.Assignments(n.self, dataset, KindWells, len(ws)) {
+		var e partEntry
+		if a.Lo < a.Hi {
+			e.local = n.localName(dataset, a.Part)
+			if err := n.eng.AddWells(e.local, ws[a.Lo:a.Hi]); err != nil {
+				return err
+			}
+		}
+		if err := n.register(dataset, a.Part, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddScene ingests a scene if this node is among its replicas. Scenes
+// are not partitioned (raster geometry is scene-global); the whole
+// scene lives on Replication nodes.
+func (n *Node) AddScene(dataset string, sc *archive.Scene) error {
+	for _, a := range n.topo.Assignments(n.self, dataset, KindScene, 1) {
+		e := partEntry{local: n.localName(dataset, a.Part)}
+		if err := n.eng.AddScene(e.local, sc); err != nil {
+			return err
+		}
+		if err := n.register(dataset, a.Part, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serve starts accepting queries on bind (use "127.0.0.1:0" in tests
+// and read Addr for the bound address). It returns once the listener
+// is live; connections are served on background goroutines.
+func (n *Node) Serve(bind string) error {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return err
+	}
+	n.ServeListener(ln)
+	return nil
+}
+
+// ServeListener is Serve over a listener the caller already bound —
+// the harness reserves every node's port first so the topology can be
+// built from real addresses before any node starts.
+func (n *Node) ServeListener(ln net.Listener) {
+	n.mu.Lock()
+	n.ln = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.track(c, true)
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				defer n.track(c, false)
+				defer c.Close()
+				n.handle(c)
+			}()
+		}
+	}()
+}
+
+// Addr returns the listener's address, or "" before Serve.
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *Node) track(c net.Conn, add bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if add {
+		n.conns[c] = struct{}{}
+	} else {
+		delete(n.conns, c)
+	}
+}
+
+// Close stops accepting and severs live connections, then waits for
+// handler goroutines to drain. In-flight queries observe the severed
+// connection as a cancellation.
+func (n *Node) Close() {
+	n.Kill()
+	n.wg.Wait()
+}
+
+// Kill force-closes the listener and every live connection without
+// waiting — the fault-injection primitive: from the router's view the
+// node drops mid-query exactly like a crashed process.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	ln := n.ln
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Stats samples the node's lifetime counters.
+func (n *Node) Stats() (served, cancelled, failed int64) {
+	return n.served.Load(), n.cancelled.Load(), n.failed.Load()
+}
+
+// errorCode maps an execution error to the wire code the router uses to
+// reconstruct a typed error on its side.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, core.ErrUnknownDataset):
+		return "unknown-dataset"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "exec"
+	}
+}
+
+// handle serves one query on one connection.
+func (n *Node) handle(c net.Conn) {
+	typ, payload, err := readFrame(c)
+	if err != nil || typ != frameQuery {
+		n.failed.Add(1)
+		return
+	}
+	q, err := decodeQuery(payload)
+	if err != nil {
+		n.failed.Add(1)
+		writeFrame(c, frameError, encodeError("bad-query", err.Error()))
+		return
+	}
+
+	n.mu.Lock()
+	entry, ok := n.parts[q.Dataset][q.Part]
+	n.mu.Unlock()
+	if !ok {
+		n.failed.Add(1)
+		writeFrame(c, frameError, encodeError("unknown-dataset",
+			fmt.Sprintf("dataset %q part %d not on this node", q.Dataset, q.Part)))
+		return
+	}
+	if entry.local == "" {
+		// Empty partition: nothing to scan, empty exact partial.
+		n.served.Add(1)
+		writeFrame(c, frameResult, encodePartial(Partial{Floor: q.Floor}))
+		return
+	}
+
+	sb := core.NewSharedBound()
+	sb.Raise(q.Floor)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Writes to c interleave from the floor publisher and the final
+	// result; serialize them.
+	var wmu sync.Mutex
+	send := func(typ byte, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(c, typ, payload)
+	}
+
+	// Connection reader: remote floor raises feed the shared bound; a
+	// cancel frame, EOF, or severed connection aborts the query.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			typ, payload, err := readFrame(c)
+			if err != nil {
+				cancel()
+				return
+			}
+			switch typ {
+			case frameFloor:
+				if f, err := decodeFloor(payload); err == nil {
+					sb.Raise(f)
+				}
+			case frameCancel:
+				cancel()
+				return
+			}
+		}
+	}()
+
+	// The fault-injection hook runs with the connection reader already
+	// live: a cancel or kill arriving while the hook blocks is observed
+	// before execution starts, which is what makes the fault tests
+	// deterministic.
+	if n.opt.BeforeExec != nil {
+		n.opt.BeforeExec(q.Dataset, q.Part)
+	}
+
+	// Floor publisher: piggyback local raises back to the router.
+	pubDone := make(chan struct{})
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		last := q.Floor
+		tick := time.NewTicker(floorPollInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-pubDone:
+				return
+			case <-tick.C:
+				if f := sb.Floor(); f > last {
+					last = f
+					if send(frameFloor, encodeFloor(f)) != nil {
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	req := q.Req
+	req.Dataset = entry.local
+	res, err := n.eng.RunShared(ctx, req, sb)
+	close(pubDone)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			n.cancelled.Add(1)
+		} else {
+			n.failed.Add(1)
+		}
+		send(frameError, encodeError(errorCode(err), err.Error()))
+		return
+	}
+	if entry.offset != 0 {
+		for i := range res.Items {
+			res.Items[i].ID += entry.offset
+		}
+	}
+	n.served.Add(1)
+	send(frameResult, encodePartial(Partial{
+		Floor: sb.Floor(),
+		Items: res.Items,
+		Stats: PartialStats{
+			Evaluations: res.Stats.Evaluations,
+			Examined:    res.Stats.Examined,
+			Pruned:      res.Stats.Pruned,
+			Shards:      res.Stats.Shards,
+			Truncated:   res.Stats.Truncated,
+			Wall:        res.Stats.Wall,
+		},
+	}))
+}

@@ -1,0 +1,329 @@
+// The router role: fan a request out to every partition's node, gossip
+// screening-floor raises among the in-flight partitions, fail over to
+// replicas on transport errors, and merge the partial top-Ks with the
+// exact (score, ID) rule — bit-identical to a single-node run.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"modelir/internal/core"
+	"modelir/internal/topk"
+)
+
+// Request is the router-level query: a core request plus the dataset's
+// cluster-wide name. All six core query families are supported; the
+// query must be wire-encodable (see ErrUnencodableQuery).
+type Request struct {
+	Dataset  string
+	Query    core.Query
+	K        int
+	Workers  int
+	Budget   int
+	MinScore *float64
+}
+
+// ErrPartitionUnavailable reports that a partition's every replica
+// failed at the transport level — the cluster cannot currently give an
+// exact answer, and a partial one is never returned instead.
+var ErrPartitionUnavailable = errors.New("cluster: partition unavailable")
+
+// RemoteError is a typed error a node reported for its slice of the
+// query. Remote errors are deterministic (bad query, unknown dataset,
+// execution failure), so the router does not fail over on them — a
+// replica would fail identically.
+type RemoteError struct {
+	Addr string
+	Code string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: node %s: %s: %s", e.Addr, e.Code, e.Msg)
+}
+
+// Unwrap maps wire codes back to the sentinel errors callers test with
+// errors.Is, so a cluster run fails the same way a local run would.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case "unknown-dataset":
+		return core.ErrUnknownDataset
+	case "cancelled":
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// Router scatter-gathers requests across a topology. The zero value is
+// not usable; construct with NewRouter.
+type Router struct {
+	topo Topology
+	// dialTimeout bounds each replica connection attempt.
+	dialTimeout time.Duration
+}
+
+// NewRouter returns a router over the topology.
+func NewRouter(topo Topology) *Router {
+	return &Router{topo: topo, dialTimeout: 5 * time.Second}
+}
+
+// dataKindOf maps a query family to the archive family it scans,
+// mirroring the engine's dataset tables.
+func dataKindOf(q core.Query) (DataKind, error) {
+	switch q.(type) {
+	case core.LinearQuery:
+		return KindTuples, nil
+	case core.SceneQuery, core.KnowledgeQuery:
+		return KindScene, nil
+	case core.FSMQuery, core.FSMDistanceQuery:
+		return KindSeries, nil
+	case core.GeologyQuery:
+		return KindWells, nil
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnencodableQuery, q)
+	}
+}
+
+// floorGossip is the router-side hub for one query's screening floor:
+// the running maximum over every node's published raises, with a
+// broadcast channel the per-node senders wait on.
+type floorGossip struct {
+	mu    sync.Mutex
+	floor float64
+	ch    chan struct{}
+}
+
+func newFloorGossip(seed float64) *floorGossip {
+	return &floorGossip{floor: seed, ch: make(chan struct{})}
+}
+
+// Raise lifts the gossiped floor and wakes every waiting sender.
+func (g *floorGossip) Raise(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v <= g.floor {
+		return
+	}
+	g.floor = v
+	close(g.ch)
+	g.ch = make(chan struct{})
+}
+
+// Get returns the current floor and a channel closed at the next raise.
+func (g *floorGossip) Get() (float64, <-chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.floor, g.ch
+}
+
+// Run executes one request across the cluster and returns a result
+// bit-identical (IDs and scores) to a single-node Engine.Run over the
+// union of the partitions. On a node error the affected partition fails
+// over to its replicas for transport faults; deterministic remote
+// errors surface as typed errors. ctx cancellation aborts the whole
+// fan-out, including remote execution.
+func (r *Router) Run(ctx context.Context, req Request) (core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	if req.Query == nil {
+		return core.Result{}, errors.New("cluster: request needs a Query")
+	}
+	if req.K == 0 {
+		req.K = core.DefaultK
+	}
+	if req.K < 1 {
+		return core.Result{}, fmt.Errorf("cluster: request K %d: %w", req.K, topk.ErrBadCapacity)
+	}
+	if req.MinScore != nil && math.IsNaN(*req.MinScore) {
+		return core.Result{}, errors.New("cluster: NaN request MinScore")
+	}
+	kind, err := dataKindOf(req.Query)
+	if err != nil {
+		return core.Result{}, err
+	}
+	placements := r.topo.Layout(req.Dataset, kind)
+	if len(placements) == 0 {
+		return core.Result{}, errors.New("cluster: empty topology")
+	}
+
+	seed := math.Inf(-1)
+	if req.MinScore != nil {
+		seed = *req.MinScore
+	}
+	gossip := newFloorGossip(seed)
+
+	partials := make([]Partial, len(placements))
+	errs := make([]error, len(placements))
+	var wg sync.WaitGroup
+	for i, pl := range placements {
+		wg.Add(1)
+		go func(i int, pl Placement) {
+			defer wg.Done()
+			partials[i], errs[i] = r.runPart(ctx, req, pl, gossip)
+		}(i, pl)
+	}
+	wg.Wait()
+
+	// Deterministic error selection: context first (it is what the
+	// caller acted on), then the lowest-partition error.
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return core.Result{}, err
+		}
+	}
+
+	h, err := topk.NewHeap(req.K)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("cluster: %w", err)
+	}
+	var st core.QueryStats
+	st.Kind = req.Query.Kind()
+	for _, p := range partials {
+		topk.MergeItems(h, p.Items)
+		st.Evaluations += p.Stats.Evaluations
+		st.Examined += p.Stats.Examined
+		st.Pruned += p.Stats.Pruned
+		st.Shards += p.Stats.Shards
+		st.Truncated = st.Truncated || p.Stats.Truncated
+	}
+	st.Wall = time.Since(start)
+	return core.Result{Items: h.Results(), Stats: st}, nil
+}
+
+// RunBatch executes the requests concurrently, one scatter-gather per
+// slot. Results and errors are positional.
+func (r *Router) RunBatch(ctx context.Context, reqs []Request) []core.BatchResult {
+	out := make([]core.BatchResult, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].Result, out[i].Err = r.Run(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// runPart executes one partition, trying its replicas in placement
+// order. Transport faults (dial failure, severed connection) move on to
+// the next replica; a typed error from a live node is final.
+func (r *Router) runPart(ctx context.Context, req Request, pl Placement, gossip *floorGossip) (Partial, error) {
+	var lastErr error
+	for _, addr := range pl.Nodes {
+		if err := ctx.Err(); err != nil {
+			return Partial{}, err
+		}
+		p, err, transport := r.attempt(ctx, req, pl.Part, addr, gossip)
+		if err == nil {
+			return p, nil
+		}
+		if !transport {
+			return Partial{}, err
+		}
+		lastErr = err
+	}
+	return Partial{}, fmt.Errorf("%w: %q part %d: %v",
+		ErrPartitionUnavailable, req.Dataset, pl.Part, lastErr)
+}
+
+// attempt runs one partition on one node. transport reports whether the
+// failure was a connection-level fault (eligible for failover) rather
+// than a node-reported error or a local cancellation.
+func (r *Router) attempt(ctx context.Context, req Request, part int, addr string, gossip *floorGossip) (_ Partial, err error, transport bool) {
+	floor, _ := gossip.Get()
+	payload, err := encodeQuery(req, part, floor)
+	if err != nil {
+		return Partial{}, err, false
+	}
+	d := net.Dialer{Timeout: r.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Partial{}, ctx.Err(), false
+		}
+		return Partial{}, err, true
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameQuery, payload); err != nil {
+		return Partial{}, err, true
+	}
+
+	// Sender: forward gossip raises as floor frames; on cancellation,
+	// send a best-effort cancel and sever the connection so the reader
+	// unblocks. The sender is the connection's only writer from here.
+	senderDone := make(chan struct{})
+	defer close(senderDone)
+	go func() {
+		last := floor
+		for {
+			f, raised := gossip.Get()
+			if f > last {
+				last = f
+				if writeFrame(conn, frameFloor, encodeFloor(f)) != nil {
+					return
+				}
+			}
+			select {
+			case <-raised:
+			case <-ctx.Done():
+				writeFrame(conn, frameCancel, nil)
+				conn.Close()
+				return
+			case <-senderDone:
+				return
+			}
+		}
+	}()
+
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Partial{}, ctx.Err(), false
+			}
+			return Partial{}, err, true
+		}
+		switch typ {
+		case frameFloor:
+			if f, err := decodeFloor(payload); err == nil {
+				gossip.Raise(f)
+			}
+		case frameResult:
+			p, err := decodePartial(payload)
+			if err != nil {
+				return Partial{}, err, false
+			}
+			gossip.Raise(p.Floor)
+			return p, nil, false
+		case frameError:
+			code, msg, derr := decodeError(payload)
+			if derr != nil {
+				return Partial{}, derr, false
+			}
+			if ctx.Err() != nil && code == "cancelled" {
+				return Partial{}, ctx.Err(), false
+			}
+			return Partial{}, &RemoteError{Addr: addr, Code: code, Msg: msg}, false
+		default:
+			return Partial{}, fmt.Errorf("%w: unexpected frame %q", ErrFrame, typ), false
+		}
+	}
+}

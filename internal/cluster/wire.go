@@ -1,0 +1,523 @@
+// The cluster wire protocol: length-prefixed frames over TCP, with
+// payloads in the canonical encoding (internal/canon) the cache
+// fingerprints already use — big-endian fixed-width integers, IEEE-754
+// float bits, length-prefixed strings. One connection carries one
+// query: the router sends a 'Q' frame, floor raises flow both ways as
+// 'F' frames while the node executes, and the exchange ends with one
+// 'R' (partial result) or 'E' (typed error) frame. Decoding is
+// bounds-checked end to end (canon.Reader), so a truncated or hostile
+// frame fails with canon.ErrCorrupt instead of panicking — the property
+// FuzzPartialCodec pins.
+
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"time"
+
+	"modelir/internal/bayes"
+	"modelir/internal/canon"
+	"modelir/internal/core"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// Frame types.
+const (
+	frameQuery  = 'Q' // router → node: one encoded query
+	frameFloor  = 'F' // both ways: 8-byte result-scale floor raise
+	frameResult = 'R' // node → router: encoded partial result
+	frameError  = 'E' // node → router: code + message strings
+	frameCancel = 'C' // router → node: abort the in-flight query
+)
+
+// maxFrame bounds a frame payload; anything larger is corrupt by
+// definition (partials carry at most K items).
+const maxFrame = 64 << 20
+
+// wireVersion guards against mixed-version clusters: both query and
+// partial payloads lead with it and decoding rejects a mismatch.
+const wireVersion = 1
+
+// ErrFrame reports a malformed frame envelope (bad length or type).
+var ErrFrame = errors.New("cluster: malformed frame")
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: length %d", ErrFrame, n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// Query kind tags inside a 'Q' payload.
+const (
+	qLinear      = 'L'
+	qScene       = 'S'
+	qFSM         = 'M'
+	qFSMDistance = 'D'
+	qGeology     = 'G'
+	qKnowledge   = 'K'
+)
+
+// ErrUnencodableQuery reports a query the wire format cannot carry: an
+// unknown core.Query implementation, or an FSM prefilter that is not in
+// the named-prefilter registry.
+var ErrUnencodableQuery = errors.New("cluster: query not encodable")
+
+// prefilterName maps the known FSM metadata prefilters to wire names.
+// Functions have no structural encoding, so only registered prefilters
+// cross the wire; identity is by function pointer, which is stable for
+// the package-level funcs the registry holds.
+func prefilterName(f core.FSMPrefilter) (string, bool) {
+	if f == nil {
+		return "", true
+	}
+	if reflect.ValueOf(f).Pointer() == reflect.ValueOf(core.FireAntsPrefilter).Pointer() {
+		return "fireants", true
+	}
+	return "", false
+}
+
+func prefilterByName(name string) (core.FSMPrefilter, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "fireants":
+		return core.FireAntsPrefilter, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown prefilter %q", canon.ErrCorrupt, name)
+	}
+}
+
+// encodeQuery serializes one partition's slice of a request. floor is
+// the router's current screening floor (result scale) at send time, so
+// a node joining late starts pre-pruned.
+func encodeQuery(req Request, part int, floor float64) ([]byte, error) {
+	b := []byte{wireVersion}
+	b = canon.AppendString(b, req.Dataset)
+	b = canon.AppendUint(b, uint64(part))
+	b = canon.AppendUint(b, uint64(req.K))
+	b = canon.AppendUint(b, uint64(req.Workers))
+	b = canon.AppendUint(b, uint64(req.Budget))
+	if req.MinScore != nil {
+		b = append(b, 1)
+		b = canon.AppendFloat(b, *req.MinScore)
+	} else {
+		b = append(b, 0)
+	}
+	b = canon.AppendFloat(b, floor)
+	switch q := req.Query.(type) {
+	case core.LinearQuery:
+		b = append(b, qLinear)
+		if q.Model == nil {
+			return nil, fmt.Errorf("%w: nil linear model", ErrUnencodableQuery)
+		}
+		b = q.Model.AppendCanonical(b)
+	case core.SceneQuery:
+		b = append(b, qScene)
+		if q.Model == nil {
+			return nil, fmt.Errorf("%w: nil progressive model", ErrUnencodableQuery)
+		}
+		b = q.Model.Spec().AppendCanonical(b)
+	case core.FSMQuery:
+		b = append(b, qFSM)
+		if q.Machine == nil {
+			return nil, fmt.Errorf("%w: nil machine", ErrUnencodableQuery)
+		}
+		name, ok := prefilterName(q.Prefilter)
+		if !ok {
+			return nil, fmt.Errorf("%w: unregistered FSM prefilter", ErrUnencodableQuery)
+		}
+		b = q.Machine.AppendCanonical(b)
+		b = canon.AppendString(b, name)
+	case core.FSMDistanceQuery:
+		b = append(b, qFSMDistance)
+		if q.Target == nil {
+			return nil, fmt.Errorf("%w: nil target machine", ErrUnencodableQuery)
+		}
+		b = q.Target.AppendCanonical(b)
+		b = canon.AppendUint(b, uint64(q.Horizon))
+	case core.GeologyQuery:
+		b = append(b, qGeology)
+		b = canon.AppendUint(b, uint64(len(q.Sequence)))
+		for _, l := range q.Sequence {
+			b = canon.AppendUint(b, uint64(l))
+		}
+		b = canon.AppendFloat(b, q.MaxGapFt)
+		b = canon.AppendFloat(b, q.MinGamma)
+		b = canon.AppendFloat(b, q.GammaRampAPI)
+		b = canon.AppendUint(b, uint64(q.Method))
+	case core.KnowledgeQuery:
+		b = append(b, qKnowledge)
+		if q.Rules == nil {
+			return nil, fmt.Errorf("%w: nil rule set", ErrUnencodableQuery)
+		}
+		enc, ok := q.Rules.AppendCanonical(b)
+		if !ok {
+			return nil, fmt.Errorf("%w: unserializable rule set membership", ErrUnencodableQuery)
+		}
+		b = enc
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnencodableQuery, req.Query)
+	}
+	return b, nil
+}
+
+// nodeQuery is a decoded 'Q' payload: the request slice a node executes.
+type nodeQuery struct {
+	Dataset string
+	Part    int
+	Req     core.Request // Dataset left empty; node fills its local name
+	Floor   float64
+}
+
+func decodeQuery(payload []byte) (nodeQuery, error) {
+	var q nodeQuery
+	r := canon.NewReader(payload)
+	v, err := r.Byte()
+	if err != nil {
+		return q, err
+	}
+	if v != wireVersion {
+		return q, fmt.Errorf("%w: wire version %d", canon.ErrCorrupt, v)
+	}
+	if q.Dataset, err = r.String(); err != nil {
+		return q, err
+	}
+	part, err := r.Uint()
+	if err != nil {
+		return q, err
+	}
+	if part > math.MaxInt32 {
+		return q, canon.ErrCorrupt
+	}
+	q.Part = int(part)
+	ks := [3]*int{&q.Req.K, &q.Req.Workers, &q.Req.Budget}
+	for _, dst := range ks {
+		u, err := r.Uint()
+		if err != nil {
+			return q, err
+		}
+		if u > math.MaxInt32 {
+			return q, canon.ErrCorrupt
+		}
+		*dst = int(u)
+	}
+	hasMin, err := r.Byte()
+	if err != nil {
+		return q, err
+	}
+	switch hasMin {
+	case 0:
+	case 1:
+		ms, err := r.Float()
+		if err != nil {
+			return q, err
+		}
+		q.Req.MinScore = &ms
+	default:
+		return q, canon.ErrCorrupt
+	}
+	if q.Floor, err = r.Float(); err != nil {
+		return q, err
+	}
+	kind, err := r.Byte()
+	if err != nil {
+		return q, err
+	}
+	switch kind {
+	case qLinear:
+		m, err := linear.DecodeCanonical(r)
+		if err != nil {
+			return q, err
+		}
+		q.Req.Query = core.LinearQuery{Model: m}
+	case qScene:
+		spec, err := linear.DecodeDecomposeSpec(r)
+		if err != nil {
+			return q, err
+		}
+		pm, err := spec.Build()
+		if err != nil {
+			return q, fmt.Errorf("%w: %v", canon.ErrCorrupt, err)
+		}
+		q.Req.Query = core.SceneQuery{Model: pm}
+	case qFSM:
+		m, err := fsm.DecodeCanonical(r)
+		if err != nil {
+			return q, err
+		}
+		name, err := r.String()
+		if err != nil {
+			return q, err
+		}
+		pf, err := prefilterByName(name)
+		if err != nil {
+			return q, err
+		}
+		q.Req.Query = core.FSMQuery{Machine: m, Prefilter: pf}
+	case qFSMDistance:
+		m, err := fsm.DecodeCanonical(r)
+		if err != nil {
+			return q, err
+		}
+		h, err := r.Uint()
+		if err != nil {
+			return q, err
+		}
+		if h > math.MaxInt32 {
+			return q, canon.ErrCorrupt
+		}
+		q.Req.Query = core.FSMDistanceQuery{Target: m, Horizon: int(h)}
+	case qGeology:
+		var gq core.GeologyQuery
+		n, err := r.Count(8)
+		if err != nil {
+			return q, err
+		}
+		gq.Sequence = make([]synth.Lithology, n)
+		for i := range gq.Sequence {
+			u, err := r.Uint()
+			if err != nil {
+				return q, err
+			}
+			if u > math.MaxInt32 {
+				return q, canon.ErrCorrupt
+			}
+			gq.Sequence[i] = synth.Lithology(u)
+		}
+		if gq.MaxGapFt, err = r.Float(); err != nil {
+			return q, err
+		}
+		if gq.MinGamma, err = r.Float(); err != nil {
+			return q, err
+		}
+		if gq.GammaRampAPI, err = r.Float(); err != nil {
+			return q, err
+		}
+		u, err := r.Uint()
+		if err != nil {
+			return q, err
+		}
+		if u > math.MaxInt32 {
+			return q, canon.ErrCorrupt
+		}
+		gq.Method = core.GeologyMethod(u)
+		q.Req.Query = gq
+	case qKnowledge:
+		rs, err := bayes.DecodeRuleSet(r)
+		if err != nil {
+			return q, err
+		}
+		q.Req.Query = core.KnowledgeQuery{Rules: rs}
+	default:
+		return q, fmt.Errorf("%w: query kind %q", canon.ErrCorrupt, kind)
+	}
+	if r.Remaining() != 0 {
+		return q, fmt.Errorf("%w: %d trailing bytes", canon.ErrCorrupt, r.Remaining())
+	}
+	return q, nil
+}
+
+// PartialStats is the node-side slice of QueryStats that survives the
+// wire: the counters that sum across partitions.
+type PartialStats struct {
+	Evaluations int
+	Examined    int
+	Pruned      int
+	Shards      int
+	Truncated   bool
+	Wall        time.Duration
+}
+
+// Partial is one node's contribution to a scatter-gathered query: its
+// partition's exact top-K (IDs already lifted into the global space),
+// the node's final screening floor, and the summable stats.
+type Partial struct {
+	Floor float64
+	Items []topk.Item
+	Stats PartialStats
+}
+
+// encodePartial serializes a partial result. Item payloads cross the
+// wire only for the []int strata lists geology queries attach; other
+// payload types are dropped (no current query family produces them).
+func encodePartial(p Partial) []byte {
+	b := []byte{wireVersion}
+	b = canon.AppendFloat(b, p.Floor)
+	b = canon.AppendUint(b, uint64(p.Stats.Evaluations))
+	b = canon.AppendUint(b, uint64(p.Stats.Examined))
+	b = canon.AppendUint(b, uint64(p.Stats.Pruned))
+	b = canon.AppendUint(b, uint64(p.Stats.Shards))
+	if p.Stats.Truncated {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = canon.AppendUint(b, uint64(p.Stats.Wall))
+	b = canon.AppendUint(b, uint64(len(p.Items)))
+	for _, it := range p.Items {
+		b = canon.AppendUint(b, uint64(it.ID))
+		b = canon.AppendFloat(b, it.Score)
+		if strata, ok := it.Payload.([]int); ok {
+			b = append(b, 1)
+			b = canon.AppendUint(b, uint64(len(strata)))
+			for _, s := range strata {
+				b = canon.AppendUint(b, uint64(s))
+			}
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func decodePartial(payload []byte) (Partial, error) {
+	var p Partial
+	r := canon.NewReader(payload)
+	v, err := r.Byte()
+	if err != nil {
+		return p, err
+	}
+	if v != wireVersion {
+		return p, fmt.Errorf("%w: wire version %d", canon.ErrCorrupt, v)
+	}
+	if p.Floor, err = r.Float(); err != nil {
+		return p, err
+	}
+	counters := [4]*int{
+		&p.Stats.Evaluations, &p.Stats.Examined, &p.Stats.Pruned, &p.Stats.Shards,
+	}
+	for _, dst := range counters {
+		u, err := r.Uint()
+		if err != nil {
+			return p, err
+		}
+		if u > math.MaxInt64/2 {
+			return p, canon.ErrCorrupt
+		}
+		*dst = int(u)
+	}
+	tr, err := r.Byte()
+	if err != nil {
+		return p, err
+	}
+	switch tr {
+	case 0:
+	case 1:
+		p.Stats.Truncated = true
+	default:
+		return p, canon.ErrCorrupt
+	}
+	wall, err := r.Uint()
+	if err != nil {
+		return p, err
+	}
+	if wall > math.MaxInt64 {
+		return p, canon.ErrCorrupt
+	}
+	p.Stats.Wall = time.Duration(wall)
+	// An item is at least an ID, a score, and a payload flag.
+	n, err := r.Count(17)
+	if err != nil {
+		return p, err
+	}
+	if n > 0 {
+		p.Items = make([]topk.Item, n)
+	}
+	for i := range p.Items {
+		id, err := r.Uint()
+		if err != nil {
+			return p, err
+		}
+		if id > math.MaxInt64 {
+			return p, canon.ErrCorrupt
+		}
+		p.Items[i].ID = int64(id)
+		if p.Items[i].Score, err = r.Float(); err != nil {
+			return p, err
+		}
+		hasPayload, err := r.Byte()
+		if err != nil {
+			return p, err
+		}
+		switch hasPayload {
+		case 0:
+		case 1:
+			m, err := r.Count(8)
+			if err != nil {
+				return p, err
+			}
+			strata := make([]int, m)
+			for j := range strata {
+				u, err := r.Uint()
+				if err != nil {
+					return p, err
+				}
+				if u > math.MaxInt32 {
+					return p, canon.ErrCorrupt
+				}
+				strata[j] = int(u)
+			}
+			p.Items[i].Payload = strata
+		default:
+			return p, canon.ErrCorrupt
+		}
+	}
+	if r.Remaining() != 0 {
+		return p, fmt.Errorf("%w: %d trailing bytes", canon.ErrCorrupt, r.Remaining())
+	}
+	return p, nil
+}
+
+// encodeFloor serializes an 'F' payload: one result-scale floor value.
+func encodeFloor(f float64) []byte { return canon.AppendFloat(nil, f) }
+
+func decodeFloor(payload []byte) (float64, error) {
+	return canon.NewReader(payload).Float()
+}
+
+// encodeError serializes an 'E' payload: a machine-readable code plus a
+// human-readable message.
+func encodeError(code, msg string) []byte {
+	b := canon.AppendString(nil, code)
+	return canon.AppendString(b, msg)
+}
+
+func decodeError(payload []byte) (code, msg string, err error) {
+	r := canon.NewReader(payload)
+	if code, err = r.String(); err != nil {
+		return "", "", err
+	}
+	if msg, err = r.String(); err != nil {
+		return "", "", err
+	}
+	return code, msg, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"modelir/internal/linear"
+	"modelir/internal/topk"
+)
+
+func remoteTestEngine(t *testing.T) (*Engine, Request) {
+	t.Helper()
+	a := buildArchives(t)
+	e := engineWithArchives(t, 4, a)
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{1, -0.5, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, Request{Dataset: "gauss", Query: LinearQuery{Model: lm}, K: 10}
+}
+
+func TestSharedBoundTranslation(t *testing.T) {
+	sb := NewSharedBound()
+	if f := sb.Floor(); !math.IsInf(f, -1) {
+		t.Fatalf("fresh Floor = %v", f)
+	}
+	// Raises before attach are buffered and applied, shift-adjusted,
+	// when the plan's bound arrives.
+	sb.Raise(5)
+	sb.Raise(3) // lower: ignored
+	b := topk.NewBound()
+	sb.attach(b, 2) // result = internal + 2
+	if got := b.Get(); got != 3 {
+		t.Fatalf("internal floor after attach = %v, want 3", got)
+	}
+	sb.Raise(7)
+	if got := b.Get(); got != 5 {
+		t.Fatalf("internal floor after raise = %v, want 5", got)
+	}
+	// Local raises surface through Floor in result scale.
+	b.Raise(10)
+	if got := sb.Floor(); got != 12 {
+		t.Fatalf("Floor = %v, want 12", got)
+	}
+	sb.detach()
+	if got := sb.Floor(); got != 12 {
+		t.Fatalf("Floor after detach = %v, want 12", got)
+	}
+	if !sb.foreignRaised() {
+		t.Fatal("foreignRaised = false after external raise")
+	}
+	if NewSharedBound().foreignRaised() {
+		t.Fatal("foreignRaised = true on fresh bound")
+	}
+}
+
+func TestRunSharedMatchesRun(t *testing.T) {
+	e, req := remoteTestEngine(t)
+	// Cold run first so the plan actually attaches (a cache hit would
+	// short-circuit before the bound exists and leave the floor at -Inf).
+	sb := NewSharedBound()
+	got, err := e.RunShared(context.Background(), req, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemsEqual(t, "RunShared vs Run", got.Items, want.Items)
+
+	// Floor after the run reflects the filled heap's threshold: at
+	// least the K-th best score, in result scale.
+	kth := want.Items[len(want.Items)-1].Score
+	if f := sb.Floor(); f < kth {
+		t.Fatalf("Floor = %v, want >= k-th score %v", f, kth)
+	}
+}
+
+// A foreign floor prunes, but every surviving item is bit-identical to
+// the reference run's items at or above the floor.
+func TestRunSharedForeignFloorPrunes(t *testing.T) {
+	e, req := remoteTestEngine(t)
+	want, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := want.Items[2].Score // only the top 3 can survive for sure
+	sb := NewSharedBound()
+	sb.Raise(floor)
+	got, err := e.RunShared(context.Background(), req, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items scoring >= floor can never be pruned (strict screening), so
+	// they must appear exactly as in the reference.
+	n := 0
+	for n < len(want.Items) && want.Items[n].Score >= floor {
+		n++
+	}
+	if len(got.Items) < n {
+		t.Fatalf("got %d items, want at least the %d at/above the floor", len(got.Items), n)
+	}
+	itemsEqual(t, "items at/above foreign floor", got.Items[:n], want.Items[:n])
+	for _, it := range got.Items[n:] {
+		if it.Score >= floor {
+			t.Fatalf("item %d score %v >= floor yet not in reference prefix", it.ID, it.Score)
+		}
+	}
+}
+
+// A run pruned by a foreign floor must not poison the result cache: an
+// identical standalone request afterwards gets the full local answer.
+func TestRunSharedForeignFloorNotCached(t *testing.T) {
+	e, req := remoteTestEngine(t)
+
+	ref := NewEngineWith(Options{Shards: 4})
+	a := buildArchives(t)
+	if err := ref.AddTuples("gauss", a.pts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb := NewSharedBound()
+	sb.Raise(want.Items[0].Score) // aggressive foreign floor
+	if _, err := e.RunShared(context.Background(), req, sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Cache.Hit {
+		t.Fatal("foreign-floored result was served from cache")
+	}
+	itemsEqual(t, "post-scatter standalone run", got.Items, want.Items)
+}

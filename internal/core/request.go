@@ -165,6 +165,11 @@ type queryPlan struct {
 	shards int
 	// floor seeds the cross-shard screening bound (-Inf for none).
 	floor float64
+	// shift is the offset between the internal screening-score scale the
+	// shard runners publish to the bound and the caller-visible result
+	// scale (the linear family screens pre-intercept; everyone else 0).
+	// RunShared uses it to translate floors exchanged across processes.
+	shift float64
 	// run scans one shard; see parallel.ShardRunner.
 	run parallel.ShardRunner
 	// finish turns the merged top-K into the caller-visible items and
@@ -190,7 +195,7 @@ type queryPlan struct {
 // per region, per well, per tile), so a cancelled or timed-out request
 // stops burning CPU mid-shard and returns ctx.Err().
 func (e *Engine) Run(ctx context.Context, req Request) (Result, error) {
-	return e.runReq(ctx, req, nil)
+	return e.runReq(ctx, req, nil, nil)
 }
 
 // bareCtxErr surfaces cancellation as the bare ctx.Err() the caller
@@ -202,7 +207,7 @@ func bareCtxErr(ctx context.Context, err error) error {
 	return err
 }
 
-func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter) (Result, error) {
+func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter, sb *SharedBound) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -241,7 +246,13 @@ func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter) (Re
 		return Result{}, err
 	}
 	defer release()
-	items, err := parallel.ShardTopKCtx(ctx, p.shards, req.K, workers, p.floor, p.run)
+	bound := topk.NewBound()
+	bound.Raise(p.floor)
+	if sb != nil {
+		sb.attach(bound, p.shift)
+		defer sb.detach()
+	}
+	items, err := parallel.ShardTopKBoundCtx(ctx, p.shards, req.K, workers, bound, p.run)
 	if err != nil {
 		return Result{}, bareCtxErr(ctx, err)
 	}
@@ -253,7 +264,10 @@ func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter) (Re
 		items = filterMinScore(items, *req.MinScore)
 	}
 	st.Kind = req.Query.Kind()
-	if cacheable {
+	// A run pruned by a foreign floor may omit locally-top-K items that
+	// are hopeless only in the remote query's global merge; caching it
+	// would serve a truncated answer to a future standalone request.
+	if cacheable && !sb.foreignRaised() {
 		e.cachePut(key, epoch, items, st)
 	}
 	st.Wall = time.Since(start)
@@ -284,7 +298,7 @@ func (e *Engine) RunProgressive(ctx context.Context, req Request) (<-chan Snapsh
 	}
 	go func() {
 		defer close(ch)
-		res, err := e.runReq(ctx, req, snap)
+		res, err := e.runReq(ctx, req, snap, nil)
 		fin := Snapshot{Final: true}
 		if err != nil {
 			fin.Err = err
@@ -452,6 +466,7 @@ func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *sna
 		// The shared bound screens pre-intercept scores, so the
 		// MinScore floor is shifted into that scale.
 		floor: floorOf(req, m.Intercept),
+		shift: m.Intercept,
 		run: func(si int, sb *topk.Bound) ([]topk.Item, error) {
 			sh := ts.shards[si]
 			// First query builds this shard's index inside the fan-out we

@@ -269,3 +269,30 @@ func TestWriteShardBaseline(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteClusterBaseline(t *testing.T) {
+	path := t.TempDir() + "/BENCH_cluster.json"
+	if err := WriteClusterBaseline(Config{Quick: true}, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base ClusterBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Tuples == 0 || base.SingleNsPerReq <= 0 || len(base.Points) != 3 {
+		t.Fatalf("malformed baseline: %+v", base)
+	}
+	// The CI gate: multi-node serving never changes answers.
+	if !base.AllEquivalent {
+		t.Fatalf("cluster results diverged from the single-node reference: %+v", base.Points)
+	}
+	for i, p := range base.Points {
+		if p.Nodes != i+1 || p.NsPerReq <= 0 || p.QPS <= 0 || !p.Equivalent {
+			t.Fatalf("point %d malformed: %+v", i, p)
+		}
+	}
+}

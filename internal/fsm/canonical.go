@@ -1,14 +1,20 @@
-// Canonical byte encoding for cache fingerprinting (see the matching
-// methods in internal/linear; framing primitives in internal/canon).
-// A machine's semantics are exactly its alphabet, state set, start
-// state, accept set, and transition table, so that is what the
-// encoding covers. State and event *names* are included deliberately:
-// two structurally identical machines with different labels fingerprint
-// apart, which can only under-share a cache, never alias it.
+// Canonical byte encoding for cache fingerprinting and, since the
+// cluster layer, for shipping machines between router and shard-server
+// nodes (see the matching methods in internal/linear; framing
+// primitives in internal/canon). A machine's semantics are exactly its
+// alphabet, state set, start state, accept set, and transition table,
+// so that is what the encoding covers. State and event *names* are
+// included deliberately: two structurally identical machines with
+// different labels fingerprint apart, which can only under-share a
+// cache, never alias it. DecodeCanonical is the exact inverse,
+// reconstructing through the Builder so a decoded machine satisfies
+// every invariant Build enforces.
 
 package fsm
 
 import (
+	"fmt"
+
 	"modelir/internal/canon"
 )
 
@@ -36,4 +42,87 @@ func (m *Machine) AppendCanonical(b []byte) []byte {
 		b = canon.AppendUint(b, uint64(t))
 	}
 	return b
+}
+
+// DecodeCanonical consumes one canonical machine encoding from r and
+// rebuilds the machine through the Builder, so completeness and range
+// validation match a locally constructed machine exactly. Any framing
+// violation — including accept bytes outside {0,1} or a transition
+// table whose size is not states×alphabet — fails with an error
+// wrapping canon.ErrCorrupt.
+func DecodeCanonical(r *canon.Reader) (*Machine, error) {
+	if err := r.Expect("FS"); err != nil {
+		return nil, err
+	}
+	ne, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	alphabet := make([]string, ne)
+	for i := range alphabet {
+		if alphabet[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	ns, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]string, ns)
+	for i := range states {
+		if states[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	start, err := r.Uint()
+	if err != nil {
+		return nil, err
+	}
+	if start >= uint64(ns) {
+		return nil, canon.ErrCorrupt
+	}
+	accept := make([]bool, ns)
+	for i := range accept {
+		a, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		switch a {
+		case 0:
+		case 1:
+			accept[i] = true
+		default:
+			return nil, canon.ErrCorrupt
+		}
+	}
+	nt, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	if nt != ns*ne {
+		return nil, canon.ErrCorrupt
+	}
+	b := NewBuilder(alphabet)
+	for i, name := range states {
+		b.State(name)
+		if accept[i] {
+			b.Accept(i)
+		}
+	}
+	b.Start(int(start))
+	for i := 0; i < nt; i++ {
+		to, err := r.Uint()
+		if err != nil {
+			return nil, err
+		}
+		if to >= uint64(ns) {
+			return nil, canon.ErrCorrupt
+		}
+		b.On(i/ne, Event(i%ne), int(to))
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", canon.ErrCorrupt, err)
+	}
+	return m, nil
 }

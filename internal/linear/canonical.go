@@ -1,12 +1,19 @@
-// Canonical byte encodings for cache fingerprinting. The serving
-// layer's result cache keys requests by content, so every model type a
-// query can embed provides AppendCanonical: a deterministic, framed
-// encoding (internal/canon) in which semantically different models
-// never produce the same bytes.
+// Canonical byte encodings for cache fingerprinting and, since the
+// cluster layer, for shipping models between router and shard-server
+// nodes. The serving layer's result cache keys requests by content, so
+// every model type a query can embed provides AppendCanonical: a
+// deterministic, framed encoding (internal/canon) in which
+// semantically different models never produce the same bytes.
+// DecodeCanonical is the exact inverse over a bounds-checked
+// canon.Reader, validating as strictly as New so a decoded model is
+// indistinguishable from a locally constructed one.
 
 package linear
 
 import (
+	"fmt"
+	"math"
+
 	"modelir/internal/canon"
 )
 
@@ -20,6 +27,119 @@ func (m *Model) AppendCanonical(b []byte) []byte {
 	}
 	b = canon.AppendFloats(b, m.Coeffs)
 	return canon.AppendFloat(b, m.Intercept)
+}
+
+// DecodeCanonical consumes one canonical model encoding from r and
+// reconstructs the model through New, so every invariant a locally
+// built model satisfies holds for a decoded one too. Finite-ness is
+// not required (models with infinite or NaN coefficients were always
+// constructible); only structural corruption is rejected.
+func DecodeCanonical(r *canon.Reader) (*Model, error) {
+	if err := r.Expect("LM"); err != nil {
+		return nil, err
+	}
+	// Attribute names are at least a length prefix each.
+	n, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, n)
+	for i := range attrs {
+		if attrs[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	coeffs, err := r.Floats()
+	if err != nil {
+		return nil, err
+	}
+	intercept, err := r.Float()
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(attrs, coeffs, intercept)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", canon.ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// DecomposeSpec is the wire form of a progressive model: the inputs to
+// Decompose rather than the decomposition itself. Shipping the inputs
+// keeps a remote node from having to trust residual bounds computed
+// elsewhere — it re-derives them locally, and Decompose is
+// deterministic, so every node (and the single-node reference) builds
+// the bit-identical ProgressiveModel.
+type DecomposeSpec struct {
+	Model      *Model
+	AttrLo     []float64
+	AttrHi     []float64
+	LevelTerms []int
+}
+
+// Spec returns the decomposition inputs this model was built from, in
+// wire-ready form.
+func (p *ProgressiveModel) Spec() DecomposeSpec {
+	return DecomposeSpec{
+		Model:      p.full,
+		AttrLo:     append([]float64(nil), p.attrLo...),
+		AttrHi:     append([]float64(nil), p.attrHi...),
+		LevelTerms: append([]int(nil), p.levels...),
+	}
+}
+
+// Build re-runs Decompose on the spec.
+func (s DecomposeSpec) Build() (*ProgressiveModel, error) {
+	return Decompose(s.Model, s.AttrLo, s.AttrHi, s.LevelTerms...)
+}
+
+// AppendCanonical appends the spec's canonical encoding.
+func (s DecomposeSpec) AppendCanonical(b []byte) []byte {
+	b = append(b, 'D', 'S')
+	b = s.Model.AppendCanonical(b)
+	b = canon.AppendFloats(b, s.AttrLo)
+	b = canon.AppendFloats(b, s.AttrHi)
+	b = canon.AppendUint(b, uint64(len(s.LevelTerms)))
+	for _, lt := range s.LevelTerms {
+		b = canon.AppendUint(b, uint64(lt))
+	}
+	return b
+}
+
+// DecodeDecomposeSpec consumes one canonical spec encoding from r. The
+// level-term values are validated by Build (via Decompose); here only
+// the framing is checked.
+func DecodeDecomposeSpec(r *canon.Reader) (DecomposeSpec, error) {
+	var s DecomposeSpec
+	if err := r.Expect("DS"); err != nil {
+		return s, err
+	}
+	var err error
+	if s.Model, err = DecodeCanonical(r); err != nil {
+		return s, err
+	}
+	if s.AttrLo, err = r.Floats(); err != nil {
+		return s, err
+	}
+	if s.AttrHi, err = r.Floats(); err != nil {
+		return s, err
+	}
+	n, err := r.Count(8)
+	if err != nil {
+		return s, err
+	}
+	s.LevelTerms = make([]int, n)
+	for i := range s.LevelTerms {
+		v, err := r.Uint()
+		if err != nil {
+			return s, err
+		}
+		if v > math.MaxInt32 {
+			return s, canon.ErrCorrupt
+		}
+		s.LevelTerms[i] = int(v)
+	}
+	return s, nil
 }
 
 // AppendCanonical appends the decomposition's canonical encoding: the

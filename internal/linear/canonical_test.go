@@ -1,0 +1,78 @@
+package linear
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"modelir/internal/canon"
+)
+
+func TestModelCanonicalRoundTrip(t *testing.T) {
+	m := HPSRisk()
+	enc := m.AppendCanonical(nil)
+	r := canon.NewReader(enc)
+	got, err := DecodeCanonical(r)
+	if err != nil {
+		t.Fatalf("DecodeCanonical: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("decode left %d bytes", r.Remaining())
+	}
+	if !bytes.Equal(got.AppendCanonical(nil), enc) {
+		t.Fatal("re-encoded model differs from original encoding")
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeCanonical(canon.NewReader(enc[:n])); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", n)
+		}
+	}
+}
+
+func TestDecomposeSpecRoundTrip(t *testing.T) {
+	pm, err := Decompose(HPSRisk(),
+		[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	enc := pm.Spec().AppendCanonical(nil)
+	r := canon.NewReader(enc)
+	spec, err := DecodeDecomposeSpec(r)
+	if err != nil {
+		t.Fatalf("DecodeDecomposeSpec: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("decode left %d bytes", r.Remaining())
+	}
+	rebuilt, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The rebuilt decomposition must be bit-identical to the original:
+	// same order, levels, and residual bounds.
+	if !bytes.Equal(rebuilt.AppendCanonical(nil), pm.AppendCanonical(nil)) {
+		t.Fatal("rebuilt decomposition differs from original")
+	}
+	if !bytes.Equal(spec.AppendCanonical(nil), enc) {
+		t.Fatal("re-encoded spec differs from original encoding")
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeDecomposeSpec(canon.NewReader(enc[:n])); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", n)
+		}
+	}
+}
+
+// A structurally well-framed stream whose values violate model
+// invariants (here: mismatched attr/coeff counts) must be rejected by
+// the reconstruction path, not just by framing checks.
+func TestDecodeCanonicalRejectsInvalidModel(t *testing.T) {
+	b := []byte{'L', 'M'}
+	b = canon.AppendUint(b, 1)
+	b = canon.AppendString(b, "hr")
+	b = canon.AppendFloats(b, []float64{1, 2}) // two coeffs, one attr
+	b = canon.AppendFloat(b, 0)
+	if _, err := DecodeCanonical(canon.NewReader(b)); !errors.Is(err, canon.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

@@ -26,6 +26,9 @@ type ProgressiveModel struct {
 	levels []int
 	// resid[l] = max absolute contribution of terms omitted at level l.
 	resid []float64
+	// attrLo/attrHi retain the Decompose inputs so the model can be
+	// shipped as a DecomposeSpec and re-derived remotely.
+	attrLo, attrHi []float64
 }
 
 // Decompose builds a ProgressiveModel with the given per-level term counts
@@ -102,7 +105,14 @@ func Decompose(m *Model, attrLo, attrHi []float64, levelTerms ...int) (*Progress
 
 	lv := make([]int, len(levelTerms))
 	copy(lv, levelTerms)
-	return &ProgressiveModel{full: m, order: order, levels: lv, resid: resid}, nil
+	return &ProgressiveModel{
+		full:   m,
+		order:  order,
+		levels: lv,
+		resid:  resid,
+		attrLo: append([]float64(nil), attrLo...),
+		attrHi: append([]float64(nil), attrHi...),
+	}, nil
 }
 
 // NumLevels returns the number of refinement levels.

@@ -133,11 +133,28 @@ func ShardTopK(shards, k, workers int, run ShardRunner) ([]topk.Item, error) {
 // pre-raises the shared bound — pass a minimum acceptable score to
 // prune candidates that could never be returned, or -Inf for none.
 func ShardTopKCtx(ctx context.Context, shards, k, workers int, floor float64, run ShardRunner) ([]topk.Item, error) {
+	bound := topk.NewBound()
+	bound.Raise(floor)
+	return ShardTopKBoundCtx(ctx, shards, k, workers, bound, run)
+}
+
+// ShardTopKBoundCtx is ShardTopKCtx over a caller-supplied bound
+// instead of a fresh one. The cluster layer uses it to splice one
+// logical query's screening floor across processes: raises published by
+// remote shards flow in through the shared bound, and local raises are
+// observable to whoever else holds it. The caller owns seeding (a
+// MinScore floor, a remote floor already in flight) and must not lower
+// or reuse the bound across queries. Determinism is unaffected — the
+// bound only ever tightens, and pruning against it stays strict.
+func ShardTopKBoundCtx(ctx context.Context, shards, k, workers int, bound *topk.Bound, run ShardRunner) ([]topk.Item, error) {
 	if shards < 0 {
 		return nil, errors.New("parallel: negative shard count")
 	}
 	if run == nil {
 		return nil, errors.New("parallel: nil shard runner")
+	}
+	if bound == nil {
+		bound = topk.NewBound()
 	}
 	merged, err := topk.GetHeap(k)
 	if err != nil {
@@ -147,8 +164,6 @@ func ShardTopKCtx(ctx context.Context, shards, k, workers int, floor float64, ru
 	if shards == 0 {
 		return merged.Results(), nil
 	}
-	bound := topk.NewBound()
-	bound.Raise(floor)
 	partialsP := getPartials(shards)
 	defer putPartials(partialsP)
 	partials := *partialsP
@@ -165,6 +180,13 @@ func ShardTopKCtx(ctx context.Context, shards, k, workers int, floor float64, ru
 	}
 	for _, items := range partials {
 		topk.MergeItems(merged, items)
+	}
+	// Publish the merged heap's threshold: the global K-th best over all
+	// shards, which can be tighter than any single shard's raise. The
+	// local scan is already done, but a caller-held bound may be feeding
+	// a concurrent consumer (the cluster layer piggybacks it to peers).
+	if t, ok := merged.Threshold(); ok {
+		bound.Raise(t)
 	}
 	return merged.Results(), nil
 }

@@ -45,6 +45,7 @@ package modelir
 import (
 	"modelir/internal/archive"
 	"modelir/internal/bayes"
+	"modelir/internal/cluster"
 	"modelir/internal/core"
 	"modelir/internal/fsm"
 	"modelir/internal/linear"
@@ -144,8 +145,10 @@ type (
 const DefaultK = core.DefaultK
 
 // FireAntsPrefilter is the sound metadata prefilter for the Fig. 1
-// fire-ants machine, usable as FSMQuery.Prefilter.
-func FireAntsPrefilter(s synth.DrySpellStats) bool { return core.FireAntsPrefilter(s) }
+// fire-ants machine, usable as FSMQuery.Prefilter. It is the same
+// function value as the core's, so the cluster wire codec recognizes
+// it as the named "fireants" prefilter.
+var FireAntsPrefilter FSMPrefilter = core.FireAntsPrefilter
 
 // WellMatches converts GeologyQuery result items (well IDs with strata
 // payloads) into WellMatch values.
@@ -351,6 +354,10 @@ type (
 	WellConfig = synth.WellConfig
 	// Lithology is a rock class in well logs.
 	Lithology = synth.Lithology
+	// RegionSeries is one region's daily weather series.
+	RegionSeries = synth.RegionSeries
+	// WellLog is one well's strata log.
+	WellLog = synth.WellLog
 )
 
 // Lithology classes.
@@ -366,13 +373,13 @@ const (
 func GenerateScene(cfg SceneConfig) (*synth.Scene, error) { return synth.LandsatScene(cfg) }
 
 // GenerateWeather synthesizes a multi-region daily weather archive.
-func GenerateWeather(cfg WeatherConfig) ([]synth.RegionSeries, error) {
+func GenerateWeather(cfg WeatherConfig) ([]RegionSeries, error) {
 	return synth.WeatherArchive(cfg)
 }
 
 // GenerateWells synthesizes a well-log archive; the second return lists
 // wells with a planted riverbed signature (ground truth).
-func GenerateWells(cfg WellConfig) ([]synth.WellLog, []int, error) {
+func GenerateWells(cfg WellConfig) ([]WellLog, []int, error) {
 	return synth.WellArchive(cfg)
 }
 
@@ -381,3 +388,35 @@ func GenerateWells(cfg WellConfig) ([]synth.WellLog, []int, error) {
 func GenerateTuples(seed int64, n, d int) ([][]float64, error) {
 	return synth.GaussianTuples(seed, n, d)
 }
+
+// Multi-node serving (DESIGN.md §9): datasets partitioned across shard
+// servers by consistent hashing, queries scatter-gathered by a router,
+// answers bit-identical to a single-node engine.
+type (
+	// ClusterTopology names the node set and per-dataset replication.
+	ClusterTopology = cluster.Topology
+	// ClusterNode is one shard server: a private engine plus a TCP
+	// listener serving its partitions.
+	ClusterNode = cluster.Node
+	// ClusterNodeOptions configures a shard server.
+	ClusterNodeOptions = cluster.NodeOptions
+	// ClusterRouter fans requests out across a topology and merges the
+	// per-node top-K partials exactly.
+	ClusterRouter = cluster.Router
+	// ClusterRequest is the router-level request shape.
+	ClusterRequest = cluster.Request
+)
+
+// ErrPartitionUnavailable reports that every replica of some partition
+// failed at the transport level; the cluster never substitutes a
+// partial answer.
+var ErrPartitionUnavailable = cluster.ErrPartitionUnavailable
+
+// NewClusterNode creates a shard server for self (its dial address in
+// the topology). Add datasets, then Serve.
+func NewClusterNode(self string, topo ClusterTopology, opt ClusterNodeOptions) *ClusterNode {
+	return cluster.NewNode(self, topo, opt)
+}
+
+// NewClusterRouter returns a router over the topology.
+func NewClusterRouter(topo ClusterTopology) *ClusterRouter { return cluster.NewRouter(topo) }

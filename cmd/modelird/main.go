@@ -7,12 +7,23 @@
 //
 //	modelird [-role single] [-addr :8077] [-shards 0] [-cache 0]
 //	         [-maxworkers 0] [-tuples 20000] [-scene 128]
-//	         [-regions 300] [-wells 200] [-debug-addr 127.0.0.1:6060]
+//	         [-regions 300] [-wells 200] [-data-dir /var/lib/modelird]
+//	         [-debug-addr 127.0.0.1:6060]
 //
 // -debug-addr mounts net/http/pprof (profiles, goroutine dumps,
 // /debug/pprof/…) on a SEPARATE listener so the profiling surface is
 // opt-in and never shares a port with serving traffic; empty (the
 // default) disables it entirely.
+//
+// -data-dir enables durable snapshots (DESIGN.md §10): at boot the
+// daemon restores the engine from a snapshot in that directory if one
+// is present (mmap'd in place when the host supports it, so cold start
+// skips every index build), or builds the demo archives and writes an
+// initial snapshot when it is empty. POST /admin/snapshot persists the
+// current state on demand. A corrupt snapshot fails boot with a typed
+// error — it is never silently rebuilt over. The HTTP listener comes
+// up before restore/build finishes; poll GET /healthz (503 → 200) to
+// wait for serving readiness.
 //
 // Roles (DESIGN.md §9): the default "single" serves everything from an
 // in-process engine. A cluster splits the same daemon into shard
@@ -36,7 +47,9 @@
 //	             "query":{"kind":"linear","coeffs":[0.4,0.3,0.3]}}
 //	POST /batch  many requests: {"requests":[...]} — deduped, cached,
 //	             and executed per family on one shared worker pool
-//	GET  /stats  cache counters, epoch, uptime
+//	GET  /stats  cache counters, epoch, uptime, registered datasets
+//	GET  /healthz          readiness: 503 while restoring/building, 200 serving
+//	POST /admin/snapshot   persist current state to -data-dir on demand
 //
 // Query kinds: linear, scene, fsm, fsm-distance, geology, knowledge
 // (see the wire shapes in server.go). Requests are cancelled when the
@@ -48,6 +61,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -84,6 +98,7 @@ func run(args []string) error {
 	regions := fs.Int("regions", 300, "demo weather archive regions")
 	wells := fs.Int("wells", 200, "demo well archive size")
 	seed := fs.Int64("seed", 7, "demo data generator seed")
+	dataDir := fs.String("data-dir", "", "snapshot directory: restore at boot when a snapshot is present, write one after a fresh build, serve POST /admin/snapshot; empty disables persistence")
 	debugAddr := fs.String("debug-addr", "", "opt-in pprof listener (e.g. 127.0.0.1:6060); empty disables the debug surface")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,26 +109,36 @@ func run(args []string) error {
 		Tuples: *tuples, Scene: *scene, Regions: *regions, Wells: *wells, Seed: *seed,
 	}
 
-	var b backend
+	var s *server
+	var buildErr chan error // nil (never fires) except in the single role
 	switch *role {
 	case "single":
-		engine, err := buildEngine(cfg)
-		if err != nil {
-			return err
-		}
-		b = engineBackend{engine: engine}
+		// Bring the listener up unready and restore/build in the
+		// background: /healthz flips 503 → 200 when the engine is
+		// serving, so routers and smoke tests wait deterministically.
+		s = newServer(nil)
+		buildErr = make(chan error, 1)
+		go func(s *server, dir string) {
+			engine, snapFn, err := openOrBuildEngine(cfg, dir)
+			if err != nil {
+				buildErr <- err
+				return
+			}
+			s.setBackend(engineBackend{engine: engine}, snapFn)
+			log.Printf("modelird single ready (%d datasets)", len(engine.Datasets()))
+		}(s, *dataDir)
 	case "router":
 		topo, err := topologyOf(*peers, *replication)
 		if err != nil {
 			return err
 		}
-		b = routerBackend{router: modelir.NewClusterRouter(topo), peers: len(topo.Nodes)}
+		s = newServer(routerBackend{router: modelir.NewClusterRouter(topo), peers: len(topo.Nodes)})
 	case "node":
 		topo, err := topologyOf(*peers, *replication)
 		if err != nil {
 			return err
 		}
-		return runNode(topo, *addr, *self, cfg)
+		return runNode(topo, *addr, *self, cfg, *dataDir)
 	default:
 		return fmt.Errorf("unknown -role %q (want single, router, or node)", *role)
 	}
@@ -140,12 +165,68 @@ func run(args []string) error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(b),
+		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("modelird %s listening on %s (tuples=%d scene=%dx%d regions=%d wells=%d)",
 		*role, *addr, *tuples, *scene, *scene, *regions, *wells)
-	return srv.ListenAndServe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-buildErr:
+		return err
+	case err := <-serveErr:
+		return err
+	}
+}
+
+// openOrBuildEngine is the single role's boot path: restore from
+// -data-dir when a snapshot is there, otherwise build the demo
+// archives (and, with persistence enabled, write the initial snapshot
+// so the next boot restores). The returned function persists the
+// engine on demand; it is nil when persistence is disabled.
+func openOrBuildEngine(cfg demoConfig, dataDir string) (*modelir.Engine, func(context.Context) error, error) {
+	if dataDir == "" {
+		e, err := buildEngine(cfg)
+		return e, nil, err
+	}
+	dir, err := modelir.NewSnapshotDir(dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := modelir.EngineOptions{CacheEntries: cfg.Cache, MaxWorkers: cfg.MaxWorkers}
+	e, mode, err := restoreEngine(dir, opts)
+	switch {
+	case err == nil:
+		log.Printf("modelird restored engine from %s (%s mode)", dataDir, mode)
+	case errors.Is(err, modelir.ErrNoSnapshot):
+		if e, err = buildEngine(cfg); err != nil {
+			return nil, nil, err
+		}
+		if err := e.Snapshot(context.Background(), dir); err != nil {
+			return nil, nil, fmt.Errorf("write initial snapshot to %s: %w", dataDir, err)
+		}
+		log.Printf("modelird built demo archives and wrote snapshot to %s", dataDir)
+	default:
+		// Corruption is refused, never rebuilt over: the operator
+		// decides whether the snapshot is evidence or garbage.
+		return nil, nil, fmt.Errorf("restore from %s: %w (move the directory aside to rebuild)", dataDir, err)
+	}
+	return e, func(ctx context.Context) error { return e.Snapshot(ctx, dir) }, nil
+}
+
+// restoreEngine opens a snapshot mmap'd when the host supports it,
+// falling back to a copying restore.
+func restoreEngine(dir *modelir.SnapshotDir, opts modelir.EngineOptions) (*modelir.Engine, modelir.RestoreMode, error) {
+	e, err := modelir.OpenSnapshot(dir, modelir.RestoreOptions{Mode: modelir.RestoreMap, Options: opts})
+	if err == nil {
+		return e, modelir.RestoreMap, nil
+	}
+	if errors.Is(err, modelir.ErrMapUnsupported) {
+		e, err = modelir.OpenSnapshot(dir, modelir.RestoreOptions{Mode: modelir.RestoreCopy, Options: opts})
+		return e, modelir.RestoreCopy, err
+	}
+	return nil, modelir.RestoreCopy, err
 }
 
 // topologyOf parses the shared cluster configuration flags.
@@ -162,9 +243,11 @@ func topologyOf(peers string, replication int) (modelir.ClusterTopology, error) 
 	return modelir.ClusterTopology{Nodes: nodes, Replication: replication}, nil
 }
 
-// runNode builds this node's partitions of the demo archives and serves
-// them until the process is killed.
-func runNode(topo modelir.ClusterTopology, addr, self string, cfg demoConfig) error {
+// runNode serves this node's partitions of the demo archives until the
+// process is killed, restoring them from -data-dir when a snapshot is
+// present (placement metadata validated against the boot topology) and
+// building + snapshotting otherwise.
+func runNode(topo modelir.ClusterTopology, addr, self string, cfg demoConfig, dataDir string) error {
 	if self == "" {
 		self = addr
 	}
@@ -178,25 +261,33 @@ func runNode(topo modelir.ClusterTopology, addr, self string, cfg demoConfig) er
 	if !found {
 		return fmt.Errorf("node address %q is not in -peers %v (set -self if -addr differs)", self, topo.Nodes)
 	}
-	n := modelir.NewClusterNode(self, topo, modelir.ClusterNodeOptions{
-		Shards:       cfg.Shards,
-		CacheEntries: cfg.Cache,
-	})
-	data, err := buildDemoData(cfg)
-	if err != nil {
-		return err
-	}
-	if err := n.AddTuples("tuples", data.pts); err != nil {
-		return err
-	}
-	if err := n.AddScene("scene", data.scene); err != nil {
-		return err
-	}
-	if err := n.AddSeries("weather", data.weather); err != nil {
-		return err
-	}
-	if err := n.AddWells("basin", data.wells); err != nil {
-		return err
+	opt := modelir.ClusterNodeOptions{Shards: cfg.Shards, CacheEntries: cfg.Cache}
+	var n *modelir.ClusterNode
+	if dataDir != "" {
+		dir, err := modelir.NewSnapshotDir(dataDir)
+		if err != nil {
+			return err
+		}
+		n, err = restoreNode(self, topo, opt, dir)
+		switch {
+		case err == nil:
+			log.Printf("modelird node %s restored partitions from %s", self, dataDir)
+		case errors.Is(err, modelir.ErrNoSnapshot):
+			if n, err = buildNode(self, topo, opt, cfg); err != nil {
+				return err
+			}
+			if err := n.Snapshot(context.Background(), dir); err != nil {
+				return fmt.Errorf("write initial node snapshot to %s: %w", dataDir, err)
+			}
+			log.Printf("modelird node %s built partitions and wrote snapshot to %s", self, dataDir)
+		default:
+			return fmt.Errorf("restore node from %s: %w (move the directory aside to rebuild)", dataDir, err)
+		}
+	} else {
+		var err error
+		if n, err = buildNode(self, topo, opt, cfg); err != nil {
+			return err
+		}
 	}
 	if err := n.Serve(addr); err != nil {
 		return err
@@ -204,6 +295,39 @@ func runNode(topo modelir.ClusterTopology, addr, self string, cfg demoConfig) er
 	log.Printf("modelird node %s serving on %s (%d peers, replication %d)",
 		self, n.Addr(), len(topo.Nodes), topo.Replication)
 	select {} // serve until killed
+}
+
+// buildNode generates the demo archives and ingests this node's
+// assigned partitions.
+func buildNode(self string, topo modelir.ClusterTopology, opt modelir.ClusterNodeOptions, cfg demoConfig) (*modelir.ClusterNode, error) {
+	n := modelir.NewClusterNode(self, topo, opt)
+	data, err := buildDemoData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.AddTuples("tuples", data.pts); err != nil {
+		return nil, err
+	}
+	if err := n.AddScene("scene", data.scene); err != nil {
+		return nil, err
+	}
+	if err := n.AddSeries("weather", data.weather); err != nil {
+		return nil, err
+	}
+	if err := n.AddWells("basin", data.wells); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// restoreNode restores a shard server mmap'd when the host supports
+// it, falling back to a copying restore.
+func restoreNode(self string, topo modelir.ClusterTopology, opt modelir.ClusterNodeOptions, dir *modelir.SnapshotDir) (*modelir.ClusterNode, error) {
+	n, err := modelir.RestoreClusterNode(self, topo, opt, dir, modelir.RestoreMap)
+	if err != nil && errors.Is(err, modelir.ErrMapUnsupported) {
+		return modelir.RestoreClusterNode(self, topo, opt, dir, modelir.RestoreCopy)
+	}
+	return n, err
 }
 
 // newDebugMux builds the opt-in profiling surface: the standard

@@ -277,7 +277,7 @@ func TestRouterRoleBatchMatchesSingle(t *testing.T) {
 	}
 }
 
-// TestStatsEndpoint pins /stats.
+// TestStatsEndpoint pins /stats, including the dataset enumeration.
 func TestStatsEndpoint(t *testing.T) {
 	srv := httptest.NewServer(newServer(engineBackend{engine: testEngine(t)}))
 	defer srv.Close()
@@ -289,6 +289,124 @@ func TestStatsEndpoint(t *testing.T) {
 	st := decode[wireServerStats](t, resp)
 	if st.Epoch != 4 || st.Shards != 4 {
 		t.Fatalf("stats %+v", st)
+	}
+	names := make([]string, len(st.Datasets))
+	for i, ds := range st.Datasets {
+		names[i] = ds.Name
+		if ds.Kind == "" || ds.Rows <= 0 {
+			t.Fatalf("dataset %d incomplete: %+v", i, ds)
+		}
+	}
+	if fmt.Sprint(names) != "[basin scene tuples weather]" {
+		t.Fatalf("datasets %v, want sorted demo four", names)
+	}
+}
+
+// TestHealthzReadinessGate pins the boot contract: a server without a
+// backend answers 503 on /healthz and every serving endpoint, and
+// flips to 200 the moment the backend lands.
+func TestHealthzReadinessGate(t *testing.T) {
+	s := newServer(nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	for _, probe := range []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/healthz"},
+		{http.MethodGet, "/stats"},
+		{http.MethodPost, "/run"},
+		{http.MethodPost, "/batch"},
+		{http.MethodPost, "/admin/snapshot"},
+	} {
+		req, err := http.NewRequest(probe.method, srv.URL+probe.path, bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s before ready: status %d, want 503", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+
+	s.setBackend(engineBackend{engine: testEngine(t)}, nil)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := decode[map[string]bool](t, resp)
+	if resp.StatusCode != http.StatusOK || !ok["ready"] {
+		t.Fatalf("after ready: status %d body %v", resp.StatusCode, ok)
+	}
+	// Snapshot on demand without -data-dir is refused, not a 500.
+	resp = postJSON(t, srv, "/admin/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("snapshot without persistence: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestDataDirBootAndRestore drives the single role's persistence path
+// end to end in-process: a first boot builds the demo archives and
+// writes the snapshot, a second boot restores from it, and both serve
+// identical answers for every family; POST /admin/snapshot re-persists
+// on demand.
+func TestDataDirBootAndRestore(t *testing.T) {
+	cfg := demoConfig{Shards: 4, Tuples: 3000, Scene: 32, Regions: 40, Wells: 30, Seed: 7}
+	dataDir := t.TempDir()
+
+	built, snapFn, err := openOrBuildEngine(cfg, dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapFn == nil {
+		t.Fatal("persistence enabled but no snapshot hook")
+	}
+	restored, _, err := openOrBuildEngine(cfg, dataDir)
+	if err != nil {
+		t.Fatalf("second boot did not restore: %v", err)
+	}
+	defer restored.Close()
+
+	bs := httptest.NewServer(newServer(engineBackend{engine: built}))
+	defer bs.Close()
+	rs := httptest.NewServer(newServer(engineBackend{engine: restored}))
+	defer rs.Close()
+	reqs := wireRequests()
+	want := decode[wireBatchResponse](t, postJSON(t, bs, "/batch", wireBatch{Requests: reqs}))
+	got := decode[wireBatchResponse](t, postJSON(t, rs, "/batch", wireBatch{Requests: reqs}))
+	for i := range reqs {
+		label := fmt.Sprintf("req %d (%s)", i, reqs[i].Query.Kind)
+		if got.Results[i].Error != "" || want.Results[i].Error != "" {
+			t.Fatalf("%s: restored=%q built=%q", label, got.Results[i].Error, want.Results[i].Error)
+		}
+		g, w := got.Results[i].Items, want.Results[i].Items
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d vs %d items", label, len(g), len(w))
+		}
+		for j := range w {
+			if g[j].ID != w[j].ID || g[j].Score != w[j].Score {
+				t.Fatalf("%s item %d: %d/%v vs %d/%v", label, j, g[j].ID, g[j].Score, w[j].ID, w[j].Score)
+			}
+		}
+	}
+
+	// On-demand snapshot over the built engine succeeds.
+	s := newServer(nil)
+	s.setBackend(engineBackend{engine: built}, snapFn)
+	as := httptest.NewServer(s)
+	defer as.Close()
+	resp := postJSON(t, as, "/admin/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/admin/snapshot: status %d", resp.StatusCode)
+	}
+	out := decode[map[string]any](t, resp)
+	if out["ok"] != true {
+		t.Fatalf("/admin/snapshot body %v", out)
 	}
 }
 

@@ -1,8 +1,12 @@
 // HTTP wiring for modelird: JSON request/response shapes, query
-// compilation from the wire format, and the three handlers (/run,
-// /batch, /stats). Every query handler threads the http.Request
-// context into the engine, so a client that disconnects mid-query
-// cancels its shard fan-out instead of burning CPU for nobody.
+// compilation from the wire format, and the handlers (/run, /batch,
+// /stats, /healthz, /admin/snapshot). Every query handler threads the
+// http.Request context into the engine, so a client that disconnects
+// mid-query cancels its shard fan-out instead of burning CPU for
+// nobody. The listener comes up before the engine is restored or
+// built; until then /healthz answers 503 and every other endpoint
+// refuses with the same status, so callers can wait on boot
+// deterministically.
 
 package main
 
@@ -14,6 +18,8 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"modelir"
@@ -302,6 +308,7 @@ func (b engineBackend) serverStats() wireServerStats {
 	out.Role = "single"
 	out.Epoch = b.engine.Epoch()
 	out.Shards = b.engine.NumShards()
+	out.Datasets = b.engine.Datasets()
 	cs := b.engine.CacheStats()
 	out.Cache.Hits = cs.Hits
 	out.Cache.Misses = cs.Misses
@@ -348,20 +355,96 @@ func (b routerBackend) serverStats() wireServerStats {
 	return wireServerStats{Role: "router", Peers: b.peers}
 }
 
-// server bundles the backend with serving metadata.
+// server bundles the backend with serving metadata. The backend may
+// arrive after the listener is up (restore/build runs in the
+// background at boot): handlers gate on the ready flag, and the
+// atomic store in setBackend publishes the backend write to them.
 type server struct {
-	backend backend
-	started time.Time
+	backend    backend
+	snapshotFn func(context.Context) error // nil = persistence disabled
+	snapMu     sync.Mutex                  // serializes on-demand snapshots
+	ready      atomic.Bool
+	started    time.Time
+	mux        *http.ServeMux
 }
 
-// newServer routes the three endpoints over a backend.
-func newServer(b backend) http.Handler {
-	s := &server{backend: b, started: time.Now()}
+// newServer routes the endpoints over a backend. A nil backend starts
+// the server unready (503 everywhere but a truthful /healthz) until
+// setBackend delivers one.
+func newServer(b backend) *server {
+	s := &server{started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
+	s.mux = mux
+	if b != nil {
+		s.setBackend(b, nil)
+	}
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// setBackend installs the serving backend (and the optional on-demand
+// snapshot hook) and flips the server ready.
+func (s *server) setBackend(b backend, snapshotFn func(context.Context) error) {
+	s.backend = b
+	s.snapshotFn = snapshotFn
+	s.ready.Store(true)
+}
+
+// notReady answers 503 and reports true while the engine is still
+// restoring or building.
+func (s *server) notReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable, wireResult{Error: "engine not ready (restore/build in progress)"})
+	return true
+}
+
+// handleHealthz is the readiness probe: 503 until the engine is
+// serving, 200 after.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	ready := s.ready.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]bool{"ready": ready})
+}
+
+// handleSnapshot persists the engine's current state to the -data-dir
+// backend on demand.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	if s.snapshotFn == nil {
+		writeJSON(w, http.StatusNotFound, wireResult{Error: "persistence disabled (start with -data-dir)"})
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+	if err := s.snapshotFn(r.Context()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, wireResult{Error: "snapshot: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "wall_ns": time.Since(start).Nanoseconds()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -387,6 +470,9 @@ func statusOf(err error) int {
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.notReady(w) {
 		return
 	}
 	var wr wireRequest
@@ -426,6 +512,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.notReady(w) {
+		return
+	}
 	var wb wireBatch
 	if err := json.NewDecoder(r.Body).Decode(&wb); err != nil {
 		writeJSON(w, http.StatusBadRequest, wireResult{Error: "bad batch JSON: " + err.Error()})
@@ -460,12 +549,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // zero for the roles they do not apply to: a router has no engine
 // epoch, shards, or cache; a single engine has no peers.
 type wireServerStats struct {
-	Role       string  `json:"role"`
-	Peers      int     `json:"peers,omitempty"`
-	UptimeS    float64 `json:"uptime_s"`
-	Epoch      uint64  `json:"epoch"`
-	Shards     int     `json:"shards"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
+	Role       string                `json:"role"`
+	Peers      int                   `json:"peers,omitempty"`
+	UptimeS    float64               `json:"uptime_s"`
+	Epoch      uint64                `json:"epoch"`
+	Shards     int                   `json:"shards"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Datasets   []modelir.DatasetInfo `json:"datasets,omitempty"`
 	Cache      struct {
 		Hits          uint64 `json:"hits"`
 		Misses        uint64 `json:"misses"`
@@ -479,6 +569,9 @@ type wireServerStats struct {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.notReady(w) {
 		return
 	}
 	out := s.backend.serverStats()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"modelir/internal/features"
 	"modelir/internal/pyramid"
@@ -70,8 +71,11 @@ type Scene struct {
 	// directly — the base grids are).
 	pyr *pyramid.MultibandPyramid
 
-	// base keeps the level-0 bands for serialization.
-	base *raster.Multiband
+	// base keeps the level-0 bands for serialization. A scene restored
+	// from a snapshot (SceneFromParts) leaves it nil and materializes
+	// lazily from the pyramid's finest level on first Base call.
+	base     *raster.Multiband
+	baseOnce sync.Once
 
 	opts Options
 }
@@ -153,8 +157,29 @@ func (sc *Scene) SetTileLabels(labels []int) error {
 // Pyramid returns the raw-level multiband pyramid.
 func (sc *Scene) Pyramid() *pyramid.MultibandPyramid { return sc.pyr }
 
-// Base returns the level-0 multiband scene.
-func (sc *Scene) Base() *raster.Multiband { return sc.base }
+// Base returns the level-0 multiband scene, materializing it from the
+// pyramid's finest level if the scene was restored planes-only. Level
+// 0 of a mean pyramid is a verbatim clone of the base bands, so the
+// materialized multiband is bit-identical to the built one.
+func (sc *Scene) Base() *raster.Multiband {
+	sc.baseOnce.Do(func() {
+		if sc.base != nil || sc.pyr == nil {
+			return
+		}
+		grids := make([]*raster.Grid, sc.pyr.NumBands())
+		for b := range grids {
+			grids[b] = sc.pyr.Band(b).Level(0).Mean
+		}
+		mb, err := raster.Stack(sc.BandNames, grids...)
+		if err != nil {
+			// SceneFromParts validated band count and geometry, so a
+			// failure here is a broken invariant, not bad input.
+			panic(fmt.Sprintf("archive: base materialization: %v", err))
+		}
+		sc.base = mb
+	})
+	return sc.base
+}
 
 // NumBands returns the band count.
 func (sc *Scene) NumBands() int { return len(sc.BandNames) }
@@ -208,9 +233,10 @@ func (sc *Scene) Encode(w io.Writer) error {
 		Labels:    sc.TileLabels,
 		Opts:      sc.opts,
 	}
-	wire.BandData = make([][]float64, sc.base.NumBands())
+	base := sc.Base() // materializes if the scene was restored planes-only
+	wire.BandData = make([][]float64, base.NumBands())
 	for b := range wire.BandData {
-		wire.BandData[b] = sc.base.Band(b).Data()
+		wire.BandData[b] = base.Band(b).Data()
 	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
 		return fmt.Errorf("archive: encode: %w", err)

@@ -227,12 +227,14 @@ func (n *Node) track(c net.Conn, add bool) {
 	}
 }
 
-// Close stops accepting and severs live connections, then waits for
-// handler goroutines to drain. In-flight queries observe the severed
-// connection as a cancellation.
+// Close stops accepting and severs live connections, waits for
+// handler goroutines to drain, then closes the engine — which, for a
+// node restored in Map mode, releases the snapshot mappings. In-flight
+// queries observe the severed connection as a cancellation.
 func (n *Node) Close() {
 	n.Kill()
 	n.wg.Wait()
+	_ = n.eng.Close() // best-effort; nothing actionable at teardown
 }
 
 // Kill force-closes the listener and every live connection without

@@ -109,6 +109,10 @@ type Engine struct {
 	scenes map[string]*sceneSet
 	series map[string]*seriesSet
 	wells  map[string]*wellSet
+
+	// closers release resources a snapshot restore attached to the
+	// engine (mmap'd segment files in Map mode); see Close.
+	closers []func() error
 }
 
 // NewEngine returns an empty engine with default options.

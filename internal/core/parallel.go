@@ -40,6 +40,11 @@ func (e *Engine) ScanTopKTuplesParallel(dataset string, coeffs []float64, interc
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, dataset)
 	}
 	pts := ts.points
+	if pts == nil {
+		// A snapshot-restored engine persists only the built indexes;
+		// the raw rows the scan baseline walks were never written.
+		return nil, fmt.Errorf("core: %q: sequential-scan baseline unavailable on a restored engine", dataset)
+	}
 	if dim := len(pts[0]); dim != len(coeffs) {
 		return nil, fmt.Errorf("core: %d coefficients for %d-dim tuples", len(coeffs), dim)
 	}

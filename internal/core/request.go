@@ -509,7 +509,7 @@ func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *sna
 				det.Indexed.PointsSkippedByBudget += s.PointsSkippedByBudget
 			}
 			onionStatsArena.put(perShardP)
-			det.ScanCost = len(ts.points)
+			det.ScanCost = ts.rows
 			// The model's intercept shifts every score identically; add
 			// it so returned scores equal model values.
 			if m.Intercept != 0 {

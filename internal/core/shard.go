@@ -71,14 +71,17 @@ func (s *tupleShard) ensureIndex(opt onion.Options) (*onion.Index, error) {
 
 // tupleSet is a registered tuple archive, sharded at ingest. The flat
 // row slice is retained (shards alias its backing array) for the
-// sequential-scan baseline, which partitions per item, not per shard.
+// sequential-scan baseline, which partitions per item, not per shard;
+// a snapshot-restored set has points == nil (only the built indexes
+// are persisted) and rows carries the logical count on both paths.
 type tupleSet struct {
 	points [][]float64
+	rows   int
 	shards []*tupleShard
 }
 
 func newTupleSet(points [][]float64, shards int) *tupleSet {
-	ts := &tupleSet{points: points}
+	ts := &tupleSet{points: points, rows: len(points)}
 	for _, r := range partition(len(points), shards) {
 		ts.shards = append(ts.shards, &tupleShard{
 			offset: r[0],
@@ -86,6 +89,23 @@ func newTupleSet(points [][]float64, shards int) *tupleSet {
 		})
 	}
 	return ts
+}
+
+// restoredTupleShard wraps a snapshot-restored Onion index. The build
+// Once is burned immediately so ensureIndex returns the restored index
+// without ever consulting points (which stay nil).
+func restoredTupleShard(offset int, ix *onion.Index) *tupleShard {
+	sh := &tupleShard{offset: offset}
+	sh.once.Do(func() { sh.index = ix })
+	return sh
+}
+
+// restoredTupleSet assembles a tuple set from restored shards. points
+// stays nil: the sequential-scan baseline is unavailable on a restored
+// engine (the raw rows were never persisted), which parallel.go turns
+// into an explicit error rather than a panic.
+func restoredTupleSet(rows int, shards []*tupleShard) *tupleSet {
+	return &tupleSet{rows: rows, shards: shards}
 }
 
 // seriesShard is one partition of a series archive with its
@@ -138,6 +158,48 @@ func newSeriesSet(rs []synth.RegionSeries, shards int) *seriesSet {
 		})
 	}
 	return ss
+}
+
+// restoredSeriesSet assembles a series set from snapshot planes: the
+// region table (IDs only — raw days are not persisted), precomputed
+// summaries, and the global flat event plane with per-region lengths.
+// Shard boundaries re-derive from partition(n, shards), which is the
+// same deterministic layout newSeriesSet used at snapshot time, so
+// per-shard state is identical to the built engine's.
+func restoredSeriesSet(ids []int, sums []synth.DrySpellStats, events []fsm.Event, days []int, shards int) (*seriesSet, error) {
+	n := len(ids)
+	if len(sums) != n || len(days) != n {
+		return nil, fmt.Errorf("core: series planes: %d ids, %d sums, %d day counts", n, len(sums), len(days))
+	}
+	gOff := make([]int, n+1)
+	for i, d := range days {
+		if d < 0 {
+			return nil, fmt.Errorf("core: series planes: region %d has %d days", i, d)
+		}
+		gOff[i+1] = gOff[i] + d
+	}
+	if gOff[n] != len(events) {
+		return nil, fmt.Errorf("core: series planes: %d events for %d summed days", len(events), gOff[n])
+	}
+	regions := make([]synth.RegionSeries, n)
+	for i, id := range ids {
+		regions[i] = synth.RegionSeries{Region: id}
+	}
+	ss := &seriesSet{total: n}
+	for _, r := range partition(n, shards) {
+		lo, hi := r[0], r[1]
+		evOff := make([]int, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			evOff[i-lo] = gOff[i] - gOff[lo]
+		}
+		ss.shards = append(ss.shards, &seriesShard{
+			regions: regions[lo:hi],
+			sums:    sums[lo:hi],
+			events:  events[gOff[lo]:gOff[hi]],
+			evOff:   evOff,
+		})
+	}
+	return ss, nil
 }
 
 // wellShard is one partition of a well-log archive with its strata
@@ -193,6 +255,51 @@ func newWellSet(ws []synth.WellLog, shards int) *wellSet {
 	return s
 }
 
+// restoredWellSet assembles a well set from snapshot planes: well IDs,
+// per-well stratum counts, and the four global strata columns. The
+// float columns are adopted (they may be mmap-backed); shard views
+// slice into them without copying. As with series, partition(n,
+// shards) reproduces the snapshot-time layout exactly.
+func restoredWellSet(ids []int, counts []int, lith []synth.Lithology, topFt, thickFt, gamma []float64, shards int) (*wellSet, error) {
+	n := len(ids)
+	if len(counts) != n {
+		return nil, fmt.Errorf("core: well planes: %d ids, %d counts", n, len(counts))
+	}
+	gOff := make([]int, n+1)
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: well planes: well %d has %d strata", i, c)
+		}
+		gOff[i+1] = gOff[i] + c
+	}
+	total := gOff[n]
+	if len(lith) != total || len(topFt) != total || len(thickFt) != total || len(gamma) != total {
+		return nil, fmt.Errorf("core: well planes: columns %d/%d/%d/%d for %d strata",
+			len(lith), len(topFt), len(thickFt), len(gamma), total)
+	}
+	wells := make([]synth.WellLog, n)
+	for i, id := range ids {
+		wells[i] = synth.WellLog{Well: id}
+	}
+	s := &wellSet{}
+	for _, r := range partition(n, shards) {
+		lo, hi := r[0], r[1]
+		off := make([]int, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			off[i-lo] = gOff[i] - gOff[lo]
+		}
+		s.shards = append(s.shards, &wellShard{
+			wells:   wells[lo:hi],
+			lith:    lith[gOff[lo]:gOff[hi]],
+			topFt:   topFt[gOff[lo]:gOff[hi]],
+			thickFt: thickFt[gOff[lo]:gOff[hi]],
+			gamma:   gamma[gOff[lo]:gOff[hi]],
+			off:     off,
+		})
+	}
+	return s, nil
+}
+
 // sceneSet is a registered raster archive. The scene's pyramid (built
 // by archive.BuildScene) is shared read-only across shards; what is
 // partitioned is the coarsest-level cell frontier, so each shard runs
@@ -236,16 +343,9 @@ func validateSceneFeatures(sc *archive.Scene) error {
 
 func newSceneSet(sc *archive.Scene, shards int) *sceneSet {
 	ss := &sceneSet{scene: sc}
-	roots := progressive.Roots(sc.Pyramid())
-	for _, r := range partition(len(roots), shards) {
-		ss.roots = append(ss.roots, roots[r[0]:r[1]])
-	}
+	ss.shardRoots(shards)
 	nb := sc.NumBands()
-	ss.featCols = make([]string, 0, nb*4)
-	for _, name := range sc.BandNames {
-		ss.featCols = append(ss.featCols,
-			name+".mean", name+".std", name+".min", name+".max")
-	}
+	ss.featCols = featColumns(sc)
 	ss.feat = make([]float64, len(sc.Tiles)*len(ss.featCols))
 	for b := 0; b < nb; b++ {
 		for ti := range sc.Tiles {
@@ -258,4 +358,40 @@ func newSceneSet(sc *archive.Scene, shards int) *sceneSet {
 		}
 	}
 	return ss
+}
+
+// shardRoots partitions the coarsest-level cell frontier. Roots reads
+// only the pyramid's flat planes, so this never materializes Grid
+// levels on a restored scene.
+func (ss *sceneSet) shardRoots(shards int) {
+	roots := progressive.Roots(ss.scene.Pyramid())
+	for _, r := range partition(len(roots), shards) {
+		ss.roots = append(ss.roots, roots[r[0]:r[1]])
+	}
+}
+
+// featColumns derives the fixed column-name table from the band list —
+// deterministic, so built and restored engines compile rules against
+// identical schemas.
+func featColumns(sc *archive.Scene) []string {
+	cols := make([]string, 0, sc.NumBands()*4)
+	for _, name := range sc.BandNames {
+		cols = append(cols, name+".mean", name+".std", name+".min", name+".max")
+	}
+	return cols
+}
+
+// restoredSceneSet assembles a scene set around a restored archive and
+// the persisted feature matrix (adopted, possibly mmap-backed). Roots
+// and column names are recomputed — both are cheap and deterministic —
+// while the matrix itself is served from the snapshot.
+func restoredSceneSet(sc *archive.Scene, feat []float64, shards int) (*sceneSet, error) {
+	ss := &sceneSet{scene: sc, featCols: featColumns(sc)}
+	if len(feat) != len(sc.Tiles)*len(ss.featCols) {
+		return nil, fmt.Errorf("core: scene planes: feature matrix len %d for %d tiles × %d cols",
+			len(feat), len(sc.Tiles), len(ss.featCols))
+	}
+	ss.feat = feat
+	ss.shardRoots(shards)
+	return ss, nil
 }

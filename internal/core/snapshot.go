@@ -1,0 +1,656 @@
+// Snapshot/restore wiring between the engine and internal/segment.
+// What is persisted is the *built* serving state — per-shard Onion
+// colstore planes and suffix boxes, flat pyramid planes, precomputed
+// series summaries and event planes, columnar well strata, the scene
+// feature matrix — so OpenSnapshot reaches serving-ready without
+// re-running a single index build, sort, or classification pass.
+// Restored engines answer every query family bit-identically to the
+// engine that wrote the snapshot: everything a query reads is either
+// persisted verbatim or recomputed by a deterministic function of
+// persisted state (root partitioning, feature column names).
+//
+// Per-kind section layout (canonical metadata uses internal/canon
+// framing, tags "TS"/"PY"/"SS"/"WS"):
+//
+//	tuples  meta("TS": per-shard offset/rows/dim/flags) +
+//	        s<k>.{ids,flat,blockstart,zonelo,zonehi,zonenorm,
+//	               segstart,segblock,suffixlo,suffixhi,suffixnorm}
+//	scenes  meta(gob scene metadata) + pyr("PY": band names, level
+//	        geometry) + pyr<l> planes + feat matrix
+//	series  meta("SS": region id/summary/day-count) + events plane
+//	wells   meta("WS": well id/stratum-count) + lith/topft/thickft/gamma
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"modelir/internal/archive"
+	"modelir/internal/canon"
+	"modelir/internal/colstore"
+	"modelir/internal/fsm"
+	"modelir/internal/onion"
+	"modelir/internal/pyramid"
+	"modelir/internal/segment"
+	"modelir/internal/synth"
+)
+
+// Manifest kind tags.
+const (
+	kindTuples = "tuples"
+	kindScenes = "scenes"
+	kindSeries = "series"
+	kindWells  = "wells"
+)
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Rows int    `json:"rows"`
+}
+
+// Datasets lists every registered dataset sorted by name (then kind —
+// names are scoped per kind, so the same name may carry two kinds).
+func (e *Engine) Datasets() []DatasetInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.datasetsLocked()
+}
+
+func (e *Engine) datasetsLocked() []DatasetInfo {
+	out := make([]DatasetInfo, 0, len(e.tuples)+len(e.scenes)+len(e.series)+len(e.wells))
+	for name, ts := range e.tuples {
+		out = append(out, DatasetInfo{Name: name, Kind: kindTuples, Rows: ts.rows})
+	}
+	for name, ss := range e.scenes {
+		out = append(out, DatasetInfo{Name: name, Kind: kindScenes, Rows: len(ss.scene.Tiles)})
+	}
+	for name, ss := range e.series {
+		out = append(out, DatasetInfo{Name: name, Kind: kindSeries, Rows: ss.total})
+	}
+	for name, ws := range e.wells {
+		rows := 0
+		for _, sh := range ws.shards {
+			rows += len(sh.wells)
+		}
+		out = append(out, DatasetInfo{Name: name, Kind: kindWells, Rows: rows})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Snapshot persists every registered dataset's built serving state to
+// b. Tuple shards whose Onion index has not been demanded yet are
+// built here (a snapshot must capture serving-ready state, and lazy
+// builds after restore would need the raw points we don't persist).
+// Registrations block for the duration; queries do not.
+func (e *Engine) Snapshot(ctx context.Context, b segment.Backend) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w, err := segment.NewWriter(b, e.shards)
+	if err != nil {
+		return err
+	}
+	for _, info := range e.datasetsLocked() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch info.Kind {
+		case kindTuples:
+			err = snapTuples(w, info, e.tuples[info.Name], e.onionOpt)
+		case kindScenes:
+			err = snapScene(w, info, e.scenes[info.Name])
+		case kindSeries:
+			err = snapSeries(w, info, e.series[info.Name])
+		case kindWells:
+			err = snapWells(w, info, e.wells[info.Name])
+		}
+		if err != nil {
+			return fmt.Errorf("core: snapshot %s %q: %w", info.Kind, info.Name, err)
+		}
+	}
+	return w.Finish()
+}
+
+// RestoreOptions tunes OpenSnapshot.
+type RestoreOptions struct {
+	// Mode selects Copy (portable) or Map (zero-copy mmap) restore.
+	Mode segment.RestoreMode
+	// Options configures the restored engine's serving layer (cache,
+	// admission control, onion options for datasets added later).
+	// Shards is ignored: the manifest's shard count is authoritative,
+	// because persisted per-shard state must match the partition
+	// layout the engine serves with.
+	Options Options
+}
+
+// OpenSnapshot restores an engine from a snapshot on b. In Map mode
+// the engine's columnar planes alias read-only mappings owned by the
+// snapshot; Close the engine to release them.
+func OpenSnapshot(b segment.Backend, opt RestoreOptions) (*Engine, error) {
+	snap, err := segment.Open(b, opt.Mode)
+	if err != nil {
+		return nil, err
+	}
+	eopt := opt.Options
+	eopt.Shards = snap.Manifest().Shards
+	e := NewEngineWith(eopt)
+	if err := e.restoreFrom(snap); err != nil {
+		snap.Close()
+		return nil, err
+	}
+	if opt.Mode == segment.Map {
+		// Mapped planes live inside the snapshot's mappings; tie their
+		// lifetime to the engine.
+		e.closers = append(e.closers, snap.Close)
+	} else {
+		snap.Close()
+	}
+	return e, nil
+}
+
+// Close releases resources a restored engine holds (mmap'd segment
+// files). Idempotent; a built engine's Close is a no-op. After Close a
+// Map-restored engine must not be queried.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	closers := e.closers
+	e.closers = nil
+	e.mu.Unlock()
+	var first error
+	for _, c := range closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (e *Engine) restoreFrom(snap *segment.Snapshot) error {
+	for _, ds := range snap.Manifest().Datasets {
+		dr, err := snap.Dataset(ds.Kind, ds.Name)
+		if err != nil {
+			return err
+		}
+		switch ds.Kind {
+		case kindTuples:
+			ts, err := restoreTuples(dr, ds.Rows)
+			if err != nil {
+				return fmt.Errorf("core: restore tuples %q: %w", ds.Name, err)
+			}
+			e.tuples[ds.Name] = ts
+		case kindScenes:
+			ss, err := restoreScene(dr, e.shards)
+			if err != nil {
+				return fmt.Errorf("core: restore scene %q: %w", ds.Name, err)
+			}
+			e.scenes[ds.Name] = ss
+		case kindSeries:
+			ss, err := restoreSeries(dr, e.shards)
+			if err != nil {
+				return fmt.Errorf("core: restore series %q: %w", ds.Name, err)
+			}
+			e.series[ds.Name] = ss
+		case kindWells:
+			ws, err := restoreWells(dr, e.shards)
+			if err != nil {
+				return fmt.Errorf("core: restore wells %q: %w", ds.Name, err)
+			}
+			e.wells[ds.Name] = ws
+		default:
+			return fmt.Errorf("%w: dataset %q has unknown kind %q", segment.ErrCorrupt, ds.Name, ds.Kind)
+		}
+		e.epoch.Add(1)
+	}
+	return nil
+}
+
+// ---- tuples ----
+
+func snapTuples(w *segment.Writer, info DatasetInfo, ts *tupleSet, opt onion.Options) error {
+	dw, err := w.Dataset(info.Name, kindTuples, info.Rows)
+	if err != nil {
+		return err
+	}
+	meta := []byte("TS")
+	meta = canon.AppendUint(meta, uint64(len(ts.shards)))
+	for k, sh := range ts.shards {
+		ix, err := sh.ensureIndex(opt)
+		if err != nil {
+			return fmt.Errorf("shard %d index: %w", k, err)
+		}
+		sp := ix.Store().Planes()
+		op := ix.Planes()
+		meta = canon.AppendUint(meta, uint64(sh.offset))
+		meta = canon.AppendUint(meta, uint64(sp.Rows))
+		meta = canon.AppendUint(meta, uint64(sp.Dim))
+		meta = append(meta, boolByte(op.Exact), boolByte(op.CoreIsBucket))
+		pre := func(s string) string { return fmt.Sprintf("s%d.%s", k, s) }
+		if err := firstErr(
+			dw.Ints(pre("ids"), sp.IDs),
+			dw.Floats(pre("flat"), sp.Flat),
+			dw.Ints(pre("blockstart"), intsToI64(sp.BlockStart)),
+			dw.Floats(pre("zonelo"), sp.ZoneLo),
+			dw.Floats(pre("zonehi"), sp.ZoneHi),
+			dw.Floats(pre("zonenorm"), sp.ZoneNorm),
+			dw.Ints(pre("segstart"), intsToI64(sp.SegStart)),
+			dw.Ints(pre("segblock"), intsToI64(sp.SegBlock)),
+			dw.Floats(pre("suffixlo"), op.SuffixLo),
+			dw.Floats(pre("suffixhi"), op.SuffixHi),
+			dw.Floats(pre("suffixnorm"), op.SuffixNorm),
+		); err != nil {
+			return err
+		}
+	}
+	if err := dw.Raw("meta", meta); err != nil {
+		return err
+	}
+	return dw.Close()
+}
+
+func restoreTuples(dr *segment.DatasetReader, rows int) (*tupleSet, error) {
+	meta, err := dr.Raw("meta")
+	if err != nil {
+		return nil, err
+	}
+	r := canon.NewReader(meta)
+	if err := r.Expect("TS"); err != nil {
+		return nil, fmt.Errorf("%w: tuple meta tag", segment.ErrCorrupt)
+	}
+	nshards, err := r.Count(26) // 3 uints + 2 flag bytes per shard
+	if err != nil || nshards < 1 {
+		return nil, fmt.Errorf("%w: tuple meta shard count", segment.ErrCorrupt)
+	}
+	shards := make([]*tupleShard, 0, nshards)
+	next := 0
+	for k := 0; k < nshards; k++ {
+		offset, err1 := r.Uint()
+		shRows, err2 := r.Uint()
+		dim, err3 := r.Uint()
+		exact, err4 := r.Byte()
+		coreIsBucket, err5 := r.Byte()
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			return nil, fmt.Errorf("%w: tuple meta shard %d", segment.ErrCorrupt, k)
+		}
+		if int(offset) != next {
+			return nil, fmt.Errorf("%w: tuple shard %d offset %d, want %d", segment.ErrCorrupt, k, offset, next)
+		}
+		next += int(shRows)
+		pre := func(s string) string { return fmt.Sprintf("s%d.%s", k, s) }
+		sp := colstore.Planes{Dim: int(dim), Rows: int(shRows)}
+		var op onion.Planes
+		op.Dim = int(dim)
+		op.Exact = exact != 0
+		op.CoreIsBucket = coreIsBucket != 0
+		var ids, blockStart, segStart, segBlock []int64
+		if err := firstErr(
+			readI64(dr, pre("ids"), &ids),
+			readF64(dr, pre("flat"), &sp.Flat),
+			readI64(dr, pre("blockstart"), &blockStart),
+			readF64(dr, pre("zonelo"), &sp.ZoneLo),
+			readF64(dr, pre("zonehi"), &sp.ZoneHi),
+			readF64(dr, pre("zonenorm"), &sp.ZoneNorm),
+			readI64(dr, pre("segstart"), &segStart),
+			readI64(dr, pre("segblock"), &segBlock),
+			readF64(dr, pre("suffixlo"), &op.SuffixLo),
+			readF64(dr, pre("suffixhi"), &op.SuffixHi),
+			readF64(dr, pre("suffixnorm"), &op.SuffixNorm),
+		); err != nil {
+			return nil, err
+		}
+		sp.IDs = ids
+		sp.BlockStart = i64ToInts(blockStart)
+		sp.SegStart = i64ToInts(segStart)
+		sp.SegBlock = i64ToInts(segBlock)
+		store, err := colstore.FromPlanes(sp)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %v", segment.ErrCorrupt, k, err)
+		}
+		ix, err := onion.FromParts(op, store)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %v", segment.ErrCorrupt, k, err)
+		}
+		shards = append(shards, restoredTupleShard(int(offset), ix))
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing tuple meta", segment.ErrCorrupt)
+	}
+	if next != rows {
+		return nil, fmt.Errorf("%w: tuple shards cover %d rows, manifest says %d", segment.ErrCorrupt, next, rows)
+	}
+	return restoredTupleSet(rows, shards), nil
+}
+
+// ---- scenes ----
+
+func snapScene(w *segment.Writer, info DatasetInfo, ss *sceneSet) error {
+	dw, err := w.Dataset(info.Name, kindScenes, info.Rows)
+	if err != nil {
+		return err
+	}
+	var metaBuf bytes.Buffer
+	if err := ss.scene.EncodeMeta(&metaBuf); err != nil {
+		return err
+	}
+	if err := dw.Raw("meta", metaBuf.Bytes()); err != nil {
+		return err
+	}
+	mp := ss.scene.Pyramid()
+	pt := []byte("PY")
+	pt = canon.AppendUint(pt, uint64(mp.NumBands()))
+	for b := 0; b < mp.NumBands(); b++ {
+		pt = canon.AppendString(pt, mp.BandName(b))
+	}
+	pt = canon.AppendUint(pt, uint64(mp.NumLevels()))
+	for l := 0; l < mp.NumLevels(); l++ {
+		fl := mp.Flat(l)
+		pt = canon.AppendUint(pt, uint64(fl.W))
+		pt = canon.AppendUint(pt, uint64(fl.H))
+		pt = canon.AppendUint(pt, uint64(fl.Scale))
+		pt = canon.AppendUint(pt, uint64(fl.Bands))
+		if err := dw.Floats(fmt.Sprintf("pyr%d", l), fl.Vals()); err != nil {
+			return err
+		}
+	}
+	if err := dw.Raw("pyr", pt); err != nil {
+		return err
+	}
+	if err := dw.Floats("feat", ss.feat); err != nil {
+		return err
+	}
+	return dw.Close()
+}
+
+func restoreScene(dr *segment.DatasetReader, shards int) (*sceneSet, error) {
+	pt, err := dr.Raw("pyr")
+	if err != nil {
+		return nil, err
+	}
+	r := canon.NewReader(pt)
+	if err := r.Expect("PY"); err != nil {
+		return nil, fmt.Errorf("%w: pyramid table tag", segment.ErrCorrupt)
+	}
+	nbands, err := r.Count(8)
+	if err != nil || nbands < 1 {
+		return nil, fmt.Errorf("%w: pyramid band count", segment.ErrCorrupt)
+	}
+	names := make([]string, nbands)
+	for b := range names {
+		if names[b], err = r.String(); err != nil {
+			return nil, fmt.Errorf("%w: pyramid band name %d", segment.ErrCorrupt, b)
+		}
+	}
+	nlevels, err := r.Count(32) // 4 uints per level
+	if err != nil || nlevels < 1 {
+		return nil, fmt.Errorf("%w: pyramid level count", segment.ErrCorrupt)
+	}
+	levels := make([]pyramid.FlatLevel, nlevels)
+	for l := 0; l < nlevels; l++ {
+		wd, err1 := r.Uint()
+		ht, err2 := r.Uint()
+		scale, err3 := r.Uint()
+		bands, err4 := r.Uint()
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, fmt.Errorf("%w: pyramid level %d geometry", segment.ErrCorrupt, l)
+		}
+		vals, err := dr.Floats(fmt.Sprintf("pyr%d", l))
+		if err != nil {
+			return nil, err
+		}
+		fl, err := pyramid.FlatFromVals(int(wd), int(ht), int(scale), int(bands), vals)
+		if err != nil {
+			return nil, fmt.Errorf("%w: level %d: %v", segment.ErrCorrupt, l, err)
+		}
+		levels[l] = fl
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing pyramid table", segment.ErrCorrupt)
+	}
+	mp, err := pyramid.FromFlat(names, levels)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", segment.ErrCorrupt, err)
+	}
+	meta, err := dr.Raw("meta")
+	if err != nil {
+		return nil, err
+	}
+	sc, err := archive.SceneFromParts(bytes.NewReader(meta), mp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", segment.ErrCorrupt, err)
+	}
+	if len(sc.Tiles) != dr.Rows() {
+		return nil, fmt.Errorf("%w: scene has %d tiles, manifest says %d rows", segment.ErrCorrupt, len(sc.Tiles), dr.Rows())
+	}
+	feat, err := dr.Floats("feat")
+	if err != nil {
+		return nil, err
+	}
+	ss, err := restoredSceneSet(sc, feat, shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", segment.ErrCorrupt, err)
+	}
+	return ss, nil
+}
+
+// ---- series ----
+
+func snapSeries(w *segment.Writer, info DatasetInfo, ss *seriesSet) error {
+	dw, err := w.Dataset(info.Name, kindSeries, info.Rows)
+	if err != nil {
+		return err
+	}
+	meta := []byte("SS")
+	meta = canon.AppendUint(meta, uint64(info.Rows))
+	var events []fsm.Event
+	for _, sh := range ss.shards {
+		for i := range sh.regions {
+			meta = canon.AppendUint(meta, uint64(int64(sh.regions[i].Region)))
+			meta = canon.AppendUint(meta, uint64(sh.sums[i].MaxDrySpell))
+			meta = canon.AppendUint(meta, uint64(sh.sums[i].RainDays))
+			meta = canon.AppendFloat(meta, sh.sums[i].MaxTempAfterDry3)
+			meta = canon.AppendUint(meta, uint64(sh.evOff[i+1]-sh.evOff[i]))
+		}
+		events = append(events, sh.events...)
+	}
+	if err := firstErr(
+		dw.Raw("meta", meta),
+		dw.Ints("events", fsm.EncodeEvents(events)),
+	); err != nil {
+		return err
+	}
+	return dw.Close()
+}
+
+func restoreSeries(dr *segment.DatasetReader, shards int) (*seriesSet, error) {
+	meta, err := dr.Raw("meta")
+	if err != nil {
+		return nil, err
+	}
+	r := canon.NewReader(meta)
+	if err := r.Expect("SS"); err != nil {
+		return nil, fmt.Errorf("%w: series meta tag", segment.ErrCorrupt)
+	}
+	n, err := r.Count(40) // 4 uints + 1 float per region
+	if err != nil {
+		return nil, fmt.Errorf("%w: series region count", segment.ErrCorrupt)
+	}
+	if n != dr.Rows() {
+		return nil, fmt.Errorf("%w: series meta has %d regions, manifest says %d", segment.ErrCorrupt, n, dr.Rows())
+	}
+	ids := make([]int, n)
+	sums := make([]synth.DrySpellStats, n)
+	days := make([]int, n)
+	for i := 0; i < n; i++ {
+		id, err1 := r.Uint()
+		maxDry, err2 := r.Uint()
+		rainDays, err3 := r.Uint()
+		maxTemp, err4 := r.Float()
+		d, err5 := r.Uint()
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			return nil, fmt.Errorf("%w: series meta region %d", segment.ErrCorrupt, i)
+		}
+		ids[i] = int(int64(id))
+		sums[i] = synth.DrySpellStats{
+			MaxDrySpell:      int(maxDry),
+			RainDays:         int(rainDays),
+			MaxTempAfterDry3: maxTemp,
+		}
+		days[i] = int(d)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing series meta", segment.ErrCorrupt)
+	}
+	evCol, err := dr.Ints("events")
+	if err != nil {
+		return nil, err
+	}
+	ss, err := restoredSeriesSet(ids, sums, fsm.DecodeEvents(evCol), days, shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", segment.ErrCorrupt, err)
+	}
+	return ss, nil
+}
+
+// ---- wells ----
+
+func snapWells(w *segment.Writer, info DatasetInfo, ws *wellSet) error {
+	dw, err := w.Dataset(info.Name, kindWells, info.Rows)
+	if err != nil {
+		return err
+	}
+	meta := []byte("WS")
+	meta = canon.AppendUint(meta, uint64(info.Rows))
+	var lith []int64
+	var topFt, thickFt, gamma []float64
+	for _, sh := range ws.shards {
+		for i := range sh.wells {
+			meta = canon.AppendUint(meta, uint64(int64(sh.wells[i].Well)))
+			meta = canon.AppendUint(meta, uint64(sh.strataLen(i)))
+		}
+		for _, l := range sh.lith {
+			lith = append(lith, int64(l))
+		}
+		topFt = append(topFt, sh.topFt...)
+		thickFt = append(thickFt, sh.thickFt...)
+		gamma = append(gamma, sh.gamma...)
+	}
+	if err := firstErr(
+		dw.Raw("meta", meta),
+		dw.Ints("lith", lith),
+		dw.Floats("topft", topFt),
+		dw.Floats("thickft", thickFt),
+		dw.Floats("gamma", gamma),
+	); err != nil {
+		return err
+	}
+	return dw.Close()
+}
+
+func restoreWells(dr *segment.DatasetReader, shards int) (*wellSet, error) {
+	meta, err := dr.Raw("meta")
+	if err != nil {
+		return nil, err
+	}
+	r := canon.NewReader(meta)
+	if err := r.Expect("WS"); err != nil {
+		return nil, fmt.Errorf("%w: well meta tag", segment.ErrCorrupt)
+	}
+	n, err := r.Count(16) // 2 uints per well
+	if err != nil {
+		return nil, fmt.Errorf("%w: well count", segment.ErrCorrupt)
+	}
+	if n != dr.Rows() {
+		return nil, fmt.Errorf("%w: well meta has %d wells, manifest says %d", segment.ErrCorrupt, n, dr.Rows())
+	}
+	ids := make([]int, n)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		id, err1 := r.Uint()
+		c, err2 := r.Uint()
+		if err := firstErr(err1, err2); err != nil {
+			return nil, fmt.Errorf("%w: well meta %d", segment.ErrCorrupt, i)
+		}
+		ids[i] = int(int64(id))
+		counts[i] = int(c)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing well meta", segment.ErrCorrupt)
+	}
+	lithCol, err := dr.Ints("lith")
+	if err != nil {
+		return nil, err
+	}
+	lith := make([]synth.Lithology, len(lithCol))
+	for i, v := range lithCol {
+		lith[i] = synth.Lithology(v)
+	}
+	var topFt, thickFt, gamma []float64
+	if err := firstErr(
+		readF64(dr, "topft", &topFt),
+		readF64(dr, "thickft", &thickFt),
+		readF64(dr, "gamma", &gamma),
+	); err != nil {
+		return nil, err
+	}
+	ws, err := restoredWellSet(ids, counts, lith, topFt, thickFt, gamma, shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", segment.ErrCorrupt, err)
+	}
+	return ws, nil
+}
+
+// ---- small helpers ----
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func firstErr(errs ...error) error {
+	return errors.Join(errs...)
+}
+
+func intsToI64(s []int) []int64 {
+	out := make([]int64, len(s))
+	for i, v := range s {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+func i64ToInts(s []int64) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func readF64(dr *segment.DatasetReader, name string, dst *[]float64) error {
+	v, err := dr.Floats(name)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+func readI64(dr *segment.DatasetReader, name string, dst *[]int64) error {
+	v, err := dr.Ints(name)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}

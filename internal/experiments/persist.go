@@ -1,0 +1,215 @@
+// Durability baseline: the machine-readable artifact CI archives as
+// BENCH_persist.json, tracking snapshot write time, cold-start restore
+// time in Copy vs Map mode, and — the acceptance gate — the
+// restore-equivalence bit: a restored engine must answer all six query
+// families bit-identically to the engine that wrote the snapshot.
+// Timings are informational on shared CI cores; the bit is the gate.
+
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"modelir/internal/archive"
+	"modelir/internal/core"
+	"modelir/internal/fsm"
+	"modelir/internal/linear"
+	"modelir/internal/segment"
+	"modelir/internal/synth"
+	"modelir/internal/topk"
+)
+
+// PersistBaseline is the BENCH_persist.json artifact.
+type PersistBaseline struct {
+	Tuples     int `json:"tuples"`
+	SceneWH    int `json:"scene_wh"`
+	Regions    int `json:"regions"`
+	Wells      int `json:"wells"`
+	Shards     int `json:"shards"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// BuildNs is the fresh path a snapshot replaces: archive ingest
+	// plus the index builds forced by one pass over all six families.
+	BuildNs int64 `json:"build_ns"`
+	// SnapshotWriteNs / SnapshotBytes measure Engine.Snapshot to a
+	// local directory backend.
+	SnapshotWriteNs int64 `json:"snapshot_write_ns"`
+	SnapshotBytes   int64 `json:"snapshot_bytes"`
+	// RestoreCopyNs / RestoreMapNs are cold-start OpenSnapshot wall
+	// times. RestoreMapNs is zero when the host cannot mmap.
+	RestoreCopyNs int64 `json:"restore_copy_ns"`
+	RestoreMapNs  int64 `json:"restore_map_ns"`
+	MapSupported  bool  `json:"map_supported"`
+
+	// ResultsIdentical is the acceptance bit: every family's top-K
+	// from every restore mode matched the builder's bit for bit.
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// persistFamilies runs the six-family matrix and returns the ranked
+// items per family, in a fixed order.
+func persistFamilies(ctx context.Context, e *core.Engine, pm *linear.ProgressiveModel) ([][]topk.Item, error) {
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{1, -0.5, 2}, 3)
+	if err != nil {
+		return nil, err
+	}
+	reqs := []core.Request{
+		{Dataset: "gauss", Query: core.LinearQuery{Model: lm}, K: 10},
+		{Dataset: "hps", Query: core.SceneQuery{Model: pm}, K: 10},
+		{Dataset: "weather", Query: core.FSMQuery{Machine: fsm.FireAnts(), Prefilter: core.FireAntsPrefilter}, K: 10},
+		{Dataset: "weather", Query: core.FSMDistanceQuery{Target: fsm.FireAnts(), Horizon: 6}, K: 10},
+		{Dataset: "basin", Query: core.GeologyQuery{
+			Sequence: []synth.Lithology{synth.Shale, synth.Sandstone, synth.Siltstone},
+			MaxGapFt: 10, MinGamma: 45,
+		}, K: 10},
+		{Dataset: "hps", Query: core.KnowledgeQuery{Rules: core.HPSTileRules()}, K: 10},
+	}
+	out := make([][]topk.Item, len(reqs))
+	for i, rq := range reqs {
+		res, err := e.Run(ctx, rq)
+		if err != nil {
+			return nil, fmt.Errorf("family %d: %w", i, err)
+		}
+		out[i] = res.Items
+	}
+	return out, nil
+}
+
+// persistSweep builds the four-family engine, snapshots it, restores
+// it cold in both modes, and verifies equivalence.
+func persistSweep(cfg Config) (PersistBaseline, error) {
+	base := PersistBaseline{
+		Tuples: 20_000, SceneWH: 96, Regions: 120, Wells: 100,
+		Shards: 4, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if cfg.Quick {
+		base.Tuples, base.SceneWH, base.Regions, base.Wells = 5_000, 32, 40, 30
+	}
+	ctx := cfg.ctx()
+
+	start := time.Now()
+	e := core.NewEngineWith(core.Options{Shards: base.Shards, CacheEntries: -1})
+	pts, err := synth.GaussianTuples(51, base.Tuples, 3)
+	if err != nil {
+		return base, err
+	}
+	sc, err := synth.LandsatScene(synth.SceneConfig{Seed: 52, W: base.SceneWH, H: base.SceneWH})
+	if err != nil {
+		return base, err
+	}
+	scene, err := archive.BuildScene("hps", sc.Bands, archive.Options{TileSize: 16, PyramidLevels: 4})
+	if err != nil {
+		return base, err
+	}
+	pm, err := linear.Decompose(linear.HPSRisk(),
+		[]float64{0, 0, 0, 0}, []float64{255, 255, 255, 1500}, 2, 4)
+	if err != nil {
+		return base, err
+	}
+	weather, err := synth.WeatherArchive(synth.WeatherConfig{Seed: 53, Regions: base.Regions, Days: 365})
+	if err != nil {
+		return base, err
+	}
+	wells, _, err := synth.WellArchive(synth.WellConfig{Seed: 54, Wells: base.Wells})
+	if err != nil {
+		return base, err
+	}
+	for _, step := range []error{
+		e.AddTuples("gauss", pts),
+		e.AddScene("hps", scene),
+		e.AddSeries("weather", weather),
+		e.AddWells("basin", wells),
+	} {
+		if step != nil {
+			return base, step
+		}
+	}
+	want, err := persistFamilies(ctx, e, pm)
+	if err != nil {
+		return base, err
+	}
+	base.BuildNs = time.Since(start).Nanoseconds()
+
+	dir, err := os.MkdirTemp("", "modelir-persist-*")
+	if err != nil {
+		return base, err
+	}
+	defer os.RemoveAll(dir)
+	b, err := segment.NewDir(dir)
+	if err != nil {
+		return base, err
+	}
+	start = time.Now()
+	if err := e.Snapshot(ctx, b); err != nil {
+		return base, err
+	}
+	base.SnapshotWriteNs = time.Since(start).Nanoseconds()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return base, err
+	}
+	for _, ent := range ents {
+		st, err := os.Stat(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return base, err
+		}
+		base.SnapshotBytes += st.Size()
+	}
+
+	identical := true
+	check := func(mode segment.RestoreMode) (int64, error) {
+		start := time.Now()
+		re, err := core.OpenSnapshot(b, core.RestoreOptions{Mode: mode})
+		if err != nil {
+			return 0, err
+		}
+		wall := time.Since(start).Nanoseconds()
+		defer re.Close()
+		got, err := persistFamilies(ctx, re, pm)
+		if err != nil {
+			return wall, err
+		}
+		for i := range want {
+			if !itemsMatch(got[i], want[i]) {
+				identical = false
+			}
+		}
+		return wall, nil
+	}
+	if base.RestoreCopyNs, err = check(segment.Copy); err != nil {
+		return base, err
+	}
+	mapNs, err := check(segment.Map)
+	switch {
+	case err == nil:
+		base.RestoreMapNs, base.MapSupported = mapNs, true
+	case errors.Is(err, segment.ErrMapUnsupported):
+		base.MapSupported = false
+	default:
+		return base, err
+	}
+	base.ResultsIdentical = identical
+	return base, nil
+}
+
+// WritePersistBaseline runs the durability sweep and writes the JSON
+// baseline (the BENCH_persist.json artifact produced by `benchtab
+// -persistjson`).
+func WritePersistBaseline(cfg Config, path string) error {
+	base, err := persistSweep(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,61 @@
+// Plane export/import for the snapshot subsystem: an Index is its
+// columnar store plus three suffix-bound planes and two flags, so a
+// restored index needs no hull peeling — the layer ordering is already
+// baked into the store's segments.
+
+package onion
+
+import (
+	"fmt"
+
+	"modelir/internal/colstore"
+)
+
+// Planes is the Index state beyond its colstore.Store: the suffix
+// bounds and the two layering flags. Slices alias the index — treat as
+// read-only.
+type Planes struct {
+	Dim          int
+	Exact        bool
+	CoreIsBucket bool
+	SuffixLo     []float64
+	SuffixHi     []float64
+	SuffixNorm   []float64
+}
+
+// Planes exports the index's non-store state for serialization.
+func (ix *Index) Planes() Planes {
+	return Planes{
+		Dim:          ix.dim,
+		Exact:        ix.exact,
+		CoreIsBucket: ix.coreIsBucket,
+		SuffixLo:     ix.suffixLo,
+		SuffixHi:     ix.suffixHi,
+		SuffixNorm:   ix.suffixNorm,
+	}
+}
+
+// FromParts reconstructs an Index around a restored store and its
+// suffix planes, validating the cross-array invariants a scan indexes
+// by (one suffix box per store segment, stride dim).
+func FromParts(p Planes, store *colstore.Store) (*Index, error) {
+	if store == nil {
+		return nil, fmt.Errorf("onion: parts: nil store")
+	}
+	if p.Dim != store.Dim() {
+		return nil, fmt.Errorf("onion: parts: dim %d, store dim %d", p.Dim, store.Dim())
+	}
+	n := store.NumSegments()
+	if len(p.SuffixNorm) != n || len(p.SuffixLo) != n*p.Dim || len(p.SuffixHi) != n*p.Dim {
+		return nil, fmt.Errorf("onion: parts: suffix planes do not match %d layers × dim %d", n, p.Dim)
+	}
+	return &Index{
+		dim:          p.Dim,
+		store:        store,
+		exact:        p.Exact,
+		coreIsBucket: p.CoreIsBucket,
+		suffixLo:     p.SuffixLo,
+		suffixHi:     p.SuffixHi,
+		suffixNorm:   p.SuffixNorm,
+	}, nil
+}

@@ -212,10 +212,13 @@ type Cell struct {
 // scan partitions among workers.
 func Roots(mp *pyramid.MultibandPyramid) []Cell {
 	top := mp.NumLevels() - 1
-	coarse := mp.Band(0).Level(top).Mean
-	out := make([]Cell, 0, coarse.Width()*coarse.Height())
-	for cy := 0; cy < coarse.Height(); cy++ {
-		for cx := 0; cx < coarse.Width(); cx++ {
+	// Read the coarsest geometry off the flat view, not the Grid bands,
+	// so a pyramid restored planes-only from a snapshot never
+	// materializes grids just to enumerate roots.
+	coarse := mp.Flat(top)
+	out := make([]Cell, 0, coarse.W*coarse.H)
+	for cy := 0; cy < coarse.H; cy++ {
+		for cx := 0; cx < coarse.W; cx++ {
 			out = append(out, Cell{Level: top, X: cx, Y: cy})
 		}
 	}

@@ -1,0 +1,47 @@
+// Plane export/import for the snapshot subsystem: a MultibandPyramid's
+// serving state is exactly its flat cell-major levels (the descent
+// reads nothing else), so a snapshot stores one plane per level and a
+// restore rebuilds the pyramid planes-only — Grid bands materialize
+// lazily only if an off-engine path asks for them.
+
+package pyramid
+
+import "fmt"
+
+// Vals returns the level's backing plane for serialization. The slice
+// aliases the level — treat it as read-only.
+func (fl *FlatLevel) Vals() []float64 { return fl.vals }
+
+// FlatFromVals reconstructs a FlatLevel around a restored plane,
+// validating the geometry the hot accessors index by. vals is adopted,
+// not copied (it may be mmap-backed).
+func FlatFromVals(w, h, scale, bands int, vals []float64) (FlatLevel, error) {
+	if w < 1 || h < 1 || bands < 1 || scale < 1 {
+		return FlatLevel{}, fmt.Errorf("pyramid: flat level geometry %dx%d bands %d scale %d", w, h, bands, scale)
+	}
+	if len(vals) != w*h*bands*3 {
+		return FlatLevel{}, fmt.Errorf("pyramid: flat level plane len %d, want %d", len(vals), w*h*bands*3)
+	}
+	return FlatLevel{W: w, H: h, Scale: scale, Bands: bands, vals: vals}, nil
+}
+
+// FromFlat reconstructs a MultibandPyramid from restored flat levels.
+// Every level must carry len(names) bands; levels must run fine to
+// coarse (level 0 first). Grid bands are left unmaterialized.
+func FromFlat(names []string, levels []FlatLevel) (*MultibandPyramid, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("pyramid: no bands")
+	}
+	if len(levels) == 0 {
+		return nil, ErrNoLevels
+	}
+	for l := range levels {
+		if levels[l].Bands != len(names) {
+			return nil, fmt.Errorf("pyramid: level %d has %d bands, want %d", l, levels[l].Bands, len(names))
+		}
+		if len(levels[l].vals) != levels[l].W*levels[l].H*levels[l].Bands*3 {
+			return nil, fmt.Errorf("pyramid: level %d plane size mismatch", l)
+		}
+	}
+	return &MultibandPyramid{names: append([]string(nil), names...), flat: levels}, nil
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"modelir/internal/raster"
 )
@@ -136,7 +137,13 @@ func downMax(g *raster.Grid) *raster.Grid {
 // per coarse cell.
 type MultibandPyramid struct {
 	names []string
-	bands []*Pyramid
+	// bands holds the per-band Grid pyramids. BuildMultiband populates
+	// it eagerly; a pyramid restored from flat planes (FromFlat) leaves
+	// it nil and materializes lazily on first Band call — the serving
+	// descent reads only the flat view, so a restored archive never
+	// pays for Grid materialization unless an off-engine path asks.
+	bands    []*Pyramid
+	bandOnce sync.Once
 	// flat is the columnar per-level view (flat.go): one allocation per
 	// level holding every band's mean/min/max, cell-major.
 	flat []FlatLevel
@@ -160,21 +167,54 @@ func BuildMultiband(m *raster.Multiband, levels int) (*MultibandPyramid, error) 
 }
 
 // NumBands returns the band count.
-func (mp *MultibandPyramid) NumBands() int { return len(mp.bands) }
+func (mp *MultibandPyramid) NumBands() int { return len(mp.names) }
 
 // NumLevels returns the common level count (minimum across bands).
-func (mp *MultibandPyramid) NumLevels() int {
-	n := mp.bands[0].NumLevels()
-	for _, p := range mp.bands[1:] {
-		if p.NumLevels() < n {
-			n = p.NumLevels()
-		}
-	}
-	return n
+// The flat view is built over exactly that minimum, so its length IS
+// the answer on both the built and the restored path.
+func (mp *MultibandPyramid) NumLevels() int { return len(mp.flat) }
+
+// Band returns the pyramid for band i, materializing Grid pyramids
+// from the flat planes first if this pyramid was restored planes-only.
+func (mp *MultibandPyramid) Band(i int) *Pyramid {
+	mp.bandOnce.Do(mp.materializeBands)
+	return mp.bands[i]
 }
 
-// Band returns the pyramid for band i.
-func (mp *MultibandPyramid) Band(i int) *Pyramid { return mp.bands[i] }
+// materializeBands rebuilds the per-band Grid pyramids from the flat
+// cell-major planes. The flat values were copied verbatim from the
+// grids at build time (or restored bit-identical from a snapshot), so
+// the reverse copy reproduces the Grid path exactly.
+func (mp *MultibandPyramid) materializeBands() {
+	if mp.bands != nil {
+		return
+	}
+	nb := len(mp.names)
+	bands := make([]*Pyramid, nb)
+	for b := 0; b < nb; b++ {
+		p := &Pyramid{levels: make([]Level, len(mp.flat))}
+		for l := range mp.flat {
+			fl := &mp.flat[l]
+			mean := raster.MustGrid(fl.W, fl.H)
+			lo := raster.MustGrid(fl.W, fl.H)
+			hi := raster.MustGrid(fl.W, fl.H)
+			stride := fl.Bands * 3
+			for y := 0; y < fl.H; y++ {
+				mr, nr, xr := mean.Row(y), lo.Row(y), hi.Row(y)
+				rowBase := y * fl.W * stride
+				for x := 0; x < fl.W; x++ {
+					o := rowBase + x*stride + b*3
+					mr[x] = fl.vals[o]
+					nr[x] = fl.vals[o+1]
+					xr[x] = fl.vals[o+2]
+				}
+			}
+			p.levels[l] = Level{Mean: mean, Min: lo, Max: hi, Scale: fl.Scale}
+		}
+		bands[b] = p
+	}
+	mp.bands = bands
+}
 
 // BandNames returns the band names in order.
 func (mp *MultibandPyramid) BandNames() []string {

@@ -1,0 +1,111 @@
+// In-file section framing. Each section's payload page is preceded by
+// one header page carrying a canon-framed copy of the manifest entry's
+// identity fields (name, type, count, payload length). The loader
+// cross-checks the two on every read, so a manifest whose offsets
+// point at the wrong region of a segment file — bytes that may well be
+// checksummable garbage from another section — is caught structurally
+// without any hash in the header itself. Keeping the hash out of the
+// header is what lets the writer stream: the payload SHA-256 is
+// computed while the payload is written and lands only in the
+// manifest, which is written last.
+
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"modelir/internal/canon"
+)
+
+// headerTag marks a canon-framed section header.
+const headerTag = "MS"
+
+// sectionHeader is the decoded in-file framing record.
+type sectionHeader struct {
+	Name       string
+	Type       string
+	Count      uint64
+	PayloadLen uint64
+}
+
+// encode appends the canonical header bytes (no length prefix).
+func (h sectionHeader) encode() []byte {
+	b := make([]byte, 0, 2+8+8+len(h.Name)+8+len(h.Type)+8+8)
+	b = append(b, headerTag...)
+	b = canon.AppendUint(b, FormatVersion)
+	b = canon.AppendString(b, h.Name)
+	b = canon.AppendString(b, h.Type)
+	b = canon.AppendUint(b, h.Count)
+	b = canon.AppendUint(b, h.PayloadLen)
+	return b
+}
+
+// decodeSectionHeader parses header bytes produced by encode. The
+// whole input must be consumed — trailing bytes are corruption, which
+// makes decode→re-encode byte-identity a fuzzable invariant.
+func decodeSectionHeader(b []byte) (sectionHeader, error) {
+	r := canon.NewReader(b)
+	if err := r.Expect(headerTag); err != nil {
+		return sectionHeader{}, fmt.Errorf("%w: section header tag", ErrCorrupt)
+	}
+	ver, err := r.Uint()
+	if err != nil {
+		return sectionHeader{}, fmt.Errorf("%w: section header version", ErrCorrupt)
+	}
+	if ver != FormatVersion {
+		return sectionHeader{}, fmt.Errorf("%w: section header version %d", ErrVersion, ver)
+	}
+	var h sectionHeader
+	if h.Name, err = r.String(); err != nil {
+		return sectionHeader{}, fmt.Errorf("%w: section header name", ErrCorrupt)
+	}
+	if h.Name == "" {
+		return sectionHeader{}, fmt.Errorf("%w: empty section name", ErrCorrupt)
+	}
+	if h.Type, err = r.String(); err != nil {
+		return sectionHeader{}, fmt.Errorf("%w: section header type", ErrCorrupt)
+	}
+	switch h.Type {
+	case TypeRaw, TypeF64, TypeI64:
+	default:
+		return sectionHeader{}, fmt.Errorf("%w: section header type %q", ErrCorrupt, h.Type)
+	}
+	if h.Count, err = r.Uint(); err != nil {
+		return sectionHeader{}, fmt.Errorf("%w: section header count", ErrCorrupt)
+	}
+	if h.PayloadLen, err = r.Uint(); err != nil {
+		return sectionHeader{}, fmt.Errorf("%w: section header payload len", ErrCorrupt)
+	}
+	if r.Remaining() != 0 {
+		return sectionHeader{}, fmt.Errorf("%w: %d trailing bytes after section header", ErrCorrupt, r.Remaining())
+	}
+	return h, nil
+}
+
+// framedHeader returns the full header page prefix: an 8-byte
+// little-endian length followed by the canonical header bytes. The
+// result must fit in one page so the payload can start exactly one
+// page after the header.
+func framedHeader(h sectionHeader) ([]byte, error) {
+	enc := h.encode()
+	if 8+len(enc) > pageSize {
+		return nil, fmt.Errorf("segment: section header for %q exceeds one page", h.Name)
+	}
+	out := make([]byte, 8, 8+len(enc))
+	binary.LittleEndian.PutUint64(out, uint64(len(enc)))
+	return append(out, enc...), nil
+}
+
+// parseFramedHeader decodes a header page (length prefix + canonical
+// bytes, zero padding after).
+func parseFramedHeader(page []byte) (sectionHeader, error) {
+	if len(page) < 8 {
+		return sectionHeader{}, fmt.Errorf("%w: truncated section header page", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(page)
+	if n == 0 || n > uint64(len(page)-8) {
+		return sectionHeader{}, fmt.Errorf("%w: section header length %d", ErrCorrupt, n)
+	}
+	return decodeSectionHeader(page[8 : 8+n])
+}

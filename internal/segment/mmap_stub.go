@@ -1,0 +1,10 @@
+//go:build !unix
+
+// On platforms without mmap the Map restore mode degrades to a typed
+// error; callers fall back to Copy.
+
+package segment
+
+func (b *fileBlob) Map() ([]byte, func() error, error) {
+	return nil, nil, ErrMapUnsupported
+}

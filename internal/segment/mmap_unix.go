@@ -1,0 +1,27 @@
+//go:build unix
+
+// Map support for Dir blobs on unix: a read-only shared mapping of the
+// whole segment file. Page-aligned section offsets inside the mapping
+// then give the 8-byte alignment the []float64 / []int64 alias casts
+// in the loader require.
+
+package segment
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// Map maps the whole file read-only. Closing the returned release func
+// unmaps; the blob's own Close remains the caller's job.
+func (b *fileBlob) Map() ([]byte, func() error, error) {
+	if b.size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(b.f.Fd()), 0, int(b.size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: mmap: %v", ErrMapUnsupported, err)
+	}
+	release := func() error { return syscall.Munmap(data) }
+	return data, release, nil
+}

@@ -1,0 +1,295 @@
+// Writer serializes one snapshot. Section payloads are referenced,
+// not buffered: a DatasetWriter records slice views of the engine's
+// live columnar state and streams them through a chunked little-endian
+// converter when the dataset file is written, computing each payload's
+// SHA-256 in the same pass. Peak extra memory is one 32 KiB chunk
+// buffer regardless of dataset size.
+
+package segment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Writer accumulates datasets and finishes with an atomic manifest
+// write.
+type Writer struct {
+	b        Backend
+	man      Manifest
+	open     bool // a DatasetWriter is outstanding
+	finished bool
+}
+
+// NewWriter starts a snapshot onto b. shards records the engine's
+// shard count for the manifest.
+func NewWriter(b Backend, shards int) (*Writer, error) {
+	if b == nil {
+		return nil, fmt.Errorf("segment: nil backend")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("segment: shards %d", shards)
+	}
+	return &Writer{b: b, man: Manifest{FormatVersion: FormatVersion, Shards: shards}}, nil
+}
+
+// Dataset starts the next dataset. The previous DatasetWriter must be
+// Closed first; datasets should be added in sorted name order so equal
+// engines snapshot byte-identically.
+func (w *Writer) Dataset(name, kind string, rows int) (*DatasetWriter, error) {
+	if w.finished {
+		return nil, fmt.Errorf("segment: writer finished")
+	}
+	if w.open {
+		return nil, fmt.Errorf("segment: previous dataset still open")
+	}
+	if name == "" || kind == "" || rows < 0 {
+		return nil, fmt.Errorf("segment: bad dataset %q kind %q rows %d", name, kind, rows)
+	}
+	for _, ds := range w.man.Datasets {
+		if ds.Name == name && ds.Kind == kind {
+			return nil, fmt.Errorf("segment: duplicate dataset %s %q", kind, name)
+		}
+	}
+	w.open = true
+	return &DatasetWriter{
+		w: w,
+		ds: Dataset{
+			Name: name,
+			Kind: kind,
+			Rows: rows,
+			File: fmt.Sprintf("ds-%04d.seg", len(w.man.Datasets)),
+		},
+	}, nil
+}
+
+// Finish writes the manifest. Call after every dataset is closed; the
+// snapshot is not visible to loaders until Finish returns.
+func (w *Writer) Finish() error {
+	if w.finished {
+		return fmt.Errorf("segment: writer finished twice")
+	}
+	if w.open {
+		return fmt.Errorf("segment: dataset still open at finish")
+	}
+	w.finished = true
+	sort.Slice(w.man.Datasets, func(i, j int) bool {
+		a, b := &w.man.Datasets[i], &w.man.Datasets[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Kind < b.Kind
+	})
+	enc, err := EncodeManifest(&w.man)
+	if err != nil {
+		return err
+	}
+	return w.b.WriteFile(ManifestName, func(out io.Writer) error {
+		_, err := out.Write(enc)
+		return err
+	})
+}
+
+// secSpec is one staged section: exactly one of raw/f64/i64 is set.
+type secSpec struct {
+	name string
+	typ  string
+	raw  []byte
+	f64  []float64
+	i64  []int64
+}
+
+// DatasetWriter stages sections for one dataset and writes the
+// segment file on Close.
+type DatasetWriter struct {
+	w    *Writer
+	ds   Dataset
+	secs []secSpec
+	done bool
+}
+
+func (dw *DatasetWriter) add(s secSpec) error {
+	if dw.done {
+		return fmt.Errorf("segment: dataset %q already closed", dw.ds.Name)
+	}
+	if s.name == "" {
+		return fmt.Errorf("segment: dataset %q: empty section name", dw.ds.Name)
+	}
+	for _, have := range dw.secs {
+		if have.name == s.name {
+			return fmt.Errorf("segment: dataset %q: duplicate section %q", dw.ds.Name, s.name)
+		}
+	}
+	dw.secs = append(dw.secs, s)
+	return nil
+}
+
+// Floats stages a float64 column. vals is aliased until Close returns.
+func (dw *DatasetWriter) Floats(name string, vals []float64) error {
+	return dw.add(secSpec{name: name, typ: TypeF64, f64: vals})
+}
+
+// Ints stages an int64 column. vals is aliased until Close returns.
+func (dw *DatasetWriter) Ints(name string, vals []int64) error {
+	return dw.add(secSpec{name: name, typ: TypeI64, i64: vals})
+}
+
+// Raw stages opaque bytes (e.g. a gob-encoded metadata block).
+func (dw *DatasetWriter) Raw(name string, data []byte) error {
+	return dw.add(secSpec{name: name, typ: TypeRaw, raw: data})
+}
+
+// Close writes the segment file: for each staged section a header
+// page, the little-endian payload, and zero padding to the next page
+// boundary, hashing the payload as it streams. The dataset joins the
+// manifest only if the whole file lands.
+func (dw *DatasetWriter) Close() error {
+	if dw.done {
+		return fmt.Errorf("segment: dataset %q closed twice", dw.ds.Name)
+	}
+	dw.done = true
+	dw.w.open = false
+	err := dw.w.b.WriteFile(dw.ds.File, func(out io.Writer) error {
+		cw := &countingWriter{w: out}
+		for _, s := range dw.secs {
+			sec, err := writeSection(cw, s)
+			if err != nil {
+				return fmt.Errorf("segment: dataset %q section %q: %w", dw.ds.Name, s.name, err)
+			}
+			dw.ds.Sections = append(dw.ds.Sections, sec)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	dw.w.man.Datasets = append(dw.w.man.Datasets, dw.ds)
+	return nil
+}
+
+// writeSection emits one framed section at the writer's current
+// (page-aligned) offset and returns its manifest entry.
+func writeSection(cw *countingWriter, s secSpec) (Section, error) {
+	var count int
+	var payloadLen int64
+	switch s.typ {
+	case TypeRaw:
+		count, payloadLen = len(s.raw), int64(len(s.raw))
+	case TypeF64:
+		count, payloadLen = len(s.f64), int64(len(s.f64))*8
+	case TypeI64:
+		count, payloadLen = len(s.i64), int64(len(s.i64))*8
+	}
+	hdr, err := framedHeader(sectionHeader{
+		Name:       s.name,
+		Type:       s.typ,
+		Count:      uint64(count),
+		PayloadLen: uint64(payloadLen),
+	})
+	if err != nil {
+		return Section{}, err
+	}
+	if _, err := cw.Write(hdr); err != nil {
+		return Section{}, err
+	}
+	if err := cw.padToPage(); err != nil {
+		return Section{}, err
+	}
+	off := cw.n
+
+	h := sha256.New()
+	tee := io.MultiWriter(cw, h)
+	switch s.typ {
+	case TypeRaw:
+		if _, err := tee.Write(s.raw); err != nil {
+			return Section{}, err
+		}
+	case TypeF64:
+		if err := writeF64LE(tee, s.f64); err != nil {
+			return Section{}, err
+		}
+	case TypeI64:
+		if err := writeI64LE(tee, s.i64); err != nil {
+			return Section{}, err
+		}
+	}
+	if err := cw.padToPage(); err != nil {
+		return Section{}, err
+	}
+	return Section{
+		Name:   s.name,
+		Type:   s.typ,
+		Count:  count,
+		Offset: off,
+		Len:    payloadLen,
+		SHA256: hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+// chunkVals is the little-endian conversion chunk size in 8-byte
+// elements (32 KiB buffer).
+const chunkVals = 4096
+
+func writeF64LE(w io.Writer, vals []float64) error {
+	buf := make([]byte, chunkVals*8)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunkVals {
+			n = chunkVals
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(vals[i]))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeI64LE(w io.Writer, vals []int64) error {
+	buf := make([]byte, chunkVals*8)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunkVals {
+			n = chunkVals
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(vals[i]))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// countingWriter tracks the file offset for page-boundary padding.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+var zeroPage [pageSize]byte
+
+func (cw *countingWriter) padToPage() error {
+	pad := (pageSize - cw.n%pageSize) % pageSize
+	if pad == 0 {
+		return nil
+	}
+	_, err := cw.Write(zeroPage[:pad])
+	return err
+}

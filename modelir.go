@@ -53,6 +53,7 @@ import (
 	"modelir/internal/onion"
 	"modelir/internal/progressive"
 	"modelir/internal/raster"
+	"modelir/internal/segment"
 	"modelir/internal/sproc"
 	"modelir/internal/synth"
 	"modelir/internal/topk"
@@ -420,3 +421,79 @@ func NewClusterNode(self string, topo ClusterTopology, opt ClusterNodeOptions) *
 
 // NewClusterRouter returns a router over the topology.
 func NewClusterRouter(topo ClusterTopology) *ClusterRouter { return cluster.NewRouter(topo) }
+
+// Durable snapshots (DESIGN.md §10): Engine.Snapshot persists every
+// registered dataset's built serving state — columnar planes, Onion
+// layer ordering, pyramid levels, event planes, strata columns — as
+// page-aligned checksummed sections behind a SnapshotBackend, and
+// OpenSnapshot restores a serving-ready engine from them without
+// re-running a single index build. Restored engines answer every query
+// family bit-identically to the engine that wrote the snapshot.
+type (
+	// SnapshotBackend is the narrow storage interface snapshots are
+	// written to and restored from; NewSnapshotDir is the local-
+	// directory implementation.
+	SnapshotBackend = segment.Backend
+	// SnapshotDir is a local-directory snapshot backend with atomic
+	// tmp-file + rename writes and an fsync'd manifest.
+	SnapshotDir = segment.Dir
+	// RestoreMode selects how OpenSnapshot materializes columnar
+	// planes: RestoreCopy or RestoreMap.
+	RestoreMode = segment.RestoreMode
+	// RestoreOptions tunes OpenSnapshot (mode plus the restored
+	// engine's serving options; the shard count always comes from the
+	// snapshot manifest).
+	RestoreOptions = core.RestoreOptions
+	// DatasetInfo describes one registered dataset (Engine.Datasets).
+	DatasetInfo = core.DatasetInfo
+)
+
+// Restore modes.
+const (
+	// RestoreCopy decodes sections into freshly allocated memory
+	// (portable, works everywhere).
+	RestoreCopy = segment.Copy
+	// RestoreMap mmaps segment files read-only and serves the planes
+	// in place — archives larger than RAM work, and cold start is
+	// page-fault-bounded. Close the engine to release the mappings.
+	RestoreMap = segment.Map
+)
+
+// Snapshot errors, for errors.Is against OpenSnapshot and restore-time
+// reads. Corruption is always refused with a typed error — a damaged
+// snapshot can never produce a wrong answer.
+var (
+	// ErrNoSnapshot reports a backend with no snapshot on it.
+	ErrNoSnapshot = segment.ErrNoSnapshot
+	// ErrSnapshotCorrupt reports structural damage (bad framing,
+	// missing files or sections, manifest inconsistencies).
+	ErrSnapshotCorrupt = segment.ErrCorrupt
+	// ErrSnapshotChecksum reports a section whose bytes do not match
+	// the manifest's SHA-256.
+	ErrSnapshotChecksum = segment.ErrChecksum
+	// ErrSnapshotVersion reports a snapshot written by an unknown
+	// format version.
+	ErrSnapshotVersion = segment.ErrVersion
+	// ErrMapUnsupported reports that RestoreMap cannot work here
+	// (non-unix host, big-endian host, or a non-mappable backend);
+	// fall back to RestoreCopy.
+	ErrMapUnsupported = segment.ErrMapUnsupported
+)
+
+// NewSnapshotDir opens (creating if needed) a local snapshot
+// directory.
+func NewSnapshotDir(path string) (*SnapshotDir, error) { return segment.NewDir(path) }
+
+// OpenSnapshot restores a serving-ready engine from a snapshot
+// written by Engine.Snapshot.
+func OpenSnapshot(b SnapshotBackend, opt RestoreOptions) (*Engine, error) {
+	return core.OpenSnapshot(b, opt)
+}
+
+// RestoreClusterNode restores a shard server from a snapshot written
+// by ClusterNode.Snapshot: the node's engine-level partitions plus its
+// placement metadata, validated against the topology the cluster is
+// booting with. Add no datasets afterwards; just Serve.
+func RestoreClusterNode(self string, topo ClusterTopology, opt ClusterNodeOptions, b SnapshotBackend, mode RestoreMode) (*ClusterNode, error) {
+	return cluster.RestoreNode(self, topo, opt, b, mode)
+}

@@ -12,6 +12,7 @@
 //	benchtab -kerneljson BENCH_kernels.json  # also write the per-family scan-kernel baseline
 //	benchtab -clusterjson BENCH_cluster.json # also write the multi-node cluster baseline
 //	benchtab -persistjson BENCH_persist.json # also write the snapshot/restore durability baseline
+//	benchtab -ingestjson BENCH_ingest.json   # also write the live-ingest baseline
 //	benchtab -cpuprofile cpu.pprof       # profile the run (go tool pprof)
 //	benchtab -memprofile mem.pprof       # heap profile at exit
 //	benchtab -timeout 30s                # bound the run with a context deadline
@@ -54,6 +55,7 @@ func run(args []string) error {
 	kernelJSON := fs.String("kerneljson", "", "write the per-family scan-kernel baseline (KernelBaseline JSON: columnar vs PR4-reference ns/op, allocs/op, steal speedups) to this path")
 	clusterJSON := fs.String("clusterjson", "", "write the multi-node cluster baseline (ClusterBaseline JSON: scatter-gather ns/req at node counts 1-3 plus the equivalence bit) to this path")
 	persistJSON := fs.String("persistjson", "", "write the durability baseline (PersistBaseline JSON: snapshot write time, cold-start restore Copy vs Map, restore-equivalence bit) to this path")
+	ingestJSON := fs.String("ingestjson", "", "write the live-ingest baseline (IngestBaseline JSON: mixed append+query throughput, appender flush count, delta-equivalence bit) to this path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this path")
 	timeout := fs.Duration("timeout", 0, "overall deadline; cancels in-flight queries mid-shard and records it in -shardjson (0 = none)")
@@ -137,6 +139,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *persistJSON)
+	}
+	if *ingestJSON != "" {
+		if err := experiments.WriteIngestBaseline(cfg, *ingestJSON); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *ingestJSON)
 	}
 
 	var tables []experiments.Table

@@ -47,7 +47,12 @@
 //	             "query":{"kind":"linear","coeffs":[0.4,0.3,0.3]}}
 //	POST /batch  many requests: {"requests":[...]} — deduped, cached,
 //	             and executed per family on one shared worker pool
+//	POST /append grow a dataset under traffic (single role):
+//	             {"dataset":"tuples","tuples":[[1,2,3]]} — rows land in
+//	             a delta segment, queryable on return; concurrent calls
+//	             coalesce through a batching appender
 //	GET  /stats  cache counters, epoch, uptime, registered datasets
+//	             (per-dataset cache generation and live delta count)
 //	GET  /healthz          readiness: 503 while restoring/building, 200 serving
 //	POST /admin/snapshot   persist current state to -data-dir on demand
 //
@@ -124,7 +129,7 @@ func run(args []string) error {
 				buildErr <- err
 				return
 			}
-			s.setBackend(engineBackend{engine: engine}, snapFn)
+			s.setBackend(newEngineBackend(engine), snapFn)
 			log.Printf("modelird single ready (%d datasets)", len(engine.Datasets()))
 		}(s, *dataDir)
 	case "router":

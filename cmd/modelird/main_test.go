@@ -203,6 +203,85 @@ func TestEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestAppendEndpoint drives live ingest over the wire: appended rows
+// are queryable the moment /append returns, /stats reports the bumped
+// per-dataset generation, and the error surface (unknown dataset,
+// ambiguous payload, router role) maps to the right statuses.
+func TestAppendEndpoint(t *testing.T) {
+	engine := testEngine(t)
+	srv := httptest.NewServer(newServer(newEngineBackend(engine)))
+	defer srv.Close()
+
+	wr := wireRequest{Dataset: "tuples", K: 1, Query: wireQuery{Kind: "linear", Coeffs: []float64{0.4, 0.3, 0.3}}}
+	before := decode[wireResult](t, postJSON(t, srv, "/run", wr))
+	if before.Error != "" {
+		t.Fatal(before.Error)
+	}
+
+	// Plant a row that dominates every score; the very next query must
+	// surface it (id = prior row count) instead of a stale cached answer.
+	resp := postJSON(t, srv, "/append", wireAppend{Dataset: "tuples", Tuples: [][]float64{{1e9, 1e9, 1e9}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/append status %d", resp.StatusCode)
+	}
+	ar := decode[wireAppendResponse](t, resp)
+	if ar.Error != "" || ar.Appended != 1 || ar.Gen != 2 {
+		t.Fatalf("/append response %+v", ar)
+	}
+	after := decode[wireResult](t, postJSON(t, srv, "/run", wr))
+	if after.Error != "" {
+		t.Fatal(after.Error)
+	}
+	if after.Stats.Cache.Hit || len(after.Items) != 1 || after.Items[0].ID != 3000 {
+		t.Fatalf("appended row not served: %+v", after)
+	}
+
+	// /stats carries the per-dataset generation and delta count.
+	st := decode[wireServerStats](t, func() *http.Response {
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}())
+	for _, ds := range st.Datasets {
+		switch {
+		case ds.Name == "tuples" && (ds.Gen != 2 || ds.Rows != 3001):
+			t.Fatalf("tuples after append: %+v", ds)
+		case ds.Name != "tuples" && ds.Gen != 1:
+			t.Fatalf("append to tuples bumped %s: %+v", ds.Name, ds)
+		}
+	}
+
+	// Unknown dataset → 404; ambiguous payload → 400; empty → 400.
+	resp = postJSON(t, srv, "/append", wireAppend{Dataset: "nope", Tuples: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("append to unknown dataset: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, srv, "/append", wireAppend{
+		Dataset: "tuples", Tuples: [][]float64{{1, 2, 3}}, Wells: []modelir.WellLog{{Well: 1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("two payloads: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, srv, "/append", wireAppend{Dataset: "tuples"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no payload: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The router role cannot ingest → 501.
+	router := httptest.NewServer(newServer(routerBackend{peers: 1}))
+	defer router.Close()
+	resp = postJSON(t, router, "/append", wireAppend{Dataset: "tuples", Tuples: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("router append: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
 // TestRouterRoleBatchMatchesSingle is the cluster e2e pin the CI smoke
 // job mirrors with real processes: the same /batch against a
 // router-role server over two nodes and against a single-role server

@@ -1,6 +1,6 @@
 // HTTP wiring for modelird: JSON request/response shapes, query
 // compilation from the wire format, and the handlers (/run, /batch,
-// /stats, /healthz, /admin/snapshot). Every query handler threads the
+// /append, /stats, /healthz, /admin/snapshot). Every query handler threads the
 // http.Request context into the engine, so a client that disconnects
 // mid-query cancels its shard fan-out instead of burning CPU for
 // nobody. The listener comes up before the engine is restored or
@@ -280,19 +280,53 @@ func methodOf(s string) (modelir.GeologyMethod, error) {
 	}
 }
 
+// wireAppend is the POST /append request shape: a dataset name plus
+// exactly one non-empty payload (the payload kind must match the
+// dataset's kind; scenes are not appendable).
+type wireAppend struct {
+	Dataset string                 `json:"dataset"`
+	Tuples  [][]float64            `json:"tuples,omitempty"`
+	Series  []modelir.RegionSeries `json:"series,omitempty"`
+	Wells   []modelir.WellLog      `json:"wells,omitempty"`
+}
+
+// wireAppendResponse reports one append's outcome: rows accepted and
+// the dataset's generation after the flush that carried them (clients
+// can watch Gen advance on /stats).
+type wireAppendResponse struct {
+	Appended int    `json:"appended"`
+	Gen      uint64 `json:"gen"`
+	Error    string `json:"error,omitempty"`
+}
+
 // backend is what the HTTP surface serves from: a local engine in the
 // single role, a cluster router in the router role. Both return exact
 // answers, so the endpoints and wire shapes are role-independent.
 type backend interface {
 	Run(ctx context.Context, req modelir.Request) (modelir.Result, error)
 	RunBatch(ctx context.Context, reqs []modelir.Request) ([]modelir.BatchResult, error)
+	// appendRows applies one /append body and returns the target
+	// dataset's post-flush generation.
+	appendRows(ctx context.Context, wa wireAppend) (uint64, error)
 	// serverStats fills the role-specific part of /stats.
 	serverStats() wireServerStats
 }
 
+// errAppendUnsupported marks roles whose backend cannot ingest.
+var errAppendUnsupported = errors.New("append is served by the single role only (cluster ingest is not implemented)")
+
 // engineBackend serves from an in-process engine (the single role).
+// Appends flow through one shared batching appender so concurrent
+// small /append calls coalesce into one delta segment per flush
+// window.
 type engineBackend struct {
-	engine *modelir.Engine
+	engine   *modelir.Engine
+	appender *modelir.Appender
+}
+
+// newEngineBackend wraps an engine with its serving appender.
+func newEngineBackend(engine *modelir.Engine) engineBackend {
+	return engineBackend{engine: engine, appender: modelir.NewAppender(engine, modelir.AppenderOptions{})}
 }
 
 func (b engineBackend) Run(ctx context.Context, req modelir.Request) (modelir.Result, error) {
@@ -301,6 +335,37 @@ func (b engineBackend) Run(ctx context.Context, req modelir.Request) (modelir.Re
 
 func (b engineBackend) RunBatch(ctx context.Context, reqs []modelir.Request) ([]modelir.BatchResult, error) {
 	return b.engine.RunBatch(ctx, reqs)
+}
+
+func (b engineBackend) appendRows(ctx context.Context, wa wireAppend) (uint64, error) {
+	kinds := 0
+	for _, nonEmpty := range []bool{len(wa.Tuples) > 0, len(wa.Series) > 0, len(wa.Wells) > 0} {
+		if nonEmpty {
+			kinds++
+		}
+	}
+	if kinds != 1 {
+		return 0, errors.New("append needs exactly one non-empty payload: tuples, series, or wells")
+	}
+	var kind string
+	var err error
+	switch {
+	case len(wa.Tuples) > 0:
+		kind, err = "tuples", b.appender.AppendTuples(ctx, wa.Dataset, wa.Tuples)
+	case len(wa.Series) > 0:
+		kind, err = "series", b.appender.AppendSeries(ctx, wa.Dataset, wa.Series)
+	default:
+		kind, err = "wells", b.appender.AppendWells(ctx, wa.Dataset, wa.Wells)
+	}
+	if err != nil {
+		return 0, err
+	}
+	for _, ds := range b.engine.Datasets() {
+		if ds.Name == wa.Dataset && ds.Kind == kind {
+			return ds.Gen, nil
+		}
+	}
+	return 0, nil // unreachable: the append above succeeded
 }
 
 func (b engineBackend) serverStats() wireServerStats {
@@ -351,6 +416,10 @@ func (b routerBackend) RunBatch(ctx context.Context, reqs []modelir.Request) ([]
 	return b.router.RunBatch(ctx, creqs), nil
 }
 
+func (b routerBackend) appendRows(ctx context.Context, wa wireAppend) (uint64, error) {
+	return 0, errAppendUnsupported
+}
+
 func (b routerBackend) serverStats() wireServerStats {
 	return wireServerStats{Role: "router", Peers: b.peers}
 }
@@ -376,6 +445,7 @@ func newServer(b backend) *server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
@@ -462,9 +532,41 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, modelir.ErrPartitionUnavailable):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errAppendUnsupported):
+		return http.StatusNotImplemented
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// handleAppend grows a registered dataset under traffic: rows enter a
+// delta segment via the shared batching appender and are queryable the
+// moment the response is written.
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	var wa wireAppend
+	if err := json.NewDecoder(r.Body).Decode(&wa); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireAppendResponse{Error: "bad append JSON: " + err.Error()})
+		return
+	}
+	gen, err := s.backend.appendRows(r.Context(), wa)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; the rows still flush, but nobody is listening
+		}
+		writeJSON(w, statusOf(err), wireAppendResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, wireAppendResponse{
+		Appended: len(wa.Tuples) + len(wa.Series) + len(wa.Wells),
+		Gen:      gen,
+	})
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {

@@ -41,8 +41,8 @@ type batchEntry struct {
 	req       Request // validated copy (defaults resolved)
 	key       qcache.Key
 	cacheable bool
-	epoch     uint64
-	followers []int // positions holding identical requests
+	gen       uint64 // target dataset's generation at probe time
+	followers []int  // positions holding identical requests
 }
 
 // RunBatch executes many requests as one serving unit and returns one
@@ -77,13 +77,16 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]BatchResult, e
 			continue
 		}
 		var key qcache.Key
+		var gen uint64
 		cacheable := false
 		if e.cache != nil {
 			key, cacheable = fingerprintRequest(req)
 		}
-		epoch := e.epoch.Load()
 		if cacheable {
-			if res, ok := e.cacheGet(key, epoch, start); ok {
+			// Per-dataset generation, sampled before the plan resolves
+			// the shard list — same staleness argument as runReq.
+			gen = e.generationOf(req)
+			if res, ok := e.cacheGet(key, gen, start); ok {
 				out[i].Result = res
 				continue
 			}
@@ -92,7 +95,7 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]BatchResult, e
 				continue
 			}
 		}
-		en := &batchEntry{idx: i, req: req, key: key, cacheable: cacheable, epoch: epoch}
+		en := &batchEntry{idx: i, req: req, key: key, cacheable: cacheable, gen: gen}
 		if cacheable {
 			leaderByKey[key] = en
 		}
@@ -174,7 +177,7 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]BatchResult, e
 		}
 		st.Kind = en.req.Query.Kind()
 		if en.cacheable {
-			e.cachePut(en.key, en.epoch, items, st)
+			e.cachePut(en.key, en.gen, items, st)
 		}
 		st.Wall = time.Since(start)
 		st.Cache = e.cacheInfo(false)

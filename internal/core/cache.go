@@ -1,6 +1,7 @@
-// Result-cache wiring: canonical Request fingerprinting, epoch-checked
-// lookup, and defensive copying so cached results stay immutable no
-// matter what callers do with the slices they receive.
+// Result-cache wiring: canonical Request fingerprinting,
+// generation-checked lookup, and defensive copying so cached results
+// stay immutable no matter what callers do with the slices they
+// receive.
 //
 // What is cacheable: a request whose result is a pure function of
 // (dataset name, K, MinScore, query content). Three things opt a
@@ -17,12 +18,20 @@
 // guarantees identical results for any worker count, so requests that
 // differ only in fan-out width share a cache line.
 //
-// Invalidation is epoch-based and engine-wide: every Register* bumps
-// Engine.epoch, and qcache.Get refuses entries stamped with any other
-// epoch. Registered datasets are immutable, so this is conservative
-// today — but it is the contract persistence and replication will rely
-// on, and it guarantees a stale entry is never served after a
-// registration no matter how the bump races in-flight queries.
+// Invalidation is generation-based and PER DATASET: every set carries
+// a generation counter (1 at registration, +1 per append; compaction
+// leaves it alone — content is unchanged), results are stamped with
+// the target dataset's generation sampled before execution, and
+// qcache.Get refuses entries stamped with any other generation. So a
+// write to dataset A never evicts dataset B's entries — the engine-
+// wide epoch scheme this replaces evicted everything on every
+// registration. Staleness safety is unchanged: the generation is
+// sampled BEFORE the plan resolves the dataset's shard list, so an
+// append racing the request either lands before the sample (the entry
+// is stored under — and valid for — the new generation) or after it
+// (the entry is stamped with the old generation and refused the
+// moment the new one is probed). A stale answer is never served, no
+// matter how the bump interleaves with in-flight queries.
 
 package core
 
@@ -70,9 +79,11 @@ func cloneItems(items []topk.Item) []topk.Item {
 }
 
 // cacheGet serves a live cached result, stamping the hit's own Wall and
-// cache counters onto otherwise bit-identical stats.
-func (e *Engine) cacheGet(key qcache.Key, epoch uint64, start time.Time) (Result, bool) {
-	v, ok := e.cache.Get(key, epoch)
+// cache counters onto otherwise bit-identical stats. gen is the target
+// dataset's current generation; entries stamped with any other
+// generation are refused (and dropped) by qcache.
+func (e *Engine) cacheGet(key qcache.Key, gen uint64, start time.Time) (Result, bool) {
+	v, ok := e.cache.Get(key, gen)
 	if !ok {
 		return Result{}, false
 	}
@@ -83,12 +94,12 @@ func (e *Engine) cacheGet(key qcache.Key, epoch uint64, start time.Time) (Result
 	return Result{Items: cloneItems(cr.items), Stats: st}, true
 }
 
-// cachePut stores a cold result under the epoch observed before its
-// execution began.
-func (e *Engine) cachePut(key qcache.Key, epoch uint64, items []topk.Item, st QueryStats) {
+// cachePut stores a cold result under the dataset generation observed
+// before its execution began.
+func (e *Engine) cachePut(key qcache.Key, gen uint64, items []topk.Item, st QueryStats) {
 	st.Wall = 0
 	st.Cache = CacheInfo{}
-	e.cache.Put(key, epoch, &cachedResult{items: cloneItems(items), stats: st})
+	e.cache.Put(key, gen, &cachedResult{items: cloneItems(items), stats: st})
 }
 
 // cacheInfo samples the engine-wide counters into a per-request view.
@@ -117,10 +128,42 @@ func (e *Engine) CacheStats() qcache.Stats {
 	return e.cache.Stats()
 }
 
-// Epoch reports the cache-invalidation epoch: the number of successful
-// dataset registrations. Cached results from earlier epochs are never
-// served.
+// Epoch reports the engine-wide content-change counter: the number of
+// successful dataset registrations plus appends. It is an
+// observability number (surfaced by /stats), not the cache key —
+// invalidation is per dataset via generation counters (DatasetInfo.Gen
+// reports those).
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// generationOf resolves the generation of the dataset a validated
+// request targets: the per-dataset cache-invalidation stamp sampled
+// before execution. Returns 0 for an unknown dataset — results are
+// only ever stored with a live set's generation (>= 1), so a 0 probe
+// can never hit, and the plan will fail the request with
+// ErrUnknownDataset before anything could be stored.
+func (e *Engine) generationOf(req Request) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	switch req.Query.(type) {
+	case LinearQuery:
+		if ts, ok := e.tuples[req.Dataset]; ok {
+			return ts.gen
+		}
+	case SceneQuery, KnowledgeQuery:
+		if ss, ok := e.scenes[req.Dataset]; ok {
+			return ss.gen
+		}
+	case FSMQuery, FSMDistanceQuery:
+		if ss, ok := e.series[req.Dataset]; ok {
+			return ss.gen
+		}
+	case GeologyQuery:
+		if ws, ok := e.wells[req.Dataset]; ok {
+			return ws.gen
+		}
+	}
+	return 0
+}
 
 // fingerprintRequest computes the canonical cache key of a validated
 // request, or ok=false when the request is not cacheable.

@@ -55,18 +55,18 @@ func TestCacheHitMatchesMiss(t *testing.T) {
 	}
 }
 
-// TestCacheEpochInvalidation is the deterministic stale-entry pin: a
-// cached result must never be served after a registration, any
-// registration, bumps the engine epoch.
-func TestCacheEpochInvalidation(t *testing.T) {
+// TestCacheGenerationInvalidation is the deterministic stale-entry
+// pin for per-dataset invalidation: an append to the queried dataset
+// kills its cached entry unserved, while registrations and appends to
+// OTHER datasets leave it alone.
+func TestCacheGenerationInvalidation(t *testing.T) {
 	a := buildArchives(t)
 	e := engineWithArchives(t, 4, a)
 	lm := testLinearModel(t)
 	ctx := context.Background()
 	req := Request{Dataset: "gauss", Query: LinearQuery{Model: lm}, K: 5}
 
-	cold, err := e.Run(ctx, req)
-	if err != nil {
+	if _, err := e.Run(ctx, req); err != nil {
 		t.Fatal(err)
 	}
 	epoch := e.Epoch()
@@ -82,7 +82,8 @@ func TestCacheEpochInvalidation(t *testing.T) {
 		t.Fatal("warm entry did not serve")
 	}
 
-	// Any registration bumps the epoch; the entry must die unserved.
+	// A registration elsewhere bumps the engine epoch but NOT gauss's
+	// generation: the entry must keep serving.
 	if err := e.AddTuples("unrelated", [][]float64{{1, 2, 3}}); err != nil {
 		t.Fatal(err)
 	}
@@ -93,15 +94,41 @@ func TestCacheEpochInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if after.Stats.Cache.Hit {
-		t.Fatal("stale entry served after Register")
+	if !after.Stats.Cache.Hit {
+		t.Fatal("unrelated registration evicted gauss's entry")
 	}
-	if after.Stats.Cache.Invalidations == 0 {
+	// An append to another dataset likewise leaves gauss alone.
+	if err := e.AppendTuples("unrelated", [][]float64{{4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err = e.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Stats.Cache.Hit {
+		t.Fatal("append to another dataset evicted gauss's entry")
+	}
+
+	// An append to gauss itself bumps its generation; the entry must
+	// die unserved and the recompute must see the delta segment.
+	row := make([]float64, len(a.pts[0]))
+	if err := e.AppendTuples("gauss", [][]float64{row}); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := e.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Stats.Cache.Hit {
+		t.Fatal("stale entry served after append to queried dataset")
+	}
+	if stale.Stats.Cache.Invalidations == 0 {
 		t.Fatal("stale entry dropped without counting an invalidation")
 	}
-	// The dataset itself is immutable, so the recomputed answer matches.
-	resultsEqual(t, "post-invalidation recompute", after, cold)
-	// And the recompute re-populates the cache for the new epoch.
+	if stale.Stats.Shards != 5 {
+		t.Fatalf("post-append fan-out = %d segments, want 4 base + 1 delta", stale.Stats.Shards)
+	}
+	// And the recompute re-populates the cache under the new generation.
 	again, err := e.Run(ctx, req)
 	if err != nil {
 		t.Fatal(err)
@@ -109,6 +136,7 @@ func TestCacheEpochInvalidation(t *testing.T) {
 	if !again.Stats.Cache.Hit {
 		t.Fatal("recomputed entry did not re-cache")
 	}
+	resultsEqual(t, "re-cache under new generation", again, stale)
 }
 
 // TestFingerprintSemantics pins which requests share a cache line and

@@ -85,19 +85,22 @@ type Options struct {
 	MaxWorkers int
 }
 
-// Engine is the retrieval front end. Registration and queries may be
-// interleaved freely from any number of goroutines: the dataset tables
-// are guarded by an RWMutex, and each registered dataset is immutable
-// after ingest, so the query hot path runs lock-free over its shards.
-// The serving layer rides on top: a result cache keyed by canonical
-// request fingerprints (invalidated by the registration epoch) and a
-// weighted admission semaphore bounding total fan-out workers.
+// Engine is the retrieval front end. Registration, appends and queries
+// may be interleaved freely from any number of goroutines: the dataset
+// tables are guarded by an RWMutex, and each registered set value is
+// immutable — appends swap in a new set value sharing the base shards
+// plus one more delta segment — so the query hot path runs lock-free
+// over a consistent shard list. The serving layer rides on top: a
+// result cache keyed by canonical request fingerprints (invalidated
+// per dataset by generation counters) and a weighted admission
+// semaphore bounding total fan-out workers.
 type Engine struct {
 	shards   int
 	onionOpt onion.Options
 
-	// epoch counts successful registrations; cached results are
-	// stamped with it and never served across a bump (cache.go).
+	// epoch counts successful content changes (registrations and
+	// appends) engine-wide — an observability counter, no longer the
+	// cache-invalidation key (per-dataset generations are; cache.go).
 	epoch atomic.Uint64
 	// cache is the result cache (nil = disabled).
 	cache *qcache.Cache
@@ -109,10 +112,39 @@ type Engine struct {
 	scenes map[string]*sceneSet
 	series map[string]*seriesSet
 	wells  map[string]*wellSet
+	// pending reserves names whose registration is still building its
+	// sharded set outside the lock: invisible to queries and snapshots,
+	// but taken for duplicate-registration purposes, so a concurrent
+	// duplicate fails fast instead of paying a full build and
+	// discarding it at the map-insert check.
+	pending map[dsName]struct{}
+	// compacting marks datasets with a background compaction in
+	// flight (one per dataset at a time; see ingest.go).
+	compacting map[dsName]bool
+	// compactWG tracks background compactor goroutines so Close can
+	// wait them out.
+	compactWG sync.WaitGroup
 
 	// closers release resources a snapshot restore attached to the
 	// engine (mmap'd segment files in Map mode); see Close.
 	closers []func() error
+}
+
+// dsKind discriminates the per-kind dataset namespaces (names are
+// scoped per kind, as in the seed).
+type dsKind uint8
+
+const (
+	dsTuples dsKind = iota
+	dsScenes
+	dsSeries
+	dsWells
+)
+
+// dsName keys per-dataset bookkeeping (reservations, compaction).
+type dsName struct {
+	kind dsKind
+	name string
 }
 
 // NewEngine returns an empty engine with default options.
@@ -125,12 +157,14 @@ func NewEngineWith(opt Options) *Engine {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		shards:   shards,
-		onionOpt: opt.Onion,
-		tuples:   make(map[string]*tupleSet),
-		scenes:   make(map[string]*sceneSet),
-		series:   make(map[string]*seriesSet),
-		wells:    make(map[string]*wellSet),
+		shards:     shards,
+		onionOpt:   opt.Onion,
+		tuples:     make(map[string]*tupleSet),
+		scenes:     make(map[string]*sceneSet),
+		series:     make(map[string]*seriesSet),
+		wells:      make(map[string]*wellSet),
+		pending:    make(map[dsName]struct{}),
+		compacting: make(map[dsName]bool),
 	}
 	if opt.CacheEntries >= 0 {
 		e.cache = qcache.New(qcache.Options{Entries: opt.CacheEntries})
@@ -159,19 +193,50 @@ var (
 	ErrUnknownDataset   = errors.New("core: unknown dataset")
 )
 
-// checkFresh cheaply rejects an already-taken dataset name before a
-// registration pays for shard construction (summaries, partitioning).
-// taken is evaluated under the read lock; as in the seed, names are
-// scoped per dataset kind. The authoritative re-check still happens
-// under the write lock — a racing registration of the same name can
-// slip past this probe, but never past that one.
-func (e *Engine) checkFresh(name string, taken func() bool) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if taken() {
+// takenLocked reports whether name is registered under kind. Caller
+// holds e.mu (either mode).
+func (e *Engine) takenLocked(k dsKind, name string) bool {
+	switch k {
+	case dsTuples:
+		_, ok := e.tuples[name]
+		return ok
+	case dsScenes:
+		_, ok := e.scenes[name]
+		return ok
+	case dsSeries:
+		_, ok := e.series[name]
+		return ok
+	default:
+		_, ok := e.wells[name]
+		return ok
+	}
+}
+
+// reserve claims a dataset name before its sharded set is built, so
+// the (possibly expensive) build runs outside the engine lock exactly
+// once: a concurrent duplicate registration fails here — through the
+// one ErrDuplicateDataset path — instead of building a full set and
+// discarding it at the map-insert check. The reservation is invisible
+// to queries and snapshots (they read only the kind tables).
+func (e *Engine) reserve(k dsKind, name string) error {
+	key := dsName{k, name}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, building := e.pending[key]; building || e.takenLocked(k, name) {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
+	e.pending[key] = struct{}{}
 	return nil
+}
+
+// commit installs a built set under its reservation and publishes the
+// content change (engine epoch; the set carries its own generation).
+func (e *Engine) commit(k dsKind, name string, install func()) {
+	e.mu.Lock()
+	delete(e.pending, dsName{k, name})
+	install()
+	e.epoch.Add(1)
+	e.mu.Unlock()
 }
 
 // AddTuples registers a tuple archive (rows of attribute vectors),
@@ -181,19 +246,11 @@ func (e *Engine) AddTuples(name string, points [][]float64) error {
 	if len(points) == 0 {
 		return errors.New("core: empty tuple set")
 	}
-	if err := e.checkFresh(name, func() bool { _, ok := e.tuples[name]; return ok }); err != nil {
+	if err := e.reserve(dsTuples, name); err != nil {
 		return err
 	}
 	ts := newTupleSet(points, e.shards)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.tuples[name]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
-	}
-	e.tuples[name] = ts
-	// Registration bumps the cache epoch: any result computed against
-	// the pre-registration world is now stale (cache.go).
-	e.epoch.Add(1)
+	e.commit(dsTuples, name, func() { e.tuples[name] = ts })
 	return nil
 }
 
@@ -206,17 +263,11 @@ func (e *Engine) AddScene(name string, sc *archive.Scene) error {
 	if err := validateSceneFeatures(sc); err != nil {
 		return err
 	}
-	if err := e.checkFresh(name, func() bool { _, ok := e.scenes[name]; return ok }); err != nil {
+	if err := e.reserve(dsScenes, name); err != nil {
 		return err
 	}
 	ss := newSceneSet(sc, e.shards)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.scenes[name]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
-	}
-	e.scenes[name] = ss
-	e.epoch.Add(1)
+	e.commit(dsScenes, name, func() { e.scenes[name] = ss })
 	return nil
 }
 
@@ -226,17 +277,11 @@ func (e *Engine) AddSeries(name string, rs []synth.RegionSeries) error {
 	if len(rs) == 0 {
 		return errors.New("core: empty series archive")
 	}
-	if err := e.checkFresh(name, func() bool { _, ok := e.series[name]; return ok }); err != nil {
+	if err := e.reserve(dsSeries, name); err != nil {
 		return err
 	}
 	ss := newSeriesSet(rs, e.shards)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.series[name]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
-	}
-	e.series[name] = ss
-	e.epoch.Add(1)
+	e.commit(dsSeries, name, func() { e.series[name] = ss })
 	return nil
 }
 
@@ -245,17 +290,11 @@ func (e *Engine) AddWells(name string, ws []synth.WellLog) error {
 	if len(ws) == 0 {
 		return errors.New("core: empty well archive")
 	}
-	if err := e.checkFresh(name, func() bool { _, ok := e.wells[name]; return ok }); err != nil {
+	if err := e.reserve(dsWells, name); err != nil {
 		return err
 	}
 	s := newWellSet(ws, e.shards)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.wells[name]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
-	}
-	e.wells[name] = s
-	e.epoch.Add(1)
+	e.commit(dsWells, name, func() { e.wells[name] = s })
 	return nil
 }
 

@@ -1,0 +1,294 @@
+// Live ingest: registered datasets stay appendable under traffic.
+// AppendTuples/AppendSeries/AppendWells land new rows as immutable
+// in-memory delta segments — one more shard value of the dataset's
+// existing columnar type, built OUTSIDE the engine lock — and swap in
+// a new set value that shares the base shards, so the write lock is
+// held only for the pointer swap. Queries scan base + deltas through
+// the set's scan list; per-shard indexes over deltas derive lazily,
+// exactly like a base shard's (the Onion index builds on first use).
+//
+// A background compactor folds deltas back into balanced base shards
+// when a dataset accumulates enough of them (segment count or row
+// fraction): full rebuild when the raw registration rows are at hand,
+// delta-merge on snapshot-restored bases. Compaction changes layout,
+// never content — answers and the dataset's cache generation are
+// unchanged, so live cache entries stay valid across it.
+//
+// Equivalence contract (pinned by TestDeltaEquivalenceAllFamilies):
+// a dataset holding any mix of base and delta segments answers every
+// query family bit-identically to a fresh engine rebuilt from the
+// same rows, at any shard count. Tuple IDs are global row offsets and
+// deltas continue the row space; series and well IDs are intrinsic.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"modelir/internal/synth"
+)
+
+// Compaction triggers: a dataset is scheduled for background
+// compaction when it holds at least compactDeltaSegments delta
+// segments, or its delta rows reach compactDeltaFraction of the total.
+const (
+	compactDeltaSegments = 4
+	compactDeltaFraction = 0.25
+)
+
+// AppendTuples appends rows to a registered tuple dataset as one
+// immutable delta segment. New rows take IDs continuing the dataset's
+// global row space (exactly the IDs they would have had in a single
+// registration); queries observe either the pre- or post-append world,
+// never a partial one, and the dataset's cache generation advances so
+// no stale cached result is ever served. The rows are not copied; the
+// caller must not mutate them afterwards.
+func (e *Engine) AppendTuples(name string, points [][]float64) error {
+	if len(points) == 0 {
+		return errors.New("core: empty tuple append")
+	}
+	e.mu.Lock()
+	ts, ok := e.tuples[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	// The tuple delta is cheap to construct (its Onion index builds
+	// lazily on first query), so it happens under the lock where the
+	// offset assignment is race-free.
+	e.tuples[name] = ts.withDelta(points)
+	e.epoch.Add(1)
+	e.mu.Unlock()
+	e.maybeCompact(dsTuples, name)
+	return nil
+}
+
+// AppendSeries appends regions to a registered series dataset as one
+// immutable delta segment. Summaries and the columnar event plane are
+// precomputed outside the engine lock. See AppendTuples for the
+// visibility and generation contract.
+func (e *Engine) AppendSeries(name string, rs []synth.RegionSeries) error {
+	if len(rs) == 0 {
+		return errors.New("core: empty series append")
+	}
+	if !e.hasDataset(dsSeries, name) {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	sh := newSeriesShard(rs)
+	e.mu.Lock()
+	ss, ok := e.series[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	e.series[name] = ss.withDelta(sh)
+	e.epoch.Add(1)
+	e.mu.Unlock()
+	e.maybeCompact(dsSeries, name)
+	return nil
+}
+
+// AppendWells appends wells to a registered well-log dataset as one
+// immutable delta segment. The columnar strata planes are flattened
+// outside the engine lock. See AppendTuples for the visibility and
+// generation contract.
+func (e *Engine) AppendWells(name string, ws []synth.WellLog) error {
+	if len(ws) == 0 {
+		return errors.New("core: empty well append")
+	}
+	if !e.hasDataset(dsWells, name) {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	sh := newWellShard(ws)
+	e.mu.Lock()
+	s, ok := e.wells[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	e.wells[name] = s.withDelta(sh)
+	e.epoch.Add(1)
+	e.mu.Unlock()
+	e.maybeCompact(dsWells, name)
+	return nil
+}
+
+// hasDataset is the cheap pre-build existence probe for the append
+// paths that construct their delta outside the lock.
+func (e *Engine) hasDataset(k dsKind, name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.takenLocked(k, name)
+}
+
+// maybeCompact schedules a background compaction when the dataset's
+// delta accumulation crosses a trigger. At most one compaction per
+// dataset runs at a time; triggers observed while one is in flight
+// are re-checked by the next append.
+func (e *Engine) maybeCompact(k dsKind, name string) {
+	var deltas, deltaRows, rows int
+	e.mu.RLock()
+	switch k {
+	case dsTuples:
+		if ts := e.tuples[name]; ts != nil {
+			deltas, deltaRows, rows = len(ts.deltas), ts.deltaRows(), ts.rows
+		}
+	case dsSeries:
+		if ss := e.series[name]; ss != nil {
+			deltas, deltaRows, rows = len(ss.deltas), ss.deltaRows(), ss.total
+		}
+	case dsWells:
+		if s := e.wells[name]; s != nil {
+			deltas, deltaRows, rows = len(s.deltas), s.deltaRows(), s.total
+		}
+	}
+	e.mu.RUnlock()
+	if deltas == 0 {
+		return
+	}
+	if deltas < compactDeltaSegments && float64(deltaRows) < compactDeltaFraction*float64(rows) {
+		return
+	}
+	key := dsName{k, name}
+	e.mu.Lock()
+	if e.compacting[key] {
+		e.mu.Unlock()
+		return
+	}
+	e.compacting[key] = true
+	e.compactWG.Add(1)
+	e.mu.Unlock()
+	go func() {
+		defer e.compactWG.Done()
+		e.compactOne(k, name)
+		e.mu.Lock()
+		delete(e.compacting, key)
+		e.mu.Unlock()
+	}()
+}
+
+// compactOne builds the compacted replacement outside the lock, then
+// swaps it in. Appends racing the build only extend the captured set's
+// delta list (base shards are immutable and only one compactor per
+// dataset runs), so the deltas landed since the capture carry over
+// verbatim: for tuples their offsets already continue the captured
+// row space the merged base covers.
+func (e *Engine) compactOne(k dsKind, name string) {
+	switch k {
+	case dsTuples:
+		e.mu.RLock()
+		old := e.tuples[name]
+		e.mu.RUnlock()
+		if old == nil {
+			return
+		}
+		merged := old.compact(e.shards)
+		if merged == nil {
+			return
+		}
+		e.mu.Lock()
+		cur := e.tuples[name]
+		if cur == nil || len(cur.deltas) < len(old.deltas) {
+			e.mu.Unlock()
+			return
+		}
+		extra := cur.deltas[len(old.deltas):]
+		nt := &tupleSet{
+			points: merged.points,
+			rows:   cur.rows,
+			shards: merged.shards,
+			deltas: append(merged.deltas[:len(merged.deltas):len(merged.deltas)], extra...),
+			gen:    cur.gen,
+		}
+		nt.scan = append(merged.shards[:len(merged.shards):len(merged.shards)], nt.deltas...)
+		e.tuples[name] = nt
+		e.mu.Unlock()
+	case dsSeries:
+		e.mu.RLock()
+		old := e.series[name]
+		e.mu.RUnlock()
+		if old == nil {
+			return
+		}
+		merged := old.compact(e.shards)
+		if merged == nil {
+			return
+		}
+		e.mu.Lock()
+		cur := e.series[name]
+		if cur == nil || len(cur.deltas) < len(old.deltas) {
+			e.mu.Unlock()
+			return
+		}
+		extra := cur.deltas[len(old.deltas):]
+		ns := &seriesSet{
+			total:  cur.total,
+			shards: merged.shards,
+			deltas: append(merged.deltas[:len(merged.deltas):len(merged.deltas)], extra...),
+			raw:    merged.raw,
+			gen:    cur.gen,
+		}
+		ns.scan = append(merged.shards[:len(merged.shards):len(merged.shards)], ns.deltas...)
+		e.series[name] = ns
+		e.mu.Unlock()
+	case dsWells:
+		e.mu.RLock()
+		old := e.wells[name]
+		e.mu.RUnlock()
+		if old == nil {
+			return
+		}
+		merged := old.compact(e.shards)
+		if merged == nil {
+			return
+		}
+		e.mu.Lock()
+		cur := e.wells[name]
+		if cur == nil || len(cur.deltas) < len(old.deltas) {
+			e.mu.Unlock()
+			return
+		}
+		extra := cur.deltas[len(old.deltas):]
+		nw := &wellSet{
+			total:  cur.total,
+			shards: merged.shards,
+			deltas: append(merged.deltas[:len(merged.deltas):len(merged.deltas)], extra...),
+			raw:    merged.raw,
+			gen:    cur.gen,
+		}
+		nw.scan = append(merged.shards[:len(merged.shards):len(merged.shards)], nw.deltas...)
+		e.wells[name] = nw
+		e.mu.Unlock()
+	}
+}
+
+// Compact synchronously folds every dataset's delta segments into its
+// base segments (full rebuild when the raw registration rows are at
+// hand, delta-merge on restored bases). Answers before and after are
+// bit-identical and dataset generations are unchanged, so live cache
+// entries stay valid across the call. Appends may proceed
+// concurrently; deltas landed mid-compaction simply survive it.
+func (e *Engine) Compact() {
+	e.mu.RLock()
+	var targets []dsName
+	for name, ts := range e.tuples {
+		if len(ts.deltas) > 0 {
+			targets = append(targets, dsName{dsTuples, name})
+		}
+	}
+	for name, ss := range e.series {
+		if len(ss.deltas) > 0 {
+			targets = append(targets, dsName{dsSeries, name})
+		}
+	}
+	for name, s := range e.wells {
+		if len(s.deltas) > 0 {
+			targets = append(targets, dsName{dsWells, name})
+		}
+	}
+	e.mu.RUnlock()
+	for _, t := range targets {
+		e.compactOne(t.kind, t.name)
+	}
+}

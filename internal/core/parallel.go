@@ -45,6 +45,16 @@ func (e *Engine) ScanTopKTuplesParallel(dataset string, coeffs []float64, interc
 		// the raw rows the scan baseline walks were never written.
 		return nil, fmt.Errorf("core: %q: sequential-scan baseline unavailable on a restored engine", dataset)
 	}
+	if ts.deltaRows() > 0 {
+		// Live delta segments carry their raw rows; walk base + deltas
+		// in global row order so IDs match the indexed path.
+		all := make([][]float64, 0, ts.rows)
+		all = append(all, pts...)
+		for _, d := range ts.deltas {
+			all = append(all, d.points...)
+		}
+		pts = all
+	}
 	if dim := len(pts[0]); dim != len(coeffs) {
 		return nil, fmt.Errorf("core: %d coefficients for %d-dim tuples", len(coeffs), dim)
 	}

@@ -222,17 +222,20 @@ func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter, sb 
 	// Result cache probe. Progressive streams bypass the cache: their
 	// contract is a stream of snapshots, not one result.
 	var key qcache.Key
+	var gen uint64
 	cacheable := false
 	if snap == nil && e.cache != nil {
 		key, cacheable = fingerprintRequest(req)
 	}
-	// The epoch is sampled before the dataset tables are read, so a
-	// registration racing this request either lands before the sample
-	// (and the cached entry is valid for the new epoch) or after it
-	// (and the entry is stale-marked the moment it is written).
-	epoch := e.epoch.Load()
 	if cacheable {
-		if res, ok := e.cacheGet(key, epoch, start); ok {
+		// The target dataset's generation is sampled before the plan
+		// resolves its shard list, so an append racing this request
+		// either lands before the sample (the entry is stored under —
+		// and valid for — the new generation) or after it (the entry is
+		// stamped stale the moment it is written). Other datasets'
+		// generations are untouched, so their entries stay live.
+		gen = e.generationOf(req)
+		if res, ok := e.cacheGet(key, gen, start); ok {
 			return res, nil
 		}
 	}
@@ -268,7 +271,7 @@ func (e *Engine) runReq(ctx context.Context, req Request, snap *snapshotter, sb 
 	// are hopeless only in the remote query's global merge; caching it
 	// would serve a truncated answer to a future standalone request.
 	if cacheable && !sb.foreignRaised() {
-		e.cachePut(key, epoch, items, st)
+		e.cachePut(key, gen, items, st)
 	}
 	st.Wall = time.Since(start)
 	st.Cache = e.cacheInfo(false)
@@ -459,16 +462,19 @@ func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *sna
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShardP := onionStatsArena.get(len(ts.shards))
+	// Plans fan out over the scan list — base shards plus any live
+	// delta segments; a delta's Onion index builds lazily on first
+	// query exactly like a base shard's.
+	perShardP := onionStatsArena.get(len(ts.scan))
 	perShard := *perShardP
 	return queryPlan{
-		shards: len(ts.shards),
+		shards: len(ts.scan),
 		// The shared bound screens pre-intercept scores, so the
 		// MinScore floor is shifted into that scale.
 		floor: floorOf(req, m.Intercept),
 		shift: m.Intercept,
 		run: func(si int, sb *topk.Bound) ([]topk.Item, error) {
-			sh := ts.shards[si]
+			sh := ts.scan[si]
 			// First query builds this shard's index inside the fan-out we
 			// already pay for; afterwards this is a sync.Once hit.
 			ix, err := sh.ensureIndex(e.onionOpt)
@@ -521,7 +527,7 @@ func (q LinearQuery) plan(ctx context.Context, e *Engine, req Request, snap *sna
 				Evaluations: det.Indexed.PointsTouched,
 				Examined:    det.Indexed.PointsTouched,
 				Pruned:      det.ScanCost - det.Indexed.PointsTouched - det.Indexed.PointsSkippedByBudget,
-				Shards:      len(ts.shards),
+				Shards:      len(ts.scan),
 				Truncated:   meter.Exhausted(),
 				Detail:      det,
 			}
@@ -694,12 +700,12 @@ func (q FSMQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapsh
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShardP, examinedP := fsmStatsArena.get(len(ss.shards)), intArena.get(len(ss.shards))
+	perShardP, examinedP := fsmStatsArena.get(len(ss.scan)), intArena.get(len(ss.scan))
 	perShard, examined := *perShardP, *examinedP
-	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
-		func(si int) int { return len(ss.shards[si].regions) },
+	return scanPlan(ctx, req, snap, len(ss.scan), "series shard", meter,
+		func(si int) int { return len(ss.scan[si].regions) },
 		func(si, i int, h *topk.Heap) error {
-			sh := ss.shards[si]
+			sh := ss.scan[si]
 			if q.Prefilter != nil && !q.Prefilter(sh.sums[i]) {
 				perShard[si].RegionsPruned++
 				return nil
@@ -734,7 +740,7 @@ func (q FSMQuery) plan(ctx context.Context, e *Engine, req Request, snap *snapsh
 				Evaluations: det.DaysScanned,
 				Examined:    scanned,
 				Pruned:      det.RegionsPruned,
-				Shards:      len(ss.shards),
+				Shards:      len(ss.scan),
 				Truncated:   meter.Exhausted(),
 				Detail:      det,
 			}
@@ -767,12 +773,12 @@ func (q FSMDistanceQuery) plan(ctx context.Context, e *Engine, req Request, snap
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShardP, examinedP := fsmStatsArena.get(len(ss.shards)), intArena.get(len(ss.shards))
+	perShardP, examinedP := fsmStatsArena.get(len(ss.scan)), intArena.get(len(ss.scan))
 	perShard, examined := *perShardP, *examinedP
-	return scanPlan(ctx, req, snap, len(ss.shards), "series shard", meter,
-		func(si int) int { return len(ss.shards[si].regions) },
+	return scanPlan(ctx, req, snap, len(ss.scan), "series shard", meter,
+		func(si int) int { return len(ss.scan[si].regions) },
 		func(si, i int, h *topk.Heap) error {
-			sh := ss.shards[si]
+			sh := ss.scan[si]
 			events := sh.eventsOf(i)
 			meter.Charge(len(events))
 			perShard[si].DaysScanned += len(events)
@@ -803,7 +809,7 @@ func (q FSMDistanceQuery) plan(ctx context.Context, e *Engine, req Request, snap
 			st := QueryStats{
 				Evaluations: det.DaysScanned,
 				Examined:    scanned,
-				Shards:      len(ss.shards),
+				Shards:      len(ss.scan),
 				Truncated:   meter.Exhausted(),
 				Detail:      det,
 			}
@@ -836,17 +842,17 @@ func (q GeologyQuery) plan(ctx context.Context, e *Engine, req Request, snap *sn
 		return queryPlan{}, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
 	}
 	meter := topk.NewMeter(req.Budget)
-	perShardP, examinedP := sprocStatsArena.get(len(ws.shards)), intArena.get(len(ws.shards))
+	perShardP, examinedP := sprocStatsArena.get(len(ws.scan)), intArena.get(len(ws.scan))
 	perShard, examined := *perShardP, *examinedP
 	// One columnar scanner per shard: the grade closures bind once and
 	// walk the shard's flat strata planes; per well only the base
 	// offset moves.
-	scanners := make([]*geoShardScanner, len(ws.shards))
-	for si, sh := range ws.shards {
+	scanners := make([]*geoShardScanner, len(ws.scan))
+	for si, sh := range ws.scan {
 		scanners[si] = newGeoShardScanner(sh, q)
 	}
-	return scanPlan(ctx, req, snap, len(ws.shards), "well shard", meter,
-		func(si int) int { return len(ws.shards[si].wells) },
+	return scanPlan(ctx, req, snap, len(ws.scan), "well shard", meter,
+		func(si int) int { return len(ws.scan[si].wells) },
 		func(si, i int, h *topk.Heap) error {
 			g := scanners[si]
 			n := g.setWell(i)
@@ -923,7 +929,7 @@ func (q GeologyQuery) plan(ctx context.Context, e *Engine, req Request, snap *sn
 			st := QueryStats{
 				Evaluations: det.UnaryEvals + det.PairEvals,
 				Examined:    scanned,
-				Shards:      len(ws.shards),
+				Shards:      len(ws.scan),
 				Truncated:   meter.Exhausted(),
 				Detail:      det,
 			}

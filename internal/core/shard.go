@@ -7,6 +7,16 @@
 // registration and index builds are guarded by sync.Once, the whole
 // structure is safe for concurrent queries without locks on the hot
 // path.
+//
+// Live ingest rides on the same invariant: an append never mutates a
+// set in place. It builds an immutable delta segment (one more shard
+// value of the same type) and swaps in a new set value that shares the
+// base shards, extends the scan list, and advances the dataset's
+// generation. In-flight queries keep the set pointer they resolved and
+// see a consistent world; the next query sees base + deltas. A
+// background compactor folds deltas back into balanced base shards
+// (see ingest.go) without changing the generation — compaction changes
+// layout, never content.
 
 package core
 
@@ -70,25 +80,102 @@ func (s *tupleShard) ensureIndex(opt onion.Options) (*onion.Index, error) {
 }
 
 // tupleSet is a registered tuple archive, sharded at ingest. The flat
-// row slice is retained (shards alias its backing array) for the
-// sequential-scan baseline, which partitions per item, not per shard;
-// a snapshot-restored set has points == nil (only the built indexes
-// are persisted) and rows carries the logical count on both paths.
+// base-row slice is retained (base shards alias its backing array) for
+// the sequential-scan baseline and full recompaction; a
+// snapshot-restored set has points == nil (only the built indexes are
+// persisted). rows carries the logical count including delta rows on
+// every path, and scan — base shards followed by deltas — is the only
+// shard list query plans fan out over.
 type tupleSet struct {
 	points [][]float64
 	rows   int
 	shards []*tupleShard
+	// deltas are immutable delta segments landed by AppendTuples after
+	// registration, in append order; their offsets continue the global
+	// row space, so item IDs are identical to a from-scratch build.
+	deltas []*tupleShard
+	// scan is shards + deltas (aliased when there are no deltas).
+	scan []*tupleShard
+	// gen is the dataset's cache-invalidation generation: 1 at
+	// registration, +1 per append, unchanged by compaction.
+	gen uint64
 }
 
 func newTupleSet(points [][]float64, shards int) *tupleSet {
-	ts := &tupleSet{points: points, rows: len(points)}
+	ts := &tupleSet{points: points, rows: len(points), gen: 1}
 	for _, r := range partition(len(points), shards) {
 		ts.shards = append(ts.shards, &tupleShard{
 			offset: r[0],
 			points: points[r[0]:r[1]],
 		})
 	}
+	ts.scan = ts.shards
 	return ts
+}
+
+// deltaRows counts the rows living in delta segments.
+func (ts *tupleSet) deltaRows() int {
+	n := 0
+	for _, d := range ts.deltas {
+		n += len(d.points)
+	}
+	return n
+}
+
+// withDelta returns a new set value with one more delta segment
+// holding rows. The receiver is untouched (in-flight queries keep
+// their consistent view); base shards are shared, the delta's offset
+// continues the global row space, and the generation advances.
+func (ts *tupleSet) withDelta(rows [][]float64) *tupleSet {
+	d := &tupleShard{offset: ts.rows, points: rows}
+	nt := &tupleSet{
+		points: ts.points,
+		rows:   ts.rows + len(rows),
+		shards: ts.shards,
+		deltas: append(ts.deltas[:len(ts.deltas):len(ts.deltas)], d),
+		gen:    ts.gen + 1,
+	}
+	nt.scan = append(ts.shards[:len(ts.shards):len(ts.shards)], nt.deltas...)
+	return nt
+}
+
+// compact folds the set's deltas away: with base rows at hand, a full
+// rebuild into `shards` balanced base shards (indexes re-derive lazily
+// on next query); on a restored base (raw rows never persisted), the
+// deltas merge into ONE delta segment instead. Returns nil when there
+// is nothing productive to do. The generation is preserved — content
+// is unchanged, so live cache entries stay valid.
+func (ts *tupleSet) compact(shards int) *tupleSet {
+	if len(ts.deltas) == 0 {
+		return nil
+	}
+	if ts.points != nil {
+		all := make([][]float64, 0, ts.rows)
+		all = append(all, ts.points...)
+		for _, d := range ts.deltas {
+			all = append(all, d.points...)
+		}
+		nt := newTupleSet(all, shards)
+		nt.gen = ts.gen
+		return nt
+	}
+	if len(ts.deltas) == 1 {
+		return nil
+	}
+	dr := ts.deltaRows()
+	rows := make([][]float64, 0, dr)
+	for _, d := range ts.deltas {
+		rows = append(rows, d.points...)
+	}
+	d := &tupleShard{offset: ts.rows - dr, points: rows}
+	nt := &tupleSet{
+		rows:   ts.rows,
+		shards: ts.shards,
+		deltas: []*tupleShard{d},
+		gen:    ts.gen,
+	}
+	nt.scan = append(ts.shards[:len(ts.shards):len(ts.shards)], d)
+	return nt
 }
 
 // restoredTupleShard wraps a snapshot-restored Onion index. The build
@@ -105,7 +192,7 @@ func restoredTupleShard(offset int, ix *onion.Index) *tupleShard {
 // engine (the raw rows were never persisted), which parallel.go turns
 // into an explicit error rather than a panic.
 func restoredTupleSet(rows int, shards []*tupleShard) *tupleSet {
-	return &tupleSet{rows: rows, shards: shards}
+	return &tupleSet{rows: rows, shards: shards, scan: shards, gen: 1}
 }
 
 // seriesShard is one partition of a series archive with its
@@ -129,34 +216,120 @@ func (s *seriesShard) eventsOf(i int) []fsm.Event {
 	return s.events[s.evOff[i]:s.evOff[i+1]:s.evOff[i+1]]
 }
 
-// seriesSet is a registered series archive, sharded at ingest.
+// seriesSet is a registered series archive, sharded at ingest. As with
+// tuples, scan (base shards + deltas) is what query plans fan out
+// over; raw retains the registration rows for full recompaction and is
+// nil on snapshot-restored sets (raw days are never persisted).
 type seriesSet struct {
 	total  int
 	shards []*seriesShard
+	deltas []*seriesShard
+	scan   []*seriesShard
+	raw    []synth.RegionSeries
+	gen    uint64
+}
+
+// newSeriesShard builds one shard over part: metadata summaries plus
+// the flat day-classified event plane. This is the only constructor —
+// base shards at registration, delta segments at append — so deltas
+// are bit-identical to the shards a from-scratch build would hold.
+func newSeriesShard(part []synth.RegionSeries) *seriesShard {
+	sums := make([]synth.DrySpellStats, len(part))
+	total := 0
+	for i, reg := range part {
+		sums[i] = synth.SummarizeSeries(reg)
+		total += len(reg.Days)
+	}
+	events := make([]fsm.Event, 0, total)
+	evOff := make([]int, 1, len(part)+1)
+	for _, reg := range part {
+		for _, d := range reg.Days {
+			events = append(events, fsm.ClassifyDay(d))
+		}
+		evOff = append(evOff, len(events))
+	}
+	return &seriesShard{regions: part, sums: sums, events: events, evOff: evOff}
 }
 
 func newSeriesSet(rs []synth.RegionSeries, shards int) *seriesSet {
-	ss := &seriesSet{total: len(rs)}
+	ss := &seriesSet{total: len(rs), raw: rs, gen: 1}
 	for _, r := range partition(len(rs), shards) {
-		part := rs[r[0]:r[1]]
-		sums := make([]synth.DrySpellStats, len(part))
-		total := 0
-		for i, reg := range part {
-			sums[i] = synth.SummarizeSeries(reg)
-			total += len(reg.Days)
+		ss.shards = append(ss.shards, newSeriesShard(rs[r[0]:r[1]]))
+	}
+	ss.scan = ss.shards
+	return ss
+}
+
+// withDelta returns a new set value with sh appended as one more delta
+// segment; sh is built by the caller outside the engine lock.
+func (ss *seriesSet) withDelta(sh *seriesShard) *seriesSet {
+	ns := &seriesSet{
+		total:  ss.total + len(sh.regions),
+		shards: ss.shards,
+		deltas: append(ss.deltas[:len(ss.deltas):len(ss.deltas)], sh),
+		raw:    ss.raw,
+		gen:    ss.gen + 1,
+	}
+	ns.scan = append(ss.shards[:len(ss.shards):len(ss.shards)], ns.deltas...)
+	return ns
+}
+
+// deltaRows counts regions living in delta segments.
+func (ss *seriesSet) deltaRows() int {
+	n := 0
+	for _, d := range ss.deltas {
+		n += len(d.regions)
+	}
+	return n
+}
+
+// compact folds deltas away (see tupleSet.compact): full rebuild when
+// the raw registration rows are at hand (delta shards always carry
+// raw regions — appends supply them), else a merge of all deltas into
+// one segment. Returns nil when nothing productive can be done.
+func (ss *seriesSet) compact(shards int) *seriesSet {
+	if len(ss.deltas) == 0 {
+		return nil
+	}
+	if ss.raw != nil {
+		all := make([]synth.RegionSeries, 0, ss.total)
+		all = append(all, ss.raw...)
+		for _, d := range ss.deltas {
+			all = append(all, d.regions...)
 		}
-		events := make([]fsm.Event, 0, total)
-		evOff := make([]int, 1, len(part)+1)
-		for _, reg := range part {
-			for _, d := range reg.Days {
-				events = append(events, fsm.ClassifyDay(d))
-			}
+		return newSeriesSet(all, shards).withGen(ss.gen)
+	}
+	if len(ss.deltas) == 1 {
+		return nil
+	}
+	nr := ss.deltaRows()
+	regions := make([]synth.RegionSeries, 0, nr)
+	sums := make([]synth.DrySpellStats, 0, nr)
+	var events []fsm.Event
+	evOff := make([]int, 1, nr+1)
+	for _, d := range ss.deltas {
+		regions = append(regions, d.regions...)
+		sums = append(sums, d.sums...)
+		for i := range d.regions {
+			events = append(events, d.eventsOf(i)...)
 			evOff = append(evOff, len(events))
 		}
-		ss.shards = append(ss.shards, &seriesShard{
-			regions: part, sums: sums, events: events, evOff: evOff,
-		})
 	}
+	d := &seriesShard{regions: regions, sums: sums, events: events, evOff: evOff}
+	ns := &seriesSet{
+		total:  ss.total,
+		shards: ss.shards,
+		deltas: []*seriesShard{d},
+		gen:    ss.gen,
+	}
+	ns.scan = append(ss.shards[:len(ss.shards):len(ss.shards)], d)
+	return ns
+}
+
+// withGen overrides the generation on a freshly built set (compaction
+// preserves the pre-compaction generation: content is unchanged).
+func (ss *seriesSet) withGen(gen uint64) *seriesSet {
+	ss.gen = gen
 	return ss
 }
 
@@ -185,7 +358,7 @@ func restoredSeriesSet(ids []int, sums []synth.DrySpellStats, events []fsm.Event
 	for i, id := range ids {
 		regions[i] = synth.RegionSeries{Region: id}
 	}
-	ss := &seriesSet{total: n}
+	ss := &seriesSet{total: n, gen: 1}
 	for _, r := range partition(n, shards) {
 		lo, hi := r[0], r[1]
 		evOff := make([]int, hi-lo+1)
@@ -199,6 +372,7 @@ func restoredSeriesSet(ids []int, sums []synth.DrySpellStats, events []fsm.Event
 			evOff:   evOff,
 		})
 	}
+	ss.scan = ss.shards
 	return ss, nil
 }
 
@@ -220,39 +394,120 @@ type wellShard struct {
 // strataLen returns well i's stratum count.
 func (s *wellShard) strataLen(i int) int { return s.off[i+1] - s.off[i] }
 
-// wellSet is a registered well-log archive, sharded at ingest.
+// wellSet is a registered well-log archive, sharded at ingest. scan
+// (base shards + deltas) is what query plans fan out over; raw retains
+// the registration rows for full recompaction (nil on restored sets).
 type wellSet struct {
+	total  int
 	shards []*wellShard
+	deltas []*wellShard
+	scan   []*wellShard
+	raw    []synth.WellLog
+	gen    uint64
+}
+
+// newWellShard flattens part's strata into the columnar planes — the
+// one constructor base shards and delta segments share.
+func newWellShard(part []synth.WellLog) *wellShard {
+	total := 0
+	for _, w := range part {
+		total += len(w.Strata)
+	}
+	sh := &wellShard{
+		wells:   part,
+		lith:    make([]synth.Lithology, 0, total),
+		topFt:   make([]float64, 0, total),
+		thickFt: make([]float64, 0, total),
+		gamma:   make([]float64, 0, total),
+		off:     make([]int, 1, len(part)+1),
+	}
+	for _, w := range part {
+		for _, st := range w.Strata {
+			sh.lith = append(sh.lith, st.Lith)
+			sh.topFt = append(sh.topFt, st.TopFt)
+			sh.thickFt = append(sh.thickFt, st.ThickFt)
+			sh.gamma = append(sh.gamma, st.GammaAPI)
+		}
+		sh.off = append(sh.off, len(sh.lith))
+	}
+	return sh
 }
 
 func newWellSet(ws []synth.WellLog, shards int) *wellSet {
-	s := &wellSet{}
+	s := &wellSet{total: len(ws), raw: ws, gen: 1}
 	for _, r := range partition(len(ws), shards) {
-		part := ws[r[0]:r[1]]
-		total := 0
-		for _, w := range part {
-			total += len(w.Strata)
-		}
-		sh := &wellShard{
-			wells:   part,
-			lith:    make([]synth.Lithology, 0, total),
-			topFt:   make([]float64, 0, total),
-			thickFt: make([]float64, 0, total),
-			gamma:   make([]float64, 0, total),
-			off:     make([]int, 1, len(part)+1),
-		}
-		for _, w := range part {
-			for _, st := range w.Strata {
-				sh.lith = append(sh.lith, st.Lith)
-				sh.topFt = append(sh.topFt, st.TopFt)
-				sh.thickFt = append(sh.thickFt, st.ThickFt)
-				sh.gamma = append(sh.gamma, st.GammaAPI)
-			}
-			sh.off = append(sh.off, len(sh.lith))
-		}
-		s.shards = append(s.shards, sh)
+		s.shards = append(s.shards, newWellShard(ws[r[0]:r[1]]))
 	}
+	s.scan = s.shards
 	return s
+}
+
+// withDelta returns a new set value with sh appended as one more delta
+// segment; sh is built by the caller outside the engine lock.
+func (s *wellSet) withDelta(sh *wellShard) *wellSet {
+	ns := &wellSet{
+		total:  s.total + len(sh.wells),
+		shards: s.shards,
+		deltas: append(s.deltas[:len(s.deltas):len(s.deltas)], sh),
+		raw:    s.raw,
+		gen:    s.gen + 1,
+	}
+	ns.scan = append(s.shards[:len(s.shards):len(s.shards)], ns.deltas...)
+	return ns
+}
+
+// deltaRows counts wells living in delta segments.
+func (s *wellSet) deltaRows() int {
+	n := 0
+	for _, d := range s.deltas {
+		n += len(d.wells)
+	}
+	return n
+}
+
+// compact folds deltas away (see tupleSet.compact): full rebuild when
+// the raw registration rows are at hand, else a merge of all deltas
+// into one segment. Returns nil when nothing productive can be done.
+func (s *wellSet) compact(shards int) *wellSet {
+	if len(s.deltas) == 0 {
+		return nil
+	}
+	if s.raw != nil {
+		all := make([]synth.WellLog, 0, s.total)
+		all = append(all, s.raw...)
+		for _, d := range s.deltas {
+			all = append(all, d.wells...)
+		}
+		ns := newWellSet(all, shards)
+		ns.gen = s.gen
+		return ns
+	}
+	if len(s.deltas) == 1 {
+		return nil
+	}
+	nw := s.deltaRows()
+	sh := &wellShard{
+		wells: make([]synth.WellLog, 0, nw),
+		off:   make([]int, 1, nw+1),
+	}
+	for _, d := range s.deltas {
+		sh.wells = append(sh.wells, d.wells...)
+		sh.lith = append(sh.lith, d.lith...)
+		sh.topFt = append(sh.topFt, d.topFt...)
+		sh.thickFt = append(sh.thickFt, d.thickFt...)
+		sh.gamma = append(sh.gamma, d.gamma...)
+		for i := range d.wells {
+			sh.off = append(sh.off, sh.off[len(sh.off)-1]+d.strataLen(i))
+		}
+	}
+	ns := &wellSet{
+		total:  s.total,
+		shards: s.shards,
+		deltas: []*wellShard{sh},
+		gen:    s.gen,
+	}
+	ns.scan = append(s.shards[:len(s.shards):len(s.shards)], sh)
+	return ns
 }
 
 // restoredWellSet assembles a well set from snapshot planes: well IDs,
@@ -281,7 +536,7 @@ func restoredWellSet(ids []int, counts []int, lith []synth.Lithology, topFt, thi
 	for i, id := range ids {
 		wells[i] = synth.WellLog{Well: id}
 	}
-	s := &wellSet{}
+	s := &wellSet{total: n, gen: 1}
 	for _, r := range partition(n, shards) {
 		lo, hi := r[0], r[1]
 		off := make([]int, hi-lo+1)
@@ -297,6 +552,7 @@ func restoredWellSet(ids []int, counts []int, lith []synth.Lithology, topFt, thi
 			off:     off,
 		})
 	}
+	s.scan = s.shards
 	return s, nil
 }
 
@@ -317,6 +573,11 @@ type sceneSet struct {
 	// feat is the flat matrix: tile ti's row is
 	// feat[ti*len(featCols) : (ti+1)*len(featCols)].
 	feat []float64
+	// gen is the dataset's cache-invalidation generation. Scenes are
+	// not appendable (a raster pyramid has no meaningful row append),
+	// so it stays 1 for the dataset's lifetime — carried anyway so
+	// every dataset kind speaks the same invalidation protocol.
+	gen uint64
 }
 
 // featRow returns tile ti's feature row.
@@ -342,7 +603,7 @@ func validateSceneFeatures(sc *archive.Scene) error {
 }
 
 func newSceneSet(sc *archive.Scene, shards int) *sceneSet {
-	ss := &sceneSet{scene: sc}
+	ss := &sceneSet{scene: sc, gen: 1}
 	ss.shardRoots(shards)
 	nb := sc.NumBands()
 	ss.featCols = featColumns(sc)
@@ -386,7 +647,7 @@ func featColumns(sc *archive.Scene) []string {
 // and column names are recomputed — both are cheap and deterministic —
 // while the matrix itself is served from the snapshot.
 func restoredSceneSet(sc *archive.Scene, feat []float64, shards int) (*sceneSet, error) {
-	ss := &sceneSet{scene: sc, featCols: featColumns(sc)}
+	ss := &sceneSet{scene: sc, featCols: featColumns(sc), gen: 1}
 	if len(feat) != len(sc.Tiles)*len(ss.featCols) {
 		return nil, fmt.Errorf("core: scene planes: feature matrix len %d for %d tiles × %d cols",
 			len(feat), len(sc.Tiles), len(ss.featCols))

@@ -51,6 +51,12 @@ type DatasetInfo struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
 	Rows int    `json:"rows"`
+	// Gen is the dataset's cache-invalidation generation: 1 at
+	// registration, +1 per append (cache.go).
+	Gen uint64 `json:"gen"`
+	// Deltas counts the dataset's live delta segments awaiting
+	// compaction (always 0 for scenes, which are not appendable).
+	Deltas int `json:"deltas"`
 }
 
 // Datasets lists every registered dataset sorted by name (then kind —
@@ -64,20 +70,16 @@ func (e *Engine) Datasets() []DatasetInfo {
 func (e *Engine) datasetsLocked() []DatasetInfo {
 	out := make([]DatasetInfo, 0, len(e.tuples)+len(e.scenes)+len(e.series)+len(e.wells))
 	for name, ts := range e.tuples {
-		out = append(out, DatasetInfo{Name: name, Kind: kindTuples, Rows: ts.rows})
+		out = append(out, DatasetInfo{Name: name, Kind: kindTuples, Rows: ts.rows, Gen: ts.gen, Deltas: len(ts.deltas)})
 	}
 	for name, ss := range e.scenes {
-		out = append(out, DatasetInfo{Name: name, Kind: kindScenes, Rows: len(ss.scene.Tiles)})
+		out = append(out, DatasetInfo{Name: name, Kind: kindScenes, Rows: len(ss.scene.Tiles), Gen: ss.gen})
 	}
 	for name, ss := range e.series {
-		out = append(out, DatasetInfo{Name: name, Kind: kindSeries, Rows: ss.total})
+		out = append(out, DatasetInfo{Name: name, Kind: kindSeries, Rows: ss.total, Gen: ss.gen, Deltas: len(ss.deltas)})
 	}
 	for name, ws := range e.wells {
-		rows := 0
-		for _, sh := range ws.shards {
-			rows += len(sh.wells)
-		}
-		out = append(out, DatasetInfo{Name: name, Kind: kindWells, Rows: rows})
+		out = append(out, DatasetInfo{Name: name, Kind: kindWells, Rows: ws.total, Gen: ws.gen, Deltas: len(ws.deltas)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
@@ -92,7 +94,14 @@ func (e *Engine) datasetsLocked() []DatasetInfo {
 // b. Tuple shards whose Onion index has not been demanded yet are
 // built here (a snapshot must capture serving-ready state, and lazy
 // builds after restore would need the raw points we don't persist).
-// Registrations block for the duration; queries do not.
+// Registrations, appends and compactions block for the duration
+// (Snapshot holds the read lock end to end, and all of those need the
+// write lock to swap state in); queries do not. A snapshot racing a
+// concurrent Add* or Append* therefore captures a consistent pre- or
+// post-change world, never a torn one. Delta segments are persisted
+// as additional shards: tuple deltas as further contiguous shard
+// entries, series/well deltas folded into the global planes — either
+// way the restored engine answers bit-identically.
 func (e *Engine) Snapshot(ctx context.Context, b segment.Backend) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -159,9 +168,12 @@ func OpenSnapshot(b segment.Backend, opt RestoreOptions) (*Engine, error) {
 }
 
 // Close releases resources a restored engine holds (mmap'd segment
-// files). Idempotent; a built engine's Close is a no-op. After Close a
-// Map-restored engine must not be queried.
+// files) after waiting out any background delta compactions in flight.
+// Idempotent; a built engine's Close is a no-op. Do not append
+// concurrently with Close. After Close a Map-restored engine must not
+// be queried.
 func (e *Engine) Close() error {
+	e.compactWG.Wait()
 	e.mu.Lock()
 	closers := e.closers
 	e.closers = nil
@@ -222,8 +234,8 @@ func snapTuples(w *segment.Writer, info DatasetInfo, ts *tupleSet, opt onion.Opt
 		return err
 	}
 	meta := []byte("TS")
-	meta = canon.AppendUint(meta, uint64(len(ts.shards)))
-	for k, sh := range ts.shards {
+	meta = canon.AppendUint(meta, uint64(len(ts.scan)))
+	for k, sh := range ts.scan {
 		ix, err := sh.ensureIndex(opt)
 		if err != nil {
 			return fmt.Errorf("shard %d index: %w", k, err)
@@ -451,7 +463,7 @@ func snapSeries(w *segment.Writer, info DatasetInfo, ss *seriesSet) error {
 	meta := []byte("SS")
 	meta = canon.AppendUint(meta, uint64(info.Rows))
 	var events []fsm.Event
-	for _, sh := range ss.shards {
+	for _, sh := range ss.scan {
 		for i := range sh.regions {
 			meta = canon.AppendUint(meta, uint64(int64(sh.regions[i].Region)))
 			meta = canon.AppendUint(meta, uint64(sh.sums[i].MaxDrySpell))
@@ -531,7 +543,7 @@ func snapWells(w *segment.Writer, info DatasetInfo, ws *wellSet) error {
 	meta = canon.AppendUint(meta, uint64(info.Rows))
 	var lith []int64
 	var topFt, thickFt, gamma []float64
-	for _, sh := range ws.shards {
+	for _, sh := range ws.scan {
 		for i := range sh.wells {
 			meta = canon.AppendUint(meta, uint64(int64(sh.wells[i].Well)))
 			meta = canon.AppendUint(meta, uint64(sh.strataLen(i)))

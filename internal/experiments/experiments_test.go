@@ -270,6 +270,36 @@ func TestWriteShardBaseline(t *testing.T) {
 	}
 }
 
+func TestWriteIngestBaseline(t *testing.T) {
+	path := t.TempDir() + "/BENCH_ingest.json"
+	if err := WriteIngestBaseline(Config{Quick: true}, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base IngestBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Tuples == 0 || base.AppendRows == 0 || base.AppendCalls == 0 || base.QueryCalls == 0 {
+		t.Fatalf("malformed baseline: %+v", base)
+	}
+	if base.AppendNs <= 0 {
+		t.Fatalf("non-positive append wall time: %+v", base)
+	}
+	// The CI gate: growing a dataset through appends never changes
+	// answers relative to registering it whole.
+	if !base.ResultsIdentical {
+		t.Fatal("base+delta answers diverged from the rebuilt-from-scratch engine")
+	}
+	// Batching quality: the appender must coalesce, not flush per call.
+	if base.FlushGenerations == 0 || base.FlushGenerations >= uint64(base.AppendCalls) {
+		t.Fatalf("appender did not coalesce: %d flushes for %d calls", base.FlushGenerations, base.AppendCalls)
+	}
+}
+
 func TestWriteClusterBaseline(t *testing.T) {
 	path := t.TempDir() + "/BENCH_cluster.json"
 	if err := WriteClusterBaseline(Config{Quick: true}, path); err != nil {

@@ -1,7 +1,9 @@
 // Package qcache is the engine's query-result cache: a sharded LRU
 // keyed by a canonical Request fingerprint (see Fingerprint) and
-// invalidated wholesale by an epoch counter the engine bumps on every
-// registration. The paper's screening/pruning structure makes repeated
+// invalidated by a generation counter the caller supplies — the engine
+// passes the target dataset's own generation, bumped on every append
+// to that dataset, so writes to one dataset never evict another's
+// entries. The paper's screening/pruning structure makes repeated
 // and near-duplicate queries highly cacheable — a model re-run against
 // an unchanged archive is, by the engine's determinism guarantee,
 // guaranteed to produce the same answer, so serving it from memory is
@@ -11,11 +13,13 @@
 // by its own mutex, so concurrent hits on different shards never
 // contend. Counters are engine-wide atomics.
 //
-// Invalidation: every entry records the epoch it was computed under.
-// Get compares the entry's epoch against the caller's current epoch and
-// treats any mismatch as a miss, deleting the stale entry — so after a
-// registration bumps the epoch, no pre-registration result is ever
-// served again.
+// Invalidation: every entry records the generation it was computed
+// under. Get compares the entry's generation against the caller's
+// current one and treats any mismatch as a miss, deleting the stale
+// entry — so after an append bumps the dataset's generation, no
+// pre-append result is ever served again. (The cache itself is
+// agnostic to what the counter means; the parameter is still named
+// epoch below.)
 package qcache
 
 import (

@@ -390,6 +390,30 @@ func GenerateTuples(seed int64, n, d int) ([][]float64, error) {
 	return synth.GaussianTuples(seed, n, d)
 }
 
+// Live ingest (DESIGN.md §11): registered tuple, series and well
+// datasets grow under traffic via Engine.AppendTuples / AppendSeries /
+// AppendWells. New rows land in immutable in-memory delta segments
+// that every query family scans alongside the base shards — answers
+// are bit-identical to re-registering the grown dataset from scratch —
+// and a background compactor folds deltas back into base shards once
+// they accumulate. Each dataset carries its own cache generation
+// (DatasetInfo.Gen), so appends to one dataset never evict another's
+// cached results. Engine.Compact forces compaction synchronously.
+type (
+	// Appender coalesces concurrent small appends into one delta
+	// segment per flush window (size + max-wait thresholds); every
+	// caller gets its own flush outcome.
+	Appender = core.Appender
+	// AppenderOptions tunes the Appender's flush windows.
+	AppenderOptions = core.AppenderOptions
+)
+
+// ErrAppenderClosed reports an append after Appender.Close.
+var ErrAppenderClosed = core.ErrAppenderClosed
+
+// NewAppender returns a batching appender over e.
+func NewAppender(e *Engine, opt AppenderOptions) *Appender { return core.NewAppender(e, opt) }
+
 // Multi-node serving (DESIGN.md §9): datasets partitioned across shard
 // servers by consistent hashing, queries scatter-gathered by a router,
 // answers bit-identical to a single-node engine.

@@ -47,10 +47,13 @@
 //	             "query":{"kind":"linear","coeffs":[0.4,0.3,0.3]}}
 //	POST /batch  many requests: {"requests":[...]} — deduped, cached,
 //	             and executed per family on one shared worker pool
-//	POST /append grow a dataset under traffic (single role):
+//	POST /append grow a dataset under traffic:
 //	             {"dataset":"tuples","tuples":[[1,2,3]]} — rows land in
-//	             a delta segment, queryable on return; concurrent calls
-//	             coalesce through a batching appender
+//	             a delta segment, queryable on return. The single role
+//	             coalesces concurrent calls through a batching appender;
+//	             the router role sequences the batch and replicates it
+//	             to every replica of the owning partition (optional
+//	             "token" makes client retries idempotent)
 //	GET  /stats  cache counters, epoch, uptime, registered datasets
 //	             (per-dataset cache generation and live delta count)
 //	GET  /healthz          readiness: 503 while restoring/building, 200 serving
@@ -137,7 +140,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		s = newServer(routerBackend{router: modelir.NewClusterRouter(topo), peers: len(topo.Nodes)})
+		r := modelir.NewClusterRouter(topo)
+		// Background health passes probe every peer and walk reachable
+		// stale replicas through catch-up, so a recovered node re-admits
+		// itself without operator action.
+		r.StartHealthLoop(2 * time.Second)
+		s = newServer(routerBackend{router: r, peers: len(topo.Nodes)})
 	case "node":
 		topo, err := topologyOf(*peers, *replication)
 		if err != nil {

@@ -205,8 +205,10 @@ func TestEndpointErrors(t *testing.T) {
 
 // TestAppendEndpoint drives live ingest over the wire: appended rows
 // are queryable the moment /append returns, /stats reports the bumped
-// per-dataset generation, and the error surface (unknown dataset,
-// ambiguous payload, router role) maps to the right statuses.
+// per-dataset generation, the router role ingests through the
+// replicated cluster write path, and the error surface (unknown
+// dataset, ambiguous payload, partition down) maps to the right
+// statuses.
 func TestAppendEndpoint(t *testing.T) {
 	engine := testEngine(t)
 	srv := httptest.NewServer(newServer(newEngineBackend(engine)))
@@ -272,12 +274,45 @@ func TestAppendEndpoint(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	// The router role cannot ingest → 501.
-	router := httptest.NewServer(newServer(routerBackend{peers: 1}))
+	// The router role ingests through the replicated cluster write
+	// path: the appended row is served through the router immediately,
+	// and once every replica of the owning partition is down the
+	// append maps to 503 with a Retry-After hint.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := modelir.GenerateTuples(7, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := modelir.ClusterTopology{Nodes: []string{ln.Addr().String()}, Replication: 1}
+	node := modelir.NewClusterNode(ln.Addr().String(), topo, modelir.ClusterNodeOptions{Shards: 2})
+	if err := node.AddTuples("tuples", pts); err != nil {
+		t.Fatal(err)
+	}
+	node.ServeListener(ln)
+	defer node.Close()
+	cr := modelir.NewClusterRouter(topo)
+	defer cr.Close()
+	router := httptest.NewServer(newServer(routerBackend{router: cr, peers: 1}))
 	defer router.Close()
-	resp = postJSON(t, router, "/append", wireAppend{Dataset: "tuples", Tuples: [][]float64{{1, 2, 3}}})
-	if resp.StatusCode != http.StatusNotImplemented {
+	resp = postJSON(t, router, "/append", wireAppend{Dataset: "tuples", Tuples: [][]float64{{1e9, 1e9, 1e9}}})
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("router append: status %d", resp.StatusCode)
+	}
+	ar = decode[wireAppendResponse](t, resp)
+	if ar.Error != "" || ar.Appended != 1 || ar.Seq != 1 {
+		t.Fatalf("router append response %+v", ar)
+	}
+	routed := decode[wireResult](t, postJSON(t, router, "/run", wr))
+	if routed.Error != "" || len(routed.Items) != 1 || int(routed.Items[0].ID) != len(pts) {
+		t.Fatalf("router-appended row not served: %+v", routed)
+	}
+	node.Kill()
+	resp = postJSON(t, router, "/append", wireAppend{Dataset: "tuples", Tuples: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("append with every replica down: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
 	resp.Body.Close()
 }

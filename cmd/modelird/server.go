@@ -282,21 +282,31 @@ func methodOf(s string) (modelir.GeologyMethod, error) {
 
 // wireAppend is the POST /append request shape: a dataset name plus
 // exactly one non-empty payload (the payload kind must match the
-// dataset's kind; scenes are not appendable).
+// dataset's kind; scenes are not appendable). Token, when set, makes
+// the append idempotent through the router role: a retried request
+// carrying the same token returns the recorded outcome instead of
+// appending twice.
 type wireAppend struct {
 	Dataset string                 `json:"dataset"`
 	Tuples  [][]float64            `json:"tuples,omitempty"`
 	Series  []modelir.RegionSeries `json:"series,omitempty"`
 	Wells   []modelir.WellLog      `json:"wells,omitempty"`
+	Token   string                 `json:"token,omitempty"`
 }
 
 // wireAppendResponse reports one append's outcome: rows accepted and
 // the dataset's generation after the flush that carried them (clients
-// can watch Gen advance on /stats).
+// can watch Gen advance on /stats). The router role also reports the
+// owning partition, the batch's sequence number, whether a token replay
+// was deduplicated, and any replicas the append quarantined.
 type wireAppendResponse struct {
-	Appended int    `json:"appended"`
-	Gen      uint64 `json:"gen"`
-	Error    string `json:"error,omitempty"`
+	Appended    int      `json:"appended"`
+	Gen         uint64   `json:"gen"`
+	Part        int      `json:"part,omitempty"`
+	Seq         uint64   `json:"seq,omitempty"`
+	Duplicate   bool     `json:"duplicate,omitempty"`
+	Quarantined []string `json:"quarantined,omitempty"`
+	Error       string   `json:"error,omitempty"`
 }
 
 // backend is what the HTTP surface serves from: a local engine in the
@@ -305,15 +315,11 @@ type wireAppendResponse struct {
 type backend interface {
 	Run(ctx context.Context, req modelir.Request) (modelir.Result, error)
 	RunBatch(ctx context.Context, reqs []modelir.Request) ([]modelir.BatchResult, error)
-	// appendRows applies one /append body and returns the target
-	// dataset's post-flush generation.
-	appendRows(ctx context.Context, wa wireAppend) (uint64, error)
+	// appendRows applies one /append body and reports its outcome.
+	appendRows(ctx context.Context, wa wireAppend) (wireAppendResponse, error)
 	// serverStats fills the role-specific part of /stats.
 	serverStats() wireServerStats
 }
-
-// errAppendUnsupported marks roles whose backend cannot ingest.
-var errAppendUnsupported = errors.New("append is served by the single role only (cluster ingest is not implemented)")
 
 // engineBackend serves from an in-process engine (the single role).
 // Appends flow through one shared batching appender so concurrent
@@ -337,7 +343,7 @@ func (b engineBackend) RunBatch(ctx context.Context, reqs []modelir.Request) ([]
 	return b.engine.RunBatch(ctx, reqs)
 }
 
-func (b engineBackend) appendRows(ctx context.Context, wa wireAppend) (uint64, error) {
+func (b engineBackend) appendRows(ctx context.Context, wa wireAppend) (wireAppendResponse, error) {
 	kinds := 0
 	for _, nonEmpty := range []bool{len(wa.Tuples) > 0, len(wa.Series) > 0, len(wa.Wells) > 0} {
 		if nonEmpty {
@@ -345,7 +351,7 @@ func (b engineBackend) appendRows(ctx context.Context, wa wireAppend) (uint64, e
 		}
 	}
 	if kinds != 1 {
-		return 0, errors.New("append needs exactly one non-empty payload: tuples, series, or wells")
+		return wireAppendResponse{}, errors.New("append needs exactly one non-empty payload: tuples, series, or wells")
 	}
 	var kind string
 	var err error
@@ -358,14 +364,15 @@ func (b engineBackend) appendRows(ctx context.Context, wa wireAppend) (uint64, e
 		kind, err = "wells", b.appender.AppendWells(ctx, wa.Dataset, wa.Wells)
 	}
 	if err != nil {
-		return 0, err
+		return wireAppendResponse{}, err
 	}
+	out := wireAppendResponse{Appended: len(wa.Tuples) + len(wa.Series) + len(wa.Wells)}
 	for _, ds := range b.engine.Datasets() {
 		if ds.Name == wa.Dataset && ds.Kind == kind {
-			return ds.Gen, nil
+			out.Gen = ds.Gen
 		}
 	}
-	return 0, nil // unreachable: the append above succeeded
+	return out, nil
 }
 
 func (b engineBackend) serverStats() wireServerStats {
@@ -416,12 +423,39 @@ func (b routerBackend) RunBatch(ctx context.Context, reqs []modelir.Request) ([]
 	return b.router.RunBatch(ctx, creqs), nil
 }
 
-func (b routerBackend) appendRows(ctx context.Context, wa wireAppend) (uint64, error) {
-	return 0, errAppendUnsupported
+// appendRows routes the batch through the cluster write path: the
+// router picks the owning partition, sequences the batch, and
+// replicates it to every healthy replica (DESIGN.md §12).
+func (b routerBackend) appendRows(ctx context.Context, wa wireAppend) (wireAppendResponse, error) {
+	res, err := b.router.Append(ctx, modelir.ClusterAppendRequest{
+		Dataset: wa.Dataset,
+		Tuples:  wa.Tuples,
+		Series:  wa.Series,
+		Wells:   wa.Wells,
+		Token:   wa.Token,
+	})
+	if err != nil {
+		return wireAppendResponse{}, err
+	}
+	return wireAppendResponse{
+		Appended:    res.Rows,
+		Gen:         res.Gen,
+		Part:        res.Part,
+		Seq:         res.Seq,
+		Duplicate:   res.Duplicate,
+		Quarantined: res.Quarantined,
+	}, nil
 }
 
 func (b routerBackend) serverStats() wireServerStats {
-	return wireServerStats{Role: "router", Peers: b.peers}
+	out := wireServerStats{Role: "router", Peers: b.peers}
+	health := b.router.PeerHealth()
+	out.PeerHealth = make(map[string]string, len(health))
+	for addr, st := range health {
+		out.PeerHealth[addr] = st.String()
+	}
+	out.AppendSeqs = b.router.AppendSeqs()
+	return out
 }
 
 // server bundles the backend with serving metadata. The backend may
@@ -525,18 +559,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // a failed write means the client is gone
 }
 
-// statusOf maps engine and cluster errors onto HTTP statuses.
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request abandoned by the client: not a server fault, not a 4xx the
+// client can fix — just nobody left to answer.
+const statusClientClosedRequest = 499
+
+// statusOf maps engine and cluster errors onto HTTP statuses. Timeouts
+// and cancellations get their own codes (504/499) so operators can tell
+// an overloaded cluster from a malformed request in access logs.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, modelir.ErrUnknownDataset):
 		return http.StatusNotFound
 	case errors.Is(err, modelir.ErrPartitionUnavailable):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, errAppendUnsupported):
-		return http.StatusNotImplemented
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeErr maps err onto its status and writes v. A 503 carries
+// Retry-After: the partition is expected back as soon as a replica
+// recovers or catches up, so well-behaved clients should retry, not
+// give up.
+func writeErr(w http.ResponseWriter, err error, v any) {
+	status := statusOf(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, v)
 }
 
 // handleAppend grows a registered dataset under traffic: rows enter a
@@ -555,18 +610,15 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, wireAppendResponse{Error: "bad append JSON: " + err.Error()})
 		return
 	}
-	gen, err := s.backend.appendRows(r.Context(), wa)
+	resp, err := s.backend.appendRows(r.Context(), wa)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; the rows still flush, but nobody is listening
 		}
-		writeJSON(w, statusOf(err), wireAppendResponse{Error: err.Error()})
+		writeErr(w, err, wireAppendResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, wireAppendResponse{
-		Appended: len(wa.Tuples) + len(wa.Series) + len(wa.Wells),
-		Gen:      gen,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -594,7 +646,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			return // client gone; the response writer is dead
 		}
-		writeJSON(w, statusOf(err), wireResult{Error: err.Error()})
+		writeErr(w, err, wireResult{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, toWireResult(res, nil))
@@ -651,13 +703,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // zero for the roles they do not apply to: a router has no engine
 // epoch, shards, or cache; a single engine has no peers.
 type wireServerStats struct {
-	Role       string                `json:"role"`
-	Peers      int                   `json:"peers,omitempty"`
-	UptimeS    float64               `json:"uptime_s"`
-	Epoch      uint64                `json:"epoch"`
-	Shards     int                   `json:"shards"`
-	GOMAXPROCS int                   `json:"gomaxprocs"`
-	Datasets   []modelir.DatasetInfo `json:"datasets,omitempty"`
+	Role string `json:"role"`
+	// Router role: peer count, each peer's health state, and every
+	// sequenced dataset partition's last append sequence number.
+	Peers      int                       `json:"peers,omitempty"`
+	PeerHealth map[string]string         `json:"peer_health,omitempty"`
+	AppendSeqs map[string]map[int]uint64 `json:"append_seqs,omitempty"`
+	UptimeS    float64                   `json:"uptime_s"`
+	Epoch      uint64                    `json:"epoch"`
+	Shards     int                       `json:"shards"`
+	GOMAXPROCS int                       `json:"gomaxprocs"`
+	Datasets   []modelir.DatasetInfo     `json:"datasets,omitempty"`
 	Cache      struct {
 		Hits          uint64 `json:"hits"`
 		Misses        uint64 `json:"misses"`

@@ -1,0 +1,501 @@
+// The replicated write path. Router.Append routes each batch to one
+// owning partition (whole batches round-robin across partitions so
+// every delta segment stays a contiguous global ID range; the replica
+// set per partition comes from the consistent-hash placement), assigns
+// it the partition's next monotone sequence number, and fans it out to
+// every replica, requiring an ack from each. A replica that fails its
+// ack after bounded retries with exponential backoff + jitter — or that
+// was already unreachable when the batch landed — is quarantined as
+// stale: it is missing the batch, so it must not serve reads until the
+// catch-up exchange (catchup.go) replays its misses from the per-
+// partition append log kept here. The log is pruned to the lowest
+// sequence number every replica has acked, so a quarantined replica
+// pins exactly the batches it still needs.
+//
+// Write-all rather than quorum: reads are served by a single replica
+// of each partition (scatter-gather picks one), so correctness needs
+// every *servable* replica to hold every batch. Instead of read-time
+// quorum reconciliation, a replica is either fully caught up or not
+// servable at all — the append succeeds once any replica acked, and
+// the others are quarantined until catch-up proves them whole.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"modelir/internal/synth"
+)
+
+// ErrNotAppendable reports an append to a dataset kind that cannot
+// grow (scenes are raster-global).
+var ErrNotAppendable = errors.New("cluster: dataset kind not appendable")
+
+// maxAppendTokens bounds the client-token dedup table (FIFO eviction).
+const maxAppendTokens = 4096
+
+// AppendRequest is one router-level append: a dataset plus exactly one
+// non-empty payload. Token, when non-empty, makes the append
+// idempotent at this router: a retry carrying the same token returns
+// the recorded outcome instead of appending twice.
+type AppendRequest struct {
+	Dataset string
+	Tuples  [][]float64
+	Series  []synth.RegionSeries
+	Wells   []synth.WellLog
+	Token   string
+}
+
+// AppendResult reports one append's outcome.
+type AppendResult struct {
+	// Rows is the batch's row count.
+	Rows int
+	// Part is the owning partition and Seq the batch's sequence number
+	// within it.
+	Part int
+	Seq  uint64
+	// Gen is the highest dataset generation any replica reported after
+	// applying the batch.
+	Gen uint64
+	// Duplicate reports a Token replay: the recorded outcome was
+	// returned and nothing was appended.
+	Duplicate bool
+	// Quarantined lists replicas this append newly marked stale.
+	Quarantined []string
+}
+
+// routerIngest is the router's append-side state.
+type routerIngest struct {
+	mu     sync.Mutex
+	sets   map[string]*dsIngest
+	tokens map[string]*tokenEntry
+	order  []string // token FIFO for eviction
+}
+
+type tokenEntry struct {
+	done chan struct{}
+	res  AppendResult
+	err  error
+}
+
+// dsIngest is one dataset's write-side cursor: the global tuple row
+// watermark IDs are assigned from, the round-robin batch counter, and
+// the per-partition sequencing state. It is built lazily on the first
+// append by syncing seq state from the partitions' replicas, so a
+// restarted router resumes exactly where the cluster left off.
+type dsIngest struct {
+	kind DataKind
+
+	mu     sync.Mutex
+	synced bool
+	rows   int64 // next free global tuple row ID
+	rr     uint64
+	parts  []*partIngestState
+}
+
+// partIngestState sequences one partition's appends. Its lock is held
+// across the whole assign-log-fanout-ack cycle, so batches reach every
+// replica in sequence order; different partitions append in parallel.
+type partIngestState struct {
+	part  int
+	nodes []string
+
+	mu      sync.Mutex
+	nextSeq uint64
+	log     []appendRecord
+	acked   map[string]uint64
+}
+
+// appendRecord retains one batch's encoded 'A' payload for catch-up
+// replay until every replica has acked it.
+type appendRecord struct {
+	seq     uint64
+	rows    int
+	payload []byte
+}
+
+// appendKindOf classifies the request payload.
+func appendKindOf(req AppendRequest) (DataKind, int, error) {
+	kinds := 0
+	for _, nonEmpty := range []bool{len(req.Tuples) > 0, len(req.Series) > 0, len(req.Wells) > 0} {
+		if nonEmpty {
+			kinds++
+		}
+	}
+	if kinds != 1 {
+		return 0, 0, fmt.Errorf("cluster: append needs exactly one non-empty payload, have %d", kinds)
+	}
+	switch {
+	case len(req.Tuples) > 0:
+		return KindTuples, len(req.Tuples), nil
+	case len(req.Series) > 0:
+		return KindSeries, len(req.Series), nil
+	default:
+		return KindWells, len(req.Wells), nil
+	}
+}
+
+// Append routes one batch to its owning partition and replicates it to
+// every replica. It returns once at least one replica acked; replicas
+// that failed are quarantined (see package comment). If no replica
+// acks, the error wraps ErrPartitionUnavailable — the batch stays in
+// the append log, so it may still apply later through catch-up; a
+// caller retrying should carry a Token to stay idempotent.
+func (r *Router) Append(ctx context.Context, req AppendRequest) (AppendResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	kind, rows, err := appendKindOf(req)
+	if err != nil {
+		return AppendResult{}, err
+	}
+
+	if req.Token != "" {
+		te, replay := r.claimToken(req.Token)
+		if replay {
+			select {
+			case <-te.done:
+			case <-ctx.Done():
+				return AppendResult{}, ctx.Err()
+			}
+			res := te.res
+			res.Duplicate = true
+			return res, te.err
+		}
+		defer close(te.done)
+		res, err := r.appendOnceRouted(ctx, req, kind, rows)
+		te.res, te.err = res, err
+		return res, err
+	}
+	return r.appendOnceRouted(ctx, req, kind, rows)
+}
+
+// claimToken returns the dedup entry for token and whether it already
+// existed (replay). A fresh claim must be completed by the caller
+// (fill res/err, close done).
+func (r *Router) claimToken(token string) (*tokenEntry, bool) {
+	r.ing.mu.Lock()
+	defer r.ing.mu.Unlock()
+	if te, ok := r.ing.tokens[token]; ok {
+		return te, true
+	}
+	te := &tokenEntry{done: make(chan struct{})}
+	r.ing.tokens[token] = te
+	r.ing.order = append(r.ing.order, token)
+	for len(r.ing.order) > maxAppendTokens {
+		delete(r.ing.tokens, r.ing.order[0])
+		r.ing.order = r.ing.order[1:]
+	}
+	return te, false
+}
+
+func (r *Router) appendOnceRouted(ctx context.Context, req AppendRequest, kind DataKind, rows int) (AppendResult, error) {
+	ds, err := r.ensureIngest(ctx, req.Dataset, kind)
+	if err != nil {
+		return AppendResult{}, err
+	}
+
+	// Assign the batch's owning partition and (for tuples) its global
+	// ID base. The IDs are consumed even if the fan-out fails: the
+	// batch stays in the log and may still apply through catch-up.
+	ds.mu.Lock()
+	pa := ds.parts[ds.rr%uint64(len(ds.parts))]
+	ds.rr++
+	base := ds.rows
+	if kind == KindTuples {
+		ds.rows += int64(rows)
+	}
+	ds.mu.Unlock()
+
+	batch := AppendBatch{
+		Dataset: req.Dataset, Part: pa.part, Base: base,
+		Tuples: req.Tuples, Series: req.Series, Wells: req.Wells,
+	}
+	return r.replicate(ctx, pa, batch)
+}
+
+// replicate assigns the batch its sequence number, logs it, and fans
+// it out to the partition's replicas, all under the partition lock.
+func (r *Router) replicate(ctx context.Context, pa *partIngestState, batch AppendBatch) (AppendResult, error) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+
+	batch.Seq = pa.nextSeq
+	payload, err := encodeAppend(batch)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	pa.nextSeq++
+	rec := appendRecord{seq: batch.Seq, rows: batch.Rows(), payload: payload}
+	pa.log = append(pa.log, rec)
+
+	res := AppendResult{Rows: rec.rows, Part: pa.part, Seq: rec.seq}
+	type outcome struct {
+		addr string
+		ack  appendAck
+		err  error
+	}
+	outcomes := make([]outcome, 0, len(pa.nodes))
+	targets := make([]string, 0, len(pa.nodes))
+	for _, addr := range pa.nodes {
+		if r.health.appendable(addr) {
+			targets = append(targets, addr)
+		} else {
+			// Unreachable or already-stale replicas miss this batch by
+			// construction; (re)quarantine so catch-up replays it.
+			r.health.missedAppend(addr)
+			res.Quarantined = append(res.Quarantined, addr)
+		}
+	}
+	results := make([]outcome, len(targets))
+	var wg sync.WaitGroup
+	for i, addr := range targets {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ack, err := r.sendAppend(ctx, addr, rec.seq, payload)
+			results[i] = outcome{addr: addr, ack: ack, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	outcomes = append(outcomes, results...)
+
+	acks := 0
+	for _, o := range outcomes {
+		if o.err == nil {
+			acks++
+			pa.acked[o.addr] = rec.seq
+			if o.ack.Gen > res.Gen {
+				res.Gen = o.ack.Gen
+			}
+		} else {
+			r.health.missedAppend(o.addr)
+			res.Quarantined = append(res.Quarantined, o.addr)
+		}
+	}
+	pa.prune()
+	if acks == 0 {
+		return res, fmt.Errorf("%w: append %q part %d seq %d: no replica acked",
+			ErrPartitionUnavailable, batch.Dataset, pa.part, rec.seq)
+	}
+	return res, nil
+}
+
+// prune drops log records every replica has acked. Must hold pa.mu.
+func (pa *partIngestState) prune() {
+	floor := pa.nextSeq - 1
+	for _, addr := range pa.nodes {
+		if a := pa.acked[addr]; a < floor {
+			floor = a
+		}
+	}
+	i := 0
+	for i < len(pa.log) && pa.log[i].seq <= floor {
+		i++
+	}
+	if i > 0 {
+		pa.log = append([]appendRecord(nil), pa.log[i:]...)
+	}
+}
+
+// sendAppend delivers one sequenced batch to one replica with bounded
+// retries: transport faults back off and retry, a node-reported error
+// (sequence gap, refused batch) is final.
+func (r *Router) sendAppend(ctx context.Context, addr string, seq uint64, payload []byte) (appendAck, error) {
+	var lastErr error
+	for attempt := 1; attempt <= r.opt.AppendAttempts; attempt++ {
+		if attempt > 1 {
+			if err := r.backoff(ctx, attempt-1); err != nil {
+				return appendAck{}, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return appendAck{}, err
+		}
+		ack, err, transport := r.appendOnce(ctx, addr, seq, payload)
+		if err == nil {
+			r.health.ok(addr)
+			return ack, nil
+		}
+		if !transport {
+			return appendAck{}, err
+		}
+		r.health.fault(addr)
+		lastErr = err
+	}
+	return appendAck{}, fmt.Errorf("cluster: append to %s failed after %d attempts: %w",
+		addr, r.opt.AppendAttempts, lastErr)
+}
+
+// appendOnce is one delivery attempt. transport reports whether the
+// failure was connection-level (retryable) rather than node-reported.
+func (r *Router) appendOnce(ctx context.Context, addr string, seq uint64, payload []byte) (_ appendAck, err error, transport bool) {
+	d := net.Dialer{Timeout: r.opt.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		if ctx.Err() != nil {
+			return appendAck{}, ctx.Err(), false
+		}
+		return appendAck{}, err, true
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(ackDeadline(ctx, r.opt.AckTimeout))
+	if err := writeFrame(conn, frameAppend, payload); err != nil {
+		return appendAck{}, err, true
+	}
+	typ, reply, err := readFrame(conn)
+	if err != nil {
+		if ctx.Err() != nil {
+			return appendAck{}, ctx.Err(), false
+		}
+		return appendAck{}, err, true
+	}
+	switch typ {
+	case frameAppendAck:
+		ack, err := decodeAppendAck(reply)
+		if err != nil {
+			return appendAck{}, err, false
+		}
+		if ack.Seq != seq {
+			return appendAck{}, fmt.Errorf("%w: ack for seq %d, want %d", ErrFrame, ack.Seq, seq), false
+		}
+		return ack, nil, false
+	case frameError:
+		code, msg, derr := decodeError(reply)
+		if derr != nil {
+			return appendAck{}, derr, false
+		}
+		return appendAck{}, &RemoteError{Addr: addr, Code: code, Msg: msg}, false
+	default:
+		return appendAck{}, fmt.Errorf("%w: unexpected frame %q", ErrFrame, typ), false
+	}
+}
+
+// ensureIngest returns the dataset's write-side state, syncing it from
+// the cluster on first use: each partition's replicas report their
+// append cursor and row watermark over 'U' frames, the highest cursor
+// seeds the sequence counter, and the highest watermark across
+// partitions seeds the global tuple row counter. Replicas already
+// behind the highest cursor are quarantined immediately.
+func (r *Router) ensureIngest(ctx context.Context, dataset string, kind DataKind) (*dsIngest, error) {
+	if kind == KindScene {
+		return nil, fmt.Errorf("%w: scenes", ErrNotAppendable)
+	}
+	r.ing.mu.Lock()
+	ds, ok := r.ing.sets[dataset]
+	if !ok {
+		ds = &dsIngest{kind: kind}
+		r.ing.sets[dataset] = ds
+	}
+	r.ing.mu.Unlock()
+	if ds.kind != kind {
+		return nil, fmt.Errorf("cluster: dataset %q is %v, append payload is %v", dataset, ds.kind, kind)
+	}
+
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.synced {
+		return ds, nil
+	}
+	placements := r.topo.Layout(dataset, kind)
+	if len(placements) == 0 {
+		return nil, errors.New("cluster: empty topology")
+	}
+	parts := make([]*partIngestState, 0, len(placements))
+	var rows int64
+	for _, pl := range placements {
+		pa := &partIngestState{part: pl.Part, nodes: pl.Nodes, acked: make(map[string]uint64)}
+		type report struct {
+			lastSeq   uint64
+			watermark int64
+		}
+		reports := make(map[string]report, len(pl.Nodes))
+		var best report
+		for _, addr := range pl.Nodes {
+			entries, err := r.seqStateOf(ctx, addr, dataset)
+			if err != nil {
+				r.health.fault(addr)
+				continue
+			}
+			r.health.ok(addr)
+			rep := report{}
+			for _, e := range entries {
+				if e.Dataset == dataset && e.Part == pl.Part {
+					rep = report{lastSeq: e.LastSeq, watermark: e.Watermark}
+					break
+				}
+			}
+			reports[addr] = rep
+			if rep.lastSeq > best.lastSeq {
+				best.lastSeq = rep.lastSeq
+			}
+			if rep.watermark > best.watermark {
+				best.watermark = rep.watermark
+			}
+		}
+		if len(reports) == 0 {
+			return nil, fmt.Errorf("%w: %q part %d: no replica reachable for ingest sync",
+				ErrPartitionUnavailable, dataset, pl.Part)
+		}
+		pa.nextSeq = best.lastSeq + 1
+		for _, addr := range pl.Nodes {
+			rep, ok := reports[addr]
+			if !ok {
+				// Unreachable at sync: assume current. If it was in fact
+				// behind, its first append acks with a sequence gap and
+				// quarantines it then.
+				pa.acked[addr] = best.lastSeq
+				continue
+			}
+			pa.acked[addr] = rep.lastSeq
+			if rep.lastSeq < best.lastSeq {
+				// Provably behind, and the missed batches predate this
+				// router's log: quarantine. (Catch-up can only re-admit
+				// it if the log still covers its gap — see catchup.go.)
+				r.health.missedAppend(addr)
+			}
+		}
+		if best.watermark > rows {
+			rows = best.watermark
+		}
+		parts = append(parts, pa)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].part < parts[j].part })
+	ds.parts = parts
+	ds.rows = rows
+	ds.synced = true
+	return ds, nil
+}
+
+// AppendSeqs reports each dataset partition's last assigned sequence
+// number, for /stats.
+func (r *Router) AppendSeqs() map[string]map[int]uint64 {
+	r.ing.mu.Lock()
+	sets := make(map[string]*dsIngest, len(r.ing.sets))
+	for name, ds := range r.ing.sets {
+		sets[name] = ds
+	}
+	r.ing.mu.Unlock()
+	out := make(map[string]map[int]uint64, len(sets))
+	for name, ds := range sets {
+		ds.mu.Lock()
+		if !ds.synced {
+			ds.mu.Unlock()
+			continue
+		}
+		m := make(map[int]uint64, len(ds.parts))
+		for _, pa := range ds.parts {
+			pa.mu.Lock()
+			m[pa.part] = pa.nextSeq - 1
+			pa.mu.Unlock()
+		}
+		ds.mu.Unlock()
+		out[name] = m
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Catch-up: the only road out of quarantine. A stale replica missed
+// one or more append batches; because every partition's appends carry
+// monotone sequence numbers and the router keeps each unacked batch's
+// encoded frame in its per-partition log, the repair is exact — ask the
+// replica for its cursor ('U'), replay precisely the logged batches
+// above it ('A', acked one by one), and the node's idempotent cursor
+// makes re-replaying an already-applied batch a no-op. Only when every
+// partition the replica owns is provably current does the health
+// tracker re-admit it.
+//
+// If the log no longer covers the replica's gap (every other replica
+// acked and the records were pruned before the replica was seen), the
+// replica stays quarantined: a full-state resync is out of scope, and
+// serving from a replica that might be missing rows would break the
+// bit-identical read guarantee.
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ackDeadline converts the ack timeout into an absolute connection
+// deadline, honoring an earlier ctx deadline.
+func ackDeadline(ctx context.Context, timeout time.Duration) time.Time {
+	dl := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		return d
+	}
+	return dl
+}
+
+// dialIngest opens an ingest-session connection to addr.
+func (r *Router) dialIngest(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: r.opt.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(ackDeadline(ctx, r.opt.AckTimeout))
+	return conn, nil
+}
+
+// Probe checks liveness: one 'H' frame, echoed back. The result feeds
+// the health tracker (ok can lift Down back to Healthy; it never lifts
+// Stale — reachability is not consistency).
+func (r *Router) Probe(ctx context.Context, addr string) error {
+	conn, err := r.dialIngest(ctx, addr)
+	if err != nil {
+		r.health.fault(addr)
+		return err
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameHealth, nil); err != nil {
+		r.health.fault(addr)
+		return err
+	}
+	typ, _, err := readFrame(conn)
+	if err != nil || typ != frameHealth {
+		r.health.fault(addr)
+		if err == nil {
+			err = fmt.Errorf("%w: probe answered %q", ErrFrame, typ)
+		}
+		return err
+	}
+	r.health.ok(addr)
+	return nil
+}
+
+// seqStateOf asks addr for its append cursors ('U' exchange on a fresh
+// connection). dataset filters to one dataset; "" asks for all.
+func (r *Router) seqStateOf(ctx context.Context, addr, dataset string) ([]SeqEntry, error) {
+	conn, err := r.dialIngest(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return seqStateOn(conn, dataset)
+}
+
+// seqStateOn runs one 'U' exchange on an established connection.
+func seqStateOn(conn net.Conn, dataset string) ([]SeqEntry, error) {
+	if err := writeFrame(conn, frameSeqState, encodeSeqStateReq(dataset)); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case frameSeqState:
+		return decodeSeqState(payload)
+	case frameError:
+		code, msg, derr := decodeError(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, &RemoteError{Addr: conn.RemoteAddr().String(), Code: code, Msg: msg}
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame %q", ErrFrame, typ)
+	}
+}
+
+// CatchUp replays addr's missed append batches from the router's
+// per-partition logs and, if every partition it owns comes back
+// current, re-admits it. It is safe to call on a healthy replica (the
+// replay set is empty) and idempotent on a stale one.
+func (r *Router) CatchUp(ctx context.Context, addr string) error {
+	r.ing.mu.Lock()
+	sets := make(map[string]*dsIngest, len(r.ing.sets))
+	for name, ds := range r.ing.sets {
+		sets[name] = ds
+	}
+	r.ing.mu.Unlock()
+
+	for name, ds := range sets {
+		ds.mu.Lock()
+		synced := ds.synced
+		parts := ds.parts
+		ds.mu.Unlock()
+		if !synced {
+			continue
+		}
+		for _, pa := range parts {
+			owns := false
+			for _, n := range pa.nodes {
+				if n == addr {
+					owns = true
+					break
+				}
+			}
+			if !owns {
+				continue
+			}
+			if err := r.catchUpPart(ctx, addr, name, pa); err != nil {
+				return err
+			}
+		}
+	}
+	// Every partition this router has sequenced is current on addr (a
+	// router with no ingest state has nothing the replica could be
+	// missing relative to it).
+	r.health.caughtUp(addr)
+	return nil
+}
+
+// catchUpPart brings addr current on one partition. It holds the
+// partition lock across the replay so no new batch can interleave;
+// appends to other partitions proceed.
+func (r *Router) catchUpPart(ctx context.Context, addr, dataset string, pa *partIngestState) error {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	if pa.nextSeq == 1 {
+		return nil // nothing ever appended
+	}
+
+	conn, err := r.dialIngest(ctx, addr)
+	if err != nil {
+		r.health.fault(addr)
+		return err
+	}
+	defer conn.Close()
+
+	entries, err := seqStateOn(conn, dataset)
+	if err != nil {
+		r.health.fault(addr)
+		return err
+	}
+	var lastSeq uint64
+	for _, e := range entries {
+		if e.Dataset == dataset && e.Part == pa.part {
+			lastSeq = e.LastSeq
+			break
+		}
+	}
+	want := pa.nextSeq - 1
+	if lastSeq >= want {
+		pa.acked[addr] = want
+		pa.prune()
+		return nil
+	}
+	if len(pa.log) == 0 || pa.log[0].seq > lastSeq+1 {
+		first := pa.nextSeq
+		if len(pa.log) > 0 {
+			first = pa.log[0].seq
+		}
+		return fmt.Errorf("cluster: %s cannot catch up %q part %d: needs seq %d, log starts at %d (pruned)",
+			addr, dataset, pa.part, lastSeq+1, first)
+	}
+	for _, rec := range pa.log {
+		if rec.seq <= lastSeq {
+			continue
+		}
+		// Reuse the session connection for the whole replay; refresh the
+		// deadline per batch so a long replay doesn't trip the ack timeout.
+		_ = conn.SetDeadline(ackDeadline(ctx, r.opt.AckTimeout))
+		if err := writeFrame(conn, frameAppend, rec.payload); err != nil {
+			r.health.fault(addr)
+			return err
+		}
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			r.health.fault(addr)
+			return err
+		}
+		switch typ {
+		case frameAppendAck:
+			ack, err := decodeAppendAck(payload)
+			if err != nil {
+				return err
+			}
+			if ack.Seq != rec.seq {
+				return fmt.Errorf("%w: replay ack for seq %d, want %d", ErrFrame, ack.Seq, rec.seq)
+			}
+		case frameError:
+			code, msg, derr := decodeError(payload)
+			if derr != nil {
+				return derr
+			}
+			return &RemoteError{Addr: addr, Code: code, Msg: msg}
+		default:
+			return fmt.Errorf("%w: unexpected frame %q during replay", ErrFrame, typ)
+		}
+	}
+	pa.acked[addr] = want
+	pa.prune()
+	return nil
+}
+
+// Reconcile runs one health pass over every topology peer: probe each,
+// and walk any reachable stale replica through catch-up. It returns the
+// post-pass health map.
+func (r *Router) Reconcile(ctx context.Context) map[string]HealthState {
+	for _, addr := range r.topo.Nodes {
+		if err := r.Probe(ctx, addr); err != nil {
+			continue
+		}
+		if r.health.state(addr) == Stale {
+			_ = r.CatchUp(ctx, addr) // failure keeps it quarantined
+		}
+	}
+	return r.PeerHealth()
+}
+
+// StartHealthLoop runs Reconcile every interval until Close. Starting
+// an already-running loop is a no-op.
+func (r *Router) StartHealthLoop(interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
+	if r.loopStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.loopStop, r.loopDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				r.Reconcile(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close stops the health loop, if running.
+func (r *Router) Close() error {
+	r.loopMu.Lock()
+	stop, done := r.loopStop, r.loopDone
+	r.loopStop, r.loopDone = nil, nil
+	r.loopMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
+}

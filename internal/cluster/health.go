@@ -1,0 +1,182 @@
+// Per-peer health tracking for the router: every node address carries
+// a small state machine driven by read-path transport faults, append
+// ack failures, and periodic health probes.
+//
+//	          read/probe fault        repeated faults
+//	Healthy ──────────────────▶ Suspect ─────────────▶ Down
+//	   ▲  ▲                       │  ▲                  │
+//	   │  └───── read/probe ok ───┘  └── probe fault ───┘
+//	   │                probe ok │
+//	   │                         ▼
+//	   └──── catch-up done ──── Stale ◀── missed/failed append (any state)
+//
+// Healthy and Suspect replicas serve reads and receive appends. Down
+// replicas are skipped on both paths until a probe reaches them again.
+// Stale is the quarantine state: the replica missed at least one
+// append, so serving a read from it could return a wrong (partial)
+// answer — it is excluded from read failover and from append fan-out
+// (it would only see sequence gaps) until the catch-up exchange
+// (catchup.go) replays its missed batches, which is the only edge back
+// to Healthy. Stale wins over every reachability transition: a probe
+// reaching a stale replica proves liveness, not consistency.
+
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// HealthState is one peer's position in the router's health machine.
+type HealthState int
+
+const (
+	// Healthy peers serve reads and receive appends.
+	Healthy HealthState = iota
+	// Suspect peers faulted recently but still serve; repeated faults
+	// demote them to Down.
+	Suspect
+	// Down peers are unreachable: skipped on reads and appends until a
+	// probe succeeds. A Down peer that misses an append becomes Stale.
+	Down
+	// Stale peers missed an append and are quarantined from reads and
+	// appends until catch-up replays their missed batches.
+	Stale
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Stale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}
+
+// downAfterFaults demotes Suspect to Down at this many consecutive
+// transport faults (the first fault makes the peer Suspect).
+const downAfterFaults = 3
+
+type peerHealth struct {
+	state   HealthState
+	faults  int // consecutive transport faults since the last success
+	changed time.Time
+}
+
+// healthTracker is the router's per-peer state table. Unknown peers
+// are Healthy: the tracker records evidence of trouble, not evidence
+// of health, so a fresh router serves from everyone.
+type healthTracker struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{peers: make(map[string]*peerHealth)}
+}
+
+func (h *healthTracker) peer(addr string) *peerHealth {
+	p, ok := h.peers[addr]
+	if !ok {
+		p = &peerHealth{state: Healthy}
+		h.peers[addr] = p
+	}
+	return p
+}
+
+// state reports addr's current state.
+func (h *healthTracker) state(addr string) HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peer(addr).state
+}
+
+// servable reports whether reads may be served from addr. Stale and
+// Down peers are excluded: Stale could answer wrong, Down would only
+// burn a dial timeout.
+func (h *healthTracker) servable(addr string) bool {
+	s := h.state(addr)
+	return s == Healthy || s == Suspect
+}
+
+// appendable reports whether addr should receive append fan-out.
+// Identical to servable by design: a peer that cannot be read from
+// cannot usefully take writes either (Stale would see sequence gaps,
+// Down is unreachable).
+func (h *healthTracker) appendable(addr string) bool {
+	return h.servable(addr)
+}
+
+func (p *peerHealth) set(s HealthState) {
+	if p.state != s {
+		p.state = s
+		p.changed = time.Now()
+	}
+}
+
+// fault records a transport-level failure on the read or probe path:
+// Healthy demotes to Suspect, and downAfterFaults consecutive faults
+// demote Suspect to Down. Stale is sticky — only catch-up clears it.
+func (h *healthTracker) fault(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	p.faults++
+	switch p.state {
+	case Healthy:
+		p.set(Suspect)
+	case Suspect:
+		if p.faults >= downAfterFaults {
+			p.set(Down)
+		}
+	}
+}
+
+// ok records a successful read or probe: Suspect and Down recover to
+// Healthy, Stale stays quarantined (reachability is not consistency).
+func (h *healthTracker) ok(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	p.faults = 0
+	if p.state == Suspect || p.state == Down {
+		p.set(Healthy)
+	}
+}
+
+// missedAppend quarantines addr: it failed an append ack after
+// retries, or the fan-out skipped it while unreachable — either way it
+// is now missing at least one batch and must not serve reads.
+func (h *healthTracker) missedAppend(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peer(addr).set(Stale)
+}
+
+// caughtUp re-admits addr after a successful catch-up exchange.
+func (h *healthTracker) caughtUp(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	if p.state == Stale {
+		p.faults = 0
+		p.set(Healthy)
+	}
+}
+
+// snapshot reports every tracked peer's state, for /stats.
+func (h *healthTracker) snapshot() map[string]HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]HealthState, len(h.peers))
+	for addr, p := range h.peers {
+		out[addr] = p.state
+	}
+	return out
+}

@@ -1,0 +1,470 @@
+// Replicated-ingest pins: a cluster that grew its datasets through
+// Router.Append — including one replica killed and recovered mid-stream
+// — answers every query family bit-identically to a single-node engine
+// that registered the full archives up front. Plus the fault matrix:
+// quarantine on missed appends, catch-up re-admission, duplicate-append
+// dedup (sequence cursor and client token), and read-path retry over a
+// flaky transport.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"modelir/internal/core"
+	"modelir/internal/synth"
+)
+
+// testRouterOptions shrinks the retry schedule so fault paths resolve
+// in milliseconds.
+func testRouterOptions() RouterOptions {
+	return RouterOptions{
+		DialTimeout:    2 * time.Second,
+		AckTimeout:     5 * time.Second,
+		ReadAttempts:   2,
+		AppendAttempts: 2,
+		RetryBase:      time.Millisecond,
+		RetryMax:       8 * time.Millisecond,
+	}
+}
+
+// tails is the last 20% of each appendable archive, fed through
+// Router.Append after the cluster boots on the prefix.
+type tails struct {
+	tuples [][]float64
+	series []synth.RegionSeries
+	wells  []synth.WellLog
+}
+
+// splitFixtures cuts the fixtures at 80%: the prefix boots the nodes,
+// the tails arrive live. Scenes are not appendable and stay whole.
+func splitFixtures(f fixtures) (fixtures, tails) {
+	tc, sc, wc := len(f.pts)*4/5, len(f.arch)*4/5, len(f.wells)*4/5
+	pre := f
+	pre.pts = f.pts[:tc]
+	pre.arch = f.arch[:sc]
+	pre.wells = f.wells[:wc]
+	return pre, tails{tuples: f.pts[tc:], series: f.arch[sc:], wells: f.wells[wc:]}
+}
+
+// startIngestCluster is startCluster with a configurable router and the
+// node list returned alongside the addresses, for kill/recover tests.
+func startIngestCluster(t *testing.T, count, shards, replication int, f fixtures, opt NodeOptions, ropt RouterOptions) (*Router, []*Node, []string) {
+	t.Helper()
+	opt.Shards = shards
+	lns := make([]net.Listener, count)
+	addrs := make([]string, count)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	topo := Topology{Nodes: addrs, Replication: replication}
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		nodes[i] = NewNode(addrs[i], topo, opt)
+		ingest(t, nodes[i], f)
+		nodes[i].ServeListener(lns[i])
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	r := NewRouterWith(topo, ropt)
+	t.Cleanup(func() { r.Close() })
+	return r, nodes, addrs
+}
+
+// appendTails streams every tail through the router in small batches,
+// the way live clients would.
+func appendTails(t *testing.T, r *Router, tl tails) {
+	t.Helper()
+	ctx := context.Background()
+	for lo := 0; lo < len(tl.tuples); lo += 400 {
+		hi := min(lo+400, len(tl.tuples))
+		if _, err := r.Append(ctx, AppendRequest{Dataset: "gauss", Tuples: tl.tuples[lo:hi]}); err != nil {
+			t.Fatalf("append tuples [%d:%d): %v", lo, hi, err)
+		}
+	}
+	for lo := 0; lo < len(tl.series); lo += 4 {
+		hi := min(lo+4, len(tl.series))
+		if _, err := r.Append(ctx, AppendRequest{Dataset: "weather", Series: tl.series[lo:hi]}); err != nil {
+			t.Fatalf("append series [%d:%d): %v", lo, hi, err)
+		}
+	}
+	for lo := 0; lo < len(tl.wells); lo += 3 {
+		hi := min(lo+3, len(tl.wells))
+		if _, err := r.Append(ctx, AppendRequest{Dataset: "basin", Wells: tl.wells[lo:hi]}); err != nil {
+			t.Fatalf("append wells [%d:%d): %v", lo, hi, err)
+		}
+	}
+}
+
+// runSix runs the family matrix against the router and compares every
+// family bit-for-bit to the reference.
+func runSix(t *testing.T, label string, r *Router, reqs map[string]Request, want map[string]core.Result) {
+	t.Helper()
+	for name, rq := range reqs {
+		res, err := r.Run(context.Background(), rq)
+		if err != nil {
+			t.Fatalf("%s %s: %v", label, name, err)
+		}
+		itemsEqual(t, label+" "+name, res.Items, want[name].Items)
+	}
+}
+
+// TestClusterIngestEquivalence is the tentpole pin: clusters that boot
+// on an 80% prefix and receive the remaining 20% through replicated
+// Router.Append answer every family bit-identically to a single-node
+// engine built from the full archives — across node counts 1/2/3 and
+// per-node shard counts 1/4/7.
+func TestClusterIngestEquivalence(t *testing.T) {
+	f := buildFixtures(t)
+	pre, tl := splitFixtures(f)
+	reqs := familyRequests(t, f)
+	want := reference(t, f, reqs)
+
+	for _, nodes := range []int{1, 2, 3} {
+		for _, shards := range []int{1, 4, 7} {
+			rep := 1
+			if nodes > 1 {
+				rep = 2
+			}
+			router, _, _ := startIngestCluster(t, nodes, shards, rep, pre, NodeOptions{}, testRouterOptions())
+			appendTails(t, router, tl)
+			runSix(t, "ingest", router, reqs, want)
+		}
+	}
+}
+
+// TestClusterIngestKillRecover is the mid-stream fault cycle: one
+// replica killed under live ingest is quarantined while reads keep
+// serving bit-identical answers from the survivor; after the process
+// recovers, catch-up replays its missed batches and the cluster answers
+// bit-identically FROM THE RECOVERED REPLICA (the survivor is killed to
+// prove it).
+func TestClusterIngestKillRecover(t *testing.T) {
+	f := buildFixtures(t)
+	pre, tl := splitFixtures(f)
+	reqs := familyRequests(t, f)
+	want := reference(t, f, reqs)
+	ctx := context.Background()
+
+	// Replication 2 over 2 nodes: every partition lives on both, so
+	// either node alone can answer everything.
+	router, nodes, addrs := startIngestCluster(t, 2, 4, 2, pre, NodeOptions{}, testRouterOptions())
+
+	// Some appends land while both replicas are up...
+	half := tails{tuples: tl.tuples[:len(tl.tuples)/2], series: tl.series[:len(tl.series)/2], wells: tl.wells[:len(tl.wells)/2]}
+	rest := tails{tuples: tl.tuples[len(tl.tuples)/2:], series: tl.series[len(tl.series)/2:], wells: tl.wells[len(tl.wells)/2:]}
+	appendTails(t, router, half)
+
+	// ...then a replica dies and the rest arrive. Appends must succeed
+	// (the survivor acks) and the victim must be quarantined.
+	nodes[1].Kill()
+	res, err := router.Append(ctx, AppendRequest{Dataset: "gauss", Tuples: rest.tuples[:100]})
+	if err != nil {
+		t.Fatalf("append with one replica down: %v", err)
+	}
+	quarantined := false
+	for _, a := range res.Quarantined {
+		if a == addrs[1] {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("killed replica %s not quarantined (got %v)", addrs[1], res.Quarantined)
+	}
+	if st := router.PeerHealth()[addrs[1]]; st != Stale {
+		t.Fatalf("killed replica health = %v, want stale", st)
+	}
+	appendTails(t, router, tails{tuples: rest.tuples[100:], series: rest.series, wells: rest.wells})
+
+	// Reads during the outage: bit-identical from the survivor, and the
+	// quarantined replica is never consulted (it could not be — its
+	// listener is closed — but health must not even try).
+	runSix(t, "outage", router, reqs, want)
+	if st := router.PeerHealth()[addrs[1]]; st != Stale {
+		t.Fatalf("replica health after outage reads = %v, want stale (reads must not touch it)", st)
+	}
+
+	// Recovery: the node comes back on its address, a reconcile pass
+	// probes it and replays its missed batches, and it rejoins healthy.
+	if err := nodes[1].Serve(addrs[1]); err != nil {
+		t.Fatalf("recover node: %v", err)
+	}
+	health := router.Reconcile(ctx)
+	if health[addrs[1]] != Healthy {
+		t.Fatalf("recovered replica health = %v, want healthy", health[addrs[1]])
+	}
+
+	// Kill the survivor: every partition must now be served by the
+	// recovered replica, and the answers must still be bit-identical —
+	// the catch-up replay was exact.
+	nodes[0].Kill()
+	runSix(t, "recovered", router, reqs, want)
+}
+
+// TestClusterIngestKillMidAppend drives the sharpest fault: the replica
+// dies between decoding an append and acking it. The router cannot know
+// whether the batch applied; quarantine plus idempotent catch-up replay
+// must reconcile either way.
+func TestClusterIngestKillMidAppend(t *testing.T) {
+	f := buildFixtures(t)
+	pre, tl := splitFixtures(f)
+	reqs := familyRequests(t, f)
+	want := reference(t, f, reqs)
+	ctx := context.Background()
+
+	// Only the victim carries the hook, and it arms after boot: the
+	// first append the victim decodes kills it — its connections sever
+	// after the batch is in hand but before the ack can be written, the
+	// exact window where the router cannot know whether it applied.
+	var victim atomic.Pointer[Node]
+	var once sync.Once
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	topo := Topology{Nodes: addrs, Replication: 2}
+	opts := []NodeOptions{
+		{Shards: 4},
+		{Shards: 4, BeforeAppend: func(string, int, uint64) {
+			if v := victim.Load(); v != nil {
+				once.Do(v.Kill)
+			}
+		}},
+	}
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		nodes[i] = NewNode(addrs[i], topo, opts[i])
+		ingest(t, nodes[i], pre)
+		nodes[i].ServeListener(lns[i])
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	router := NewRouterWith(topo, testRouterOptions())
+	t.Cleanup(func() { router.Close() })
+	victim.Store(nodes[1])
+
+	res, err := router.Append(ctx, AppendRequest{Dataset: "gauss", Tuples: tl.tuples[:200]})
+	if err != nil {
+		t.Fatalf("append through mid-append kill: %v", err)
+	}
+	found := false
+	for _, a := range res.Quarantined {
+		if a == addrs[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mid-append victim %s not quarantined (got %v)", addrs[1], res.Quarantined)
+	}
+	victim.Store(nil)
+	appendTails(t, router, tails{tuples: tl.tuples[200:], series: tl.series, wells: tl.wells})
+	runSix(t, "mid-append outage", router, reqs, want)
+
+	if err := nodes[1].Serve(addrs[1]); err != nil {
+		t.Fatalf("recover node: %v", err)
+	}
+	if health := router.Reconcile(ctx); health[addrs[1]] != Healthy {
+		t.Fatalf("recovered replica health = %v, want healthy", health[addrs[1]])
+	}
+	nodes[0].Kill()
+	runSix(t, "mid-append recovered", router, reqs, want)
+}
+
+// TestClusterIngestAllReplicasDown pins the typed error: when every
+// replica of the owning partition is gone, Append fails with
+// ErrPartitionUnavailable (and the batch stays logged for catch-up).
+func TestClusterIngestAllReplicasDown(t *testing.T) {
+	f := buildFixtures(t)
+	pre, tl := splitFixtures(f)
+	router, nodes, _ := startIngestCluster(t, 1, 2, 1, pre, NodeOptions{}, testRouterOptions())
+
+	// Sync ingest state while the node is alive, then kill it.
+	if _, err := router.Append(context.Background(), AppendRequest{Dataset: "gauss", Tuples: tl.tuples[:10]}); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Kill()
+	_, err := router.Append(context.Background(), AppendRequest{Dataset: "gauss", Tuples: tl.tuples[10:20]})
+	if !errors.Is(err, ErrPartitionUnavailable) {
+		t.Fatalf("err = %v, want ErrPartitionUnavailable", err)
+	}
+}
+
+// TestClusterIngestTokenDedup pins client-retry idempotency: a retried
+// append carrying the same token returns the recorded outcome and adds
+// no rows.
+func TestClusterIngestTokenDedup(t *testing.T) {
+	f := buildFixtures(t)
+	pre, tl := splitFixtures(f)
+	reqs := familyRequests(t, f)
+	want := reference(t, f, reqs)
+	ctx := context.Background()
+
+	router, _, _ := startIngestCluster(t, 2, 4, 2, pre, NodeOptions{}, testRouterOptions())
+	req := AppendRequest{Dataset: "gauss", Tuples: tl.tuples[:150], Token: "client-retry-1"}
+	first, err := router.Append(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Duplicate {
+		t.Fatal("first append reported Duplicate")
+	}
+	retry, err := router.Append(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retry.Duplicate || retry.Seq != first.Seq || retry.Part != first.Part {
+		t.Fatalf("retry = %+v, want duplicate of %+v", retry, first)
+	}
+
+	// The remaining rows complete the archives; if the token replay had
+	// appended twice, the extra rows would shift every family's answers.
+	appendTails(t, router, tails{tuples: tl.tuples[150:], series: tl.series, wells: tl.wells})
+	runSix(t, "token-dedup", router, reqs, want)
+}
+
+// TestNodeAppendSeqDedup pins the node-side cursor: re-delivering an
+// applied sequence number is a duplicate no-op, and skipping ahead is a
+// refused gap.
+func TestNodeAppendSeqDedup(t *testing.T) {
+	f := buildFixtures(t)
+	pre, tl := splitFixtures(f)
+	_, nodes, _ := startIngestCluster(t, 1, 1, 1, pre, NodeOptions{}, testRouterOptions())
+	n := nodes[0]
+	ctx := context.Background()
+	base := int64(len(pre.pts))
+
+	batch := AppendBatch{Dataset: "gauss", Part: 0, Seq: 1, Base: base, Tuples: tl.tuples[:50]}
+	if dup, _, err := n.AppendRows(ctx, batch); err != nil || dup {
+		t.Fatalf("first delivery: dup=%v err=%v", dup, err)
+	}
+	if dup, _, err := n.AppendRows(ctx, batch); err != nil || !dup {
+		t.Fatalf("re-delivery: dup=%v err=%v, want dup", dup, err)
+	}
+	gap := AppendBatch{Dataset: "gauss", Part: 0, Seq: 5, Base: base + 50, Tuples: tl.tuples[50:60]}
+	if _, _, err := n.AppendRows(ctx, gap); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap err = %v, want ErrSeqGap", err)
+	}
+
+	// The duplicate added nothing: the dataset holds exactly base+50
+	// logical rows.
+	for _, ds := range n.eng.Datasets() {
+		if ds.Kind == "tuples" && int64(ds.Rows) != base+50 {
+			t.Fatalf("rows = %d, want %d", ds.Rows, base+50)
+		}
+	}
+}
+
+// flakyProxy fronts a node and drops the first `drops` connections cold
+// — the shape of a flaky network path — then pipes transparently.
+func flakyProxy(t *testing.T, backend string, drops int32) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var remaining atomic.Int32
+	remaining.Store(drops)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if remaining.Add(-1) >= 0 {
+				c.Close()
+				continue
+			}
+			go func(c net.Conn) {
+				b, err := net.Dial("tcp", backend)
+				if err != nil {
+					c.Close()
+					return
+				}
+				go func() {
+					_, _ = io.Copy(b, c)
+					b.Close()
+				}()
+				_, _ = io.Copy(c, b)
+				c.Close()
+				b.Close()
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClusterReadRetryFlakyTransport pins the read-path retry: a
+// replica whose first connection attempts fail cold is retried with
+// backoff within ReadAttempts and still answers; a replica that never
+// accepts exhausts the attempts into ErrPartitionUnavailable.
+func TestClusterReadRetryFlakyTransport(t *testing.T) {
+	pts, err := synth.GaussianTuples(51, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyAddr := flakyProxy(t, realLn.Addr().String(), 2)
+
+	topo := Topology{Nodes: []string{proxyAddr}, Replication: 1}
+	n := NewNode(proxyAddr, topo, NodeOptions{Shards: 2})
+	if err := n.AddTuples("gauss", pts); err != nil {
+		t.Fatal(err)
+	}
+	n.ServeListener(realLn)
+	t.Cleanup(n.Close)
+
+	rq := familyRequests(t, fixtures{pts: pts})["linear"]
+	ropt := testRouterOptions()
+	ropt.ReadAttempts = 3 // two drops, third connection lands
+	r := NewRouterWith(topo, ropt)
+	res, err := r.Run(context.Background(), rq)
+	if err != nil {
+		t.Fatalf("read through flaky transport: %v", err)
+	}
+
+	e := core.NewEngineWith(core.Options{Shards: 1})
+	if err := e.AddTuples("gauss", pts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(context.Background(), core.Request{Dataset: "gauss", Query: rq.Query, K: rq.K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemsEqual(t, "flaky-read", res.Items, want.Items)
+
+	// A path that drops everything exhausts ReadAttempts and fails typed.
+	deadAddr := flakyProxy(t, realLn.Addr().String(), 1<<30)
+	deadTopo := Topology{Nodes: []string{deadAddr}, Replication: 1}
+	dr := NewRouterWith(deadTopo, ropt)
+	if _, err := dr.Run(context.Background(), Request{Dataset: "gauss", Query: rq.Query, K: rq.K}); !errors.Is(err, ErrPartitionUnavailable) {
+		t.Fatalf("err = %v, want ErrPartitionUnavailable", err)
+	}
+}

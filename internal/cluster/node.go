@@ -39,6 +39,11 @@ type NodeOptions struct {
 	// but before execution starts — a test hook for deterministic
 	// fault injection (kill or block the node mid-query).
 	BeforeExec func(dataset string, part int)
+	// BeforeAppend is BeforeExec's ingest twin: it runs after an append
+	// batch is decoded but before it is applied or acked, so a test can
+	// kill the node mid-append deterministically (the batch is lost, the
+	// router quarantines the replica).
+	BeforeAppend func(dataset string, part int, seq uint64)
 }
 
 type partEntry struct {
@@ -58,10 +63,19 @@ type Node struct {
 	ln    net.Listener
 	conns map[net.Conn]struct{}
 	parts map[string]map[int]partEntry
+	// ingests carries each partition's append cursor (last applied
+	// sequence number); entries are created on first append.
+	ingests map[string]map[int]*partIngest
+
+	// appender coalesces concurrent series/well appends from multiple
+	// router connections into fewer delta segments (tuple batches land
+	// directly: their explicit global bases cannot be merged).
+	appender *core.Appender
 
 	served    atomic.Int64
 	cancelled atomic.Int64
 	failed    atomic.Int64
+	appended  atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -69,13 +83,16 @@ type Node struct {
 // NewNode creates a node for `self` (its dial address in the topology).
 // Datasets must be added before Serve makes the node reachable.
 func NewNode(self string, topo Topology, opt NodeOptions) *Node {
+	eng := core.NewEngineWith(core.Options{Shards: opt.Shards, CacheEntries: opt.CacheEntries})
 	return &Node{
-		self:  self,
-		topo:  topo,
-		opt:   opt,
-		eng:   core.NewEngineWith(core.Options{Shards: opt.Shards, CacheEntries: opt.CacheEntries}),
-		conns: make(map[net.Conn]struct{}),
-		parts: make(map[string]map[int]partEntry),
+		self:     self,
+		topo:     topo,
+		opt:      opt,
+		eng:      eng,
+		appender: core.NewAppender(eng, core.AppenderOptions{}),
+		conns:    make(map[net.Conn]struct{}),
+		parts:    make(map[string]map[int]partEntry),
+		ingests:  make(map[string]map[int]*partIngest),
 	}
 }
 
@@ -234,6 +251,7 @@ func (n *Node) track(c net.Conn, add bool) {
 func (n *Node) Close() {
 	n.Kill()
 	n.wg.Wait()
+	n.appender.Close()
 	_ = n.eng.Close() // best-effort; nothing actionable at teardown
 }
 
@@ -274,13 +292,29 @@ func errorCode(err error) string {
 	}
 }
 
-// handle serves one query on one connection.
+// handle dispatches one connection on its first frame: a 'Q' starts a
+// query session (one query per connection), while 'A'/'H'/'U' start an
+// ingest session (a loop of appends, probes, and seq-state exchanges —
+// the router's append and catch-up paths reuse one connection for many
+// frames).
 func (n *Node) handle(c net.Conn) {
 	typ, payload, err := readFrame(c)
-	if err != nil || typ != frameQuery {
+	if err != nil {
 		n.failed.Add(1)
 		return
 	}
+	switch typ {
+	case frameQuery:
+		n.handleQuery(c, payload)
+	case frameAppend, frameHealth, frameSeqState:
+		n.handleIngest(c, typ, payload)
+	default:
+		n.failed.Add(1)
+	}
+}
+
+// handleQuery serves one query on one connection.
+func (n *Node) handleQuery(c net.Conn, payload []byte) {
 	q, err := decodeQuery(payload)
 	if err != nil {
 		n.failed.Add(1)

@@ -1,0 +1,230 @@
+// The node side of replicated ingest: an ingest session is a loop of
+// 'A' (append), 'H' (probe), and 'U' (seq-state) frames on one
+// connection. Every partition carries a monotone append cursor — the
+// last sequence number it applied — which makes appends idempotent:
+// a batch at or below the cursor acks as a duplicate without touching
+// the engine (safe router retries and catch-up replays), a batch one
+// above applies and advances it, and anything further ahead is a
+// sequence gap the node refuses (the router quarantines the replica
+// and closes the gap via catch-up).
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"modelir/internal/core"
+)
+
+// ErrSeqGap reports an append batch whose sequence number skips ahead
+// of the partition's cursor: the node is missing earlier batches and
+// must catch up before it can accept this one.
+var ErrSeqGap = errors.New("cluster: append sequence gap")
+
+// partIngest is one partition's append cursor. Its lock serializes
+// appends to the partition (sequence order is the correctness
+// invariant); different partitions apply in parallel.
+type partIngest struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+func (n *Node) partIngest(dataset string, part int) *partIngest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ingests[dataset] == nil {
+		n.ingests[dataset] = make(map[int]*partIngest)
+	}
+	pi := n.ingests[dataset][part]
+	if pi == nil {
+		pi = &partIngest{}
+		n.ingests[dataset][part] = pi
+	}
+	return pi
+}
+
+// datasetGen reads one local dataset's cache generation.
+func (n *Node) datasetGen(local string) uint64 {
+	for _, ds := range n.eng.Datasets() {
+		if ds.Name == local {
+			return ds.Gen
+		}
+	}
+	return 0
+}
+
+// AppendRows lands one routed delta batch in the node's engine — the
+// cluster twin of Engine.Append*: rows enter the PR 8 delta-segment
+// path (tuples at the batch's explicit global base so result IDs match
+// a single-node build; series and wells through the node's batching
+// appender) and the dataset's generation advances, invalidating stale
+// cache entries. dup reports an idempotent no-op: the batch's sequence
+// number was already applied.
+func (n *Node) AppendRows(ctx context.Context, b AppendBatch) (dup bool, gen uint64, err error) {
+	n.mu.Lock()
+	entry, ok := n.parts[b.Dataset][b.Part]
+	n.mu.Unlock()
+	if !ok {
+		return false, 0, fmt.Errorf("%w: %q part %d not on this node",
+			core.ErrUnknownDataset, b.Dataset, b.Part)
+	}
+
+	pi := n.partIngest(b.Dataset, b.Part)
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	switch {
+	case b.Seq <= pi.lastSeq:
+		return true, n.datasetGen(entry.local), nil
+	case b.Seq != pi.lastSeq+1:
+		return false, 0, fmt.Errorf("%w: %q part %d seq %d after %d",
+			ErrSeqGap, b.Dataset, b.Part, b.Seq, pi.lastSeq)
+	}
+
+	if entry.local == "" {
+		// First rows to land on an empty partition: register the local
+		// dataset from the batch. For tuples the batch's global base
+		// becomes the partition's ID offset.
+		local := n.localName(b.Dataset, b.Part)
+		switch {
+		case len(b.Tuples) > 0:
+			err = n.eng.AddTuples(local, b.Tuples)
+			entry = partEntry{local: local, offset: b.Base}
+		case len(b.Series) > 0:
+			err = n.eng.AddSeries(local, b.Series)
+			entry = partEntry{local: local}
+		default:
+			err = n.eng.AddWells(local, b.Wells)
+			entry = partEntry{local: local}
+		}
+		if err != nil {
+			return false, 0, err
+		}
+		n.mu.Lock()
+		n.parts[b.Dataset][b.Part] = entry
+		n.mu.Unlock()
+	} else {
+		switch {
+		case len(b.Tuples) > 0:
+			localBase := b.Base - entry.offset
+			if localBase < 0 {
+				return false, 0, fmt.Errorf("cluster: append base %d below partition offset %d",
+					b.Base, entry.offset)
+			}
+			err = n.eng.AppendTuplesAt(entry.local, localBase, b.Tuples)
+		case len(b.Series) > 0:
+			err = n.appender.AppendSeries(ctx, entry.local, b.Series)
+		default:
+			err = n.appender.AppendWells(ctx, entry.local, b.Wells)
+		}
+		if err != nil {
+			return false, 0, err
+		}
+	}
+	pi.lastSeq = b.Seq
+	n.appended.Add(1)
+	return false, n.datasetGen(entry.local), nil
+}
+
+// seqState reports every partition's append cursor and row watermark
+// (the 'U' reply). dataset filters to one dataset; "" reports all.
+// Scene partitions are omitted: scenes are not appendable.
+func (n *Node) seqState(dataset string) []SeqEntry {
+	infos := make(map[string]core.DatasetInfo)
+	for _, ds := range n.eng.Datasets() {
+		infos[ds.Name] = ds
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []SeqEntry
+	for ds, parts := range n.parts {
+		if dataset != "" && ds != dataset {
+			continue
+		}
+		for part, entry := range parts {
+			e := SeqEntry{Dataset: ds, Part: part}
+			if pi := n.ingests[ds][part]; pi != nil {
+				e.LastSeq = pi.lastSeq
+			}
+			if entry.local != "" {
+				info, ok := infos[entry.local]
+				if !ok || info.Kind == "scenes" {
+					continue
+				}
+				e.Watermark = entry.offset + int64(info.Rows)
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// appendErrorCode maps an append failure to its wire code.
+func appendErrorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrSeqGap):
+		return "seq-gap"
+	case errors.Is(err, core.ErrUnknownDataset):
+		return "unknown-dataset"
+	default:
+		return "append"
+	}
+}
+
+// handleIngest serves one ingest session: appends, probes, and
+// seq-state exchanges until the peer hangs up. An append failure ends
+// the session after the error frame — the router must re-establish
+// sequencing state before sending more.
+func (n *Node) handleIngest(c net.Conn, typ byte, payload []byte) {
+	for {
+		switch typ {
+		case frameHealth:
+			if writeFrame(c, frameHealth, nil) != nil {
+				return
+			}
+		case frameSeqState:
+			ds, err := decodeSeqStateReq(payload)
+			if err != nil {
+				n.failed.Add(1)
+				writeFrame(c, frameError, encodeError("bad-seq-state", err.Error()))
+				return
+			}
+			if writeFrame(c, frameSeqState, encodeSeqState(n.seqState(ds))) != nil {
+				return
+			}
+		case frameAppend:
+			b, err := decodeAppend(payload)
+			if err != nil {
+				n.failed.Add(1)
+				writeFrame(c, frameError, encodeError("bad-append", err.Error()))
+				return
+			}
+			// The fault-injection hook runs with the batch decoded but
+			// nothing applied: a kill here loses the batch atomically.
+			if n.opt.BeforeAppend != nil {
+				n.opt.BeforeAppend(b.Dataset, b.Part, b.Seq)
+			}
+			dup, gen, err := n.AppendRows(context.Background(), b)
+			if err != nil {
+				n.failed.Add(1)
+				writeFrame(c, frameError, encodeError(appendErrorCode(err), err.Error()))
+				return
+			}
+			if writeFrame(c, frameAppendAck, encodeAppendAck(appendAck{Seq: b.Seq, Dup: dup, Gen: gen})) != nil {
+				return
+			}
+		default:
+			n.failed.Add(1)
+			writeFrame(c, frameError, encodeError("bad-frame",
+				fmt.Sprintf("unexpected frame %q in ingest session", typ)))
+			return
+		}
+		var err error
+		if typ, payload, err = readFrame(c); err != nil {
+			return
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -62,17 +63,113 @@ func (e *RemoteError) Unwrap() error {
 	}
 }
 
-// Router scatter-gathers requests across a topology. The zero value is
-// not usable; construct with NewRouter.
-type Router struct {
-	topo Topology
-	// dialTimeout bounds each replica connection attempt.
-	dialTimeout time.Duration
+// RouterOptions tunes the router's fault handling. The zero value
+// selects production defaults; tests shrink the retry timings so fault
+// matrices run in milliseconds.
+type RouterOptions struct {
+	// DialTimeout bounds each replica connection attempt (default 5s).
+	DialTimeout time.Duration
+	// AckTimeout bounds waiting for an append ack, probe echo, or
+	// seq-state reply on an established connection (default 10s).
+	AckTimeout time.Duration
+	// ReadAttempts is how many times one replica is tried on the read
+	// path before failing over to the next (default 2): transient
+	// transport faults should not burn a replica.
+	ReadAttempts int
+	// AppendAttempts is how many times one replica is tried per append
+	// batch before it is quarantined as stale (default 3).
+	AppendAttempts int
+	// RetryBase is the first retry's backoff; each further attempt
+	// doubles it up to RetryMax, and every sleep is jittered to half
+	// its nominal value plus a uniform random half (defaults 5ms/250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
-// NewRouter returns a router over the topology.
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 10 * time.Second
+	}
+	if o.ReadAttempts <= 0 {
+		o.ReadAttempts = 2
+	}
+	if o.AppendAttempts <= 0 {
+		o.AppendAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Router scatter-gathers requests across a topology, tracks every
+// peer's health, and owns the replicated write path (append.go) plus
+// the catch-up protocol that re-admits quarantined replicas
+// (catchup.go). The zero value is not usable; construct with NewRouter
+// or NewRouterWith.
+type Router struct {
+	topo   Topology
+	opt    RouterOptions
+	health *healthTracker
+
+	// ing is the append-side state: per-dataset ingest cursors and the
+	// client-token dedup table (append.go).
+	ing routerIngest
+
+	loopMu   sync.Mutex
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// NewRouter returns a router over the topology with default options.
 func NewRouter(topo Topology) *Router {
-	return &Router{topo: topo, dialTimeout: 5 * time.Second}
+	return NewRouterWith(topo, RouterOptions{})
+}
+
+// NewRouterWith returns a router with explicit fault-handling options.
+func NewRouterWith(topo Topology, opt RouterOptions) *Router {
+	r := &Router{topo: topo, opt: opt.withDefaults(), health: newHealthTracker()}
+	r.ing.sets = make(map[string]*dsIngest)
+	r.ing.tokens = make(map[string]*tokenEntry)
+	return r
+}
+
+// PeerHealth reports every topology peer's health state (peers with no
+// recorded evidence are healthy).
+func (r *Router) PeerHealth() map[string]HealthState {
+	out := r.health.snapshot()
+	for _, addr := range r.topo.Nodes {
+		if _, ok := out[addr]; !ok {
+			out[addr] = Healthy
+		}
+	}
+	return out
+}
+
+// backoff sleeps the jittered exponential delay for the given retry
+// attempt (1-based), honoring ctx.
+func (r *Router) backoff(ctx context.Context, attempt int) error {
+	d := r.opt.RetryBase << (attempt - 1)
+	if d > r.opt.RetryMax {
+		d = r.opt.RetryMax
+	}
+	// Jitter to [d/2, d): concurrent retries against a recovering node
+	// must not arrive in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // dataKindOf maps a query family to the archive family it scans,
@@ -223,22 +320,44 @@ func (r *Router) RunBatch(ctx context.Context, reqs []Request) []core.BatchResul
 }
 
 // runPart executes one partition, trying its replicas in placement
-// order. Transport faults (dial failure, severed connection) move on to
-// the next replica; a typed error from a live node is final.
+// order. Quarantined (stale) and down replicas are skipped outright —
+// a stale replica could answer from missing rows, so it is never
+// served from. Each eligible replica gets ReadAttempts tries with
+// jittered exponential backoff (transient faults should not burn a
+// replica); transport faults then move on to the next replica and feed
+// the health tracker. A typed error from a live node is final.
 func (r *Router) runPart(ctx context.Context, req Request, pl Placement, gossip *floorGossip) (Partial, error) {
 	var lastErr error
+	eligible := 0
 	for _, addr := range pl.Nodes {
-		if err := ctx.Err(); err != nil {
-			return Partial{}, err
+		if !r.health.servable(addr) {
+			continue
 		}
-		p, err, transport := r.attempt(ctx, req, pl.Part, addr, gossip)
-		if err == nil {
-			return p, nil
+		eligible++
+		for attempt := 1; attempt <= r.opt.ReadAttempts; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return Partial{}, err
+			}
+			if attempt > 1 {
+				if err := r.backoff(ctx, attempt-1); err != nil {
+					return Partial{}, err
+				}
+			}
+			p, err, transport := r.attempt(ctx, req, pl.Part, addr, gossip)
+			if err == nil {
+				r.health.ok(addr)
+				return p, nil
+			}
+			if !transport {
+				return Partial{}, err
+			}
+			r.health.fault(addr)
+			lastErr = err
 		}
-		if !transport {
-			return Partial{}, err
-		}
-		lastErr = err
+	}
+	if eligible == 0 {
+		return Partial{}, fmt.Errorf("%w: %q part %d: every replica quarantined or down",
+			ErrPartitionUnavailable, req.Dataset, pl.Part)
 	}
 	return Partial{}, fmt.Errorf("%w: %q part %d: %v",
 		ErrPartitionUnavailable, req.Dataset, pl.Part, lastErr)
@@ -253,7 +372,7 @@ func (r *Router) attempt(ctx context.Context, req Request, part int, addr string
 	if err != nil {
 		return Partial{}, err, false
 	}
-	d := net.Dialer{Timeout: r.dialTimeout}
+	d := net.Dialer{Timeout: r.opt.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		if ctx.Err() != nil {

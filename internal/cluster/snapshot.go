@@ -125,12 +125,14 @@ func RestoreNode(self string, topo Topology, opt NodeOptions, b segment.Backend,
 		restored[ds.Name] = true
 	}
 	n := &Node{
-		self:  self,
-		topo:  topo,
-		opt:   opt,
-		eng:   eng,
-		conns: make(map[net.Conn]struct{}),
-		parts: make(map[string]map[int]partEntry),
+		self:     self,
+		topo:     topo,
+		opt:      opt,
+		eng:      eng,
+		appender: core.NewAppender(eng, core.AppenderOptions{}),
+		conns:    make(map[net.Conn]struct{}),
+		parts:    make(map[string]map[int]partEntry),
+		ingests:  make(map[string]map[int]*partIngest),
 	}
 	for _, p := range meta.Parts {
 		if p.Local != "" && !restored[p.Local] {

@@ -64,6 +64,40 @@ func (e *Engine) AppendTuples(name string, points [][]float64) error {
 	return nil
 }
 
+// AppendTuplesAt is AppendTuples with an explicit global row base: the
+// appended rows take IDs base..base+len(points)-1 instead of continuing
+// the dataset's local row space. This is the cluster landing path — a
+// router assigns each replicated batch a contiguous ID range from the
+// dataset's global row counter, and every replica of the owning
+// partition lands it at the same base, so cluster answers stay
+// bit-identical to a single-node engine that appended the same batches
+// in ID order. base must not overlap existing rows; a base beyond the
+// current row watermark leaves a gap in the local ID space, which pins
+// the dataset against compaction (offsets must survive verbatim).
+func (e *Engine) AppendTuplesAt(name string, base int64, points [][]float64) error {
+	if len(points) == 0 {
+		return errors.New("core: empty tuple append")
+	}
+	if base < 0 {
+		return fmt.Errorf("core: negative append base %d", base)
+	}
+	e.mu.Lock()
+	ts, ok := e.tuples[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if int(base) < ts.rows {
+		e.mu.Unlock()
+		return fmt.Errorf("core: append base %d overlaps rows [0,%d) of %q", base, ts.rows, name)
+	}
+	e.tuples[name] = ts.withDeltaAt(int(base), points)
+	e.epoch.Add(1)
+	e.mu.Unlock()
+	e.maybeCompact(dsTuples, name)
+	return nil
+}
+
 // AppendSeries appends regions to a registered series dataset as one
 // immutable delta segment. Summaries and the columnar event plane are
 // precomputed outside the engine lock. See AppendTuples for the
@@ -131,7 +165,9 @@ func (e *Engine) maybeCompact(k dsKind, name string) {
 	e.mu.RLock()
 	switch k {
 	case dsTuples:
-		if ts := e.tuples[name]; ts != nil {
+		// A pinned set (explicit-base deltas) never compacts; reporting
+		// zero deltas here skips the no-op scheduling entirely.
+		if ts := e.tuples[name]; ts != nil && !ts.pinned {
 			deltas, deltaRows, rows = len(ts.deltas), ts.deltaRows(), ts.rows
 		}
 	case dsSeries:
@@ -200,6 +236,7 @@ func (e *Engine) compactOne(k dsKind, name string) {
 			shards: merged.shards,
 			deltas: append(merged.deltas[:len(merged.deltas):len(merged.deltas)], extra...),
 			gen:    cur.gen,
+			pinned: cur.pinned,
 		}
 		nt.scan = append(merged.shards[:len(merged.shards):len(merged.shards)], nt.deltas...)
 		e.tuples[name] = nt

@@ -14,9 +14,77 @@ import (
 	"time"
 
 	"modelir/internal/fsm"
+	"modelir/internal/linear"
 	"modelir/internal/segment"
 	"modelir/internal/synth"
 )
+
+// TestAppendTuplesAtExplicitBase pins the cluster-ingest primitive: a
+// delta appended at an explicit global base beyond the watermark scores
+// with IDs at that base (the row space may hold holes), an overlapping
+// base is refused, and the pinned set survives compaction untouched —
+// compacting would reassign the IDs the base encodes.
+func TestAppendTuplesAtExplicitBase(t *testing.T) {
+	pts, err := synth.GaussianTuples(9, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := synth.GaussianTuples(10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngineWith(Options{Shards: 2})
+	if err := e.AddTuples("g", pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AppendTuplesAt("g", 20, tail); err != nil {
+		t.Fatal(err)
+	}
+
+	lm, err := linear.New([]string{"a", "b", "c"}, []float64{1, -0.5, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Dataset: "g", Query: LinearQuery{Model: lm}, K: 50}
+	res, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 15 {
+		t.Fatalf("items = %d, want 15 (10 base + 5 delta)", len(res.Items))
+	}
+	for _, it := range res.Items {
+		if !(it.ID < 10 || (it.ID >= 20 && it.ID < 25)) {
+			t.Fatalf("item ID %d outside [0,10) ∪ [20,25)", it.ID)
+		}
+	}
+
+	// Bases at or below existing rows would collide with assigned IDs.
+	if err := e.AppendTuplesAt("g", 15, tail); err == nil {
+		t.Fatal("overlapping base accepted")
+	}
+	if err := e.AppendTuplesAt("g", -1, tail); err == nil {
+		t.Fatal("negative base accepted")
+	}
+
+	// The explicit base pinned the set: compaction must leave the delta
+	// (and every ID) exactly where it is.
+	e.Compact()
+	for _, ds := range e.Datasets() {
+		if ds.Name == "g" && ds.Deltas != 1 {
+			t.Fatalf("deltas after Compact = %d, want 1 (pinned set must not compact)", ds.Deltas)
+		}
+	}
+	again, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Items {
+		if again.Items[i] != res.Items[i] {
+			t.Fatalf("answers changed across Compact at pos %d", i)
+		}
+	}
+}
 
 // appendArchivesInChunks registers a prefix of every appendable
 // archive and feeds the remainder through Append* in several chunks,

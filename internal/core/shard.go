@@ -99,6 +99,13 @@ type tupleSet struct {
 	// gen is the dataset's cache-invalidation generation: 1 at
 	// registration, +1 per append, unchanged by compaction.
 	gen uint64
+	// pinned marks a set holding at least one delta whose offset does
+	// not continue the local row space contiguously (a cluster append
+	// landed rows at an explicit global base, see AppendTuplesAt).
+	// Compaction would reassign those offsets — and with them the
+	// result IDs the cluster contract pins — so a pinned set is never
+	// compacted.
+	pinned bool
 }
 
 func newTupleSet(points [][]float64, shards int) *tupleSet {
@@ -127,13 +134,28 @@ func (ts *tupleSet) deltaRows() int {
 // their consistent view); base shards are shared, the delta's offset
 // continues the global row space, and the generation advances.
 func (ts *tupleSet) withDelta(rows [][]float64) *tupleSet {
-	d := &tupleShard{offset: ts.rows, points: rows}
+	return ts.withDeltaAt(ts.rows, rows)
+}
+
+// withDeltaAt is withDelta with an explicit base offset for the new
+// delta segment: the rows take IDs base..base+len(rows)-1. A base
+// beyond ts.rows leaves a gap in the local row space (legal — IDs are
+// just labels to every scan path) but pins the set against compaction,
+// which could not preserve per-delta offsets. rows becomes the row
+// watermark: max(old rows, base+len).
+func (ts *tupleSet) withDeltaAt(base int, rows [][]float64) *tupleSet {
+	d := &tupleShard{offset: base, points: rows}
+	watermark := ts.rows
+	if base+len(rows) > watermark {
+		watermark = base + len(rows)
+	}
 	nt := &tupleSet{
 		points: ts.points,
-		rows:   ts.rows + len(rows),
+		rows:   watermark,
 		shards: ts.shards,
 		deltas: append(ts.deltas[:len(ts.deltas):len(ts.deltas)], d),
 		gen:    ts.gen + 1,
+		pinned: ts.pinned || base != ts.rows,
 	}
 	nt.scan = append(ts.shards[:len(ts.shards):len(ts.shards)], nt.deltas...)
 	return nt
@@ -146,7 +168,7 @@ func (ts *tupleSet) withDelta(rows [][]float64) *tupleSet {
 // is nothing productive to do. The generation is preserved — content
 // is unchanged, so live cache entries stay valid.
 func (ts *tupleSet) compact(shards int) *tupleSet {
-	if len(ts.deltas) == 0 {
+	if len(ts.deltas) == 0 || ts.pinned {
 		return nil
 	}
 	if ts.points != nil {

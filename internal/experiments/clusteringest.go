@@ -1,0 +1,255 @@
+// Cluster-ingest baseline: the machine-readable artifact CI archives as
+// BENCH_clusteringest.json, tracking mixed append+query throughput
+// through the replicated write path and pinning fault-cycle
+// equivalence. Each point boots a real in-process cluster on an 80%
+// prefix of the E9 workload, streams the remaining rows through
+// Router.Append interleaved with queries, and — with two or more nodes
+// — runs a full kill → quarantined-appends → recover → catch-up cycle
+// before checking that the answers are bit-identical to a single-node
+// engine built from the complete archive (including when the surviving
+// node is then killed, so the recovered replica itself must answer).
+// Throughput numbers are informational on shared CI hosts; the
+// results_identical bit is the acceptance-pinned part.
+
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"modelir/internal/cluster"
+	"modelir/internal/core"
+)
+
+// ClusterIngestPoint is one node-count measurement.
+type ClusterIngestPoint struct {
+	Nodes       int `json:"nodes"`
+	Replication int `json:"replication"`
+	// Mixed-phase throughput: appends and queries interleaved through
+	// the router, ops = appended batches + queries.
+	Appends      int     `json:"appends"`
+	Queries      int     `json:"queries"`
+	MixedOpsPerS float64 `json:"mixed_ops_per_s"`
+	AppendedRows int     `json:"appended_rows"`
+	// KillRecoverNs times the fault cycle: kill a replica, append under
+	// quarantine, restart it, reconcile until catch-up re-admits it.
+	// Zero for single-node points (there is no replica to lose).
+	KillRecoverNs int64 `json:"kill_recover_ns"`
+	// Identical records whether every equivalence query — under
+	// quarantine, after recovery, and from the recovered replica alone —
+	// matched the full single-node reference exactly.
+	Identical bool `json:"identical"`
+}
+
+// ClusterIngestBaseline is the BENCH_clusteringest.json artifact.
+type ClusterIngestBaseline struct {
+	Tuples     int `json:"tuples"`
+	Dims       int `json:"dims"`
+	K          int `json:"k"`
+	ShardsPer  int `json:"shards_per_node"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	Points []ClusterIngestPoint `json:"points"`
+	// ResultsIdentical is the CI gate: true iff every point's every
+	// equivalence check stayed bit-identical to the reference.
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// clusterIngestSweep measures the replicated-ingest baseline at node
+// counts 1, 2, 3 (replication 2 where the topology allows it).
+func clusterIngestSweep(cfg Config) (ClusterIngestBaseline, error) {
+	n, k := ShardWorkloadSize, 10
+	if cfg.Quick {
+		n = 5_000
+	}
+	base := ClusterIngestBaseline{
+		Tuples: n, K: k, ShardsPer: 2,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), ResultsIdentical: true,
+	}
+	pts, m, err := ShardWorkload(n)
+	if err != nil {
+		return base, err
+	}
+	base.Dims = len(pts[0])
+	ctx := cfg.ctx()
+
+	// Full single-node reference: the answer every cluster state must
+	// reproduce bit-for-bit.
+	eng := core.NewEngineWith(core.Options{Shards: base.ShardsPer, CacheEntries: -1})
+	if err := eng.AddTuples("t", pts); err != nil {
+		return base, err
+	}
+	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: m}, K: k}
+	want, err := eng.Run(ctx, req)
+	if err != nil {
+		return base, err
+	}
+
+	for _, count := range []int{1, 2, 3} {
+		p, err := clusterIngestPoint(ctx, count, base, pts, req, want)
+		if err != nil {
+			return base, err
+		}
+		base.Points = append(base.Points, p)
+		base.ResultsIdentical = base.ResultsIdentical && p.Identical
+	}
+	return base, nil
+}
+
+// clusterIngestPoint boots `count` nodes on the 80% prefix, streams the
+// tail through the replicated append path under query traffic, runs the
+// kill→recover cycle where a replica exists to lose, and verifies
+// equivalence at every stage.
+func clusterIngestPoint(ctx context.Context, count int, base ClusterIngestBaseline, pts [][]float64, req core.Request, want core.Result) (point ClusterIngestPoint, err error) {
+	rep := 1
+	if count > 1 {
+		rep = 2
+	}
+	point = ClusterIngestPoint{Nodes: count, Replication: rep, Identical: true}
+
+	lns := make([]net.Listener, count)
+	addrs := make([]string, count)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return point, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	topo := cluster.Topology{Nodes: addrs, Replication: rep}
+	opt := cluster.NodeOptions{Shards: base.ShardsPer, CacheEntries: -1}
+	prefix := pts[:len(pts)*4/5]
+	tail := pts[len(pts)*4/5:]
+	nodes := make([]*cluster.Node, count)
+	defer func() {
+		for i, n := range nodes {
+			if n != nil {
+				n.Close()
+			} else {
+				lns[i].Close()
+			}
+		}
+	}()
+	for i := range lns {
+		node := cluster.NewNode(addrs[i], topo, opt)
+		if err := node.AddTuples("t", prefix); err != nil {
+			return point, err
+		}
+		node.ServeListener(lns[i])
+		nodes[i] = node
+	}
+	router := cluster.NewRouterWith(topo, cluster.RouterOptions{
+		RetryBase: time.Millisecond, RetryMax: 16 * time.Millisecond, AppendAttempts: 2,
+	})
+	defer router.Close()
+	creq := cluster.Request{Dataset: "t", Query: req.Query, K: req.K}
+
+	check := func(stage string) error {
+		res, err := router.Run(ctx, creq)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stage, err)
+		}
+		point.Identical = point.Identical && itemsMatch(res.Items, want.Items)
+		return nil
+	}
+	appendBatch := func(rows [][]float64) error {
+		_, err := router.Append(ctx, cluster.AppendRequest{Dataset: "t", Tuples: rows})
+		if err == nil {
+			point.Appends++
+			point.AppendedRows += len(rows)
+		}
+		return err
+	}
+
+	// Mixed phase: stream the first half of the tail in 256-row batches
+	// with a query after every batch — appends and reads sharing the
+	// cluster, which is the serving condition the paper's live-ingest
+	// story requires.
+	mixed := tail[:len(tail)/2]
+	if count == 1 {
+		mixed = tail // no fault cycle: everything streams here
+	}
+	start := time.Now()
+	for lo := 0; lo < len(mixed); lo += 256 {
+		hi := lo + 256
+		if hi > len(mixed) {
+			hi = len(mixed)
+		}
+		if err := appendBatch(mixed[lo:hi]); err != nil {
+			return point, err
+		}
+		if _, err := router.Run(ctx, creq); err != nil {
+			return point, err
+		}
+		point.Queries++
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		point.MixedOpsPerS = float64(point.Appends+point.Queries) / wall
+	}
+
+	if count == 1 {
+		return point, check("single-node final")
+	}
+
+	// Fault cycle: kill one replica, land the rest of the tail while it
+	// is quarantined, bring it back, and reconcile until catch-up
+	// re-admits it.
+	rest := tail[len(tail)/2:]
+	cycleStart := time.Now()
+	nodes[1].Kill()
+	for lo := 0; lo < len(rest); lo += 256 {
+		hi := lo + 256
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		if err := appendBatch(rest[lo:hi]); err != nil {
+			return point, err
+		}
+	}
+	if err := check("under quarantine"); err != nil {
+		return point, err
+	}
+	if err := nodes[1].Serve(addrs[1]); err != nil {
+		return point, err
+	}
+	for i := 0; ; i++ {
+		if health := router.Reconcile(ctx); health[addrs[1]] == cluster.Healthy {
+			break
+		}
+		if i >= 100 {
+			return point, fmt.Errorf("replica %s not healthy after %d reconcile passes", addrs[1], i)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	point.KillRecoverNs = time.Since(cycleStart).Nanoseconds()
+	if err := check("after recovery"); err != nil {
+		return point, err
+	}
+
+	// Kill the survivor that carried the quarantine-era appends: the
+	// recovered replica must now answer, proving the catch-up replay
+	// was exact.
+	nodes[0].Kill()
+	return point, check("recovered replica serving")
+}
+
+// WriteClusterIngestBaseline runs the cluster-ingest sweep and writes
+// the JSON baseline (the BENCH_clusteringest.json artifact produced by
+// `benchtab -clusteringestjson`).
+func WriteClusterIngestBaseline(cfg Config, path string) error {
+	base, err := clusterIngestSweep(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

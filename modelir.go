@@ -430,6 +430,19 @@ type (
 	ClusterRouter = cluster.Router
 	// ClusterRequest is the router-level request shape.
 	ClusterRequest = cluster.Request
+	// ClusterRouterOptions tunes the router's fault handling: dial/ack
+	// timeouts and the retry/backoff schedule for reads and appends.
+	ClusterRouterOptions = cluster.RouterOptions
+	// ClusterAppendRequest is one replicated append: a dataset plus
+	// exactly one non-empty payload, optionally carrying an idempotency
+	// token.
+	ClusterAppendRequest = cluster.AppendRequest
+	// ClusterAppendResult reports a replicated append's outcome,
+	// including any replicas it quarantined.
+	ClusterAppendResult = cluster.AppendResult
+	// ClusterHealthState is one peer's position in the router's health
+	// machine (healthy / suspect / down / stale).
+	ClusterHealthState = cluster.HealthState
 )
 
 // ErrPartitionUnavailable reports that every replica of some partition
@@ -445,6 +458,12 @@ func NewClusterNode(self string, topo ClusterTopology, opt ClusterNodeOptions) *
 
 // NewClusterRouter returns a router over the topology.
 func NewClusterRouter(topo ClusterTopology) *ClusterRouter { return cluster.NewRouter(topo) }
+
+// NewClusterRouterWith returns a router with explicit fault-handling
+// options (retry counts, backoff schedule, timeouts).
+func NewClusterRouterWith(topo ClusterTopology, opt ClusterRouterOptions) *ClusterRouter {
+	return cluster.NewRouterWith(topo, opt)
+}
 
 // Durable snapshots (DESIGN.md §10): Engine.Snapshot persists every
 // registered dataset's built serving state — columnar planes, Onion

@@ -14,6 +14,7 @@
 //	benchtab -persistjson BENCH_persist.json # also write the snapshot/restore durability baseline
 //	benchtab -ingestjson BENCH_ingest.json   # also write the live-ingest baseline
 //	benchtab -clusteringestjson BENCH_clusteringest.json # also write the replicated cluster-ingest baseline
+//	benchtab -resyncjson BENCH_resync.json   # also write the snapshot-resync (log-pruned recovery) baseline
 //	benchtab -cpuprofile cpu.pprof       # profile the run (go tool pprof)
 //	benchtab -memprofile mem.pprof       # heap profile at exit
 //	benchtab -timeout 30s                # bound the run with a context deadline
@@ -58,6 +59,7 @@ func run(args []string) error {
 	persistJSON := fs.String("persistjson", "", "write the durability baseline (PersistBaseline JSON: snapshot write time, cold-start restore Copy vs Map, restore-equivalence bit) to this path")
 	ingestJSON := fs.String("ingestjson", "", "write the live-ingest baseline (IngestBaseline JSON: mixed append+query throughput, appender flush count, delta-equivalence bit) to this path")
 	clusterIngestJSON := fs.String("clusteringestjson", "", "write the replicated cluster-ingest baseline (ClusterIngestBaseline JSON: mixed append+query throughput at node counts 1-3, kill+recover cycle time, fault-cycle equivalence bit) to this path")
+	resyncJSON := fs.String("resyncjson", "", "write the snapshot-resync baseline (ResyncBaseline JSON: log-pruned recovery bytes streamed, wall time, replica-alone equivalence bit) to this path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this path")
 	timeout := fs.Duration("timeout", 0, "overall deadline; cancels in-flight queries mid-shard and records it in -shardjson (0 = none)")
@@ -153,6 +155,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *clusterIngestJSON)
+	}
+	if *resyncJSON != "" {
+		if err := experiments.WriteResyncBaseline(cfg, *resyncJSON); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *resyncJSON)
 	}
 
 	var tables []experiments.Table

@@ -32,7 +32,8 @@
 //	modelird -role=node -addr 127.0.0.1:9001 \
 //	         -peers 127.0.0.1:9001,127.0.0.1:9002 [-self 127.0.0.1:9001]
 //	modelird -role=router -addr :8077 \
-//	         -peers 127.0.0.1:9001,127.0.0.1:9002 [-replication 1]
+//	         -peers 127.0.0.1:9001,127.0.0.1:9002 [-replication 1] \
+//	         [-log-cap-bytes 0]
 //
 // Every node and the router must be given the same -peers list and
 // -replication: placement is consistent-hashed from them, so they ARE
@@ -106,6 +107,7 @@ func run(args []string) error {
 	regions := fs.Int("regions", 300, "demo weather archive regions")
 	wells := fs.Int("wells", 200, "demo well archive size")
 	seed := fs.Int64("seed", 7, "demo data generator seed")
+	logCap := fs.Int64("log-cap-bytes", 0, "router role: per-partition append-log cap in bytes; exceeding it while a replica is quarantined forces snapshot resync instead of unbounded log growth (0 = 64 MiB default, <0 = unlimited)")
 	dataDir := fs.String("data-dir", "", "snapshot directory: restore at boot when a snapshot is present, write one after a fresh build, serve POST /admin/snapshot; empty disables persistence")
 	debugAddr := fs.String("debug-addr", "", "opt-in pprof listener (e.g. 127.0.0.1:6060); empty disables the debug surface")
 	if err := fs.Parse(args); err != nil {
@@ -140,7 +142,15 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		r := modelir.NewClusterRouter(topo)
+		r := modelir.NewClusterRouterWith(topo, modelir.ClusterRouterOptions{MaxLogBytes: *logCap})
+		// Crash recovery (DESIGN.md §13): re-learn per-partition append
+		// cursors and the global row watermark from the replicas before
+		// serving, so a router restarted mid-ingest never reuses a
+		// global ID range. Best-effort — the append path re-learns
+		// lazily if every node is still booting.
+		if err := r.SyncIngest(context.Background()); err != nil {
+			log.Printf("modelird router: ingest recovery sync: %v (append paths re-learn lazily)", err)
+		}
 		// Background health passes probe every peer and walk reachable
 		// stale replicas through catch-up, so a recovered node re-admits
 		// itself without operator action.

@@ -454,9 +454,17 @@ func (b routerBackend) serverStats() wireServerStats {
 	for addr, st := range health {
 		out.PeerHealth[addr] = st.String()
 	}
+	out.PeerErrors = b.router.PeerErrors()
 	out.AppendSeqs = b.router.AppendSeqs()
+	out.Degraded = b.router.Degraded()
+	rs := b.router.ResyncStats()
+	out.Resync = &rs
 	return out
 }
+
+// degraded reports partitions serving below their full replica set;
+// /healthz surfaces it without failing the probe.
+func (b routerBackend) degraded() bool { return b.router.Degraded() }
 
 // server bundles the backend with serving metadata. The backend may
 // arrive after the listener is up (restore/build runs in the
@@ -512,8 +520,17 @@ func (s *server) notReady(w http.ResponseWriter) bool {
 	return true
 }
 
+// degradedReporter is implemented by backends that can lose replicas
+// (the router role): degraded reports any partition serving below its
+// full healthy replica set.
+type degradedReporter interface{ degraded() bool }
+
 // handleHealthz is the readiness probe: 503 until the engine is
-// serving, 200 after.
+// serving, 200 after. A degraded router — some partition below its
+// full replica set while resync or recovery runs — still answers 200
+// with "degraded": true, because every query is still served exactly
+// from the remaining replicas; the flag is the operator's cue, not a
+// load-balancer eviction signal.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -524,7 +541,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]bool{"ready": ready})
+	resp := map[string]bool{"ready": ready}
+	if ready {
+		if dr, ok := s.backend.(degradedReporter); ok {
+			resp["degraded"] = dr.degraded()
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // handleSnapshot persists the engine's current state to the -data-dir
@@ -706,14 +729,17 @@ type wireServerStats struct {
 	Role string `json:"role"`
 	// Router role: peer count, each peer's health state, and every
 	// sequenced dataset partition's last append sequence number.
-	Peers      int                       `json:"peers,omitempty"`
-	PeerHealth map[string]string         `json:"peer_health,omitempty"`
-	AppendSeqs map[string]map[int]uint64 `json:"append_seqs,omitempty"`
-	UptimeS    float64                   `json:"uptime_s"`
-	Epoch      uint64                    `json:"epoch"`
-	Shards     int                       `json:"shards"`
-	GOMAXPROCS int                       `json:"gomaxprocs"`
-	Datasets   []modelir.DatasetInfo     `json:"datasets,omitempty"`
+	Peers      int                         `json:"peers,omitempty"`
+	PeerHealth map[string]string           `json:"peer_health,omitempty"`
+	PeerErrors map[string]string           `json:"peer_errors,omitempty"`
+	AppendSeqs map[string]map[int]uint64   `json:"append_seqs,omitempty"`
+	Degraded   bool                        `json:"degraded,omitempty"`
+	Resync     *modelir.ClusterResyncStats `json:"resync,omitempty"`
+	UptimeS    float64                     `json:"uptime_s"`
+	Epoch      uint64                      `json:"epoch"`
+	Shards     int                         `json:"shards"`
+	GOMAXPROCS int                         `json:"gomaxprocs"`
+	Datasets   []modelir.DatasetInfo       `json:"datasets,omitempty"`
 	Cache      struct {
 		Hits          uint64 `json:"hits"`
 		Misses        uint64 `json:"misses"`

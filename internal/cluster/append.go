@@ -279,6 +279,9 @@ func (r *Router) replicate(ctx context.Context, pa *partIngestState, batch Appen
 		}
 	}
 	pa.prune()
+	if dropped := pa.enforceCap(r.opt.MaxLogBytes); dropped > 0 {
+		r.stats.forcedPrunes.Add(int64(dropped))
+	}
 	if acks == 0 {
 		return res, fmt.Errorf("%w: append %q part %d seq %d: no replica acked",
 			ErrPartitionUnavailable, batch.Dataset, pa.part, rec.seq)
@@ -286,7 +289,9 @@ func (r *Router) replicate(ctx context.Context, pa *partIngestState, batch Appen
 	return res, nil
 }
 
-// prune drops log records every replica has acked. Must hold pa.mu.
+// prune drops log records every replica has acked. A replica with no
+// acked entry (unreachable at sync, health unresolved) reads as floor
+// 0, so nothing it might still need is pruned. Must hold pa.mu.
 func (pa *partIngestState) prune() {
 	floor := pa.nextSeq - 1
 	for _, addr := range pa.nodes {
@@ -301,6 +306,38 @@ func (pa *partIngestState) prune() {
 	if i > 0 {
 		pa.log = append([]appendRecord(nil), pa.log[i:]...)
 	}
+}
+
+// enforceCap drops the oldest log records while the log holds more
+// than limit bytes of encoded frames. Only records some replica has
+// acked are droppable — an acked record's rows live in that replica's
+// engine state, so a snapshot resync can still repair whoever missed
+// it; a record no replica holds is never dropped, whatever the cap.
+// Returns the number of records dropped (each one forces a lagging
+// replica down the resync path instead of log replay). Must hold pa.mu.
+func (pa *partIngestState) enforceCap(limit int64) int {
+	if limit <= 0 || len(pa.log) == 0 {
+		return 0
+	}
+	var total int64
+	for _, rec := range pa.log {
+		total += int64(len(rec.payload))
+	}
+	var ackedHigh uint64
+	for _, a := range pa.acked {
+		if a > ackedHigh {
+			ackedHigh = a
+		}
+	}
+	dropped := 0
+	for total > limit && dropped < len(pa.log) && pa.log[dropped].seq <= ackedHigh {
+		total -= int64(len(pa.log[dropped].payload))
+		dropped++
+	}
+	if dropped > 0 {
+		pa.log = append([]appendRecord(nil), pa.log[dropped:]...)
+	}
+	return dropped
 }
 
 // sendAppend delivers one sequenced batch to one replica with bounded
@@ -446,17 +483,21 @@ func (r *Router) ensureIngest(ctx context.Context, dataset string, kind DataKind
 		for _, addr := range pl.Nodes {
 			rep, ok := reports[addr]
 			if !ok {
-				// Unreachable at sync: assume current. If it was in fact
-				// behind, its first append acks with a sequence gap and
-				// quarantines it then.
-				pa.acked[addr] = best.lastSeq
+				// Unreachable at sync: quarantine until catch-up proves it
+				// current, and record no acked floor — a missing entry
+				// reads as 0 in prune, so nothing this replica might still
+				// need is dropped before its health resolves. (Assuming
+				// currency here is exactly the restart bug: a router
+				// rebooting mid-outage would prune batches the replica
+				// still owes, then serve it as healthy.)
+				r.health.missedAppend(addr)
 				continue
 			}
 			pa.acked[addr] = rep.lastSeq
 			if rep.lastSeq < best.lastSeq {
-				// Provably behind, and the missed batches predate this
-				// router's log: quarantine. (Catch-up can only re-admit
-				// it if the log still covers its gap — see catchup.go.)
+				// Provably behind this router's log start: quarantine.
+				// Catch-up replays the gap if the log still covers it and
+				// escalates to snapshot resync if not (see catchup.go).
 				r.health.missedAppend(addr)
 			}
 		}
@@ -470,6 +511,53 @@ func (r *Router) ensureIngest(ctx context.Context, dataset string, kind DataKind
 	ds.rows = rows
 	ds.synced = true
 	return ds, nil
+}
+
+// SyncIngest discovers every appendable dataset the cluster already
+// holds (a 'U' "" sweep of every topology node — SeqEntry.Kind carries
+// each dataset's kind) and syncs its write-side state through
+// ensureIngest. This is the router's crash-recovery boot step: a
+// restarted router re-learns per-partition sequence cursors, per-
+// replica acked floors, and the global tuple row watermark before it
+// accepts new appends, so it never reuses a global ID range and never
+// prunes a batch an unreachable replica still needs. Errors if no node
+// is reachable; a partially-reachable cluster syncs what it can see
+// and quarantines the rest.
+func (r *Router) SyncIngest(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	kinds := make(map[string]DataKind)
+	reached := 0
+	for _, addr := range r.topo.Nodes {
+		entries, err := r.seqStateOf(ctx, addr, "")
+		if err != nil {
+			r.health.fault(addr)
+			continue
+		}
+		r.health.ok(addr)
+		reached++
+		for _, e := range entries {
+			if e.Kind == 0 || e.Kind == KindScene {
+				continue
+			}
+			kinds[e.Dataset] = e.Kind
+		}
+	}
+	if reached == 0 {
+		return fmt.Errorf("%w: no node reachable for ingest sync", ErrPartitionUnavailable)
+	}
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := r.ensureIngest(ctx, name, kinds[name]); err != nil {
+			return fmt.Errorf("cluster: ingest sync %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // AppendSeqs reports each dataset partition's last assigned sequence

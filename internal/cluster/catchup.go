@@ -1,27 +1,42 @@
-// Catch-up: the only road out of quarantine. A stale replica missed
-// one or more append batches; because every partition's appends carry
+// Catch-up: the road out of quarantine. A stale replica missed one or
+// more append batches; because every partition's appends carry
 // monotone sequence numbers and the router keeps each unacked batch's
 // encoded frame in its per-partition log, the repair is exact — ask the
 // replica for its cursor ('U'), replay precisely the logged batches
 // above it ('A', acked one by one), and the node's idempotent cursor
 // makes re-replaying an already-applied batch a no-op. Only when every
-// partition the replica owns is provably current does the health
+// partition the replica owns is provably current — and no new batch was
+// missed while verifying (the quarantine generation) — does the health
 // tracker re-admit it.
 //
-// If the log no longer covers the replica's gap (every other replica
-// acked and the records were pruned before the replica was seen), the
-// replica stays quarantined: a full-state resync is out of scope, and
-// serving from a replica that might be missing rows would break the
-// bit-identical read guarantee.
+// If the log no longer covers the replica's gap (the records were
+// pruned, or the log cap forced them out), replay alone cannot repair
+// it: CatchUp escalates to the snapshot resync path (resync.go), which
+// streams the owed partitions whole from a healthy donor and then
+// replays the remaining log tail. The replica always converges without
+// operator action as long as one healthy donor replica exists.
+//
+// The same exchange doubles as the router's crash recovery: a replica
+// whose cursor is *ahead* of the router's (the router restarted and
+// re-learned state while this replica was unreachable) has its cursor
+// and row watermark adopted, so a recovered router never reuses a
+// sequence number or a global tuple ID range.
 
 package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 )
+
+// catchUpPasses bounds CatchUp's verify loop: each pass replays or
+// resyncs every owed partition, and a pass that ends with the
+// quarantine generation unchanged lifts the quarantine. More passes
+// are only needed when appends keep landing mid-verification.
+const catchUpPasses = 5
 
 // ackDeadline converts the ack timeout into an absolute connection
 // deadline, honoring an earlier ctx deadline.
@@ -104,142 +119,205 @@ func seqStateOn(conn net.Conn, dataset string) ([]SeqEntry, error) {
 	}
 }
 
-// CatchUp replays addr's missed append batches from the router's
-// per-partition logs and, if every partition it owns comes back
-// current, re-admits it. It is safe to call on a healthy replica (the
-// replay set is empty) and idempotent on a stale one.
+// CatchUp brings addr current on every partition it owns and, if the
+// quarantine generation did not move while verifying, re-admits it.
+// Partitions whose log no longer covers the replica's gap escalate to
+// snapshot resync. Safe to call on a healthy replica (the replay set is
+// empty) and idempotent on a stale one.
 func (r *Router) CatchUp(ctx context.Context, addr string) error {
-	r.ing.mu.Lock()
-	sets := make(map[string]*dsIngest, len(r.ing.sets))
-	for name, ds := range r.ing.sets {
-		sets[name] = ds
-	}
-	r.ing.mu.Unlock()
-
-	for name, ds := range sets {
-		ds.mu.Lock()
-		synced := ds.synced
-		parts := ds.parts
-		ds.mu.Unlock()
-		if !synced {
-			continue
+	for pass := 0; pass < catchUpPasses; pass++ {
+		gen := r.health.quarantineGen(addr)
+		r.ing.mu.Lock()
+		sets := make(map[string]*dsIngest, len(r.ing.sets))
+		for name, ds := range r.ing.sets {
+			sets[name] = ds
 		}
-		for _, pa := range parts {
-			owns := false
-			for _, n := range pa.nodes {
-				if n == addr {
-					owns = true
-					break
-				}
-			}
-			if !owns {
+		r.ing.mu.Unlock()
+
+		var owed []owedPart
+		for name, ds := range sets {
+			ds.mu.Lock()
+			synced := ds.synced
+			parts := ds.parts
+			ds.mu.Unlock()
+			if !synced {
 				continue
 			}
-			if err := r.catchUpPart(ctx, addr, name, pa); err != nil {
+			var high int64
+			for _, pa := range parts {
+				owns := false
+				for _, n := range pa.nodes {
+					if n == addr {
+						owns = true
+						break
+					}
+				}
+				if !owns {
+					continue
+				}
+				res, err := r.catchUpPart(ctx, addr, name, pa)
+				if errors.Is(err, ErrLogPruned) {
+					owed = append(owed, owedPart{dataset: name, pa: pa})
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				if res.watermark > high {
+					high = res.watermark
+				}
+			}
+			// Ratchet the global tuple row counter to the highest
+			// watermark any owned partition reported: after a router
+			// restart a re-appearing replica may know of rows this router
+			// never sequenced, and a fresh append must not reuse their
+			// IDs. (Outside pa.mu — AppendSeqs nests ds.mu→pa.mu, never
+			// the reverse.)
+			ds.mu.Lock()
+			if high > ds.rows {
+				ds.rows = high
+			}
+			ds.mu.Unlock()
+		}
+
+		if len(owed) > 0 {
+			r.health.startResync(addr)
+			if err := r.resyncPeer(ctx, addr, owed); err != nil {
 				return err
 			}
+			continue // verify the repair with a fresh pass
 		}
+		if r.health.caughtUp(addr, gen) {
+			return nil
+		}
+		// Another batch was missed mid-verification; close the new gap.
 	}
-	// Every partition this router has sequenced is current on addr (a
-	// router with no ingest state has nothing the replica could be
-	// missing relative to it).
-	r.health.caughtUp(addr)
-	return nil
+	return fmt.Errorf("cluster: %s still behind after %d catch-up passes", addr, catchUpPasses)
+}
+
+// catchUpResult reports one partition's catch-up outcome.
+type catchUpResult struct {
+	replayed  int
+	watermark int64
 }
 
 // catchUpPart brings addr current on one partition. It holds the
 // partition lock across the replay so no new batch can interleave;
-// appends to other partitions proceed.
-func (r *Router) catchUpPart(ctx context.Context, addr, dataset string, pa *partIngestState) error {
+// appends to other partitions proceed. A pruned gap returns
+// ErrLogPruned for the caller to escalate.
+func (r *Router) catchUpPart(ctx context.Context, addr, dataset string, pa *partIngestState) (catchUpResult, error) {
 	pa.mu.Lock()
 	defer pa.mu.Unlock()
-	if pa.nextSeq == 1 {
-		return nil // nothing ever appended
-	}
 
 	conn, err := r.dialIngest(ctx, addr)
 	if err != nil {
 		r.health.fault(addr)
-		return err
+		return catchUpResult{}, err
 	}
 	defer conn.Close()
 
 	entries, err := seqStateOn(conn, dataset)
 	if err != nil {
 		r.health.fault(addr)
-		return err
+		return catchUpResult{}, err
 	}
 	var lastSeq uint64
+	var watermark int64
 	for _, e := range entries {
 		if e.Dataset == dataset && e.Part == pa.part {
-			lastSeq = e.LastSeq
+			lastSeq, watermark = e.LastSeq, e.Watermark
 			break
 		}
 	}
 	want := pa.nextSeq - 1
 	if lastSeq >= want {
-		pa.acked[addr] = want
+		if lastSeq > want {
+			// The replica is ahead of this router: batches sequenced by a
+			// previous router incarnation landed here while this one was
+			// syncing. Adopt its cursor so new appends continue above it.
+			pa.nextSeq = lastSeq + 1
+		}
+		pa.acked[addr] = lastSeq
 		pa.prune()
-		return nil
+		return catchUpResult{watermark: watermark}, nil
 	}
 	if len(pa.log) == 0 || pa.log[0].seq > lastSeq+1 {
 		first := pa.nextSeq
 		if len(pa.log) > 0 {
 			first = pa.log[0].seq
 		}
-		return fmt.Errorf("cluster: %s cannot catch up %q part %d: needs seq %d, log starts at %d (pruned)",
-			addr, dataset, pa.part, lastSeq+1, first)
+		return catchUpResult{}, fmt.Errorf("%w: %s needs %q part %d seq %d, log starts at %d",
+			ErrLogPruned, addr, dataset, pa.part, lastSeq+1, first)
 	}
+	replayed, err := r.replayLog(ctx, conn, addr, pa, lastSeq)
+	if err != nil {
+		return catchUpResult{}, err
+	}
+	pa.acked[addr] = want
+	pa.prune()
+	return catchUpResult{replayed: replayed, watermark: watermark}, nil
+}
+
+// replayLog replays every logged batch above fromSeq to addr on conn,
+// acked one by one. Caller holds pa.mu. Shared by log catch-up and the
+// post-install tail replay of a snapshot resync.
+func (r *Router) replayLog(ctx context.Context, conn net.Conn, addr string, pa *partIngestState, fromSeq uint64) (int, error) {
+	replayed := 0
 	for _, rec := range pa.log {
-		if rec.seq <= lastSeq {
+		if rec.seq <= fromSeq {
 			continue
 		}
-		// Reuse the session connection for the whole replay; refresh the
-		// deadline per batch so a long replay doesn't trip the ack timeout.
+		// Refresh the deadline per batch so a long replay doesn't trip
+		// the ack timeout.
 		_ = conn.SetDeadline(ackDeadline(ctx, r.opt.AckTimeout))
 		if err := writeFrame(conn, frameAppend, rec.payload); err != nil {
 			r.health.fault(addr)
-			return err
+			return replayed, err
 		}
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			r.health.fault(addr)
-			return err
+			return replayed, err
 		}
 		switch typ {
 		case frameAppendAck:
 			ack, err := decodeAppendAck(payload)
 			if err != nil {
-				return err
+				return replayed, err
 			}
 			if ack.Seq != rec.seq {
-				return fmt.Errorf("%w: replay ack for seq %d, want %d", ErrFrame, ack.Seq, rec.seq)
+				return replayed, fmt.Errorf("%w: replay ack for seq %d, want %d", ErrFrame, ack.Seq, rec.seq)
 			}
 		case frameError:
 			code, msg, derr := decodeError(payload)
 			if derr != nil {
-				return derr
+				return replayed, derr
 			}
-			return &RemoteError{Addr: addr, Code: code, Msg: msg}
+			return replayed, &RemoteError{Addr: addr, Code: code, Msg: msg}
 		default:
-			return fmt.Errorf("%w: unexpected frame %q during replay", ErrFrame, typ)
+			return replayed, fmt.Errorf("%w: unexpected frame %q during replay", ErrFrame, typ)
 		}
+		replayed++
 	}
-	pa.acked[addr] = want
-	pa.prune()
-	return nil
+	return replayed, nil
 }
 
 // Reconcile runs one health pass over every topology peer: probe each,
-// and walk any reachable stale replica through catch-up. It returns the
-// post-pass health map.
+// and walk any reachable quarantined replica through catch-up (which
+// escalates to snapshot resync when the log no longer covers its gap).
+// A catch-up failure keeps the replica quarantined, counts in
+// ResyncStats, and records the error against the peer for /stats. It
+// returns the post-pass health map.
 func (r *Router) Reconcile(ctx context.Context) map[string]HealthState {
 	for _, addr := range r.topo.Nodes {
 		if err := r.Probe(ctx, addr); err != nil {
 			continue
 		}
-		if r.health.state(addr) == Stale {
-			_ = r.CatchUp(ctx, addr) // failure keeps it quarantined
+		if st := r.health.state(addr); st == Stale || st == Resyncing {
+			if err := r.CatchUp(ctx, addr); err != nil {
+				r.stats.catchUpErrors.Add(1)
+				r.health.noteErr(addr, err)
+			}
 		}
 	}
 	return r.PeerHealth()

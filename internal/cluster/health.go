@@ -8,7 +8,11 @@
 //	   │  └───── read/probe ok ───┘  └── probe fault ───┘
 //	   │                probe ok │
 //	   │                         ▼
-//	   └──── catch-up done ──── Stale ◀── missed/failed append (any state)
+//	   ├──── catch-up done ──── Stale ◀── missed/failed append (any state)
+//	   │                         │
+//	   │                         │ missed batches pruned from the log
+//	   │                         ▼
+//	   └──── resync + replay ── Resyncing
 //
 // Healthy and Suspect replicas serve reads and receive appends. Down
 // replicas are skipped on both paths until a probe reaches them again.
@@ -16,9 +20,16 @@
 // append, so serving a read from it could return a wrong (partial)
 // answer — it is excluded from read failover and from append fan-out
 // (it would only see sequence gaps) until the catch-up exchange
-// (catchup.go) replays its missed batches, which is the only edge back
-// to Healthy. Stale wins over every reachability transition: a probe
-// reaching a stale replica proves liveness, not consistency.
+// (catchup.go) replays its missed batches. Resyncing is the deeper
+// quarantine: the missed batches outlived the router's append log, so
+// log replay alone cannot repair it and a snapshot transfer from a
+// healthy donor (resync.go) is in flight or pending. Both quarantine
+// states win over every reachability transition — a probe reaching a
+// quarantined replica proves liveness, not consistency — and both are
+// lifted only by caughtUp, which additionally checks the peer's
+// quarantine generation: if the replica missed another batch after the
+// verification pass started, the lift is refused and the next
+// reconcile pass closes the new gap.
 
 package cluster
 
@@ -42,6 +53,10 @@ const (
 	// Stale peers missed an append and are quarantined from reads and
 	// appends until catch-up replays their missed batches.
 	Stale
+	// Resyncing peers missed batches that were pruned from the append
+	// log: log replay cannot repair them, so a snapshot resync from a
+	// healthy donor is pending or in flight. Quarantined like Stale.
+	Resyncing
 )
 
 func (s HealthState) String() string {
@@ -54,6 +69,8 @@ func (s HealthState) String() string {
 		return "down"
 	case Stale:
 		return "stale"
+	case Resyncing:
+		return "resyncing"
 	default:
 		return "unknown"
 	}
@@ -67,6 +84,15 @@ type peerHealth struct {
 	state   HealthState
 	faults  int // consecutive transport faults since the last success
 	changed time.Time
+	// gen counts missed appends: catch-up snapshots it before a
+	// verification pass and refuses to lift quarantine if it moved —
+	// a batch that lands between "partition verified current" and
+	// "peer re-admitted" must keep the peer quarantined.
+	gen uint64
+	// note is the last catch-up or resync error, for /stats — a
+	// permanently stuck replica is visible, not silent. Cleared when
+	// the peer is re-admitted.
+	note string
 }
 
 // healthTracker is the router's per-peer state table. Unknown peers
@@ -97,9 +123,9 @@ func (h *healthTracker) state(addr string) HealthState {
 	return h.peer(addr).state
 }
 
-// servable reports whether reads may be served from addr. Stale and
-// Down peers are excluded: Stale could answer wrong, Down would only
-// burn a dial timeout.
+// servable reports whether reads may be served from addr. Stale,
+// Resyncing, and Down peers are excluded: the quarantined states could
+// answer wrong, Down would only burn a dial timeout.
 func (h *healthTracker) servable(addr string) bool {
 	s := h.state(addr)
 	return s == Healthy || s == Suspect
@@ -107,8 +133,8 @@ func (h *healthTracker) servable(addr string) bool {
 
 // appendable reports whether addr should receive append fan-out.
 // Identical to servable by design: a peer that cannot be read from
-// cannot usefully take writes either (Stale would see sequence gaps,
-// Down is unreachable).
+// cannot usefully take writes either (quarantined peers would see
+// sequence gaps, Down is unreachable).
 func (h *healthTracker) appendable(addr string) bool {
 	return h.servable(addr)
 }
@@ -122,7 +148,8 @@ func (p *peerHealth) set(s HealthState) {
 
 // fault records a transport-level failure on the read or probe path:
 // Healthy demotes to Suspect, and downAfterFaults consecutive faults
-// demote Suspect to Down. Stale is sticky — only catch-up clears it.
+// demote Suspect to Down. Quarantine is sticky — only catch-up clears
+// it.
 func (h *healthTracker) fault(addr string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -139,7 +166,8 @@ func (h *healthTracker) fault(addr string) {
 }
 
 // ok records a successful read or probe: Suspect and Down recover to
-// Healthy, Stale stays quarantined (reachability is not consistency).
+// Healthy, quarantined peers stay quarantined (reachability is not
+// consistency).
 func (h *healthTracker) ok(addr string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -152,22 +180,62 @@ func (h *healthTracker) ok(addr string) {
 
 // missedAppend quarantines addr: it failed an append ack after
 // retries, or the fan-out skipped it while unreachable — either way it
-// is now missing at least one batch and must not serve reads.
+// is now missing at least one batch and must not serve reads. The
+// quarantine generation advances so a catch-up pass racing this miss
+// cannot lift the quarantine. A peer already in Resyncing stays there
+// (resync ends with a log replay that covers batches missed meanwhile).
 func (h *healthTracker) missedAppend(addr string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.peer(addr).set(Stale)
+	p := h.peer(addr)
+	p.gen++
+	if p.state != Resyncing {
+		p.set(Stale)
+	}
 }
 
-// caughtUp re-admits addr after a successful catch-up exchange.
-func (h *healthTracker) caughtUp(addr string) {
+// startResync escalates addr's quarantine: its missed batches outlived
+// the append log, so only a snapshot transfer can repair it.
+func (h *healthTracker) startResync(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peer(addr).set(Resyncing)
+}
+
+// quarantineGen reads addr's missed-append counter; pair with caughtUp
+// to make the quarantine lift race-free.
+func (h *healthTracker) quarantineGen(addr string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peer(addr).gen
+}
+
+// caughtUp re-admits addr after a catch-up pass verified every owned
+// partition current, provided no further append was missed since gen
+// was sampled. It reports whether addr is (now) out of quarantine; a
+// false return means another batch landed mid-verification and the
+// caller should re-verify.
+func (h *healthTracker) caughtUp(addr string, gen uint64) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	p := h.peer(addr)
-	if p.state == Stale {
-		p.faults = 0
-		p.set(Healthy)
+	if p.state != Stale && p.state != Resyncing {
+		return true
 	}
+	if p.gen != gen {
+		return false
+	}
+	p.faults = 0
+	p.note = ""
+	p.set(Healthy)
+	return true
+}
+
+// noteErr records addr's last catch-up/resync error for /stats.
+func (h *healthTracker) noteErr(addr string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peer(addr).note = err.Error()
 }
 
 // snapshot reports every tracked peer's state, for /stats.
@@ -177,6 +245,20 @@ func (h *healthTracker) snapshot() map[string]HealthState {
 	out := make(map[string]HealthState, len(h.peers))
 	for addr, p := range h.peers {
 		out[addr] = p.state
+	}
+	return out
+}
+
+// notes reports every peer's last recorded catch-up/resync error
+// (peers with none are omitted), for /stats.
+func (h *healthTracker) notes() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]string)
+	for addr, p := range h.peers {
+		if p.note != "" {
+			out[addr] = p.note
+		}
 	}
 	return out
 }

@@ -77,8 +77,20 @@ func TestHealthQuarantineIsSticky(t *testing.T) {
 	if h.servable(addr) || h.appendable(addr) {
 		t.Fatal("stale peer must be excluded from reads and appends")
 	}
-	// ...only catch-up does.
-	h.caughtUp(addr)
+	// ...only catch-up does, and only at an unmoved quarantine
+	// generation: a lift with a gen sampled before another miss is
+	// refused (the lost-update race between verify and re-admission).
+	staleGen := h.quarantineGen(addr)
+	h.missedAppend(addr)
+	if h.caughtUp(addr, staleGen) {
+		t.Fatal("caughtUp with a stale generation must refuse the lift")
+	}
+	if got := h.state(addr); got != Stale {
+		t.Fatalf("after refused lift = %v, want stale", got)
+	}
+	if !h.caughtUp(addr, h.quarantineGen(addr)) {
+		t.Fatal("caughtUp with the current generation must lift")
+	}
 	if got := h.state(addr); got != Healthy {
 		t.Fatalf("after catch-up = %v, want healthy", got)
 	}
@@ -90,7 +102,7 @@ func TestHealthCaughtUpOnlyLiftsStale(t *testing.T) {
 	for i := 0; i < downAfterFaults; i++ {
 		h.fault(addr)
 	}
-	h.caughtUp(addr)
+	h.caughtUp(addr, h.quarantineGen(addr))
 	if got := h.state(addr); got != Down {
 		t.Fatalf("caughtUp on down peer = %v, want down (it proved nothing)", got)
 	}
@@ -104,7 +116,7 @@ func TestHealthSnapshotAndStrings(t *testing.T) {
 	if snap["a"] != Suspect || snap["b"] != Stale {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	want := map[HealthState]string{Healthy: "healthy", Suspect: "suspect", Down: "down", Stale: "stale"}
+	want := map[HealthState]string{Healthy: "healthy", Suspect: "suspect", Down: "down", Stale: "stale", Resyncing: "resyncing"}
 	for s, str := range want {
 		if s.String() != str {
 			t.Fatalf("%d.String() = %q, want %q", s, s.String(), str)

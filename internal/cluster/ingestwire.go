@@ -314,11 +314,16 @@ func decodeAppendAck(payload []byte) (appendAck, error) {
 // applied sequence number and the partition's global row watermark
 // (offset + local logical rows; for tuples the max over partitions is
 // the next free global row ID, for other kinds it is informational).
+// Kind is the dataset's data kind where the node can tell (some
+// partition of the dataset holds rows locally) and 0 where it cannot —
+// a restarted router unions reports across replicas to rediscover
+// every dataset's kind without any local state.
 type SeqEntry struct {
 	Dataset   string
 	Part      int
 	LastSeq   uint64
 	Watermark int64
+	Kind      DataKind
 }
 
 // encodeSeqStateReq serializes the router's 'U' request: a dataset
@@ -355,6 +360,7 @@ func encodeSeqState(entries []SeqEntry) []byte {
 		b = canon.AppendUint(b, uint64(e.Part))
 		b = canon.AppendUint(b, e.LastSeq)
 		b = canon.AppendUint(b, uint64(e.Watermark))
+		b = canon.AppendUint(b, uint64(e.Kind))
 	}
 	return b
 }
@@ -368,8 +374,8 @@ func decodeSeqState(payload []byte) ([]SeqEntry, error) {
 	if v != wireVersion {
 		return nil, fmt.Errorf("%w: wire version %d", canon.ErrCorrupt, v)
 	}
-	// An entry is at least a name length plus three fixed ints.
-	n, err := r.Count(32)
+	// An entry is at least a name length plus four fixed ints.
+	n, err := r.Count(40)
 	if err != nil {
 		return nil, err
 	}
@@ -397,6 +403,14 @@ func decodeSeqState(payload []byte) ([]SeqEntry, error) {
 			return nil, canon.ErrCorrupt
 		}
 		out[i].Watermark = int64(wm)
+		kind, err := r.Uint()
+		if err != nil {
+			return nil, err
+		}
+		if kind > uint64(KindScene) {
+			return nil, fmt.Errorf("%w: seq-state kind %d", canon.ErrCorrupt, kind)
+		}
+		out[i].Kind = DataKind(kind)
 	}
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", canon.ErrCorrupt, r.Remaining())

@@ -293,10 +293,10 @@ func errorCode(err error) string {
 }
 
 // handle dispatches one connection on its first frame: a 'Q' starts a
-// query session (one query per connection), while 'A'/'H'/'U' start an
-// ingest session (a loop of appends, probes, and seq-state exchanges —
-// the router's append and catch-up paths reuse one connection for many
-// frames).
+// query session (one query per connection), while 'A'/'H'/'U'/'S'/'I'
+// start an ingest session (a loop of appends, probes, seq-state
+// exchanges, and snapshot-resync transfers — the router's append,
+// catch-up, and resync paths reuse one connection for many frames).
 func (n *Node) handle(c net.Conn) {
 	typ, payload, err := readFrame(c)
 	if err != nil {
@@ -306,7 +306,7 @@ func (n *Node) handle(c net.Conn) {
 	switch typ {
 	case frameQuery:
 		n.handleQuery(c, payload)
-	case frameAppend, frameHealth, frameSeqState:
+	case frameAppend, frameHealth, frameSeqState, frameResyncReq, frameInstall:
 		n.handleIngest(c, typ, payload)
 	default:
 		n.failed.Add(1)

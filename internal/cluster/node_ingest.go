@@ -129,9 +129,28 @@ func (n *Node) AppendRows(ctx context.Context, b AppendBatch) (dup bool, gen uin
 	return false, n.datasetGen(entry.local), nil
 }
 
+// dataKindOfInfo maps an engine manifest kind tag to the cluster's
+// DataKind (0 for an unknown tag).
+func dataKindOfInfo(kind string) DataKind {
+	switch kind {
+	case "tuples":
+		return KindTuples
+	case "series":
+		return KindSeries
+	case "wells":
+		return KindWells
+	case "scenes":
+		return KindScene
+	default:
+		return 0
+	}
+}
+
 // seqState reports every partition's append cursor and row watermark
 // (the 'U' reply). dataset filters to one dataset; "" reports all.
-// Scene partitions are omitted: scenes are not appendable.
+// Scene partitions are omitted: scenes are not appendable. Each entry
+// carries the dataset's kind when any of its partitions here holds
+// rows (0 otherwise), so a restarted router can rediscover datasets.
 func (n *Node) seqState(dataset string) []SeqEntry {
 	infos := make(map[string]core.DatasetInfo)
 	for _, ds := range n.eng.Datasets() {
@@ -144,14 +163,29 @@ func (n *Node) seqState(dataset string) []SeqEntry {
 		if dataset != "" && ds != dataset {
 			continue
 		}
+		// The dataset's kind is knowable iff some partition here is
+		// non-empty; empty partitions report it too once found.
+		var dsKind DataKind
+		for _, entry := range parts {
+			if entry.local == "" {
+				continue
+			}
+			if info, ok := infos[entry.local]; ok {
+				dsKind = dataKindOfInfo(info.Kind)
+				break
+			}
+		}
+		if dsKind == KindScene {
+			continue
+		}
 		for part, entry := range parts {
-			e := SeqEntry{Dataset: ds, Part: part}
+			e := SeqEntry{Dataset: ds, Part: part, Kind: dsKind}
 			if pi := n.ingests[ds][part]; pi != nil {
 				e.LastSeq = pi.lastSeq
 			}
 			if entry.local != "" {
 				info, ok := infos[entry.local]
-				if !ok || info.Kind == "scenes" {
+				if !ok {
 					continue
 				}
 				e.Watermark = entry.offset + int64(info.Rows)
@@ -214,6 +248,19 @@ func (n *Node) handleIngest(c net.Conn, typ byte, payload []byte) {
 				return
 			}
 			if writeFrame(c, frameAppendAck, encodeAppendAck(appendAck{Seq: b.Seq, Dup: dup, Gen: gen})) != nil {
+				return
+			}
+		case frameResyncReq:
+			// Donor role: stream a consistent snapshot of the requested
+			// partitions and report their cursors. One transfer per
+			// session; the router closes the connection after 'Y'.
+			n.serveResync(c, payload)
+			return
+		case frameInstall:
+			// Receiver role: accumulate 'D' chunks, install on 'J', ack
+			// with 'Y'. The session then continues — the router replays
+			// the remaining log tail as ordinary 'A' frames.
+			if !n.handleInstall(c, payload) {
 				return
 			}
 		default:

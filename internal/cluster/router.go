@@ -84,6 +84,13 @@ type RouterOptions struct {
 	// its nominal value plus a uniform random half (defaults 5ms/250ms).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// MaxLogBytes caps each partition's append log (the encoded frames
+	// retained for catch-up replay). When a quarantined replica pins
+	// more than this many bytes, the oldest fully-acked-elsewhere
+	// records are dropped and the replica is repaired by snapshot
+	// resync instead of replay. 0 selects the 64 MiB default; negative
+	// disables the cap (the log then grows until every replica acks).
+	MaxLogBytes int64
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -105,6 +112,9 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.RetryMax <= 0 {
 		o.RetryMax = 250 * time.Millisecond
 	}
+	if o.MaxLogBytes == 0 {
+		o.MaxLogBytes = 64 << 20
+	}
 	return o
 }
 
@@ -121,6 +131,9 @@ type Router struct {
 	// ing is the append-side state: per-dataset ingest cursors and the
 	// client-token dedup table (append.go).
 	ing routerIngest
+
+	// stats counts resync and recovery events (resync.go).
+	stats routerResyncStats
 
 	loopMu   sync.Mutex
 	loopStop chan struct{}

@@ -130,6 +130,155 @@ func (e *Engine) Snapshot(ctx context.Context, b segment.Backend) error {
 	return w.Finish()
 }
 
+// SnapshotDatasets persists only the named datasets to b — the donor
+// side of cluster resync, where a replica streams a consistent
+// snapshot of exactly the partitions a stale peer owes. Selection is
+// by name across every kind (engine-local cluster names are unique, so
+// a name selects one dataset in practice); a name matching nothing is
+// an error, because a donor must actually hold what it offered. Like
+// Snapshot it holds the read lock end to end, so the captured state is
+// one consistent cut even under concurrent appends elsewhere.
+func (e *Engine) SnapshotDatasets(ctx context.Context, b segment.Backend, names []string) error {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w, err := segment.NewWriter(b, e.shards)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(names))
+	for _, info := range e.datasetsLocked() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !want[info.Name] {
+			continue
+		}
+		seen[info.Name] = true
+		switch info.Kind {
+		case kindTuples:
+			err = snapTuples(w, info, e.tuples[info.Name], e.onionOpt)
+		case kindScenes:
+			err = snapScene(w, info, e.scenes[info.Name])
+		case kindSeries:
+			err = snapSeries(w, info, e.series[info.Name])
+		case kindWells:
+			err = snapWells(w, info, e.wells[info.Name])
+		}
+		if err != nil {
+			return fmt.Errorf("core: snapshot %s %q: %w", info.Kind, info.Name, err)
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			return fmt.Errorf("%w: %q", ErrUnknownDataset, n)
+		}
+	}
+	return w.Finish()
+}
+
+// InstallDatasets replaces (or creates) the named datasets from a
+// snapshot on b — the receiver side of cluster resync. The restore
+// runs in Copy mode (the backend is transient) with every section
+// checksum verified during decode, all outside the engine lock; the
+// swap itself happens atomically under the write lock, and each
+// installed dataset's generation is bumped strictly past the replaced
+// one so cached results over the old state invalidate. Snapshot
+// datasets that are not named are ignored; a named dataset missing
+// from the snapshot is an error. An in-flight background compaction of
+// a replaced dataset aborts on its own re-check (the installed set has
+// no deltas, so the compactor's splice guard refuses to fold stale
+// state over it).
+func (e *Engine) InstallDatasets(b segment.Backend, names []string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	snap, err := segment.Open(b, segment.Copy)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+
+	type stagedSet struct {
+		name string
+		kind string
+		ts   *tupleSet
+		sc   *sceneSet
+		se   *seriesSet
+		ws   *wellSet
+	}
+	var staged []stagedSet
+	seen := make(map[string]bool, len(names))
+	for _, ds := range snap.Manifest().Datasets {
+		if !want[ds.Name] {
+			continue
+		}
+		seen[ds.Name] = true
+		dr, err := snap.Dataset(ds.Kind, ds.Name)
+		if err != nil {
+			return err
+		}
+		st := stagedSet{name: ds.Name, kind: ds.Kind}
+		switch ds.Kind {
+		case kindTuples:
+			st.ts, err = restoreTuples(dr, ds.Rows)
+		case kindScenes:
+			st.sc, err = restoreScene(dr, e.shards)
+		case kindSeries:
+			st.se, err = restoreSeries(dr, e.shards)
+		case kindWells:
+			st.ws, err = restoreWells(dr, e.shards)
+		default:
+			err = fmt.Errorf("%w: dataset %q has unknown kind %q", segment.ErrCorrupt, ds.Name, ds.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("core: install %s %q: %w", ds.Kind, ds.Name, err)
+		}
+		staged = append(staged, st)
+	}
+	for _, n := range names {
+		if !seen[n] {
+			return fmt.Errorf("core: install: %w: %q not in snapshot", ErrUnknownDataset, n)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range staged {
+		switch st.kind {
+		case kindTuples:
+			if old := e.tuples[st.name]; old != nil {
+				st.ts.gen = old.gen + 1
+			}
+			e.tuples[st.name] = st.ts
+		case kindScenes:
+			if old := e.scenes[st.name]; old != nil {
+				st.sc.gen = old.gen + 1
+			}
+			e.scenes[st.name] = st.sc
+		case kindSeries:
+			if old := e.series[st.name]; old != nil {
+				st.se.gen = old.gen + 1
+			}
+			e.series[st.name] = st.se
+		case kindWells:
+			if old := e.wells[st.name]; old != nil {
+				st.ws.gen = old.gen + 1
+			}
+			e.wells[st.name] = st.ws
+		}
+	}
+	e.epoch.Add(1)
+	return nil
+}
+
 // RestoreOptions tunes OpenSnapshot.
 type RestoreOptions struct {
 	// Mode selects Copy (portable) or Map (zero-copy mmap) restore.
@@ -293,10 +442,15 @@ func restoreTuples(dr *segment.DatasetReader, rows int) (*tupleSet, error) {
 		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
 			return nil, fmt.Errorf("%w: tuple meta shard %d", segment.ErrCorrupt, k)
 		}
-		if int(offset) != next {
-			return nil, fmt.Errorf("%w: tuple shard %d offset %d, want %d", segment.ErrCorrupt, k, offset, next)
+		// Shards tile the row space in monotone order. Gaps are legal:
+		// a cluster partition holds only its own global ID ranges
+		// (AppendTuplesAt lands batches at explicit bases), so a snapshot
+		// of such a dataset has delta shards starting past the previous
+		// shard's end. Overlap is never legal — IDs would collide.
+		if int(offset) < next {
+			return nil, fmt.Errorf("%w: tuple shard %d offset %d overlaps previous end %d", segment.ErrCorrupt, k, offset, next)
 		}
-		next += int(shRows)
+		next = int(offset) + int(shRows)
 		pre := func(s string) string { return fmt.Sprintf("s%d.%s", k, s) }
 		sp := colstore.Planes{Dim: int(dim), Rows: int(shRows)}
 		var op onion.Planes

@@ -1,0 +1,203 @@
+// Snapshot-resync baseline: the machine-readable artifact CI archives
+// as BENCH_resync.json, pinning the anti-entropy path end to end. The
+// sweep boots a two-node replication-2 cluster with a deliberately
+// tiny per-partition append-log cap, kills one replica, and streams
+// enough rows that the router must prune the log past the dead
+// replica's cursor — so plain catch-up replay is off the table. The
+// artifact then measures the full recovery: restart the replica,
+// reconcile until the router's donor-snapshot resync plus tail replay
+// re-admits it, and record bytes streamed, wall time, and whether the
+// recovered replica ALONE still answers bit-identically to a
+// single-node reference (the survivor is killed for the final check).
+// Throughput numbers are informational on shared CI hosts; the
+// results_identical bit is the acceptance-pinned part.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"modelir/internal/cluster"
+	"modelir/internal/core"
+)
+
+// ResyncBaseline is the BENCH_resync.json artifact.
+type ResyncBaseline struct {
+	Tuples      int   `json:"tuples"`
+	Dims        int   `json:"dims"`
+	K           int   `json:"k"`
+	ShardsPer   int   `json:"shards_per_node"`
+	LogCapBytes int64 `json:"log_cap_bytes"`
+	GOMAXPROCS  int   `json:"gomaxprocs"`
+
+	// ForcedPrunes counts append-log records dropped by the cap while
+	// the replica was quarantined — nonzero proves replay alone could
+	// not have recovered it.
+	ForcedPrunes int64 `json:"forced_prunes"`
+	// Resyncs / BytesStreamed / ReplayedBatches describe the recovery:
+	// donor snapshots run, snapshot bytes streamed donor → router →
+	// stale replica, and log-tail batches replayed after the install.
+	Resyncs         int64 `json:"resyncs"`
+	BytesStreamed   int64 `json:"bytes_streamed"`
+	ReplayedBatches int64 `json:"replayed_batches"`
+	// RecoverNs times restart → reconcile → healthy (the resync itself
+	// plus health-machine convergence).
+	RecoverNs int64 `json:"recover_ns"`
+	// ResultsIdentical is the CI gate: quarantine-era, post-recovery,
+	// and recovered-replica-only answers all matched the single-node
+	// reference exactly.
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// resyncSweep runs the log-pruned fault cycle once and fills the
+// baseline.
+func resyncSweep(cfg Config) (ResyncBaseline, error) {
+	n, k := ShardWorkloadSize, 10
+	if cfg.Quick {
+		n = 5_000
+	}
+	base := ResyncBaseline{
+		Tuples: n, K: k, ShardsPer: 2, LogCapBytes: 2048,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), ResultsIdentical: true,
+	}
+	pts, m, err := ShardWorkload(n)
+	if err != nil {
+		return base, err
+	}
+	base.Dims = len(pts[0])
+	ctx := cfg.ctx()
+
+	// Full single-node reference: the answer every recovery state must
+	// reproduce bit-for-bit.
+	eng := core.NewEngineWith(core.Options{Shards: base.ShardsPer, CacheEntries: -1})
+	if err := eng.AddTuples("t", pts); err != nil {
+		return base, err
+	}
+	req := core.Request{Dataset: "t", Query: core.LinearQuery{Model: m}, K: k}
+	want, err := eng.Run(ctx, req)
+	if err != nil {
+		return base, err
+	}
+
+	const count = 2
+	lns := make([]net.Listener, count)
+	addrs := make([]string, count)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return base, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	topo := cluster.Topology{Nodes: addrs, Replication: 2}
+	opt := cluster.NodeOptions{Shards: base.ShardsPer, CacheEntries: -1}
+	prefix := pts[:len(pts)*4/5]
+	tail := pts[len(pts)*4/5:]
+	nodes := make([]*cluster.Node, count)
+	defer func() {
+		for i, nd := range nodes {
+			if nd != nil {
+				nd.Close()
+			} else {
+				lns[i].Close()
+			}
+		}
+	}()
+	for i := range lns {
+		node := cluster.NewNode(addrs[i], topo, opt)
+		if err := node.AddTuples("t", prefix); err != nil {
+			return base, err
+		}
+		node.ServeListener(lns[i])
+		nodes[i] = node
+	}
+	router := cluster.NewRouterWith(topo, cluster.RouterOptions{
+		RetryBase: time.Millisecond, RetryMax: 16 * time.Millisecond,
+		AppendAttempts: 2, MaxLogBytes: base.LogCapBytes,
+	})
+	defer router.Close()
+	creq := cluster.Request{Dataset: "t", Query: req.Query, K: req.K}
+
+	check := func(stage string) error {
+		res, err := router.Run(ctx, creq)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stage, err)
+		}
+		base.ResultsIdentical = base.ResultsIdentical && itemsMatch(res.Items, want.Items)
+		return nil
+	}
+
+	// Kill one replica, then land the whole tail. With the tiny cap the
+	// router prunes acked records past the dead replica's cursor, so
+	// the coming recovery is forced through the snapshot path.
+	nodes[1].Kill()
+	for lo := 0; lo < len(tail); lo += 256 {
+		hi := lo + 256
+		if hi > len(tail) {
+			hi = len(tail)
+		}
+		if _, err := router.Append(ctx, cluster.AppendRequest{Dataset: "t", Tuples: tail[lo:hi]}); err != nil {
+			return base, err
+		}
+	}
+	if err := check("under quarantine"); err != nil {
+		return base, err
+	}
+	if base.ForcedPrunes = router.ResyncStats().ForcedPrunes; base.ForcedPrunes == 0 {
+		return base, fmt.Errorf("log cap %d never forced a prune; the sweep is not exercising resync", base.LogCapBytes)
+	}
+
+	// Recovery: restart the replica and reconcile until the router's
+	// snapshot resync + tail replay lifts the quarantine.
+	recoverStart := time.Now()
+	if err := nodes[1].Serve(addrs[1]); err != nil {
+		return base, err
+	}
+	for i := 0; ; i++ {
+		if health := router.Reconcile(ctx); health[addrs[1]] == cluster.Healthy {
+			break
+		}
+		if i >= 100 {
+			return base, fmt.Errorf("replica %s not healthy after %d reconcile passes (errors: %v)",
+				addrs[1], i, router.PeerErrors())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base.RecoverNs = time.Since(recoverStart).Nanoseconds()
+	rs := router.ResyncStats()
+	base.Resyncs = rs.Resyncs
+	base.BytesStreamed = rs.BytesStreamed
+	base.ReplayedBatches = rs.ReplayedBatches
+	if rs.Resyncs == 0 {
+		return base, fmt.Errorf("replica recovered without a snapshot resync; the sweep is not exercising the anti-entropy path")
+	}
+	if err := check("after resync"); err != nil {
+		return base, err
+	}
+
+	// Kill the survivor that held the full history: the resynced
+	// replica must now answer alone, proving install + replay was exact.
+	nodes[0].Kill()
+	return base, check("resynced replica serving")
+}
+
+// WriteResyncBaseline runs the log-pruned recovery sweep and writes the
+// JSON baseline (the BENCH_resync.json artifact produced by
+// `benchtab -resyncjson`).
+func WriteResyncBaseline(cfg Config, path string) error {
+	base, err := resyncSweep(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

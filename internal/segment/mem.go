@@ -1,0 +1,88 @@
+// Mem is an in-memory Backend: a flat map of file name → bytes. It is
+// the transfer staging area for cluster resync — a donor streams
+// snapshot sections over the wire and the receiver accumulates them
+// here before installing — and a convenient backend for tests. Files
+// are write-once-replace: WriteFile and Put swap the whole value under
+// the lock, so a Blob handed out by Open keeps reading the bytes it
+// was opened on even if the name is later replaced.
+
+package segment
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+)
+
+// Mem is an in-memory Backend.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{files: make(map[string][]byte)} }
+
+// WriteFile buffers write's output and installs it under name.
+func (m *Mem) WriteFile(name string, write func(io.Writer) error) error {
+	if err := validateFileName(name); err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.files[name] = buf.Bytes()
+	m.mu.Unlock()
+	return nil
+}
+
+// Put installs data under name verbatim (the slice is retained, not
+// copied — the wire-transfer path hands over ownership of received
+// chunks).
+func (m *Mem) Put(name string, data []byte) error {
+	if err := validateFileName(name); err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	m.mu.Lock()
+	m.files[name] = data
+	m.mu.Unlock()
+	return nil
+}
+
+// Open opens name for reading at its current content.
+func (m *Mem) Open(name string) (Blob, error) {
+	if err := validateFileName(name); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	m.mu.Lock()
+	data, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("segment: %s: %w", name, fs.ErrNotExist)
+	}
+	return &memBlob{r: bytes.NewReader(data), size: int64(len(data))}, nil
+}
+
+// Size reports the backend's total byte count across files.
+func (m *Mem) Size() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, data := range m.files {
+		total += int64(len(data))
+	}
+	return total
+}
+
+type memBlob struct {
+	r    *bytes.Reader
+	size int64
+}
+
+func (b *memBlob) ReadAt(p []byte, off int64) (int, error) { return b.r.ReadAt(p, off) }
+func (b *memBlob) Close() error                            { return nil }
+func (b *memBlob) Size() int64                             { return b.size }

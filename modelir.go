@@ -441,8 +441,12 @@ type (
 	// including any replicas it quarantined.
 	ClusterAppendResult = cluster.AppendResult
 	// ClusterHealthState is one peer's position in the router's health
-	// machine (healthy / suspect / down / stale).
+	// machine (healthy / suspect / down / stale / resyncing).
 	ClusterHealthState = cluster.HealthState
+	// ClusterResyncStats counts the router's replica-resync and crash-
+	// recovery events (DESIGN.md §13): snapshot resyncs run, bytes
+	// streamed, batches replayed, forced log prunes.
+	ClusterResyncStats = cluster.ResyncStats
 )
 
 // ErrPartitionUnavailable reports that every replica of some partition
